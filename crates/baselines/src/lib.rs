@@ -1,0 +1,36 @@
+//! Baseline exception-resolution algorithms for the comparative experiments
+//! of §5.3 and §3.3.3 (Xu, Romanovsky & Randell, ICDCS 1998).
+//!
+//! Both baselines implement the runtime's
+//! [`ResolutionProtocol`](caa_runtime::protocol::ResolutionProtocol), so a
+//! [`System`](caa_runtime::System) can swap algorithms while "the rest of
+//! the CA action support [is] kept unchanged" — exactly how the paper built
+//! its comparison:
+//!
+//! * [`CrResolution`] — Campbell & Randell 1986: flooding re-broadcast,
+//!   every thread resolves repeatedly (`N(N−1)(N−2)` invocations), O(N³)
+//!   messages, no commit round;
+//! * [`Rom96Resolution`] — Romanovsky et al. 1996: three explicit
+//!   exchanges (announce / propose / confirm), `3N(N−1)` messages per
+//!   nesting level, one resolution invocation per thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use caa_baselines::CrResolution;
+//! use caa_runtime::System;
+//!
+//! let sys = System::builder().protocol(Arc::new(CrResolution)).build();
+//! # drop(sys);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cr86;
+mod rom96;
+
+pub use cr86::CrResolution;
+pub use rom96::Rom96Resolution;

@@ -1,0 +1,43 @@
+//! Criterion bench over the §5.3 comparison (Figures 12/13): the same
+//! simultaneous-raise workload under each resolution protocol.
+
+use std::sync::Arc;
+
+use caa_baselines::{CrResolution, Rom96Resolution};
+use caa_bench::{simultaneous_raise, SimultaneousRaiseParams};
+use caa_runtime::protocol::ResolutionProtocol;
+use caa_runtime::XrrResolution;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_simultaneous_raise");
+    group.sample_size(10);
+    let protocols: Vec<(&str, Arc<dyn ResolutionProtocol>)> = vec![
+        ("xrr98", Arc::new(XrrResolution)),
+        ("rom96", Arc::new(Rom96Resolution)),
+        ("cr86", Arc::new(CrResolution)),
+    ];
+    for (name, protocol) in &protocols {
+        for n in [3u32, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("n{n}")),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        simultaneous_raise(
+                            SimultaneousRaiseParams {
+                                n,
+                                ..SimultaneousRaiseParams::default()
+                            },
+                            Arc::clone(protocol),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench over the §5.2 experiment (Figure 9/10): wall-clock cost
+//! of regenerating selected sweep points. The *virtual* results themselves
+//! are printed by `paper_tables fig9`.
+
+use caa_bench::{nested_abort, NestedAbortParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_nested_abort");
+    group.sample_size(10);
+    for t_mmax in [0.2f64, 1.0, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("tmmax", format!("{t_mmax:.1}")),
+            &t_mmax,
+            |b, &t| {
+                b.iter(|| {
+                    nested_abort(NestedAbortParams {
+                        t_mmax: t,
+                        iterations: 2,
+                        ..NestedAbortParams::default()
+                    })
+                });
+            },
+        );
+    }
+    for t_abo in [0.1f64, 1.1, 2.1] {
+        group.bench_with_input(
+            BenchmarkId::new("tabo", format!("{t_abo:.1}")),
+            &t_abo,
+            |b, &t| {
+                b.iter(|| {
+                    nested_abort(NestedAbortParams {
+                        t_abo: t,
+                        iterations: 2,
+                        ..NestedAbortParams::default()
+                    })
+                });
+            },
+        );
+    }
+    for t_reso in [0.3f64, 1.3, 2.3] {
+        group.bench_with_input(
+            BenchmarkId::new("treso", format!("{t_reso:.1}")),
+            &t_reso,
+            |b, &t| {
+                b.iter(|| {
+                    nested_abort(NestedAbortParams {
+                        t_reso: t,
+                        iterations: 2,
+                        ..NestedAbortParams::default()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches of exception-graph resolution (§3.2): the
+//! operation every participant's run-time system executes during recovery.
+
+use caa_core::exception::ExceptionId;
+use caa_exgraph::generate::conjunction_lattice;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exception_graph_resolve");
+    for n in [4usize, 8, 12] {
+        let prims: Vec<ExceptionId> =
+            (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+        // Pairs-and-triples lattice: realistic application-scale graphs.
+        let graph = conjunction_lattice(&prims, 3.min(n)).unwrap();
+        let raised: Vec<ExceptionId> = prims.iter().take(3).cloned().collect();
+        group.bench_with_input(
+            BenchmarkId::new("triple_raise", format!("n{n}_nodes{}", graph.len())),
+            &graph,
+            |b, g| {
+                b.iter(|| black_box(g.resolve(black_box(&raised))));
+            },
+        );
+    }
+    // Figure 7's actual graph.
+    let fig7 = caa_prodcell::move_loaded_table_graph();
+    let both = [ExceptionId::new("vm_stop"), ExceptionId::new("rm_stop")];
+    group.bench_function("figure7_dual_motor", |b| {
+        b.iter(|| black_box(fig7.resolve(black_box(&both))));
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exception_graph_generate");
+    group.sample_size(20);
+    for n in [6usize, 10] {
+        let prims: Vec<ExceptionId> =
+            (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+        group.bench_with_input(BenchmarkId::new("lattice3", n), &prims, |b, p| {
+            b.iter(|| conjunction_lattice(black_box(p), 3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5 of Xu, Romanovsky & Randell, ICDCS 1998).
+//!
+//! * [`scenarios`] — the §5.2 nested-abort experiment (Figures 9/10) and
+//!   the §5.3 algorithm comparison (Figures 12/13), parameterised by
+//!   `Tmmax`, `Tabo` and `Treso`;
+//! * `paper_tables` (binary) — prints the same rows and series the paper
+//!   reports: `cargo run -p caa-bench --release --bin paper_tables all`;
+//! * Criterion benches under `benches/` measure the wall-clock cost of the
+//!   simulated experiments and of exception-graph resolution.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for paper-vs-measured values.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod scenarios;
+
+pub use scenarios::{
+    lemma1_bound, nested_abort, resolution_messages, simultaneous_raise,
+    simultaneous_raise_xrr, NestedAbortParams, SimultaneousRaiseParams,
+};

@@ -1,0 +1,388 @@
+//! Protocol messages exchanged between participating threads.
+//!
+//! §3.3.1 defines the three messages of the resolution algorithm
+//! (`Exception`, `Suspended`, `Commit`) and §3.4 adds `toBeSignalled` for the
+//! signalling algorithm. The run-time additionally uses a synchronous-exit
+//! vote (§5.1: "a simple protocol is also implemented for participating
+//! threads to leave a CA action synchronously") and an opaque application
+//! payload for the cooperating roles' own communication. Application-related
+//! message passing "is treated independently" (§3.3.1), which the counters in
+//! `caa-simnet` preserve by classifying messages by [`MessageKind`].
+
+use std::any::Any;
+use std::fmt;
+
+use crate::exception::{Exception, ExceptionId, Signal};
+use crate::ids::{ActionId, ThreadId};
+
+/// Round number of the signalling algorithm: the first exchange, or the
+/// second exchange forced by a failed undo (§3.4, case 2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum SignalRound {
+    /// First exchange of intended signals.
+    First,
+    /// Second exchange after every participant attempted its undo operations.
+    AfterUndo,
+}
+
+impl fmt::Display for SignalRound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalRound::First => f.write_str("round-1"),
+            SignalRound::AfterUndo => f.write_str("round-2"),
+        }
+    }
+}
+
+/// An opaque, in-process application payload exchanged between cooperating
+/// roles of the same action.
+///
+/// The coordination protocols never inspect application payloads; they only
+/// count them (the paper's complexity results exclude application traffic).
+/// Payloads are `Any + Send` because the whole system runs in one process;
+/// a wire format would replace this with serialized bytes.
+pub struct AppPayload(Box<dyn Any + Send>);
+
+impl AppPayload {
+    /// Wraps a value as an application payload.
+    #[must_use]
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        AppPayload(Box::new(value))
+    }
+
+    /// Recovers the payload by type, or returns `self` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the payload is not a `T`, so the caller can
+    /// try another type.
+    pub fn downcast<T: Any + Send>(self) -> Result<T, AppPayload> {
+        match self.0.downcast::<T>() {
+            Ok(boxed) => Ok(*boxed),
+            Err(original) => Err(AppPayload(original)),
+        }
+    }
+
+    /// Borrows the payload by type, if it is a `T`.
+    #[must_use]
+    pub fn downcast_ref<T: Any + Send>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for AppPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AppPayload(..)")
+    }
+}
+
+/// A message of the coordination protocols.
+///
+/// # Examples
+///
+/// ```
+/// use caa_core::message::{Message, MessageKind};
+/// use caa_core::ids::{ActionId, ThreadId};
+/// use caa_core::exception::Exception;
+///
+/// let m = Message::Exception {
+///     action: ActionId::top_level(1),
+///     from: ThreadId::new(0),
+///     exception: Exception::new("vm_stop"),
+/// };
+/// assert_eq!(m.kind(), MessageKind::Exception);
+/// ```
+#[derive(Debug)]
+pub enum Message {
+    /// `Exception(A, Ti, E)`: sent by thread `Ti` to all other threads of
+    /// action `A` when exception `E` is raised by `Ti` (§3.3.1).
+    Exception {
+        /// The action in whose context the exception was raised.
+        action: ActionId,
+        /// The raising thread.
+        from: ThreadId,
+        /// The raised exception.
+        exception: Exception,
+    },
+    /// `Suspended(A, Ti, S)`: sent by each thread that did not raise an
+    /// exception but received `Exception` or `Suspended` messages (§3.3.1).
+    Suspended {
+        /// The action whose recovery suspends this thread.
+        action: ActionId,
+        /// The suspending thread.
+        from: ThreadId,
+    },
+    /// `Commit(A, E)`: sent by the resolving thread to all other threads once
+    /// it completes resolution; `E` is the resolving exception (§3.3.1).
+    Commit {
+        /// The action being recovered.
+        action: ActionId,
+        /// The thread that performed resolution.
+        from: ThreadId,
+        /// The resolving exception every participant must handle.
+        resolved: ExceptionId,
+    },
+    /// Auxiliary agreement message used by *baseline* resolution protocols
+    /// (e.g. the propose/confirm rounds of Romanovsky et al. 1996). The
+    /// paper's own algorithm never sends these; they exist so the
+    /// comparative experiments of §5.3 run over the identical substrate.
+    Resolve {
+        /// The action being recovered.
+        action: ActionId,
+        /// The sending thread.
+        from: ThreadId,
+        /// Protocol-defined stage label (e.g. `"propose"`, `"confirm"`).
+        stage: &'static str,
+        /// The exception this stage is about.
+        exception: ExceptionId,
+    },
+    /// `toBeSignalled(Ti, ε)`: sent by thread `Ti` to all participating
+    /// threads when it intends to signal `ε` to the enclosing action (§3.4).
+    ToBeSignalled {
+        /// The nested action whose outcome is being coordinated.
+        action: ActionId,
+        /// The announcing thread.
+        from: ThreadId,
+        /// Which exchange this announcement belongs to.
+        round: SignalRound,
+        /// The intended signal (`φ`, `ε`, `µ` or `ƒ`).
+        signal: Signal,
+    },
+    /// Vote of the synchronous exit protocol (§5.1): a participant is ready
+    /// to leave the action; all must be ready before any leaves.
+    ExitVote {
+        /// The action being left.
+        action: ActionId,
+        /// The voting thread.
+        from: ThreadId,
+        /// Exit epoch: distinguishes the normal-completion vote from a
+        /// post-recovery vote when both occur in one action instance.
+        epoch: u32,
+    },
+    /// Application-level communication between cooperating roles.
+    App {
+        /// The action inside which the roles cooperate.
+        action: ActionId,
+        /// The sending thread.
+        from: ThreadId,
+        /// An application-chosen tag for dispatching.
+        tag: &'static str,
+        /// The payload; opaque to the runtime.
+        payload: AppPayload,
+    },
+}
+
+impl Message {
+    /// The classification of this message, used by the per-kind counters
+    /// that verify the paper's message-complexity claims.
+    #[must_use]
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Exception { .. } => MessageKind::Exception,
+            Message::Suspended { .. } => MessageKind::Suspended,
+            Message::Commit { .. } => MessageKind::Commit,
+            Message::Resolve { .. } => MessageKind::Resolve,
+            Message::ToBeSignalled { .. } => MessageKind::ToBeSignalled,
+            Message::ExitVote { .. } => MessageKind::ExitVote,
+            Message::App { .. } => MessageKind::App,
+        }
+    }
+
+    /// The action instance this message concerns.
+    #[must_use]
+    pub fn action(&self) -> ActionId {
+        match self {
+            Message::Exception { action, .. }
+            | Message::Suspended { action, .. }
+            | Message::Commit { action, .. }
+            | Message::Resolve { action, .. }
+            | Message::ToBeSignalled { action, .. }
+            | Message::ExitVote { action, .. }
+            | Message::App { action, .. } => *action,
+        }
+    }
+
+    /// The sending thread.
+    #[must_use]
+    pub fn from(&self) -> ThreadId {
+        match self {
+            Message::Exception { from, .. }
+            | Message::Suspended { from, .. }
+            | Message::Commit { from, .. }
+            | Message::Resolve { from, .. }
+            | Message::ToBeSignalled { from, .. }
+            | Message::ExitVote { from, .. }
+            | Message::App { from, .. } => *from,
+        }
+    }
+
+    /// Whether this is a control-plane message of the coordination
+    /// protocols (everything except application payloads).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        !matches!(self, Message::App { .. })
+    }
+}
+
+/// Classification of protocol messages for statistics (§3.3.3, §3.4 count
+/// messages per kind; application traffic is excluded from those counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MessageKind {
+    /// Resolution algorithm: a raised exception is broadcast.
+    Exception,
+    /// Resolution algorithm: a thread announces it has suspended.
+    Suspended,
+    /// Resolution algorithm: the resolver announces the resolving exception.
+    Commit,
+    /// Baseline resolution protocols: auxiliary agreement stages.
+    Resolve,
+    /// Signalling algorithm: an intended signal is broadcast.
+    ToBeSignalled,
+    /// Synchronous exit protocol vote.
+    ExitVote,
+    /// Application traffic between cooperating roles.
+    App,
+}
+
+impl MessageKind {
+    /// All message kinds, in a stable order (useful for reports).
+    pub const ALL: [MessageKind; 7] = [
+        MessageKind::Exception,
+        MessageKind::Suspended,
+        MessageKind::Commit,
+        MessageKind::Resolve,
+        MessageKind::ToBeSignalled,
+        MessageKind::ExitVote,
+        MessageKind::App,
+    ];
+
+    /// Whether messages of this kind count toward the resolution-algorithm
+    /// complexity results of §3.3.3.
+    #[must_use]
+    pub fn counts_for_resolution(self) -> bool {
+        matches!(
+            self,
+            MessageKind::Exception
+                | MessageKind::Suspended
+                | MessageKind::Commit
+                | MessageKind::Resolve
+        )
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MessageKind::Exception => "Exception",
+            MessageKind::Suspended => "Suspended",
+            MessageKind::Commit => "Commit",
+            MessageKind::Resolve => "Resolve",
+            MessageKind::ToBeSignalled => "toBeSignalled",
+            MessageKind::ExitVote => "ExitVote",
+            MessageKind::App => "App",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_action() -> ActionId {
+        ActionId::top_level(42)
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let a = sample_action();
+        let t = ThreadId::new(1);
+        let msgs = vec![
+            Message::Exception {
+                action: a,
+                from: t,
+                exception: Exception::new("e1"),
+            },
+            Message::Suspended { action: a, from: t },
+            Message::Commit {
+                action: a,
+                from: t,
+                resolved: ExceptionId::new("e1"),
+            },
+            Message::Resolve {
+                action: a,
+                from: t,
+                stage: "propose",
+                exception: ExceptionId::new("e1"),
+            },
+            Message::ToBeSignalled {
+                action: a,
+                from: t,
+                round: SignalRound::First,
+                signal: Signal::None,
+            },
+            Message::ExitVote {
+                action: a,
+                from: t,
+                epoch: 0,
+            },
+            Message::App {
+                action: a,
+                from: t,
+                tag: "position",
+                payload: AppPayload::new(7u32),
+            },
+        ];
+        let kinds: Vec<MessageKind> = msgs.iter().map(Message::kind).collect();
+        assert_eq!(kinds, MessageKind::ALL.to_vec());
+        for m in &msgs {
+            assert_eq!(m.action(), a);
+            assert_eq!(m.from(), t);
+        }
+    }
+
+    #[test]
+    fn control_vs_app() {
+        let a = sample_action();
+        let control = Message::Suspended {
+            action: a,
+            from: ThreadId::new(0),
+        };
+        let app = Message::App {
+            action: a,
+            from: ThreadId::new(0),
+            tag: "x",
+            payload: AppPayload::new((1, 2)),
+        };
+        assert!(control.is_control());
+        assert!(!app.is_control());
+    }
+
+    #[test]
+    fn resolution_counting_kinds() {
+        assert!(MessageKind::Exception.counts_for_resolution());
+        assert!(MessageKind::Suspended.counts_for_resolution());
+        assert!(MessageKind::Commit.counts_for_resolution());
+        assert!(MessageKind::Resolve.counts_for_resolution());
+        assert!(!MessageKind::ToBeSignalled.counts_for_resolution());
+        assert!(!MessageKind::ExitVote.counts_for_resolution());
+        assert!(!MessageKind::App.counts_for_resolution());
+    }
+
+    #[test]
+    fn app_payload_downcast() {
+        let p = AppPayload::new(String::from("blank#3"));
+        assert!(p.downcast_ref::<String>().is_some());
+        let p = p.downcast::<u32>().unwrap_err();
+        assert_eq!(p.downcast::<String>().unwrap(), "blank#3");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MessageKind::ToBeSignalled.to_string(), "toBeSignalled");
+        assert_eq!(SignalRound::First.to_string(), "round-1");
+        assert_eq!(SignalRound::AfterUndo.to_string(), "round-2");
+    }
+}

@@ -1,0 +1,92 @@
+//! Participant states of the resolution algorithm (§3.3.1).
+//!
+//! During coordinated exception handling a participating thread `Ti` is in
+//! one of three states: **N**ormal, e**X**ceptional (an exception was raised
+//! in `Ti`), or **S**uspended (`Ti` halted its normal computation because of
+//! exceptions raised in other threads).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// State of a participating thread during coordinated exception handling.
+///
+/// # Examples
+///
+/// ```
+/// use caa_core::state::ParticipantState;
+///
+/// let s = ParticipantState::Normal;
+/// assert!(!s.is_halted());
+/// assert!(ParticipantState::Exceptional.is_halted());
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParticipantState {
+    /// `N`: executing its normal program function.
+    #[default]
+    Normal,
+    /// `X`: an exception was raised in this thread.
+    Exceptional,
+    /// `S`: this thread stopped its normal computation because of exceptions
+    /// raised in other threads.
+    Suspended,
+}
+
+impl ParticipantState {
+    /// Whether normal computation has stopped (state `X` or `S`).
+    #[must_use]
+    pub fn is_halted(self) -> bool {
+        !matches!(self, ParticipantState::Normal)
+    }
+
+    /// Whether this thread itself raised an exception (state `X`).
+    ///
+    /// Only `X`-state threads are candidates for performing resolution; the
+    /// one with the biggest [`ThreadId`](crate::ids::ThreadId) wins (§3.3.2).
+    #[must_use]
+    pub fn is_exceptional(self) -> bool {
+        matches!(self, ParticipantState::Exceptional)
+    }
+
+    /// One-letter code used in the paper (`N`, `X`, `S`).
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            ParticipantState::Normal => 'N',
+            ParticipantState::Exceptional => 'X',
+            ParticipantState::Suspended => 'S',
+        }
+    }
+}
+
+impl fmt::Display for ParticipantState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(ParticipantState::default(), ParticipantState::Normal);
+    }
+
+    #[test]
+    fn halted_states() {
+        assert!(!ParticipantState::Normal.is_halted());
+        assert!(ParticipantState::Exceptional.is_halted());
+        assert!(ParticipantState::Suspended.is_halted());
+        assert!(ParticipantState::Exceptional.is_exceptional());
+        assert!(!ParticipantState::Suspended.is_exceptional());
+    }
+
+    #[test]
+    fn codes_match_paper_notation() {
+        assert_eq!(ParticipantState::Normal.to_string(), "N");
+        assert_eq!(ParticipantState::Exceptional.to_string(), "X");
+        assert_eq!(ParticipantState::Suspended.to_string(), "S");
+    }
+}

@@ -1,0 +1,134 @@
+//! Graphviz (DOT) rendering of exception graphs.
+//!
+//! Useful for documenting an application's exception hierarchy the way the
+//! paper draws Figures 3 and 7.
+
+use std::fmt::Write as _;
+
+use crate::graph::ExceptionGraph;
+
+impl ExceptionGraph {
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// Primitive exceptions are drawn as boxes, resolving exceptions as
+    /// ellipses and the universal root as a double octagon; nodes of the
+    /// same level share a rank, mirroring the paper's level-layered figures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caa_exgraph::ExceptionGraphBuilder;
+    ///
+    /// # fn main() -> Result<(), caa_exgraph::GraphError> {
+    /// let g = ExceptionGraphBuilder::new()
+    ///     .resolves("dual_motor_failures", ["vm_stop", "rm_stop"])
+    ///     .build()?;
+    /// let dot = g.to_dot();
+    /// assert!(dot.starts_with("digraph exception_graph"));
+    /// assert!(dot.contains("\"dual_motor_failures\" -> \"vm_stop\""));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph exception_graph {\n  rankdir=BT;\n");
+        let max_level = self
+            .iter()
+            .filter_map(|id| self.level(id))
+            .max()
+            .unwrap_or(0);
+
+        for level in 0..=max_level {
+            let members: Vec<_> = self
+                .iter()
+                .filter(|id| self.level(id) == Some(level))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "  {{ rank=same;");
+            for id in &members {
+                let _ = write!(out, " \"{}\";", escape(id.name()));
+            }
+            out.push_str(" }\n");
+        }
+
+        for id in self.iter() {
+            let shape = if id.is_universal() {
+                "doubleoctagon"
+            } else if self.children_of(id).is_empty() {
+                "box"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{}\"];",
+                escape(id.name()),
+                escape(&id.to_string()),
+            );
+        }
+
+        for id in self.iter() {
+            for child in self.children_of(id) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [dir=back];",
+                    escape(id.name()),
+                    escape(child.name()),
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::ExceptionGraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = ExceptionGraphBuilder::new()
+            .resolves("r", ["a", "b"])
+            .build()
+            .unwrap();
+        let dot = g.to_dot();
+        for name in ["\"r\"", "\"a\"", "\"b\"", "__universal"] {
+            assert!(dot.contains(name), "missing {name} in:\n{dot}");
+        }
+        assert!(dot.contains("\"r\" -> \"a\""));
+        assert!(dot.contains("\"r\" -> \"b\""));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_ranks_levels_together() {
+        let g = ExceptionGraphBuilder::new()
+            .resolves("r", ["a", "b"])
+            .build()
+            .unwrap();
+        let dot = g.to_dot();
+        let rank_line = dot
+            .lines()
+            .find(|l| l.contains("rank=same") && l.contains("\"a\""))
+            .expect("primitives share a rank");
+        assert!(rank_line.contains("\"b\""));
+        assert!(!rank_line.contains("\"r\""));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = ExceptionGraphBuilder::new()
+            .primitive("weird\"name")
+            .build()
+            .unwrap();
+        assert!(g.to_dot().contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors reported while building or editing an exception graph.
+
+use std::error::Error;
+use std::fmt;
+
+use caa_core::exception::ExceptionId;
+
+/// Why an exception graph could not be built or edited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The same exception was declared twice.
+    DuplicateNode(ExceptionId),
+    /// An edge refers to an exception that was never declared.
+    UnknownNode(ExceptionId),
+    /// An edge from an exception to itself.
+    SelfEdge(ExceptionId),
+    /// The same cover edge was declared twice.
+    DuplicateEdge(ExceptionId, ExceptionId),
+    /// The cover relation contains a cycle through the given exception.
+    Cycle(ExceptionId),
+    /// A node other than the universal exception has no parent, so the
+    /// graph would have multiple roots.
+    Unrooted(ExceptionId),
+    /// The graph has no nodes at all.
+    Empty,
+    /// Attempted to remove a node that resolution semantics require
+    /// (the universal root or a primitive exception).
+    CannotRemove(ExceptionId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(id) => write!(f, "exception {id} declared twice"),
+            GraphError::UnknownNode(id) => write!(f, "edge refers to undeclared exception {id}"),
+            GraphError::SelfEdge(id) => write!(f, "exception {id} cannot cover itself"),
+            GraphError::DuplicateEdge(hi, lo) => {
+                write!(f, "cover edge {hi} -> {lo} declared twice")
+            }
+            GraphError::Cycle(id) => {
+                write!(f, "cover relation contains a cycle through {id}")
+            }
+            GraphError::Unrooted(id) => write!(
+                f,
+                "exception {id} has no parent; only the universal exception may be a root"
+            ),
+            GraphError::Empty => f.write_str("exception graph has no nodes"),
+            GraphError::CannotRemove(id) => write!(
+                f,
+                "cannot remove {id}: only interior resolving exceptions may be removed"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = GraphError::UnknownNode(ExceptionId::new("ghost"));
+        assert_eq!(e.to_string(), "edge refers to undeclared exception ghost");
+        let e = GraphError::Cycle(ExceptionId::new("a"));
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::DuplicateEdge(ExceptionId::new("hi"), ExceptionId::new("lo"));
+        assert!(e.to_string().contains("hi -> lo"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(GraphError::Empty);
+    }
+}

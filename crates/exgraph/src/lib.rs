@@ -1,0 +1,58 @@
+//! Exception graphs and concurrent-exception resolution (§3.2 of Xu,
+//! Romanovsky & Randell, ICDCS 1998).
+//!
+//! When exceptions are raised concurrently in several participants of a CA
+//! action, they "are merely a manifestation … of a system-wide exception";
+//! an **exception graph** imposes a partial order such that a higher
+//! exception's handler is intended to handle any lower exception. Multiple
+//! concurrent exceptions resolve to *the root of the smallest subtree
+//! containing all the raised exceptions*.
+//!
+//! This crate provides:
+//!
+//! * [`ExceptionGraph`] — validated DAG with O(words) cover checks and the
+//!   deterministic resolution procedure used by every partition;
+//! * [`ExceptionGraphBuilder`] — the paper's `er: e1, e2, …, ek` hierarchy
+//!   declaration style;
+//! * [`generate`] — automatic construction of n-level conjunction lattices
+//!   and the simplification rules of §3.2;
+//! * DOT export for documentation ([`ExceptionGraph::to_dot`]).
+//!
+//! # Examples
+//!
+//! The Move_Loaded_Table exception graph of Figure 7 (excerpt):
+//!
+//! ```
+//! use caa_exgraph::ExceptionGraphBuilder;
+//! use caa_core::exception::ExceptionId;
+//!
+//! # fn main() -> Result<(), caa_exgraph::GraphError> {
+//! let g = ExceptionGraphBuilder::new()
+//!     .resolves("dual_motor_failures", ["vm_stop", "rm_stop", "vm_nmove", "rm_nmove"])
+//!     .resolves("sensor_failure_or_lplate", ["s_stuck", "l_plate"])
+//!     .resolves("other_undefined", ["cs_fault", "l_mes", "rt_exc"])
+//!     .build()?;
+//!
+//! // Both motors fail concurrently:
+//! let raised = [ExceptionId::new("vm_stop"), ExceptionId::new("rm_stop")];
+//! assert_eq!(g.resolve(&raised), ExceptionId::new("dual_motor_failures"));
+//!
+//! // Unrelated exceptions fall through to the universal exception:
+//! let raised = [ExceptionId::new("vm_stop"), ExceptionId::new("rt_exc")];
+//! assert!(g.resolve(&raised).is_universal());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod bitset;
+mod dot;
+mod error;
+pub mod generate;
+mod graph;
+
+pub use error::GraphError;
+pub use graph::{ExceptionGraph, ExceptionGraphBuilder, GraphSpec, Resolution};

@@ -1,0 +1,186 @@
+//! The assembled production cell: every device wrapped in a transactional
+//! [`SharedObject`], plus run metrics and a conservation audit.
+
+use caa_runtime::objects::irreversible;
+use caa_runtime::SharedObject;
+use serde::{Deserialize, Serialize};
+
+use crate::devices::{DepositBelt, FeedBelt, Press, Robot, RotaryTable};
+use crate::faults::FaultScript;
+
+/// Per-device fault schedules for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellFaultScripts {
+    /// Feed-belt faults.
+    pub feed: FaultScript,
+    /// Rotary-table faults.
+    pub table: FaultScript,
+    /// Robot faults.
+    pub robot: FaultScript,
+    /// Press faults.
+    pub press: FaultScript,
+    /// Deposit-belt faults.
+    pub deposit: FaultScript,
+}
+
+/// Counters maintained by the controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Blanks inserted by the environment.
+    pub inserted: u32,
+    /// Forged plates delivered to the environment.
+    pub delivered: u32,
+    /// Plates declared lost (the `l_plate` / `L_PLATE` path).
+    pub lost_plates: u32,
+    /// Coordinated recoveries that ended in forward recovery.
+    pub recovered_cycles: u32,
+    /// Cycles that completed with degraded (non-critical) sensors.
+    pub degraded_sensor_cycles: u32,
+    /// Cycles whose outer action ended in µ or ƒ.
+    pub failed_cycles: u32,
+}
+
+/// The production cell: shared, transactional devices.
+///
+/// Cloning is cheap: clones refer to the same devices (the controller's six
+/// threads each hold a clone).
+///
+/// # Examples
+///
+/// ```
+/// use caa_prodcell::{CellFaultScripts, ProductionCell};
+///
+/// let cell = ProductionCell::new(CellFaultScripts::default());
+/// assert_eq!(cell.metrics.committed().delivered, 0);
+/// assert!(cell.audit_committed().is_consistent());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProductionCell {
+    /// The feed belt (environment → table).
+    pub feed: SharedObject<FeedBelt>,
+    /// The elevating rotary table.
+    pub table: SharedObject<RotaryTable>,
+    /// The two-armed rotary robot.
+    pub robot: SharedObject<Robot>,
+    /// The press. Irreversible: forging cannot be undone, so a µ request
+    /// after a forge escalates to ƒ (§3.4).
+    pub press: SharedObject<Press>,
+    /// The deposit belt (robot → environment).
+    pub deposit: SharedObject<DepositBelt>,
+    /// Run counters.
+    pub metrics: SharedObject<CellMetrics>,
+}
+
+/// Result of a plate-conservation audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Audit {
+    /// Blanks inserted by the environment.
+    pub inserted: u32,
+    /// Plates currently inside the cell (belts, table, arms, press).
+    pub in_flight: u32,
+    /// Plates delivered to the environment.
+    pub delivered: u32,
+    /// Plates recorded as lost.
+    pub lost: u32,
+}
+
+impl Audit {
+    /// Conservation: every inserted blank is in flight, delivered or lost.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.inserted == self.in_flight + self.delivered + self.lost
+    }
+}
+
+impl ProductionCell {
+    /// Builds a cell with the given fault schedules.
+    #[must_use]
+    pub fn new(scripts: CellFaultScripts) -> Self {
+        ProductionCell {
+            feed: SharedObject::new("feed_belt", FeedBelt::new(scripts.feed)),
+            table: SharedObject::new("rotary_table", RotaryTable::new(scripts.table)),
+            robot: SharedObject::new("robot", Robot::new(scripts.robot)),
+            press: irreversible("press", Press::new(scripts.press)),
+            deposit: SharedObject::new("deposit_belt", DepositBelt::new(scripts.deposit)),
+            metrics: SharedObject::new("metrics", CellMetrics::default()),
+        }
+    }
+
+    /// Audits the committed (outside-any-action) state for plate
+    /// conservation.
+    #[must_use]
+    pub fn audit_committed(&self) -> Audit {
+        let feed = self.feed.committed();
+        let table = self.table.committed();
+        let robot = self.robot.committed();
+        let press = self.press.committed();
+        let deposit = self.deposit.committed();
+        let metrics = self.metrics.committed();
+        let in_flight = feed.len() as u32
+            + u32::from(table.plate().is_some())
+            + u32::from(robot.arm1.holding().is_some())
+            + u32::from(robot.arm2.holding().is_some())
+            + u32::from(press.plate().is_some())
+            + deposit.backlog() as u32;
+        Audit {
+            inserted: feed.total_inserted(),
+            in_flight,
+            delivered: deposit.delivered().len() as u32,
+            lost: metrics.lost_plates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Plate;
+    use crate::faults::DeviceFault;
+
+    #[test]
+    fn fresh_cell_is_consistent() {
+        let cell = ProductionCell::new(CellFaultScripts::default());
+        let audit = cell.audit_committed();
+        assert!(audit.is_consistent());
+        assert_eq!(audit.inserted, 0);
+    }
+
+    #[test]
+    fn press_is_irreversible_but_other_devices_are_not() {
+        let cell = ProductionCell::new(CellFaultScripts::default());
+        assert!(!cell.press.is_undoable());
+        assert!(cell.table.is_undoable());
+        assert!(cell.feed.is_undoable());
+    }
+
+    #[test]
+    fn audit_tracks_environment_mutations() {
+        let cell = ProductionCell::new(CellFaultScripts::default());
+        // The environment (blank supplier) adds one blank outside any
+        // action.
+        cell.feed
+            .mutate_committed(|f| f.insert_blank(Plate::blank(1)).unwrap())
+            .unwrap();
+        cell.metrics.mutate_committed(|m| m.inserted = 1).unwrap();
+
+        let audit = cell.audit_committed();
+        assert_eq!(audit.inserted, 1);
+        assert_eq!(audit.in_flight, 1);
+        assert!(audit.is_consistent());
+    }
+
+    #[test]
+    fn scripted_cell_carries_faults() {
+        let scripts = CellFaultScripts {
+            table: FaultScript::new().with(1, DeviceFault::SensorStuck),
+            ..CellFaultScripts::default()
+        };
+        let cell = ProductionCell::new(scripts);
+        // The script travels into the committed device state.
+        let fault = cell
+            .table
+            .mutate_committed(|t| t.load(Plate::blank(1)))
+            .unwrap();
+        assert_eq!(fault, Err(DeviceFault::SensorStuck));
+    }
+}

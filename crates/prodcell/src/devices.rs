@@ -1,0 +1,736 @@
+//! Device state machines of the FZI production cell (§4, Figure 5).
+//!
+//! "The production cell consists of six devices: two conveyor belts — feed
+//! belt and deposit belt, an elevating rotary table, a press and a rotary
+//! robot that has two orthogonal extendible arms equipped with
+//! electromagnet." Each device here is a plain, cloneable state machine so
+//! it can live inside a transactional
+//! [`SharedObject`](caa_runtime::SharedObject): controller actions mutate
+//! working copies that commit or roll back with the CA action.
+//!
+//! Every mutating operation consults the device's fault script (see
+//! [`crate::FaultScript`]); a
+//! scheduled fault makes the operation fail with the corresponding
+//! primitive exception of Figure 7 and applies its physical effect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{DeviceFault, ScriptHandle};
+
+/// A metal blank travelling through the cell; forged by the press.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Plate {
+    /// Identity assigned by the environment's blank supplier.
+    pub id: u32,
+    /// Whether the press has forged this plate.
+    pub forged: bool,
+}
+
+impl Plate {
+    /// A fresh, unforged blank.
+    #[must_use]
+    pub fn blank(id: u32) -> Self {
+        Plate { id, forged: false }
+    }
+}
+
+/// Outcome of one device operation.
+pub type DeviceResult<T = ()> = Result<T, DeviceFault>;
+
+/// Rotation positions of the elevating rotary table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableAngle {
+    /// Aligned with the feed belt (loading position).
+    Belt,
+    /// Aligned with the robot's arm 1 (unloading position).
+    Robot,
+}
+
+/// The feed belt: carries blanks from the environment to the table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeedBelt {
+    items: Vec<Plate>,
+    /// The "traffic light for insertion": green permits the environment to
+    /// add a blank.
+    pub light_green: bool,
+    /// Blanks successfully inserted so far; doubles as the id source, so id
+    /// assignment and the physical insertion are atomic within this object.
+    total_inserted: u32,
+    ops: u64,
+    #[serde(skip)]
+    script: ScriptHandle,
+}
+
+impl FeedBelt {
+    /// An empty belt with a green insertion light.
+    #[must_use]
+    pub fn new(script: impl Into<ScriptHandle>) -> Self {
+        FeedBelt {
+            items: Vec::new(),
+            light_green: true,
+            total_inserted: 0,
+            ops: 0,
+            script: script.into(),
+        }
+    }
+
+    /// Blanks successfully inserted by the environment so far.
+    #[must_use]
+    pub fn total_inserted(&self) -> u32 {
+        self.total_inserted
+    }
+
+    /// Number of blanks on the belt.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the belt is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The environment adds a blank (production-cycle step 1). Fails with a
+    /// control-software fault when the light is red.
+    pub fn insert_blank(&mut self, plate: Plate) -> DeviceResult {
+        self.ops += 1;
+        if let Some(f) = self.script.check(self.ops) {
+            return Err(f);
+        }
+        if !self.light_green {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.items.push(plate);
+        self.total_inserted += 1;
+        Ok(())
+    }
+
+    /// The environment adds a fresh blank, with the id assigned by the
+    /// belt's own counter — insertion and accounting are atomic, so a fault
+    /// cannot leave a counted-but-nonexistent (or uncounted) blank.
+    pub fn insert_new_blank(&mut self) -> DeviceResult<Plate> {
+        let plate = Plate::blank(self.total_inserted + 1);
+        self.insert_blank(plate)?;
+        Ok(plate)
+    }
+
+    /// Conveys the oldest blank to the table end (step 2); `None` when the
+    /// belt is empty. A lost-plate fault drops the blank on the floor.
+    pub fn convey_to_table(&mut self) -> DeviceResult<Option<Plate>> {
+        self.ops += 1;
+        match self.script.check(self.ops) {
+            Some(DeviceFault::LostPlate) => {
+                if !self.items.is_empty() {
+                    self.items.remove(0);
+                }
+                Err(DeviceFault::LostPlate)
+            }
+            Some(f) => Err(f),
+            None => {
+                if self.items.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(self.items.remove(0)))
+                }
+            }
+        }
+    }
+}
+
+/// The elevating rotary table: rotates between belt and robot positions and
+/// lifts the blank to the robot's grabbing height (steps 3 and 7').
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RotaryTable {
+    /// Current rotation position.
+    pub angle: TableAngle,
+    /// Whether the table is lifted to the robot's height.
+    pub lifted: bool,
+    plate: Option<Plate>,
+    /// Set when the vertical motor has failed and needs repair.
+    pub vertical_motor_broken: bool,
+    /// Set when the rotation motor has failed and needs repair.
+    pub rotation_motor_broken: bool,
+    /// Set when the position sensors are stuck at 0.
+    pub sensor_stuck: bool,
+    ops: u64,
+    #[serde(skip)]
+    script: ScriptHandle,
+}
+
+impl RotaryTable {
+    /// A healthy table at the belt position, lowered, empty.
+    #[must_use]
+    pub fn new(script: impl Into<ScriptHandle>) -> Self {
+        RotaryTable {
+            angle: TableAngle::Belt,
+            lifted: false,
+            plate: None,
+            vertical_motor_broken: false,
+            rotation_motor_broken: false,
+            sensor_stuck: false,
+            ops: 0,
+            script: script.into(),
+        }
+    }
+
+    /// The plate currently on the table, if any.
+    #[must_use]
+    pub fn plate(&self) -> Option<Plate> {
+        self.plate
+    }
+
+    /// What the position sensor reports: `None` while stuck at 0 (§4's
+    /// `s_stuck`).
+    #[must_use]
+    pub fn sensed_angle(&self) -> Option<TableAngle> {
+        (!self.sensor_stuck).then_some(self.angle)
+    }
+
+    /// Loads a blank from the feed belt (must be lowered, at the belt).
+    pub fn load(&mut self, plate: Plate) -> DeviceResult {
+        self.step()?;
+        if self.angle != TableAngle::Belt || self.lifted || self.plate.is_some() {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.plate = Some(plate);
+        Ok(())
+    }
+
+    /// Rotates toward the robot position (part of Move_Loaded_Table).
+    pub fn rotate_to_robot(&mut self) -> DeviceResult {
+        self.rotate(TableAngle::Robot)
+    }
+
+    /// Rotates back toward the belt (Move_Unloaded_Table_Back).
+    pub fn rotate_to_belt(&mut self) -> DeviceResult {
+        self.rotate(TableAngle::Belt)
+    }
+
+    fn rotate(&mut self, target: TableAngle) -> DeviceResult {
+        self.step_rotation()?;
+        self.angle = target;
+        Ok(())
+    }
+
+    /// Lifts the table to the robot's height.
+    pub fn lift(&mut self) -> DeviceResult {
+        self.step_vertical()?;
+        self.lifted = true;
+        Ok(())
+    }
+
+    /// Lowers the table back to the belt's height.
+    pub fn lower(&mut self) -> DeviceResult {
+        self.step_vertical()?;
+        self.lifted = false;
+        Ok(())
+    }
+
+    /// The robot magnetizes the plate off the table.
+    pub fn take_plate(&mut self) -> DeviceResult<Plate> {
+        self.step()?;
+        self.plate.take().ok_or(DeviceFault::LostPlate)
+    }
+
+    /// Forward recovery: repairs the effects of `fault` (the handler's
+    /// "putting the objects into new correct states", Figure 1).
+    pub fn repair(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::VerticalMotorStop | DeviceFault::VerticalMotorNoMove => {
+                self.vertical_motor_broken = false;
+            }
+            DeviceFault::RotationMotorStop | DeviceFault::RotationMotorNoMove => {
+                self.rotation_motor_broken = false;
+            }
+            DeviceFault::SensorStuck => self.sensor_stuck = false,
+            _ => {}
+        }
+    }
+
+    fn step(&mut self) -> DeviceResult {
+        self.ops += 1;
+        match self.script.check(self.ops) {
+            Some(DeviceFault::LostPlate) => {
+                self.plate = None;
+                Err(DeviceFault::LostPlate)
+            }
+            Some(DeviceFault::SensorStuck) => {
+                self.sensor_stuck = true;
+                Err(DeviceFault::SensorStuck)
+            }
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    fn step_vertical(&mut self) -> DeviceResult {
+        if self.vertical_motor_broken {
+            return Err(DeviceFault::VerticalMotorNoMove);
+        }
+        match self.step() {
+            Err(f @ (DeviceFault::VerticalMotorStop | DeviceFault::VerticalMotorNoMove)) => {
+                self.vertical_motor_broken = true;
+                Err(f)
+            }
+            other => other,
+        }
+    }
+
+    fn step_rotation(&mut self) -> DeviceResult {
+        if self.rotation_motor_broken {
+            return Err(DeviceFault::RotationMotorNoMove);
+        }
+        match self.step() {
+            Err(f @ (DeviceFault::RotationMotorStop | DeviceFault::RotationMotorNoMove)) => {
+                self.rotation_motor_broken = true;
+                Err(f)
+            }
+            other => other,
+        }
+    }
+}
+
+/// The press: forges a blank into a plate (step 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Press {
+    /// Whether the press is open (safe for arms).
+    pub open: bool,
+    plate: Option<Plate>,
+    ops: u64,
+    #[serde(skip)]
+    script: ScriptHandle,
+    /// Count of completed forgings (metrics).
+    pub forgings: u64,
+}
+
+impl Press {
+    /// A healthy, open, empty press.
+    #[must_use]
+    pub fn new(script: impl Into<ScriptHandle>) -> Self {
+        Press {
+            open: true,
+            plate: None,
+            ops: 0,
+            script: script.into(),
+            forgings: 0,
+        }
+    }
+
+    /// The plate inside the press, if any.
+    #[must_use]
+    pub fn plate(&self) -> Option<Plate> {
+        self.plate
+    }
+
+    /// Arm 1 places a blank into the open press.
+    pub fn insert(&mut self, plate: Plate) -> DeviceResult {
+        self.step()?;
+        if !self.open || self.plate.is_some() {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.plate = Some(plate);
+        Ok(())
+    }
+
+    /// Closes and forges, then reopens. The irreversible step: a forged
+    /// plate cannot be un-forged (µ becomes ƒ if requested after this).
+    pub fn forge(&mut self) -> DeviceResult {
+        self.step()?;
+        let plate = self.plate.as_mut().ok_or(DeviceFault::ControlSoftwareFault)?;
+        plate.forged = true;
+        self.forgings += 1;
+        Ok(())
+    }
+
+    /// Arm 2 removes the forged plate.
+    pub fn remove(&mut self) -> DeviceResult<Plate> {
+        self.step()?;
+        self.plate.take().ok_or(DeviceFault::LostPlate)
+    }
+
+    fn step(&mut self) -> DeviceResult {
+        self.ops += 1;
+        match self.script.check(self.ops) {
+            Some(DeviceFault::LostPlate) => {
+                self.plate = None;
+                Err(DeviceFault::LostPlate)
+            }
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One of the robot's two orthogonal extendible arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Arm {
+    /// Whether the arm is extended over its target.
+    pub extended: bool,
+    holding: Option<Plate>,
+}
+
+impl Arm {
+    /// The plate held by the electromagnet, if any.
+    #[must_use]
+    pub fn holding(&self) -> Option<Plate> {
+        self.holding
+    }
+}
+
+/// Orientation of the rotary robot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobotAngle {
+    /// Arm 1 toward the table, arm 2 toward the press.
+    Arm1Table,
+    /// Arm 1 toward the press, arm 2 toward the deposit belt.
+    Arm2Deposit,
+}
+
+/// The two-armed rotary robot (steps 4 and 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Robot {
+    /// Current orientation.
+    pub angle: RobotAngle,
+    /// Arm 1 (table ↔ press).
+    pub arm1: Arm,
+    /// Arm 2 (press ↔ deposit belt).
+    pub arm2: Arm,
+    /// Set when an arm sensor is stuck.
+    pub sensor_stuck: bool,
+    ops: u64,
+    #[serde(skip)]
+    script: ScriptHandle,
+}
+
+impl Robot {
+    /// A healthy robot oriented toward the table, arms retracted.
+    #[must_use]
+    pub fn new(script: impl Into<ScriptHandle>) -> Self {
+        Robot {
+            angle: RobotAngle::Arm1Table,
+            arm1: Arm::default(),
+            arm2: Arm::default(),
+            sensor_stuck: false,
+            ops: 0,
+            script: script.into(),
+        }
+    }
+
+    /// Extends arm 1 over the table.
+    pub fn extend_arm1(&mut self) -> DeviceResult {
+        self.step()?;
+        self.arm1.extended = true;
+        Ok(())
+    }
+
+    /// Retracts arm 1.
+    pub fn retract_arm1(&mut self) -> DeviceResult {
+        self.step()?;
+        self.arm1.extended = false;
+        Ok(())
+    }
+
+    /// Arm 1's magnet picks the plate handed over by the table.
+    pub fn arm1_grab(&mut self, plate: Plate) -> DeviceResult {
+        self.step()?;
+        if self.arm1.holding.is_some() {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.arm1.holding = Some(plate);
+        Ok(())
+    }
+
+    /// Arm 1 releases its plate (into the press).
+    pub fn arm1_release(&mut self) -> DeviceResult<Plate> {
+        self.step()?;
+        self.arm1.holding.take().ok_or(DeviceFault::LostPlate)
+    }
+
+    /// Extends arm 2 into the press.
+    pub fn extend_arm2(&mut self) -> DeviceResult {
+        self.step()?;
+        self.arm2.extended = true;
+        Ok(())
+    }
+
+    /// Retracts arm 2.
+    pub fn retract_arm2(&mut self) -> DeviceResult {
+        self.step()?;
+        self.arm2.extended = false;
+        Ok(())
+    }
+
+    /// Arm 2's magnet picks the forged plate from the press.
+    pub fn arm2_grab(&mut self, plate: Plate) -> DeviceResult {
+        self.step()?;
+        if self.arm2.holding.is_some() {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.arm2.holding = Some(plate);
+        Ok(())
+    }
+
+    /// Arm 2 releases its plate (onto the deposit belt).
+    pub fn arm2_release(&mut self) -> DeviceResult<Plate> {
+        self.step()?;
+        self.arm2.holding.take().ok_or(DeviceFault::LostPlate)
+    }
+
+    /// Rotates so arm 2 faces the deposit belt.
+    pub fn rotate_to_deposit(&mut self) -> DeviceResult {
+        self.step()?;
+        self.angle = RobotAngle::Arm2Deposit;
+        Ok(())
+    }
+
+    /// Rotates back so arm 1 faces the table.
+    pub fn rotate_to_table(&mut self) -> DeviceResult {
+        self.step()?;
+        self.angle = RobotAngle::Arm1Table;
+        Ok(())
+    }
+
+    /// Forward recovery of arm/sensor faults.
+    pub fn repair(&mut self, fault: DeviceFault) {
+        if fault == DeviceFault::SensorStuck {
+            self.sensor_stuck = false;
+        }
+    }
+
+    fn step(&mut self) -> DeviceResult {
+        self.ops += 1;
+        match self.script.check(self.ops) {
+            Some(DeviceFault::LostPlate) => {
+                if self.arm1.holding.take().is_none() {
+                    self.arm2.holding = None;
+                }
+                Err(DeviceFault::LostPlate)
+            }
+            Some(DeviceFault::SensorStuck) => {
+                self.sensor_stuck = true;
+                Err(DeviceFault::SensorStuck)
+            }
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The deposit belt: carries forged plates to the environment (step 6–7).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepositBelt {
+    items: Vec<Plate>,
+    /// The "traffic light for deposit": green permits forwarding plates to
+    /// the environment's container.
+    pub light_green: bool,
+    delivered: Vec<Plate>,
+    ops: u64,
+    #[serde(skip)]
+    script: ScriptHandle,
+}
+
+impl DepositBelt {
+    /// An empty belt with a green deposit light.
+    #[must_use]
+    pub fn new(script: impl Into<ScriptHandle>) -> Self {
+        DepositBelt {
+            items: Vec::new(),
+            light_green: true,
+            delivered: Vec::new(),
+            ops: 0,
+            script: script.into(),
+        }
+    }
+
+    /// Arm 2 places a forged plate on the belt.
+    pub fn accept(&mut self, plate: Plate) -> DeviceResult {
+        self.ops += 1;
+        if let Some(f) = self.script.check(self.ops) {
+            if f == DeviceFault::LostPlate {
+                return Err(DeviceFault::LostPlate);
+            }
+            return Err(f);
+        }
+        if !plate.forged {
+            return Err(DeviceFault::ControlSoftwareFault);
+        }
+        self.items.push(plate);
+        Ok(())
+    }
+
+    /// Forwards plates to the environment's container while the light is
+    /// green; returns how many were delivered.
+    pub fn forward(&mut self) -> DeviceResult<usize> {
+        self.ops += 1;
+        if let Some(f) = self.script.check(self.ops) {
+            return Err(f);
+        }
+        if !self.light_green {
+            return Ok(0);
+        }
+        let n = self.items.len();
+        self.delivered.append(&mut self.items);
+        Ok(n)
+    }
+
+    /// Plates delivered to the environment so far.
+    #[must_use]
+    pub fn delivered(&self) -> &[Plate] {
+        &self.delivered
+    }
+
+    /// Plates accepted but not yet forwarded to the environment.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The plates waiting on the belt (accepted, not yet forwarded).
+    #[must_use]
+    pub fn pending(&self) -> &[Plate] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultScript;
+
+    #[test]
+    fn happy_path_production_cycle_moves_one_plate_end_to_end() {
+        let mut feed = FeedBelt::new(FaultScript::new());
+        let mut table = RotaryTable::new(FaultScript::new());
+        let mut robot = Robot::new(FaultScript::new());
+        let mut press = Press::new(FaultScript::new());
+        let mut deposit = DepositBelt::new(FaultScript::new());
+
+        feed.insert_blank(Plate::blank(1)).unwrap();
+        let plate = feed.convey_to_table().unwrap().unwrap();
+        table.load(plate).unwrap();
+        table.rotate_to_robot().unwrap();
+        table.lift().unwrap();
+        robot.extend_arm1().unwrap();
+        let plate = table.take_plate().unwrap();
+        robot.arm1_grab(plate).unwrap();
+        robot.retract_arm1().unwrap();
+        let plate = robot.arm1_release().unwrap();
+        press.insert(plate).unwrap();
+        press.forge().unwrap();
+        robot.rotate_to_deposit().unwrap();
+        robot.extend_arm2().unwrap();
+        let plate = press.remove().unwrap();
+        robot.arm2_grab(plate).unwrap();
+        robot.retract_arm2().unwrap();
+        let plate = robot.arm2_release().unwrap();
+        deposit.accept(plate).unwrap();
+        assert_eq!(deposit.forward().unwrap(), 1);
+        assert_eq!(deposit.delivered().len(), 1);
+        assert!(deposit.delivered()[0].forged);
+        // Table returns for the next cycle.
+        table.lower().unwrap();
+        table.rotate_to_belt().unwrap();
+        assert_eq!(table.angle, TableAngle::Belt);
+    }
+
+    #[test]
+    fn scripted_motor_fault_fires_and_latches() {
+        // The table's third operation is the lift: schedule vm_stop there.
+        let script = FaultScript::new().with(3, DeviceFault::VerticalMotorStop);
+        let mut table = RotaryTable::new(script);
+        table.load(Plate::blank(1)).unwrap();
+        table.rotate_to_robot().unwrap();
+        assert_eq!(table.lift(), Err(DeviceFault::VerticalMotorStop));
+        assert!(table.vertical_motor_broken);
+        // Until repaired, vertical moves keep failing.
+        assert_eq!(table.lift(), Err(DeviceFault::VerticalMotorNoMove));
+        table.repair(DeviceFault::VerticalMotorStop);
+        table.lift().unwrap();
+        assert!(table.lifted);
+    }
+
+    #[test]
+    fn lost_plate_fault_removes_the_plate() {
+        let script = FaultScript::new().with(2, DeviceFault::LostPlate);
+        let mut table = RotaryTable::new(script);
+        table.load(Plate::blank(9)).unwrap();
+        assert_eq!(table.rotate_to_robot(), Err(DeviceFault::LostPlate));
+        assert_eq!(table.plate(), None, "the plate fell off");
+        // Taking a plate that is gone is itself a lost-plate condition.
+        assert_eq!(table.take_plate(), Err(DeviceFault::LostPlate));
+    }
+
+    #[test]
+    fn stuck_sensor_reports_nothing() {
+        let script = FaultScript::new().with(1, DeviceFault::SensorStuck);
+        let mut table = RotaryTable::new(script);
+        assert_eq!(table.load(Plate::blank(1)), Err(DeviceFault::SensorStuck));
+        assert_eq!(table.sensed_angle(), None);
+        table.repair(DeviceFault::SensorStuck);
+        assert_eq!(table.sensed_angle(), Some(TableAngle::Belt));
+    }
+
+    #[test]
+    fn press_refuses_double_insert_and_empty_forge() {
+        let mut press = Press::new(FaultScript::new());
+        assert_eq!(press.forge(), Err(DeviceFault::ControlSoftwareFault));
+        press.insert(Plate::blank(1)).unwrap();
+        assert_eq!(
+            press.insert(Plate::blank(2)),
+            Err(DeviceFault::ControlSoftwareFault)
+        );
+        press.forge().unwrap();
+        assert!(press.plate().unwrap().forged);
+        assert_eq!(press.forgings, 1);
+    }
+
+    #[test]
+    fn feed_belt_respects_traffic_light() {
+        let mut feed = FeedBelt::new(FaultScript::new());
+        feed.light_green = false;
+        assert_eq!(
+            feed.insert_blank(Plate::blank(1)),
+            Err(DeviceFault::ControlSoftwareFault)
+        );
+        feed.light_green = true;
+        feed.insert_blank(Plate::blank(1)).unwrap();
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn deposit_belt_rejects_unforged_plates() {
+        let mut deposit = DepositBelt::new(FaultScript::new());
+        assert_eq!(
+            deposit.accept(Plate::blank(1)),
+            Err(DeviceFault::ControlSoftwareFault)
+        );
+        deposit.accept(Plate { id: 1, forged: true }).unwrap();
+        deposit.light_green = false;
+        assert_eq!(deposit.forward().unwrap(), 0);
+        deposit.light_green = true;
+        assert_eq!(deposit.forward().unwrap(), 1);
+    }
+
+    #[test]
+    fn robot_arm_bookkeeping() {
+        let mut robot = Robot::new(FaultScript::new());
+        robot.arm1_grab(Plate::blank(4)).unwrap();
+        assert_eq!(
+            robot.arm1_grab(Plate::blank(5)),
+            Err(DeviceFault::ControlSoftwareFault),
+            "magnet already holds a plate"
+        );
+        let p = robot.arm1_release().unwrap();
+        assert_eq!(p.id, 4);
+        assert_eq!(robot.arm1_release(), Err(DeviceFault::LostPlate));
+    }
+
+    #[test]
+    fn empty_feed_belt_conveys_nothing() {
+        let mut feed = FeedBelt::new(FaultScript::new());
+        assert_eq!(feed.convey_to_table().unwrap(), None);
+        assert!(feed.is_empty());
+    }
+}

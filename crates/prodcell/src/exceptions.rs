@@ -1,0 +1,168 @@
+//! Exception graphs of the production-cell controller (§4, Figure 7).
+
+use caa_core::exception::ExceptionId;
+use caa_exgraph::{ExceptionGraph, ExceptionGraphBuilder};
+
+/// Interface exception: lost plate, signalled from Move_Loaded_Table to
+/// Unload_Table and upward (§4).
+pub const L_PLATE_SIGNAL: &str = "L_PLATE";
+/// Interface exception: non-critical sensor failure.
+pub const NCS_FAIL_SIGNAL: &str = "NCS_FAIL";
+/// Interface exception: non-critical table sensor failure, signalled to the
+/// outermost Table_Press_Robot action.
+pub const T_SENSOR_SIGNAL: &str = "T_SENSOR";
+/// Interface exception: one arm-1 sensor failure, signalled to the
+/// outermost Table_Press_Robot action.
+pub const A1_SENSOR_SIGNAL: &str = "A1_SENSOR";
+
+/// The exception graph of the Move_Loaded_Table action, exactly as drawn in
+/// Figure 7: nine primitive exceptions, five resolving exceptions,
+/// "permitting no more than two exceptions concurrently raised" — other
+/// combinations resolve to the universal exception.
+///
+/// # Examples
+///
+/// ```
+/// use caa_prodcell::move_loaded_table_graph;
+/// use caa_core::exception::ExceptionId;
+///
+/// let g = move_loaded_table_graph();
+/// // "when both vertical and rotation motors fail, the exception graph
+/// // will be searched and the resolving exception dual_motor_failures will
+/// // be raised".
+/// let raised = [ExceptionId::new("vm_stop"), ExceptionId::new("rm_stop")];
+/// assert_eq!(g.resolve(&raised), ExceptionId::new("dual_motor_failures"));
+/// // Combinations beyond the graph's coverage ("other undefined
+/// // exceptions") resolve to the universal exception:
+/// let uncovered = [
+///     ExceptionId::new("vm_stop"),
+///     ExceptionId::new("l_plate"),
+///     ExceptionId::new("rt_exc"),
+/// ];
+/// assert!(g.resolve(&uncovered).is_universal());
+/// ```
+#[must_use]
+pub fn move_loaded_table_graph() -> ExceptionGraph {
+    ExceptionGraphBuilder::new()
+        // Level-1 resolving exceptions of Figure 7.
+        .resolves(
+            "dual_motor_failures",
+            ["vm_stop", "rm_stop", "vm_nmove", "rm_nmove"],
+        )
+        .resolves(
+            "table_and_sensor_failures",
+            ["vm_stop", "rm_stop", "vm_nmove", "rm_nmove", "s_stuck"],
+        )
+        .resolves("sensor_failure_or_lplate", ["s_stuck", "l_plate"])
+        .resolves("two_unrelated_exceptions", ["l_plate", "cs_fault"])
+        .resolves("other_undefined_exceptions", ["cs_fault", "l_mes", "rt_exc"])
+        .build()
+        .expect("Figure 7 graph is valid")
+}
+
+/// Exception graph for the Unload_Table action: its internal exceptions are
+/// the exceptions signalled by its nested actions (L_PLATE, NCS_FAIL, µ, ƒ)
+/// plus its own robot/table faults (§4: "These exceptions … constitute the
+/// internal exceptions of the action Unload_Table").
+#[must_use]
+pub fn unload_table_graph() -> ExceptionGraph {
+    ExceptionGraphBuilder::new()
+        .resolves("arm_or_table_fault", ["s_stuck", "cs_fault", "rt_exc"])
+        .resolves("plate_gone", [L_PLATE_SIGNAL, "l_plate"])
+        .resolves("sensor_degraded", [NCS_FAIL_SIGNAL, "s_stuck"])
+        .exception(ExceptionId::undo())
+        .exception(ExceptionId::failure())
+        .build()
+        .expect("Unload_Table graph is valid")
+}
+
+/// Exception graph for the outermost Table_Press_Robot action: covers the
+/// exceptions its nested actions may signal (T_SENSOR, A1_SENSOR, L_PLATE,
+/// µ, ƒ) together with press faults.
+#[must_use]
+pub fn table_press_robot_graph() -> ExceptionGraph {
+    ExceptionGraphBuilder::new()
+        .resolves(
+            "degraded_sensors",
+            [T_SENSOR_SIGNAL, A1_SENSOR_SIGNAL, NCS_FAIL_SIGNAL],
+        )
+        .resolves("lost_workpiece", [L_PLATE_SIGNAL, "l_plate"])
+        .resolves("press_fault", ["cs_fault", "rt_exc", "l_mes"])
+        .exception(ExceptionId::undo())
+        .exception(ExceptionId::failure())
+        .build()
+        .expect("Table_Press_Robot graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DeviceFault;
+
+    #[test]
+    fn figure7_has_nine_primitives() {
+        let g = move_loaded_table_graph();
+        let prims: Vec<&str> = g.primitives().map(ExceptionId::name).collect();
+        assert_eq!(prims.len(), 9);
+        for f in DeviceFault::ALL {
+            assert!(
+                prims.contains(&f.exception_name()),
+                "{f} missing from the graph"
+            );
+        }
+    }
+
+    #[test]
+    fn figure7_pairs_resolve_as_drawn() {
+        let g = move_loaded_table_graph();
+        let resolve2 = |a: &str, b: &str| {
+            g.resolve(&[ExceptionId::new(a), ExceptionId::new(b)])
+                .name()
+                .to_owned()
+        };
+        assert_eq!(resolve2("vm_stop", "rm_stop"), "dual_motor_failures");
+        assert_eq!(resolve2("vm_nmove", "rm_nmove"), "dual_motor_failures");
+        assert_eq!(resolve2("vm_stop", "s_stuck"), "table_and_sensor_failures");
+        assert_eq!(resolve2("s_stuck", "l_plate"), "sensor_failure_or_lplate");
+        assert_eq!(resolve2("l_plate", "cs_fault"), "two_unrelated_exceptions");
+        assert_eq!(resolve2("l_mes", "rt_exc"), "other_undefined_exceptions");
+    }
+
+    #[test]
+    fn figure7_uncovered_pairs_go_universal() {
+        let g = move_loaded_table_graph();
+        // vm_stop together with rt_exc is not covered by any resolving
+        // node in Figure 7.
+        let raised = [ExceptionId::new("vm_stop"), ExceptionId::new("rt_exc")];
+        assert!(g.resolve(&raised).is_universal());
+    }
+
+    #[test]
+    fn single_faults_resolve_to_themselves() {
+        let g = move_loaded_table_graph();
+        for f in DeviceFault::ALL {
+            assert_eq!(g.resolve(&[f.exception()]), f.exception());
+        }
+    }
+
+    #[test]
+    fn upper_graphs_cover_signalled_exceptions() {
+        let unload = unload_table_graph();
+        assert!(unload.contains(&ExceptionId::new(L_PLATE_SIGNAL)));
+        assert!(unload.contains(&ExceptionId::undo()));
+        assert!(unload.contains(&ExceptionId::failure()));
+        let tpr = table_press_robot_graph();
+        assert!(tpr.contains(&ExceptionId::new(T_SENSOR_SIGNAL)));
+        assert!(tpr.contains(&ExceptionId::new(A1_SENSOR_SIGNAL)));
+        // µ signalled by a nested action resolves within the outer graph.
+        assert_eq!(tpr.resolve(&[ExceptionId::undo()]), ExceptionId::undo());
+    }
+
+    #[test]
+    fn dot_export_of_figure7_mentions_all_levels() {
+        let dot = move_loaded_table_graph().to_dot();
+        assert!(dot.contains("dual_motor_failures"));
+        assert!(dot.contains("vm_stop"));
+        assert!(dot.contains("doubleoctagon"), "universal root rendered");
+    }
+}

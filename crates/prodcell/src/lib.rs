@@ -1,0 +1,53 @@
+//! The FZI **production cell** case study (§4 of Xu, Romanovsky & Randell,
+//! ICDCS 1998): a discrete device simulator plus a CA-action control
+//! program with coordinated exception handling.
+//!
+//! "The task of the cell is to get a metal blank (or plate) from its
+//! 'environment' via the feed belt, transform it into the forged plate by
+//! using a press, and return it to the environment via the deposit belt."
+//!
+//! * [`devices`] — state machines for the six devices (feed belt, elevating
+//!   rotary table, two-armed rotary robot, press, deposit belt, traffic
+//!   lights), each failing on cue from a [`FaultScript`];
+//! * [`move_loaded_table_graph`] — the exception graph of Figure 7, plus
+//!   graphs for the enclosing actions;
+//! * [`ProductionCell`] — the assembled cell behind transactional shared
+//!   objects, with a plate-conservation [`Audit`];
+//! * [`controller`] — six controller threads running the nested CA-action
+//!   structure of Figure 6 (`Table_Press_Robot` ⊃ `Unload_Table` ⊃
+//!   `Move_Loaded_Table`, …), with forward-recovery handlers and the §4
+//!   escalation chain (`L_PLATE`, `NCS_FAIL`, `T_SENSOR`, `A1_SENSOR`,
+//!   µ, ƒ).
+//!
+//! # Examples
+//!
+//! A fault-free run forging three blanks:
+//!
+//! ```
+//! use caa_prodcell::{build_system, CellFaultScripts, ControllerConfig, ProductionCell};
+//!
+//! let cell = ProductionCell::new(CellFaultScripts::default());
+//! let config = ControllerConfig { cycles: 3, ..ControllerConfig::default() };
+//! let report = build_system(&cell, &config).run();
+//! report.expect_ok();
+//! assert_eq!(cell.metrics.committed().delivered, 3);
+//! assert!(cell.audit_committed().is_consistent());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cell;
+pub mod controller;
+pub mod devices;
+mod exceptions;
+mod faults;
+
+pub use cell::{Audit, CellFaultScripts, CellMetrics, ProductionCell};
+pub use controller::{build_system, spawn_controller, ControllerConfig};
+pub use exceptions::{
+    move_loaded_table_graph, table_press_robot_graph, unload_table_graph, A1_SENSOR_SIGNAL,
+    L_PLATE_SIGNAL, NCS_FAIL_SIGNAL, T_SENSOR_SIGNAL,
+};
+pub use faults::{DeviceFault, FaultScript};

@@ -1,0 +1,206 @@
+//! End-to-end fault-injection scenarios for the production cell (§4):
+//! every primitive exception of Figure 7 is raised somewhere, recovery is
+//! coordinated across the six controller threads, and plate conservation
+//! holds afterwards.
+
+use caa_prodcell::{
+    build_system, CellFaultScripts, ControllerConfig, DeviceFault, FaultScript, ProductionCell,
+};
+use caa_runtime::SystemReport;
+
+fn run(scripts: CellFaultScripts, cycles: u32) -> (ProductionCell, SystemReport) {
+    let cell = ProductionCell::new(scripts);
+    let config = ControllerConfig {
+        cycles,
+        ..ControllerConfig::default()
+    };
+    let report = build_system(&cell, &config).run();
+    report.expect_ok();
+    (cell, report)
+}
+
+#[test]
+fn fault_free_run_delivers_every_blank() {
+    let (cell, report) = run(CellFaultScripts::default(), 4);
+    assert_eq!(report.runtime_stats.recoveries, 0);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 4);
+    assert_eq!(m.delivered, 4);
+    assert_eq!(m.lost_plates, 0);
+    assert_eq!(m.recovered_cycles, 0);
+    let audit = cell.audit_committed();
+    assert!(audit.is_consistent(), "audit {audit:?}");
+    // All delivered plates were forged.
+    assert!(cell
+        .deposit
+        .committed()
+        .delivered()
+        .iter()
+        .all(|p| p.forged));
+}
+
+#[test]
+fn vertical_motor_stop_is_forward_recovered() {
+    // Table op 3 of cycle 1 is the lift inside Move_Loaded_Table.
+    let scripts = CellFaultScripts {
+        table: FaultScript::new().with(3, DeviceFault::VerticalMotorStop),
+        ..CellFaultScripts::default()
+    };
+    let (cell, report) = run(scripts, 2);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 2);
+    assert_eq!(
+        m.delivered, 2,
+        "forward recovery must save the plate: {m:?}"
+    );
+    assert!(report.runtime_stats.recoveries > 0, "a recovery must have run");
+    assert_eq!(m.lost_plates, 0);
+    assert!(cell.audit_committed().is_consistent());
+    // The motor was repaired by the handler.
+    assert!(!cell.table.committed().vertical_motor_broken);
+}
+
+#[test]
+fn rotation_motor_fault_is_forward_recovered() {
+    // Table op 2 of cycle 1 is rotate_to_robot.
+    let scripts = CellFaultScripts {
+        table: FaultScript::new().with(2, DeviceFault::RotationMotorStop),
+        ..CellFaultScripts::default()
+    };
+    let (cell, _report) = run(scripts, 1);
+    let m = cell.metrics.committed();
+    assert_eq!(m.delivered, 1, "{m:?}");
+    assert!(cell.audit_committed().is_consistent());
+}
+
+#[test]
+fn lost_plate_is_written_off_and_next_cycle_succeeds() {
+    // Table op 4 of cycle 1 is take_plate inside Grab_Plate_From_Table:
+    // the plate drops, L_PLATE escalates to Table_Press_Robot, the cycle is
+    // abandoned, and cycle 2 proceeds normally.
+    let scripts = CellFaultScripts {
+        table: FaultScript::new().with(4, DeviceFault::LostPlate),
+        ..CellFaultScripts::default()
+    };
+    let (cell, report) = run(scripts, 2);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 2, "{m:?}");
+    assert_eq!(m.delivered, 1, "{m:?}");
+    assert_eq!(m.lost_plates, 1, "{m:?}");
+    assert!(report.runtime_stats.recoveries > 0);
+    let audit = cell.audit_committed();
+    assert!(audit.is_consistent(), "audit {audit:?}");
+}
+
+#[test]
+fn stuck_sensor_degrades_but_keeps_producing() {
+    // Table op 2 (rotate) trips the sensor-stuck fault: NCS_FAIL is
+    // signalled from Move_Loaded_Table, the table- and robot-sensor lanes
+    // escalate T_SENSOR / A1_SENSOR concurrently, and Table_Press_Robot
+    // resolves them to degraded_sensors.
+    let scripts = CellFaultScripts {
+        table: FaultScript::new().with(2, DeviceFault::SensorStuck),
+        ..CellFaultScripts::default()
+    };
+    let (cell, _report) = run(scripts, 2);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 2, "{m:?}");
+    assert!(
+        m.degraded_sensor_cycles >= 1,
+        "degraded cycle must be recorded: {m:?}"
+    );
+    assert!(m.recovered_cycles >= 1, "{m:?}");
+    // The sensor was repaired during recovery.
+    assert!(!cell.table.committed().sensor_stuck);
+    assert!(cell.audit_committed().is_consistent());
+    // Conservation: inserted == delivered + lost (no plates in flight).
+    assert_eq!(m.inserted, m.delivered + m.lost_plates, "{m:?}");
+}
+
+#[test]
+fn robot_lost_plate_during_removal_is_recovered() {
+    // Robot op 6 of cycle 1 is arm2_grab inside Remove_Plate.
+    let scripts = CellFaultScripts {
+        robot: FaultScript::new().with(6, DeviceFault::LostPlate),
+        ..CellFaultScripts::default()
+    };
+    let (cell, _report) = run(scripts, 2);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 2, "{m:?}");
+    assert_eq!(m.lost_plates, 1, "{m:?}");
+    assert_eq!(m.delivered, 1, "{m:?}");
+    assert!(cell.audit_committed().is_consistent());
+}
+
+#[test]
+fn press_control_fault_ends_cycle_without_losing_conservation() {
+    // Press op 2 of cycle 1 is the forge.
+    let scripts = CellFaultScripts {
+        press: FaultScript::new().with(2, DeviceFault::ControlSoftwareFault),
+        ..CellFaultScripts::default()
+    };
+    let (cell, report) = run(scripts, 2);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 2, "{m:?}");
+    assert!(
+        report.runtime_stats.recoveries > 0,
+        "recovery must have run somewhere: {:?}",
+        report.runtime_stats
+    );
+    assert!(cell.audit_committed().is_consistent());
+    assert_eq!(m.inserted, m.delivered + m.lost_plates, "{m:?}");
+}
+
+#[test]
+fn multiple_faults_across_cycles_all_recover() {
+    let scripts = CellFaultScripts {
+        table: FaultScript::new()
+            .with(3, DeviceFault::VerticalMotorStop) // cycle 1 lift
+            .with(10, DeviceFault::LostPlate), // cycle 2 take_plate
+        robot: FaultScript::new().with(25, DeviceFault::SensorStuck),
+        ..CellFaultScripts::default()
+    };
+    let (cell, report) = run(scripts, 4);
+    let m = cell.metrics.committed();
+    assert_eq!(m.inserted, 4, "{m:?}");
+    assert!(report.runtime_stats.recoveries > 0, "{:?}", report.runtime_stats);
+    assert!(cell.audit_committed().is_consistent());
+    assert_eq!(m.inserted, m.delivered + m.lost_plates, "{m:?}");
+    assert!(m.delivered >= 2, "most cycles should still produce: {m:?}");
+}
+
+#[test]
+fn every_figure7_fault_keeps_the_system_consistent() {
+    // Inject each primitive fault once (at an early table/robot/press op)
+    // and verify the whole system always terminates consistently — the
+    // Theorem 1 claim exercised through the case study.
+    for fault in DeviceFault::ALL {
+        if fault == DeviceFault::LostMessage {
+            // l_mes is exercised through network fault injection in the
+            // runtime's tests; the device script cannot emit it naturally.
+            continue;
+        }
+        let scripts = CellFaultScripts {
+            table: FaultScript::new().with(2, fault),
+            ..CellFaultScripts::default()
+        };
+        let cell = ProductionCell::new(scripts);
+        let config = ControllerConfig {
+            cycles: 2,
+            ..ControllerConfig::default()
+        };
+        let report = build_system(&cell, &config).run();
+        assert!(
+            report.is_ok(),
+            "fault {fault}: thread failures {:?}",
+            report.results
+        );
+        let m = cell.metrics.committed();
+        assert_eq!(m.inserted, 2, "fault {fault}: {m:?}");
+        assert!(
+            cell.audit_committed().is_consistent(),
+            "fault {fault}: audit {:?}",
+            cell.audit_committed()
+        );
+    }
+}

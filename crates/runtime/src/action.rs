@@ -1,0 +1,591 @@
+//! CA action definitions (§3.1).
+//!
+//! "The interface to a CA action specifies the objects that are to be
+//! manipulated by the CA action and the roles that are to manipulate these
+//! objects. In order to perform a CA action, a group of execution threads
+//! must come together and agree to perform each role in the CA action
+//! concurrently with one thread per role."
+//!
+//! An [`ActionDef`] declares the roles (each statically bound to the thread
+//! that will perform it — §3.3.1 assumes "each participating thread knows
+//! the set of all participating threads"), the exception graph used for
+//! resolution, the interface exceptions `ε` that may be signalled, and the
+//! per-role handlers: exception handlers, abortion handlers and undo hooks.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use caa_core::exception::{Exception, ExceptionId};
+use caa_core::ids::{ActionId, RoleId, ThreadId};
+use caa_core::outcome::HandlerVerdict;
+use caa_core::time::VirtualDuration;
+use caa_exgraph::{ExceptionGraph, ExceptionGraphBuilder};
+
+use crate::context::Ctx;
+use crate::error::Step;
+
+/// Exception-handler body: attempts forward recovery for the resolving
+/// exception the thread was committed to, then reports a verdict.
+pub type Handler = Arc<dyn Fn(&mut Ctx) -> Step<HandlerVerdict> + Send + Sync>;
+
+/// Abortion-handler body: runs when an enclosing action aborts this action;
+/// may produce an exception `Eab` to be raised in the enclosing action.
+pub type AbortHandler = Arc<dyn Fn(&mut Ctx) -> Step<Option<Exception>> + Send + Sync>;
+
+/// Undo hook: application-level compensation executed during the undo round
+/// of the signalling algorithm (§3.4). Returns whether undo succeeded.
+pub type UndoHook = Arc<dyn Fn(&mut Ctx) -> Step<bool> + Send + Sync>;
+
+static NEXT_DEF_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Errors reported while building an [`ActionDef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DefError {
+    /// The action declares no roles.
+    NoRoles,
+    /// Two roles share a name.
+    DuplicateRole(String),
+    /// Two roles are bound to the same thread.
+    DuplicateThread(ThreadId),
+    /// A handler refers to a role name that was never declared.
+    UnknownRole(String),
+}
+
+impl fmt::Display for DefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefError::NoRoles => f.write_str("a CA action needs at least one role"),
+            DefError::DuplicateRole(name) => write!(f, "role {name} declared twice"),
+            DefError::DuplicateThread(t) => {
+                write!(f, "thread {t} bound to more than one role")
+            }
+            DefError::UnknownRole(name) => {
+                write!(f, "handler refers to undeclared role {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefError {}
+
+pub(crate) struct DefInner {
+    pub(crate) name: String,
+    pub(crate) def_id: u32,
+    pub(crate) role_names: Vec<String>,
+    pub(crate) role_threads: Vec<ThreadId>,
+    /// All participating threads, sorted ascending (the ordered group `GA`).
+    pub(crate) group: Vec<ThreadId>,
+    pub(crate) graph: Arc<ExceptionGraph>,
+    pub(crate) interface: Vec<ExceptionId>,
+    pub(crate) handlers: HashMap<(RoleId, ExceptionId), Handler>,
+    pub(crate) fallback_handlers: HashMap<RoleId, Handler>,
+    pub(crate) abort_handlers: HashMap<RoleId, AbortHandler>,
+    pub(crate) undo_hooks: HashMap<RoleId, UndoHook>,
+    pub(crate) signal_timeout: Option<VirtualDuration>,
+    pub(crate) corruption_exception: ExceptionId,
+}
+
+impl DefInner {
+    pub(crate) fn role_id(&self, name: &str) -> Option<RoleId> {
+        self.role_names
+            .iter()
+            .position(|r| r == name)
+            .map(|i| RoleId::new(u32::try_from(i).expect("role count bounded")))
+    }
+
+    pub(crate) fn thread_of(&self, role: RoleId) -> ThreadId {
+        self.role_threads[role.index()]
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn role_of_thread(&self, thread: ThreadId) -> Option<RoleId> {
+        self.role_threads
+            .iter()
+            .position(|&t| t == thread)
+            .map(|i| RoleId::new(u32::try_from(i).expect("role count bounded")))
+    }
+
+    /// Handler lookup: exact (role, exception) match, then the role's
+    /// fallback. Returns `None` when the default policy applies.
+    pub(crate) fn handler_for(&self, role: RoleId, exception: &ExceptionId) -> Option<Handler> {
+        self.handlers
+            .get(&(role, exception.clone()))
+            .or_else(|| self.fallback_handlers.get(&role))
+            .cloned()
+    }
+
+    /// The default verdict when no handler exists: the universal exception
+    /// "usually leads to the signalling of a undo or failure exception"
+    /// (§3.2), and an unhandled exception "will be propagated" (§2.1).
+    pub(crate) fn default_verdict(exception: &ExceptionId) -> HandlerVerdict {
+        if exception.is_universal() {
+            HandlerVerdict::Undo
+        } else {
+            HandlerVerdict::Signal(exception.clone())
+        }
+    }
+}
+
+impl fmt::Debug for DefInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionDef")
+            .field("name", &self.name)
+            .field("roles", &self.role_names)
+            .field("group", &self.group)
+            .finish()
+    }
+}
+
+/// An immutable CA action definition; cheap to clone and share between
+/// threads.
+///
+/// # Examples
+///
+/// ```
+/// use caa_runtime::ActionDef;
+/// use caa_core::ids::ThreadId;
+/// use caa_core::outcome::HandlerVerdict;
+/// use caa_exgraph::ExceptionGraphBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = ExceptionGraphBuilder::new()
+///     .resolves("dual_motor_failures", ["vm_stop", "rm_stop"])
+///     .build()?;
+/// let def = ActionDef::builder("Move_Loaded_Table")
+///     .role("table", ThreadId::new(0))
+///     .role("sensor", ThreadId::new(1))
+///     .graph(graph)
+///     .interface(["L_PLATE"])
+///     .handler("table", "dual_motor_failures", |_ctx| {
+///         Ok(HandlerVerdict::Recovered)
+///     })
+///     .build()?;
+/// assert_eq!(def.name(), "Move_Loaded_Table");
+/// assert_eq!(def.roles().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ActionDef {
+    pub(crate) inner: Arc<DefInner>,
+}
+
+impl ActionDef {
+    /// Starts building an action definition.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ActionDefBuilder {
+        ActionDefBuilder {
+            name: name.into(),
+            roles: Vec::new(),
+            graph: None,
+            interface: Vec::new(),
+            handlers: Vec::new(),
+            fallbacks: Vec::new(),
+            aborts: Vec::new(),
+            undos: Vec::new(),
+            signal_timeout: None,
+            corruption_exception: ExceptionId::new("l_mes"),
+        }
+    }
+
+    /// The action's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The declared role names, in declaration order.
+    #[must_use]
+    pub fn roles(&self) -> &[String] {
+        &self.inner.role_names
+    }
+
+    /// The participating threads, sorted ascending.
+    #[must_use]
+    pub fn group(&self) -> &[ThreadId] {
+        &self.inner.group
+    }
+
+    /// The exception graph used to resolve concurrent exceptions.
+    #[must_use]
+    pub fn graph(&self) -> &ExceptionGraph {
+        &self.inner.graph
+    }
+
+    /// The interface exceptions `ε` this action may signal (µ and ƒ are
+    /// always possible and not listed).
+    #[must_use]
+    pub fn interface(&self) -> &[ExceptionId] {
+        &self.inner.interface
+    }
+}
+
+impl fmt::Debug for ActionDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Builder for [`ActionDef`] ([C-BUILDER]).
+#[must_use = "builders do nothing until .build() is called"]
+pub struct ActionDefBuilder {
+    name: String,
+    roles: Vec<(String, ThreadId)>,
+    graph: Option<ExceptionGraph>,
+    interface: Vec<ExceptionId>,
+    handlers: Vec<(String, ExceptionId, Handler)>,
+    fallbacks: Vec<(String, Handler)>,
+    aborts: Vec<(String, AbortHandler)>,
+    undos: Vec<(String, UndoHook)>,
+    signal_timeout: Option<VirtualDuration>,
+    corruption_exception: ExceptionId,
+}
+
+impl fmt::Debug for ActionDefBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionDefBuilder")
+            .field("name", &self.name)
+            .field("roles", &self.roles)
+            .finish()
+    }
+}
+
+impl ActionDefBuilder {
+    /// Declares a role and binds it to the thread that will perform it.
+    pub fn role(mut self, name: impl Into<String>, thread: impl Into<ThreadId>) -> Self {
+        self.roles.push((name.into(), thread.into()));
+        self
+    }
+
+    /// Sets the exception graph. Without one, every exception resolves
+    /// through a minimal graph containing only the universal exception.
+    pub fn graph(mut self, graph: ExceptionGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Declares the interface exceptions `ε` this action may signal.
+    pub fn interface<I, T>(mut self, exceptions: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<ExceptionId>,
+    {
+        self.interface.extend(exceptions.into_iter().map(Into::into));
+        self
+    }
+
+    /// Registers `role`'s handler for the resolving exception `exception`.
+    pub fn handler(
+        mut self,
+        role: impl Into<String>,
+        exception: impl Into<ExceptionId>,
+        f: impl Fn(&mut Ctx) -> Step<HandlerVerdict> + Send + Sync + 'static,
+    ) -> Self {
+        self.handlers
+            .push((role.into(), exception.into(), Arc::new(f)));
+        self
+    }
+
+    /// Registers `role`'s handler for the universal exception.
+    pub fn universal_handler(
+        self,
+        role: impl Into<String>,
+        f: impl Fn(&mut Ctx) -> Step<HandlerVerdict> + Send + Sync + 'static,
+    ) -> Self {
+        self.handler(role, ExceptionId::universal(), f)
+    }
+
+    /// Registers a catch-all handler consulted when `role` has no handler
+    /// for the resolving exception.
+    pub fn fallback_handler(
+        mut self,
+        role: impl Into<String>,
+        f: impl Fn(&mut Ctx) -> Step<HandlerVerdict> + Send + Sync + 'static,
+    ) -> Self {
+        self.fallbacks.push((role.into(), Arc::new(f)));
+        self
+    }
+
+    /// Registers `role`'s abortion handler, run when an enclosing action
+    /// aborts this one; it may return an exception `Eab` to be raised in
+    /// the enclosing action (§3.3.1).
+    pub fn abort_handler(
+        mut self,
+        role: impl Into<String>,
+        f: impl Fn(&mut Ctx) -> Step<Option<Exception>> + Send + Sync + 'static,
+    ) -> Self {
+        self.aborts.push((role.into(), Arc::new(f)));
+        self
+    }
+
+    /// Registers `role`'s undo hook, executed during the undo round of the
+    /// signalling algorithm; returns whether application-level compensation
+    /// succeeded (§3.4).
+    pub fn undo_hook(
+        mut self,
+        role: impl Into<String>,
+        f: impl Fn(&mut Ctx) -> Step<bool> + Send + Sync + 'static,
+    ) -> Self {
+        self.undos.push((role.into(), Arc::new(f)));
+        self
+    }
+
+    /// Bounds how long the signalling algorithm waits for each peer
+    /// announcement; a missing announcement is then treated as the failure
+    /// exception ƒ (the §3.4 crash/loss extension).
+    pub fn signal_timeout(mut self, timeout: VirtualDuration) -> Self {
+        self.signal_timeout = Some(timeout);
+        self
+    }
+
+    /// The internal exception raised when a corrupted message is delivered
+    /// while this action runs (defaults to `l_mes`, as in the production
+    /// cell's Figure 7).
+    pub fn corruption_exception(mut self, exception: impl Into<ExceptionId>) -> Self {
+        self.corruption_exception = exception.into();
+        self
+    }
+
+    /// Validates and freezes the definition.
+    ///
+    /// # Errors
+    ///
+    /// See [`DefError`].
+    pub fn build(self) -> Result<ActionDef, DefError> {
+        if self.roles.is_empty() {
+            return Err(DefError::NoRoles);
+        }
+        let mut role_names = Vec::with_capacity(self.roles.len());
+        let mut role_threads = Vec::with_capacity(self.roles.len());
+        for (name, thread) in &self.roles {
+            if role_names.contains(name) {
+                return Err(DefError::DuplicateRole(name.clone()));
+            }
+            if role_threads.contains(thread) {
+                return Err(DefError::DuplicateThread(*thread));
+            }
+            role_names.push(name.clone());
+            role_threads.push(*thread);
+        }
+        let mut group = role_threads.clone();
+        group.sort_unstable();
+
+        let graph = match self.graph {
+            Some(g) => g,
+            None => ExceptionGraphBuilder::new()
+                .exception(ExceptionId::universal())
+                .build()
+                .expect("singleton universal graph is valid"),
+        };
+
+        let role_id_of = |name: &str| -> Result<RoleId, DefError> {
+            role_names
+                .iter()
+                .position(|r| r == name)
+                .map(|i| RoleId::new(u32::try_from(i).expect("bounded")))
+                .ok_or_else(|| DefError::UnknownRole(name.to_owned()))
+        };
+
+        let mut handlers = HashMap::new();
+        for (role, exc, f) in self.handlers {
+            handlers.insert((role_id_of(&role)?, exc), f);
+        }
+        let mut fallback_handlers = HashMap::new();
+        for (role, f) in self.fallbacks {
+            fallback_handlers.insert(role_id_of(&role)?, f);
+        }
+        let mut abort_handlers = HashMap::new();
+        for (role, f) in self.aborts {
+            abort_handlers.insert(role_id_of(&role)?, f);
+        }
+        let mut undo_hooks = HashMap::new();
+        for (role, f) in self.undos {
+            undo_hooks.insert(role_id_of(&role)?, f);
+        }
+
+        Ok(ActionDef {
+            inner: Arc::new(DefInner {
+                name: self.name,
+                def_id: NEXT_DEF_ID.fetch_add(1, Ordering::Relaxed),
+                role_names,
+                role_threads,
+                group,
+                graph: Arc::new(graph),
+                interface: self.interface,
+                handlers,
+                fallback_handlers,
+                abort_handlers,
+                undo_hooks,
+                signal_timeout: self.signal_timeout,
+                corruption_exception: self.corruption_exception,
+            }),
+        })
+    }
+}
+
+/// Builds the id of the `instance`-th entry into definition `def_id` within
+/// the parent action instance `parent_serial` (0 for top-level entries).
+///
+/// Instance numbering is scoped to the *parent instance*: cooperating
+/// threads always agree on their common parent (the exit and recovery
+/// protocols synchronise its completion), so they mint identical ids for
+/// each nested action even when earlier recoveries made some of them skip
+/// nested actions the others entered. The serial is a 64-bit mix of the
+/// three components; collisions are vanishingly unlikely for realistic run
+/// lengths.
+pub(crate) fn make_action_id(
+    def_id: u32,
+    parent_serial: u64,
+    instance: u32,
+    depth: u32,
+) -> ActionId {
+    let mut z = (u64::from(def_id) << 40)
+        ^ parent_serial.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (u64::from(instance).wrapping_add(1) << 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    ActionId::with_depth(z, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_roles() {
+        assert_eq!(
+            ActionDef::builder("x").build().unwrap_err(),
+            DefError::NoRoles
+        );
+        let err = ActionDef::builder("x")
+            .role("a", ThreadId::new(0))
+            .role("a", ThreadId::new(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DefError::DuplicateRole("a".into()));
+        let err = ActionDef::builder("x")
+            .role("a", ThreadId::new(0))
+            .role("b", ThreadId::new(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DefError::DuplicateThread(ThreadId::new(0)));
+        let err = ActionDef::builder("x")
+            .role("a", ThreadId::new(0))
+            .handler("ghost", "e", |_| Ok(HandlerVerdict::Recovered))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DefError::UnknownRole("ghost".into()));
+    }
+
+    #[test]
+    fn group_is_sorted_regardless_of_declaration_order() {
+        let def = ActionDef::builder("x")
+            .role("b", ThreadId::new(5))
+            .role("a", ThreadId::new(2))
+            .build()
+            .unwrap();
+        assert_eq!(def.group(), &[ThreadId::new(2), ThreadId::new(5)]);
+        assert_eq!(def.roles(), &["b".to_owned(), "a".to_owned()]);
+    }
+
+    #[test]
+    fn default_graph_contains_only_universal() {
+        let def = ActionDef::builder("x")
+            .role("a", ThreadId::new(0))
+            .build()
+            .unwrap();
+        assert_eq!(def.graph().len(), 1);
+        assert!(def.graph().root().is_universal());
+    }
+
+    #[test]
+    fn handler_lookup_precedence() {
+        let def = ActionDef::builder("x")
+            .role("a", ThreadId::new(0))
+            .handler("a", "e1", |_| Ok(HandlerVerdict::Recovered))
+            .fallback_handler("a", |_| Ok(HandlerVerdict::Fail))
+            .build()
+            .unwrap();
+        let role = RoleId::new(0);
+        assert!(def
+            .inner
+            .handler_for(role, &ExceptionId::new("e1"))
+            .is_some());
+        // Unknown exception falls back to the role's fallback handler.
+        assert!(def
+            .inner
+            .handler_for(role, &ExceptionId::new("other"))
+            .is_some());
+        let bare = ActionDef::builder("y")
+            .role("a", ThreadId::new(0))
+            .build()
+            .unwrap();
+        assert!(bare
+            .inner
+            .handler_for(role, &ExceptionId::new("other"))
+            .is_none());
+    }
+
+    #[test]
+    fn default_verdicts() {
+        assert_eq!(
+            DefInner::default_verdict(&ExceptionId::universal()),
+            HandlerVerdict::Undo
+        );
+        assert_eq!(
+            DefInner::default_verdict(&ExceptionId::new("L_PLATE")),
+            HandlerVerdict::Signal(ExceptionId::new("L_PLATE"))
+        );
+    }
+
+    #[test]
+    fn action_ids_are_deterministic_and_distinct() {
+        let a = make_action_id(7, 0, 42, 3);
+        let b = make_action_id(7, 0, 42, 3);
+        assert_eq!(a, b, "same inputs must mint the same id on every thread");
+        assert_eq!(a.depth(), 3);
+        // Varying any component changes the id.
+        assert_ne!(make_action_id(8, 0, 42, 3).serial(), a.serial());
+        assert_ne!(make_action_id(7, 1, 42, 3).serial(), a.serial());
+        assert_ne!(make_action_id(7, 0, 43, 3).serial(), a.serial());
+        // A nested action under two different parent instances differs even
+        // at the same local index.
+        let p1 = make_action_id(1, 0, 0, 0);
+        let p2 = make_action_id(1, 0, 1, 0);
+        assert_ne!(
+            make_action_id(2, p1.serial(), 0, 1),
+            make_action_id(2, p2.serial(), 0, 1)
+        );
+    }
+
+    #[test]
+    fn def_ids_are_unique() {
+        let a = ActionDef::builder("a")
+            .role("r", ThreadId::new(0))
+            .build()
+            .unwrap();
+        let b = ActionDef::builder("b")
+            .role("r", ThreadId::new(0))
+            .build()
+            .unwrap();
+        assert_ne!(a.inner.def_id, b.inner.def_id);
+    }
+
+    #[test]
+    fn role_queries() {
+        let def = ActionDef::builder("x")
+            .role("table", ThreadId::new(3))
+            .role("robot", ThreadId::new(1))
+            .build()
+            .unwrap();
+        let table = def.inner.role_id("table").unwrap();
+        assert_eq!(def.inner.thread_of(table), ThreadId::new(3));
+        assert_eq!(def.inner.role_of_thread(ThreadId::new(1)), def.inner.role_id("robot"));
+        assert_eq!(def.inner.role_of_thread(ThreadId::new(9)), None);
+        assert!(def.inner.role_id("ghost").is_none());
+    }
+}

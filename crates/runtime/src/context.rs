@@ -1,0 +1,1241 @@
+//! Per-thread execution context: action stack, message routing and the
+//! coordinated-recovery driver.
+//!
+//! Each participating thread owns a [`Ctx`]. Entering a CA action pushes a
+//! frame on the paper's `SA` stack; every runtime operation the role
+//! performs is a *poll point* at which pending control messages are
+//! processed — the `Result`-based stand-in for Ada 95's asynchronous
+//! transfer of control (see `DESIGN.md`). The driver in this module
+//! realises, per action frame:
+//!
+//! * the resolution algorithm of §3.3.2 (delegated to the system's
+//!   [`ResolutionProtocol`](crate::protocol::ResolutionProtocol));
+//! * the abortion cascade over nested actions (§3.3.1);
+//! * exception handling under the termination model (§3.1);
+//! * the signalling algorithm of §3.4 with its µ/ƒ coordination;
+//! * the synchronous exit protocol (§5.1).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use caa_core::exception::{Exception, ExceptionId, Signal};
+use caa_core::ids::{ActionId, PartitionId, RoleId, ThreadId};
+use caa_core::message::{AppPayload, Message, SignalRound};
+use caa_core::outcome::{ActionOutcome, HandlerVerdict};
+use caa_core::time::{VirtualDuration, VirtualInstant};
+use caa_simnet::{Endpoint, Received};
+
+use crate::action::{make_action_id, ActionDef, DefInner};
+use crate::error::{Flow, RuntimeError, Step, Unwind};
+use crate::objects::{ObjectError, SharedObject, TxControl};
+use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
+use crate::system::SystemShared;
+
+/// An application message delivered to a role.
+#[derive(Debug)]
+pub struct AppMsg {
+    /// The sending thread.
+    pub from: ThreadId,
+    /// The application-chosen tag.
+    pub tag: &'static str,
+    /// The payload.
+    pub payload: AppPayload,
+}
+
+/// How a role body was started or restarted into recovery.
+#[derive(Debug)]
+enum RecoveryStart {
+    /// This thread raised the exception.
+    Raise(Exception),
+    /// This thread suspends because of peers' exceptions.
+    Suspend,
+}
+
+/// One entry of the action stack (`SA`).
+struct Frame {
+    action: ActionId,
+    def: Arc<DefInner>,
+    role: RoleId,
+    /// Control messages for this action stashed by the router for the
+    /// recovery driver (the trigger that interrupted the body, §3.3.2's
+    /// "retain"). Drained when recovery starts.
+    pending_control: VecDeque<Message>,
+    /// Buffered application messages.
+    app_inbox: VecDeque<AppMsg>,
+    /// Exit votes seen, per epoch.
+    exit_votes: BTreeMap<u32, BTreeSet<ThreadId>>,
+    exit_epoch: u32,
+    /// Signalling announcements seen, per round.
+    signals: BTreeMap<(SignalRound, ThreadId), Signal>,
+    /// Resolution completed — later Exception/Suspended messages for this
+    /// instance are stragglers and are dropped (termination model: nothing
+    /// new can be raised within the action after handlers start).
+    recovered: bool,
+    /// External objects this thread touched within the action.
+    objects: Vec<Box<dyn TxControl>>,
+    /// Protocol state for this frame's recovery.
+    resolver: Box<dyn ResolverState>,
+    /// Set while this frame's exception handler runs.
+    in_handler: Option<ExceptionId>,
+    /// A corrupted message arrived during the signalling collection; §3.4
+    /// treats it as the failure exception.
+    corrupted_during_signalling: bool,
+}
+
+impl Frame {
+    fn group(&self) -> &[ThreadId] {
+        &self.def.group
+    }
+}
+
+/// The execution context of one participating thread.
+///
+/// Obtained inside [`System::spawn`](crate::System::spawn). All blocking
+/// operations are poll points: they may return `Err(`[`Flow`]`)` when
+/// coordinated recovery takes over — propagate it with `?`.
+pub struct Ctx {
+    me: ThreadId,
+    name: String,
+    endpoint: Endpoint<Message>,
+    system: Arc<SystemShared>,
+    stack: Vec<Frame>,
+    /// Messages for action instances not yet entered (§3.3.2 "retain the
+    /// Exception or Suspended message till Ti enters A*").
+    retained: Vec<Message>,
+    /// Per `(definition id, parent action serial)`: the next local instance
+    /// number this thread will enter. Scoping instance numbers to the
+    /// parent instance keeps ids aligned across threads even when recovery
+    /// made some of them skip nested actions.
+    entry_counts: BTreeMap<(u32, u64), u32>,
+    /// Serials of action instances this thread has finished or aborted;
+    /// their late messages are stragglers and are dropped.
+    finished: std::collections::HashSet<u64>,
+}
+
+/// Upper bound on retained messages: instances a thread never enters (e.g.
+/// a peer's raise inside an action abandoned by recovery) would otherwise
+/// accumulate their triggers forever.
+const RETAINED_CAP: usize = 4096;
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("thread", &self.me)
+            .field("name", &self.name)
+            .field("depth", &self.stack.len())
+            .finish()
+    }
+}
+
+/// Emits a trace line when `CAA_TRACE` is set (diagnostics for protocol
+/// debugging; no-op otherwise).
+macro_rules! trace {
+    ($self:expr, $($arg:tt)*) => {
+        if std::env::var_os("CAA_TRACE").is_some() {
+            eprintln!(
+                "[{} {} d{}] {}",
+                $self.endpoint.now(),
+                $self.name,
+                $self.stack.len(),
+                format_args!($($arg)*)
+            );
+        }
+    };
+}
+
+/// What the router decided about one received message.
+enum Routed {
+    /// Fully absorbed (buffered, recorded or dropped).
+    Done,
+    /// A resolution-protocol control message for the *active* action.
+    ActiveControl(Message),
+    /// A corrupted message arrived (payload unrecoverable).
+    Corrupted,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        me: ThreadId,
+        name: String,
+        endpoint: Endpoint<Message>,
+        system: Arc<SystemShared>,
+    ) -> Self {
+        Ctx {
+            me,
+            name,
+            endpoint,
+            system,
+            stack: Vec::new(),
+            retained: Vec::new(),
+            entry_counts: BTreeMap::new(),
+            finished: std::collections::HashSet::new(),
+        }
+    }
+
+    /// This thread's identifier (total order; ties in recovery are broken
+    /// toward the biggest id, §3.3.2).
+    #[must_use]
+    pub fn thread_id(&self) -> ThreadId {
+        self.me
+    }
+
+    /// This thread's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> VirtualInstant {
+        self.endpoint.now()
+    }
+
+    /// Nesting depth: 0 outside any action.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The name of the active action, if any.
+    #[must_use]
+    pub fn action_name(&self) -> Option<&str> {
+        self.stack.last().map(|f| f.def.name.as_str())
+    }
+
+    /// The resolving exception currently being handled, if this thread is
+    /// executing an exception handler.
+    #[must_use]
+    pub fn handling(&self) -> Option<&ExceptionId> {
+        self.stack.last().and_then(|f| f.in_handler.as_ref())
+    }
+
+    // ------------------------------------------------------------------
+    // Role-facing operations (poll points)
+    // ------------------------------------------------------------------
+
+    /// Performs `dur` of local computation (virtual time).
+    ///
+    /// The computation is *interruptible*: if a control message demanding
+    /// recovery arrives mid-way, control transfers immediately — the
+    /// `Result`-based counterpart of the Ada 95 asynchronous transfer of
+    /// control the paper's prototype uses (§5.1). Application messages
+    /// arriving mid-way are buffered and the computation continues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] when recovery interrupts this thread.
+    pub fn work(&mut self, dur: VirtualDuration) -> Step {
+        let deadline = self.now().saturating_add(dur);
+        loop {
+            self.poll()?;
+            let remaining = deadline.duration_since(self.now());
+            if remaining.is_zero() {
+                return Ok(());
+            }
+            match self.endpoint.recv_timeout(remaining)? {
+                None => return self.poll(),
+                Some(received) => self.absorb_or_unwind(received)?,
+            }
+        }
+    }
+
+    /// Raises exception `e` in the active action (§3.1 *raise*). The
+    /// returned [`Flow`] must be propagated with `?`; the runtime then
+    /// coordinates recovery across all participants.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err`: either the raise itself (to be propagated), or
+    /// a fatal error when called outside an action or from a handler.
+    pub fn raise(&mut self, e: impl Into<Exception>) -> Step<()> {
+        let frame = match self.stack.last() {
+            Some(f) => f,
+            None => return Err(RuntimeError::NoActiveAction("raise").into()),
+        };
+        if frame.in_handler.is_some() {
+            return Err(RuntimeError::RaiseInHandler.into());
+        }
+        let e = e.into().with_origin(self.me);
+        Err(Flow::new(Unwind::Raise(e)))
+    }
+
+    /// Sends an application message to the thread performing `role` in the
+    /// active action. A poll point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] on recovery interruption, or fatally when `role` is
+    /// not part of the active action.
+    pub fn send_to_role(
+        &mut self,
+        role: &str,
+        tag: &'static str,
+        payload: impl std::any::Any + Send,
+    ) -> Step {
+        self.poll()?;
+        let frame = self
+            .stack
+            .last()
+            .ok_or_else(|| Flow::from(RuntimeError::NoActiveAction("send_to_role")))?;
+        let role_id = frame.def.role_id(role).ok_or_else(|| {
+            Flow::from(RuntimeError::UnknownRole {
+                action: frame.def.name.clone(),
+                role: role.to_owned(),
+            })
+        })?;
+        let to = frame.def.thread_of(role_id);
+        let msg = Message::App {
+            action: frame.action,
+            from: self.me,
+            tag,
+            payload: AppPayload::new(payload),
+        };
+        self.endpoint.send(PartitionId::new(to.as_u32()), msg);
+        Ok(())
+    }
+
+    /// Receives the next application message addressed to this role within
+    /// the active action, blocking as needed. A poll point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] on recovery interruption.
+    pub fn recv_app(&mut self) -> Step<AppMsg> {
+        loop {
+            self.poll()?;
+            if self.stack.is_empty() {
+                return Err(RuntimeError::NoActiveAction("recv_app").into());
+            }
+            if let Some(msg) = self
+                .stack
+                .last_mut()
+                .and_then(|f| f.app_inbox.pop_front())
+            {
+                return Ok(msg);
+            }
+            let received = self.endpoint.recv()?;
+            self.absorb_or_unwind(received)?;
+        }
+    }
+
+    /// Like [`Ctx::recv_app`] but gives up after `timeout`, returning
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] on recovery interruption.
+    pub fn recv_app_timeout(&mut self, timeout: VirtualDuration) -> Step<Option<AppMsg>> {
+        let deadline = self.now().saturating_add(timeout);
+        loop {
+            self.poll()?;
+            if self.stack.is_empty() {
+                return Err(RuntimeError::NoActiveAction("recv_app").into());
+            }
+            if let Some(msg) = self
+                .stack
+                .last_mut()
+                .and_then(|f| f.app_inbox.pop_front())
+            {
+                return Ok(Some(msg));
+            }
+            let remaining = deadline.duration_since(self.now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            match self.endpoint.recv_timeout(remaining)? {
+                Some(received) => self.absorb_or_unwind(received)?,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Reads external object `obj` within the active action, acquiring it
+    /// (and waiting for competing actions to release it) if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] on recovery interruption.
+    pub fn read<T: Clone + Send + 'static, R>(
+        &mut self,
+        obj: &SharedObject<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> Step<R> {
+        self.access(obj, |t, _dirty| f(t))
+    }
+
+    /// Mutates external object `obj` within the active action, acquiring it
+    /// (and waiting for competing actions to release it) if needed. The
+    /// update is transactional: it commits or rolls back with the action.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] on recovery interruption.
+    pub fn update<T: Clone + Send + 'static, R>(
+        &mut self,
+        obj: &SharedObject<T>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Step<R> {
+        self.access(obj, |t, dirty| {
+            *dirty = true;
+            f(t)
+        })
+    }
+
+    fn access<T: Clone + Send + 'static, R>(
+        &mut self,
+        obj: &SharedObject<T>,
+        f: impl FnOnce(&mut T, &mut bool) -> R,
+    ) -> Step<R> {
+        self.poll()?;
+        let (action, enclosing) = {
+            let frame = self
+                .stack
+                .last()
+                .ok_or_else(|| Flow::from(RuntimeError::NoActiveAction("object access")))?;
+            let enclosing: Vec<ActionId> = self.stack.iter().map(|fr| fr.action).collect();
+            (frame.action, enclosing)
+        };
+        // Wait for competing actions in scheduler-visible time.
+        while !obj.try_acquire(action, &enclosing[..enclosing.len() - 1]) {
+            self.work(VirtualDuration::from_millis(1))?;
+        }
+        // Register the object with every frame on the stack: acquisition
+        // may have opened layers for enclosing actions too, and each frame
+        // must commit or roll back its own layer when it completes.
+        for frame in &mut self.stack {
+            if !frame.objects.iter().any(|o| o.object_name() == obj.name()) {
+                frame.objects.push(Box::new(obj.clone()));
+            }
+        }
+        obj.with_working(action, f)
+            .map_err(|e| Flow::from(RuntimeError::Protocol(e.to_string())))
+    }
+
+    // ------------------------------------------------------------------
+    // Entering actions
+    // ------------------------------------------------------------------
+
+    /// Enters `def` playing `role`, runs `body` cooperatively with the other
+    /// roles, and completes the action under the termination model.
+    ///
+    /// At the top level (depth 0) the outcome is returned. Inside an
+    /// enclosing action, a non-success outcome is *raised* in the enclosing
+    /// action instead ("the exceptions concurrently signalled from the
+    /// nested action will simply be handled as if they are concurrently
+    /// raised in the enclosing action", §3.1), so `Ok` is only ever
+    /// `ActionOutcome::Success` there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Flow`] when recovery at an enclosing level interrupts the
+    /// action, and fatally on binding errors (unknown role, wrong thread).
+    pub fn enter(
+        &mut self,
+        def: &ActionDef,
+        role: &str,
+        body: impl FnOnce(&mut Ctx) -> Step,
+    ) -> Step<ActionOutcome> {
+        let inner = Arc::clone(&def.inner);
+        let role_id = inner.role_id(role).ok_or_else(|| {
+            Flow::from(RuntimeError::UnknownRole {
+                action: inner.name.clone(),
+                role: role.to_owned(),
+            })
+        })?;
+        if inner.thread_of(role_id) != self.me {
+            return Err(RuntimeError::RoleMismatch {
+                action: inner.name.clone(),
+                role: role.to_owned(),
+            }
+            .into());
+        }
+
+        let depth = u32::try_from(self.stack.len()).expect("nesting depth bounded");
+        let parent_serial = self.stack.last().map_or(0, |f| f.action.serial());
+        let instance = {
+            let counter = self
+                .entry_counts
+                .entry((inner.def_id, parent_serial))
+                .or_insert(0);
+            let i = *counter;
+            *counter += 1;
+            i
+        };
+        let action = make_action_id(inner.def_id, parent_serial, instance, depth);
+
+        self.stack.push(Frame {
+            action,
+            def: Arc::clone(&inner),
+            role: role_id,
+            pending_control: VecDeque::new(),
+            app_inbox: VecDeque::new(),
+            exit_votes: BTreeMap::new(),
+            exit_epoch: 0,
+            signals: BTreeMap::new(),
+            recovered: false,
+            objects: Vec::new(),
+            resolver: self.system.protocol.new_state(),
+            in_handler: None,
+            corrupted_during_signalling: false,
+        });
+
+        // "if Ti enters A then <A> → SAi; consume messages having arrived".
+        let mut initial: Option<RecoveryStart> = None;
+        let retained: Vec<Message> = std::mem::take(&mut self.retained);
+        let mut still_retained = Vec::new();
+        for msg in retained {
+            if msg.action() == action {
+                match msg {
+                    Message::Exception { .. } | Message::Suspended { .. } => {
+                        self.stack
+                            .last_mut()
+                            .expect("frame just pushed")
+                            .pending_control
+                            .push_back(msg);
+                        initial.get_or_insert(RecoveryStart::Suspend);
+                    }
+                    other => {
+                        // Signals / votes / app traffic buffered normally.
+                        let _ = self.route(Received {
+                            src: PartitionId::new(other.from().as_u32()),
+                            sent_at: VirtualInstant::EPOCH,
+                            delivered_at: VirtualInstant::EPOCH,
+                            msg: Some(other),
+                        });
+                    }
+                }
+            } else {
+                still_retained.push(msg);
+            }
+        }
+        self.retained = still_retained;
+
+        trace!(self, "enter {} as {} ({})", inner.name, role, action);
+        let outcome = self.drive(initial, body);
+        if std::env::var_os("CAA_TRACE").is_some() {
+            match &outcome {
+                Ok(o) => trace!(self, "leave {} ({action}): {o}", inner.name),
+                Err(f) => trace!(self, "unwind from {} ({action}): {:?}", inner.name, f.unwind),
+            }
+        }
+
+        match outcome {
+            Ok(outcome) => {
+                if !outcome.is_success() && !self.stack.is_empty() {
+                    // Auto-raise the signalled exception in the enclosing
+                    // action (distributed signalling, §3.1).
+                    let id = outcome
+                        .exception_id()
+                        .expect("non-success outcome always carries an exception");
+                    Err(Flow::new(Unwind::Raise(
+                        Exception::new(id).with_origin(self.me),
+                    )))
+                } else {
+                    Ok(outcome)
+                }
+            }
+            Err(flow) => Err(flow),
+        }
+    }
+
+    /// Runs the action's phases until an outcome is reached, recovering as
+    /// many times as enclosing-level aborts demand. The frame is always
+    /// popped before returning.
+    fn drive(
+        &mut self,
+        initial: Option<RecoveryStart>,
+        body: impl FnOnce(&mut Ctx) -> Step,
+    ) -> Step<ActionOutcome> {
+        let mut next: Option<RecoveryStart> = initial;
+        if next.is_none() {
+            match body(self) {
+                Ok(()) => {}
+                Err(flow) => match self.flow_to_start(flow) {
+                    Ok(start) => next = Some(start),
+                    Err(flow) => return Err(flow),
+                },
+            }
+        }
+        loop {
+            let attempt: Step<ActionOutcome> = match next.take() {
+                None => self.phase_exit_then(ActionOutcome::Success),
+                Some(start) => self.phase_recover(start),
+            };
+            match attempt {
+                Ok(outcome) => return Ok(outcome),
+                Err(flow) => match self.flow_to_start(flow) {
+                    Ok(start) => next = Some(start),
+                    Err(flow) => return Err(flow),
+                },
+            }
+        }
+    }
+
+    /// Converts an unwinding [`Flow`] into a recovery start for the current
+    /// frame, or performs this frame's part of the abortion cascade and
+    /// re-propagates.
+    fn flow_to_start(&mut self, flow: Flow) -> Result<RecoveryStart, Flow> {
+        match flow.unwind {
+            Unwind::Raise(e) => Ok(RecoveryStart::Raise(e)),
+            Unwind::Suspend => Ok(RecoveryStart::Suspend),
+            Unwind::Outer { target, eab } => {
+                let my_action = self.stack.last().map(|f| f.action);
+                if my_action == Some(target) {
+                    // Recovery lands at this level: the abortion-handler
+                    // exception of the directly nested action (if any) is
+                    // raised here, else we suspend (§3.3.1).
+                    match eab {
+                        Some(e) => Ok(RecoveryStart::Raise(e)),
+                        None => Ok(RecoveryStart::Suspend),
+                    }
+                } else {
+                    // This frame is being aborted on the way out.
+                    let my_eab = self.abort_current_frame()?;
+                    Err(Flow::new(Unwind::Outer {
+                        target,
+                        eab: my_eab,
+                    }))
+                }
+            }
+            fatal @ Unwind::Fatal(_) => {
+                self.discard_current_frame();
+                Err(Flow { unwind: fatal })
+            }
+        }
+    }
+
+    /// Aborts the top frame: rolls back its objects, runs its abortion
+    /// handler (which may produce `Eab`), and pops it.
+    fn abort_current_frame(&mut self) -> Result<Option<Exception>, Flow> {
+        self.system.stats.lock().aborts += 1;
+        let (action, def, role) = {
+            let frame = self.stack.last().expect("abort requires a frame");
+            (frame.action, Arc::clone(&frame.def), frame.role)
+        };
+        // Run the abortion handler while the frame is still active so it
+        // can use the context (work, app messages). Deeper-outer triggers
+        // during the handler extend the cascade.
+        let mut deeper: Option<(ActionId, Option<Exception>)> = None;
+        let mut eab = None;
+        if let Some(handler) = def.abort_handlers.get(&role).cloned() {
+            match handler(self) {
+                Ok(result) => eab = result,
+                Err(flow) => match flow.unwind {
+                    // An abortion handler may report Eab by raising.
+                    Unwind::Raise(e) => eab = Some(e),
+                    Unwind::Suspend => {}
+                    Unwind::Outer { target, eab: e } => deeper = Some((target, e)),
+                    fatal @ Unwind::Fatal(_) => {
+                        self.discard_current_frame();
+                        return Err(Flow { unwind: fatal });
+                    }
+                },
+            }
+        }
+        // Undo the aborted action's effects; effects that cannot be undone
+        // taint the object (ƒ semantics).
+        let frame = self.stack.last_mut().expect("frame still present");
+        let objects = std::mem::take(&mut frame.objects);
+        for obj in &objects {
+            if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action) {
+                let _ = obj.commit_tainted(action);
+            }
+        }
+        self.pop_frame();
+        if let Some((target, e)) = deeper {
+            // The cascade continues past the original target.
+            return Err(Flow::new(Unwind::Outer { target, eab: e }));
+        }
+        Ok(eab)
+    }
+
+    /// Pops the top frame without ceremony (fatal-error path).
+    fn discard_current_frame(&mut self) {
+        if let Some(frame) = self.stack.last_mut() {
+            let action = frame.action;
+            let objects = std::mem::take(&mut frame.objects);
+            for obj in &objects {
+                let _ = obj.rollback(action);
+            }
+            self.pop_frame();
+        }
+    }
+
+    fn pop_frame(&mut self) {
+        if let Some(frame) = self.stack.pop() {
+            self.finished.insert(frame.action.serial());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phases
+    // ------------------------------------------------------------------
+
+    /// Exit protocol, then finalize with `outcome` if no recovery begins.
+    fn phase_exit_then(&mut self, outcome: ActionOutcome) -> Step<ActionOutcome> {
+        match self.run_exit()? {
+            ExitResult::Done => self.finalize(outcome),
+            ExitResult::Recover => self.phase_recover(RecoveryStart::Suspend),
+        }
+    }
+
+    /// One full recovery: resolution, handling, signalling, exit.
+    fn phase_recover(&mut self, start: RecoveryStart) -> Step<ActionOutcome> {
+        self.system.stats.lock().recoveries += 1;
+        let resolved = self.run_recovery(start)?;
+        let verdict = self.run_handler(&resolved)?;
+        let my_signal = self.run_signalling(verdict)?;
+        {
+            let frame = self.stack.last_mut().expect("frame active");
+            frame.exit_epoch += 1;
+        }
+        match self.run_exit()? {
+            ExitResult::Done => {}
+            ExitResult::Recover => {
+                // Stragglers cannot re-trigger (the frame is marked
+                // recovered); a genuine trigger here is a protocol bug.
+                return Err(RuntimeError::Protocol(
+                    "recovery re-triggered after signalling".into(),
+                )
+                .into());
+            }
+        }
+        let outcome = match my_signal {
+            Signal::None => ActionOutcome::Success,
+            Signal::Exception(id) => ActionOutcome::Signalled(id),
+            Signal::Undo => ActionOutcome::Undone,
+            Signal::Failure => ActionOutcome::Failed,
+        };
+        self.finalize(outcome)
+    }
+
+    /// Commits or finalizes objects per outcome and pops the frame.
+    fn finalize(&mut self, outcome: ActionOutcome) -> Step<ActionOutcome> {
+        let frame = self.stack.last_mut().expect("frame active");
+        let action = frame.action;
+        let objects = std::mem::take(&mut frame.objects);
+        match &outcome {
+            ActionOutcome::Success | ActionOutcome::Signalled(_) => {
+                // Forward recovery leaves objects in (new) valid states.
+                for obj in &objects {
+                    let _ = obj.commit(action);
+                }
+            }
+            ActionOutcome::Undone => {
+                // Rollback already happened during the undo round; any
+                // layer still open (acquired after undo) is discarded.
+                for obj in &objects {
+                    let _ = obj.rollback(action);
+                }
+            }
+            ActionOutcome::Failed => {
+                // ƒ: effects may not have been undone; leave them visible
+                // and taint the objects.
+                for obj in &objects {
+                    let _ = obj.commit_tainted(action);
+                }
+            }
+        }
+        self.pop_frame();
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery: resolution
+    // ------------------------------------------------------------------
+
+    fn run_recovery(&mut self, start: RecoveryStart) -> Step<ExceptionId> {
+        trace!(self, "recovery start: {start:?}");
+        // Feed the stashed trigger(s) first, then our own transition.
+        let pending: Vec<Message> = {
+            let frame = self.stack.last_mut().expect("frame active");
+            frame.pending_control.drain(..).collect()
+        };
+        let mut resolved: Option<ExceptionId> = None;
+        for msg in pending {
+            if let Some(r) = self.feed_resolver(ProtoEventKind::Control(msg))? {
+                resolved = Some(r);
+            }
+        }
+        match &start {
+            RecoveryStart::Raise(e) => {
+                self.system.stats.lock().exceptions_raised += 1;
+                // "inform external objects (used by Ti within A) of the
+                // exception".
+                let frame = self.stack.last().expect("frame active");
+                let action = frame.action;
+                for obj in &frame.objects {
+                    obj.inform_exception(action, e.id().name());
+                }
+                if let Some(r) = self.feed_resolver(ProtoEventKind::Raise(e.clone()))? {
+                    resolved = Some(r);
+                }
+            }
+            RecoveryStart::Suspend => {
+                if let Some(r) = self.feed_resolver(ProtoEventKind::Suspend)? {
+                    resolved = Some(r);
+                }
+            }
+        }
+        // Collect control messages until agreement.
+        while resolved.is_none() {
+            let received = self.endpoint.recv()?;
+            match self.route(received)? {
+                Routed::Done => {}
+                Routed::Corrupted => {
+                    // Lost information during resolution; Assumption 1
+                    // excludes this for the resolution algorithm, so count
+                    // and continue (the signalling algorithm is the layer
+                    // with the ƒ extension).
+                    self.system.stats.lock().corrupted_ignored += 1;
+                }
+                Routed::ActiveControl(msg) => {
+                    if let Some(r) = self.feed_resolver(ProtoEventKind::Control(msg))? {
+                        resolved = Some(r);
+                    }
+                }
+            }
+        }
+        let resolved = resolved.expect("loop exits only when resolved");
+        trace!(self, "resolved: {resolved}");
+        let frame = self.stack.last_mut().expect("frame active");
+        frame.recovered = true;
+        Ok(resolved)
+    }
+
+    fn feed_resolver(&mut self, event: ProtoEventKind) -> Step<Option<ExceptionId>> {
+        let (me, action, group, graph) = {
+            let frame = self.stack.last().expect("frame active");
+            (
+                self.me,
+                frame.action,
+                frame.def.group.clone(),
+                Arc::clone(&frame.def.graph),
+            )
+        };
+        let actions: ProtoActions = {
+            let frame = self.stack.last_mut().expect("frame active");
+            let ctx = ProtoCtx {
+                me,
+                action,
+                group: &group,
+                graph: &graph,
+            };
+            match &event {
+                ProtoEventKind::Raise(e) => frame.resolver.on_event(&ctx, ProtoEvent::LocalRaise(e)),
+                ProtoEventKind::Suspend => frame.resolver.on_event(&ctx, ProtoEvent::LocalSuspend),
+                ProtoEventKind::Control(m) => frame.resolver.on_event(&ctx, ProtoEvent::Control(m)),
+            }
+        };
+        for (to, msg) in actions.outbound {
+            self.endpoint.send(PartitionId::new(to.as_u32()), msg);
+        }
+        if actions.resolve_invocations > 0 {
+            self.system.stats.lock().resolutions_invoked += u64::from(actions.resolve_invocations);
+            let delay = self.system.resolution_delay * actions.resolve_invocations;
+            if !delay.is_zero() {
+                self.endpoint.sleep(delay)?;
+            }
+        }
+        Ok(actions.resolved)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery: handling
+    // ------------------------------------------------------------------
+
+    fn run_handler(&mut self, resolved: &ExceptionId) -> Step<HandlerVerdict> {
+        let (handler, role) = {
+            let frame = self.stack.last_mut().expect("frame active");
+            frame.in_handler = Some(resolved.clone());
+            (frame.def.handler_for(frame.role, resolved), frame.role)
+        };
+        let _ = role;
+        let verdict = match handler {
+            Some(h) => {
+                let r = h(self);
+                if let Some(frame) = self.stack.last_mut() {
+                    frame.in_handler = None;
+                }
+                r?
+            }
+            None => {
+                if let Some(frame) = self.stack.last_mut() {
+                    frame.in_handler = None;
+                }
+                DefInner::default_verdict(resolved)
+            }
+        };
+        Ok(verdict)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery: signalling (§3.4)
+    // ------------------------------------------------------------------
+
+    fn run_signalling(&mut self, verdict: HandlerVerdict) -> Step<Signal> {
+        let my_signal = verdict.to_signal();
+        let group_len = self.stack.last().expect("frame active").group().len();
+        if group_len == 1 {
+            // No coordination needed; µ still requires the local undo.
+            return match my_signal {
+                Signal::Undo => Ok(self.perform_undo()),
+                other => Ok(other),
+            };
+        }
+
+        let collected = self.signal_round(SignalRound::First, my_signal.clone())?;
+        let any_failure = collected.iter().any(|s| matches!(s, Signal::Failure))
+            || self
+                .stack
+                .last()
+                .expect("frame active")
+                .corrupted_during_signalling;
+        let any_undo = collected.iter().any(|s| matches!(s, Signal::Undo));
+
+        if any_failure {
+            // Case 3: ƒ dominates — every thread signals ƒ.
+            return Ok(Signal::Failure);
+        }
+        if !any_undo {
+            // Case 1: everyone signals its own exception (or nothing).
+            return Ok(my_signal);
+        }
+        // Case 2: µ requested — all threads undo, then exchange again.
+        self.system.stats.lock().undo_rounds += 1;
+        let after_undo = self.perform_undo();
+        let collected = self.signal_round(SignalRound::AfterUndo, after_undo)?;
+        if collected.iter().any(|s| matches!(s, Signal::Failure))
+            || self
+                .stack
+                .last()
+                .expect("frame active")
+                .corrupted_during_signalling
+        {
+            Ok(Signal::Failure)
+        } else {
+            Ok(Signal::Undo)
+        }
+    }
+
+    /// Undoes this thread's effects: rolls back every object it touched and
+    /// runs the role's undo hook. Returns the signal to announce (µ on
+    /// success, ƒ when some undo operation failed).
+    fn perform_undo(&mut self) -> Signal {
+        let (action, def, role) = {
+            let frame = self.stack.last().expect("frame active");
+            (frame.action, Arc::clone(&frame.def), frame.role)
+        };
+        let mut ok = true;
+        if let Some(hook) = def.undo_hooks.get(&role).cloned() {
+            match hook(self) {
+                Ok(hook_ok) => ok &= hook_ok,
+                Err(_) => ok = false,
+            }
+        }
+        let frame = self.stack.last_mut().expect("frame active");
+        let objects = std::mem::take(&mut frame.objects);
+        for obj in &objects {
+            match obj.rollback(action) {
+                Ok(()) => {}
+                Err(ObjectError::UndoImpossible { .. }) => {
+                    let _ = obj.commit_tainted(action);
+                    ok = false;
+                }
+                Err(ObjectError::NotAcquired { .. }) => {}
+            }
+        }
+        if ok {
+            Signal::Undo
+        } else {
+            Signal::Failure
+        }
+    }
+
+    /// One exchange of the signalling algorithm: broadcast my signal for
+    /// `round`, collect everyone's.
+    fn signal_round(&mut self, round: SignalRound, mine: Signal) -> Step<Vec<Signal>> {
+        let (action, group, timeout) = {
+            let frame = self.stack.last_mut().expect("frame active");
+            frame.signals.insert((round, self.me), mine.clone());
+            (
+                frame.action,
+                frame.def.group.clone(),
+                frame.def.signal_timeout,
+            )
+        };
+        for &peer in group.iter().filter(|&&t| t != self.me) {
+            self.endpoint.send(
+                PartitionId::new(peer.as_u32()),
+                Message::ToBeSignalled {
+                    action,
+                    from: self.me,
+                    round,
+                    signal: mine.clone(),
+                },
+            );
+        }
+        loop {
+            {
+                let frame = self.stack.last().expect("frame active");
+                let have = group
+                    .iter()
+                    .filter(|&&t| frame.signals.contains_key(&(round, t)))
+                    .count();
+                if have == group.len() {
+                    let collected = group
+                        .iter()
+                        .map(|&t| frame.signals[&(round, t)].clone())
+                        .collect();
+                    return Ok(collected);
+                }
+            }
+            let received = match timeout {
+                Some(t) => match self.endpoint.recv_timeout(t)? {
+                    Some(r) => r,
+                    None => {
+                        // §3.4 extension: a missing announcement (lost
+                        // message or crashed peer) is treated as ƒ; all
+                        // fault-free threads still signal coordinated
+                        // exceptions.
+                        let frame = self.stack.last_mut().expect("frame active");
+                        for &t in &group {
+                            frame
+                                .signals
+                                .entry((round, t))
+                                .or_insert(Signal::Failure);
+                        }
+                        continue;
+                    }
+                },
+                None => self.endpoint.recv()?,
+            };
+            match self.route(received)? {
+                Routed::Done => {}
+                Routed::Corrupted => {
+                    let frame = self.stack.last_mut().expect("frame active");
+                    frame.corrupted_during_signalling = true;
+                }
+                Routed::ActiveControl(_) => {
+                    // Straggler Exception/Suspended cannot reach here (the
+                    // frame is marked recovered); Commit stragglers are
+                    // dropped by the router.
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exit protocol (§5.1)
+    // ------------------------------------------------------------------
+
+    fn run_exit(&mut self) -> Step<ExitResult> {
+        let (action, group, epoch) = {
+            let frame = self.stack.last_mut().expect("frame active");
+            let epoch = frame.exit_epoch;
+            frame
+                .exit_votes
+                .entry(epoch)
+                .or_default()
+                .insert(self.me);
+            (frame.action, frame.def.group.clone(), epoch)
+        };
+        for &peer in group.iter().filter(|&&t| t != self.me) {
+            self.endpoint.send(
+                PartitionId::new(peer.as_u32()),
+                Message::ExitVote {
+                    action,
+                    from: self.me,
+                    epoch,
+                },
+            );
+        }
+        loop {
+            {
+                let frame = self.stack.last().expect("frame active");
+                if frame
+                    .exit_votes
+                    .get(&epoch)
+                    .is_some_and(|votes| votes.len() == group.len())
+                {
+                    return Ok(ExitResult::Done);
+                }
+            }
+            let received = self.endpoint.recv()?;
+            match self.route(received)? {
+                Routed::Done => {}
+                Routed::Corrupted => {
+                    self.system.stats.lock().corrupted_ignored += 1;
+                }
+                Routed::ActiveControl(msg) => match msg {
+                    Message::Exception { .. } | Message::Suspended { .. } => {
+                        // A peer started recovery while we were leaving:
+                        // stash the trigger and join it.
+                        let frame = self.stack.last_mut().expect("frame active");
+                        frame.pending_control.push_back(msg);
+                        return Ok(ExitResult::Recover);
+                    }
+                    other => {
+                        return Err(RuntimeError::Protocol(format!(
+                            "unexpected {} during exit",
+                            other.kind()
+                        ))
+                        .into());
+                    }
+                },
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message routing
+    // ------------------------------------------------------------------
+
+    /// Non-blocking poll point: absorbs everything deliverable now; unwinds
+    /// if recovery must take over.
+    fn poll(&mut self) -> Step {
+        while let Some(received) = self.endpoint.try_recv()? {
+            self.absorb_or_unwind(received)?;
+        }
+        Ok(())
+    }
+
+    /// Routes one message during *body* execution: control messages for the
+    /// active action interrupt it.
+    fn absorb_or_unwind(&mut self, received: Received<Message>) -> Step {
+        match self.route(received)? {
+            Routed::Done => Ok(()),
+            Routed::Corrupted => {
+                // A corrupted message during normal computation raises the
+                // action's corruption exception (Figure 7's `l_mes`).
+                match self.stack.last() {
+                    Some(frame) if frame.in_handler.is_none() && !frame.recovered => {
+                        let e = Exception::new(frame.def.corruption_exception.clone())
+                            .with_origin(self.me)
+                            .with_detail("corrupted message delivered");
+                        Err(Flow::new(Unwind::Raise(e)))
+                    }
+                    _ => {
+                        self.system.stats.lock().corrupted_ignored += 1;
+                        Ok(())
+                    }
+                }
+            }
+            Routed::ActiveControl(msg) => match msg {
+                Message::Exception { .. } | Message::Suspended { .. } => {
+                    let frame = self.stack.last_mut().expect("active control implies frame");
+                    frame.pending_control.push_back(msg);
+                    Err(Flow::new(Unwind::Suspend))
+                }
+                other => Err(RuntimeError::Protocol(format!(
+                    "unexpected {} while body running",
+                    other.kind()
+                ))
+                .into()),
+            },
+        }
+    }
+
+    /// Classifies one received message relative to the action stack.
+    fn route(&mut self, received: Received<Message>) -> Result<Routed, Flow> {
+        let msg = match received.msg {
+            Some(m) => m,
+            None => return Ok(Routed::Corrupted),
+        };
+        trace!(self, "recv {} from {} for {}", msg.kind(), msg.from(), msg.action());
+        let action = msg.action();
+        let position = self.stack.iter().position(|f| f.action == action);
+        match position {
+            Some(i) if i + 1 == self.stack.len() => self.route_to_frame(i, msg, true),
+            Some(i) => self.route_to_frame(i, msg, false),
+            None => {
+                if !self.finished.contains(&action.serial())
+                    && self.retained.len() < RETAINED_CAP
+                {
+                    // For an action this thread has not entered yet:
+                    // "retain the Exception or Suspended message till Ti
+                    // enters A*". (Messages for instances this thread will
+                    // never enter — abandoned by recovery at a peer — stay
+                    // here harmlessly until the cap evicts them.)
+                    self.retained.push(msg);
+                } // else: straggler of a finished/aborted instance; drop.
+                Ok(Routed::Done)
+            }
+        }
+    }
+
+    fn route_to_frame(&mut self, index: usize, msg: Message, is_top: bool) -> Result<Routed, Flow> {
+        let target = self.stack[index].action;
+        match msg {
+            Message::Exception { .. } | Message::Suspended { .. } => {
+                if self.stack[index].recovered {
+                    return Ok(Routed::Done); // straggler after commit
+                }
+                if is_top {
+                    Ok(Routed::ActiveControl(msg))
+                } else {
+                    // Recovery at an enclosing action: stash the trigger
+                    // there and unwind, aborting nested frames on the way.
+                    self.stack[index].pending_control.push_back(msg);
+                    Err(Flow::new(Unwind::Outer { target, eab: None }))
+                }
+            }
+            Message::Commit { .. } | Message::Resolve { .. } => {
+                if self.stack[index].recovered {
+                    return Ok(Routed::Done);
+                }
+                if is_top {
+                    Ok(Routed::ActiveControl(msg))
+                } else {
+                    Err(RuntimeError::Protocol(
+                        "resolution message received for enclosing action while nested".into(),
+                    )
+                    .into())
+                }
+            }
+            Message::ToBeSignalled {
+                from, round, signal, ..
+            } => {
+                self.stack[index].signals.insert((round, from), signal);
+                Ok(Routed::Done)
+            }
+            Message::ExitVote { from, epoch, .. } => {
+                self.stack[index]
+                    .exit_votes
+                    .entry(epoch)
+                    .or_default()
+                    .insert(from);
+                Ok(Routed::Done)
+            }
+            Message::App {
+                from, tag, payload, ..
+            } => {
+                self.stack[index].app_inbox.push_back(AppMsg {
+                    from,
+                    tag,
+                    payload,
+                });
+                Ok(Routed::Done)
+            }
+        }
+    }
+
+    /// Called by the system when the thread body finishes: release the
+    /// endpoint.
+    pub(crate) fn shutdown(self) {
+        self.endpoint.retire();
+    }
+}
+
+/// Owned version of [`ProtoEvent`] for queueing.
+enum ProtoEventKind {
+    Raise(Exception),
+    Suspend,
+    Control(Message),
+}
+
+enum ExitResult {
+    Done,
+    Recover,
+}

@@ -1,0 +1,83 @@
+//! Distributed CA-action run-time with coordinated exception handling — the
+//! system implementation of Xu, Romanovsky & Randell (ICDCS 1998).
+//!
+//! A [`System`] hosts participating threads, each on its own OS thread bound
+//! to a network partition (the paper's architecture, Figure 8). Threads
+//! enter [`ActionDef`]s — Coordinated Atomic actions — through
+//! [`Ctx::enter`], cooperate via role-to-role messages and transactional
+//! [`SharedObject`]s, and recover from exceptions through:
+//!
+//! * the **resolution algorithm** of §3.3.2 (default
+//!   [`XrrResolution`], pluggable via [`protocol::ResolutionProtocol`] for
+//!   the baseline comparisons of §5.3),
+//! * the **abortion cascade** over nested actions (§3.3.1),
+//! * exception **handlers** under the termination model (§3.1),
+//! * the **signalling algorithm** of §3.4 coordinating `ε`/µ/ƒ, and
+//! * a synchronous **exit protocol** (§5.1).
+//!
+//! Rust has no asynchronous exceptions, so the Ada 95 ATC of the paper's
+//! prototype becomes a `Result`-based design: all role operations return
+//! [`Step`], and coordinated recovery takes over when an operation returns
+//! `Err(`[`Flow`]`)` — propagate it with `?` and the action boundary
+//! catches it.
+//!
+//! # Examples
+//!
+//! Two roles cooperate; one raises; both run their handlers for the
+//! resolved exception; the action still exits with success after forward
+//! recovery:
+//!
+//! ```
+//! use caa_runtime::{ActionDef, System};
+//! use caa_core::exception::Exception;
+//! use caa_core::outcome::{ActionOutcome, HandlerVerdict};
+//! use caa_core::time::secs;
+//! use caa_exgraph::ExceptionGraphBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = ExceptionGraphBuilder::new().primitive("sensor_glitch").build()?;
+//! let action = ActionDef::builder("calibrate")
+//!     .role("driver", 0u32)
+//!     .role("monitor", 1u32)
+//!     .graph(graph)
+//!     .handler("driver", "sensor_glitch", |_| Ok(HandlerVerdict::Recovered))
+//!     .handler("monitor", "sensor_glitch", |_| Ok(HandlerVerdict::Recovered))
+//!     .build()?;
+//!
+//! let mut sys = System::builder().build();
+//! let a = action.clone();
+//! sys.spawn("T0", move |ctx| {
+//!     let outcome = ctx.enter(&a, "driver", |rc| {
+//!         rc.work(secs(0.1))?;
+//!         rc.raise(Exception::new("sensor_glitch"))
+//!     })?;
+//!     assert_eq!(outcome, ActionOutcome::Success);
+//!     Ok(())
+//! });
+//! sys.spawn("T1", move |ctx| {
+//!     let outcome = ctx.enter(&action, "monitor", |rc| rc.work(secs(5.0)))?;
+//!     assert_eq!(outcome, ActionOutcome::Success);
+//!     Ok(())
+//! });
+//! sys.run().expect_ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod action;
+pub mod context;
+mod error;
+pub mod objects;
+pub mod protocol;
+mod system;
+
+pub use action::{ActionDef, ActionDefBuilder, DefError};
+pub use context::{AppMsg, Ctx};
+pub use error::{Flow, RuntimeError, Step};
+pub use objects::SharedObject;
+pub use protocol::XrrResolution;
+pub use system::{RuntimeStats, System, SystemBuilder, SystemReport};

@@ -1,0 +1,564 @@
+//! Transactional external objects (§2.2, §3.1 "External Objects").
+//!
+//! Objects external to a CA action "can hence be shared with other actions
+//! concurrently, must be atomic and individually responsible for their own
+//! integrity". Each [`SharedObject`] therefore implements its own little
+//! transaction stack:
+//!
+//! * the first access by an action *acquires* the object and opens a
+//!   transaction layer initialised from the committed (or enclosing) state;
+//! * a nested action opens a sub-layer over its parent's layer — CA actions
+//!   are "a disciplined approach to using multi-threaded nested
+//!   transactions";
+//! * on successful completion the layer commits into its parent (or the
+//!   committed state); on abort/undo the layer is discarded, restoring the
+//!   prior state;
+//! * when recovery begins the object is *informed of the exception*
+//!   (§3.3.2: "inform external objects … of the exception") and records it;
+//! * an object may be declared non-undoable, in which case rolling it back
+//!   fails and the signalling algorithm converts the undo exception µ into
+//!   the failure exception ƒ (§3.4).
+//!
+//! Competing actions wait for the object via scheduler-visible polling, so
+//! virtual time keeps advancing while they queue.
+
+use std::fmt;
+use std::sync::Arc;
+
+use caa_core::ids::ActionId;
+use parking_lot::Mutex;
+
+/// Errors reported by object transaction control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObjectError {
+    /// The action does not currently hold this object.
+    NotAcquired {
+        /// The object's name.
+        object: String,
+    },
+    /// Rollback was requested but the object is not undoable.
+    UndoImpossible {
+        /// The object's name.
+        object: String,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::NotAcquired { object } => {
+                write!(f, "object {object} is not held by this action")
+            }
+            ObjectError::UndoImpossible { object } => {
+                write!(f, "object {object} cannot undo its effects")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+struct TxLayer<T> {
+    owner: ActionId,
+    working: T,
+    dirty: bool,
+}
+
+struct ObjectInner<T> {
+    committed: T,
+    layers: Vec<TxLayer<T>>,
+    /// Exceptions this object has been informed of (names), most recent
+    /// last. Cleared on commit of the outermost layer.
+    informed: Vec<String>,
+    /// Set when a failure exception left possibly-erroneous state behind.
+    tainted: bool,
+}
+
+struct ObjectShared<T> {
+    name: String,
+    undoable: bool,
+    state: Mutex<ObjectInner<T>>,
+}
+
+/// An atomic object shared between CA actions.
+///
+/// Clone handles freely; all clones refer to the same object. Access from
+/// within an action goes through
+/// [`Ctx::read`](crate::Ctx::read) / [`Ctx::update`](crate::Ctx::update),
+/// which acquire the object for the action and register it for commit,
+/// rollback and exception notification. Direct snapshots for assertions are
+/// available through [`SharedObject::committed`].
+///
+/// # Examples
+///
+/// ```
+/// use caa_runtime::SharedObject;
+///
+/// let press_state = SharedObject::new("press", 0u32);
+/// assert_eq!(press_state.committed(), 0);
+/// assert!(press_state.is_undoable());
+/// ```
+pub struct SharedObject<T> {
+    shared: Arc<ObjectShared<T>>,
+}
+
+impl<T> Clone for SharedObject<T> {
+    fn clone(&self) -> Self {
+        SharedObject {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SharedObject<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.shared.state.lock();
+        f.debug_struct("SharedObject")
+            .field("name", &self.shared.name)
+            .field("committed", &inner.committed)
+            .field("open_layers", &inner.layers.len())
+            .field("tainted", &inner.tainted)
+            .finish()
+    }
+}
+
+impl<T: Clone + Send + 'static> SharedObject<T> {
+    /// Creates an undoable object with the given committed state.
+    #[must_use]
+    pub fn new(name: impl Into<String>, initial: T) -> Self {
+        SharedObject {
+            shared: Arc::new(ObjectShared {
+                name: name.into(),
+                undoable: true,
+                state: Mutex::new(ObjectInner {
+                    committed: initial,
+                    layers: Vec::new(),
+                    informed: Vec::new(),
+                    tainted: false,
+                }),
+            }),
+        }
+    }
+
+    /// The object's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Whether rollback of this object can succeed.
+    #[must_use]
+    pub fn is_undoable(&self) -> bool {
+        self.shared.undoable
+    }
+
+    /// Snapshot of the committed (outside-any-action) state.
+    #[must_use]
+    pub fn committed(&self) -> T {
+        self.shared.state.lock().committed.clone()
+    }
+
+    /// Mutates the committed state directly, outside any CA action — the
+    /// hook for the *environment* (e.g. the production cell's blank
+    /// supplier adding a blank to the feed belt).
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectError::NotAcquired`] when a CA action currently holds the
+    /// object: mutating under an open transaction would violate isolation.
+    pub fn mutate_committed<R>(&self, f: impl FnOnce(&mut T) -> R) -> Result<R, ObjectError> {
+        let mut inner = self.shared.state.lock();
+        if !inner.layers.is_empty() {
+            return Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            });
+        }
+        Ok(f(&mut inner.committed))
+    }
+
+    /// Whether a failure exception left possibly-erroneous state behind.
+    #[must_use]
+    pub fn is_tainted(&self) -> bool {
+        self.shared.state.lock().tainted
+    }
+
+    /// The exceptions this object has been informed of since its last
+    /// top-level commit (diagnostics).
+    #[must_use]
+    pub fn informed_exceptions(&self) -> Vec<String> {
+        self.shared.state.lock().informed.clone()
+    }
+
+    /// Attempts to acquire the object for `action`, opening transaction
+    /// layers as needed. Returns `false` when a *competing* (non-enclosing)
+    /// action holds it — the caller should wait and retry in
+    /// scheduler-visible time.
+    ///
+    /// `enclosing` must list the action ids on the caller's action stack
+    /// (outermost first, excluding `action` itself). A layer is opened for
+    /// **every** enclosing action missing one, so a nested action's commit
+    /// always lands under its ancestors' control: if an ancestor later
+    /// aborts, the nested effects roll back with it (nested-transaction
+    /// semantics, §2.2).
+    pub(crate) fn try_acquire(&self, action: ActionId, enclosing: &[ActionId]) -> bool {
+        let mut inner = self.shared.state.lock();
+        // Every already-open layer must belong to our action chain;
+        // anything else is a competing action.
+        let chain: Vec<ActionId> = enclosing.iter().copied().chain([action]).collect();
+        if inner
+            .layers
+            .iter()
+            .any(|layer| !chain.contains(&layer.owner))
+        {
+            return false;
+        }
+        // Open missing layers in chain order (existing layers are a
+        // chain-order prefix by construction).
+        for &owner in &chain {
+            if inner.layers.iter().any(|l| l.owner == owner) {
+                continue;
+            }
+            let working = inner
+                .layers
+                .last()
+                .map_or_else(|| inner.committed.clone(), |top| top.working.clone());
+            inner.layers.push(TxLayer {
+                owner,
+                working,
+                dirty: false,
+            });
+            if std::env::var_os("CAA_TRACE").is_some() {
+                eprintln!(
+                    "[obj {}] open layer for {owner} (depth {})",
+                    self.shared.name,
+                    inner.layers.len()
+                );
+            }
+        }
+        true
+    }
+
+    /// Reads through the layer owned by `action`.
+    pub(crate) fn with_working<R>(
+        &self,
+        action: ActionId,
+        f: impl FnOnce(&mut T, &mut bool) -> R,
+    ) -> Result<R, ObjectError> {
+        let mut inner = self.shared.state.lock();
+        match inner.layers.last_mut() {
+            Some(top) if top.owner == action => {
+                let mut dirty = top.dirty;
+                let r = f(&mut top.working, &mut dirty);
+                top.dirty = dirty;
+                Ok(r)
+            }
+            _ => Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            }),
+        }
+    }
+}
+
+/// Action-facing transaction control, object-type erased so an action frame
+/// can track heterogeneous objects.
+pub(crate) trait TxControl: Send {
+    /// The object's name (diagnostics).
+    fn object_name(&self) -> &str;
+    /// Commits the layer owned by `action` into its parent (or the
+    /// committed state).
+    fn commit(&self, action: ActionId) -> Result<(), ObjectError>;
+    /// Discards the layer owned by `action`, restoring the prior state.
+    /// Fails for irreversible objects whose layer was modified.
+    fn rollback(&self, action: ActionId) -> Result<(), ObjectError>;
+    /// Records that recovery started in the owning action (§3.3.2 "inform
+    /// external objects of the exception").
+    fn inform_exception(&self, action: ActionId, exception: &str);
+    /// Commits the layer but marks the object tainted: a failure exception
+    /// ƒ left effects that "may have not been undone completely".
+    fn commit_tainted(&self, action: ActionId) -> Result<(), ObjectError>;
+}
+
+impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
+    fn object_name(&self) -> &str {
+        &self.shared.name
+    }
+
+    fn commit(&self, action: ActionId) -> Result<(), ObjectError> {
+        let mut inner = self.shared.state.lock();
+        if std::env::var_os("CAA_TRACE").is_some() {
+            eprintln!(
+                "[obj {}] commit by {action}, top owner {:?}",
+                self.shared.name,
+                inner.layers.last().map(|l| l.owner)
+            );
+        }
+        match inner.layers.last() {
+            Some(top) if top.owner == action => {
+                let layer = inner.layers.pop().expect("just peeked");
+                match inner.layers.last_mut() {
+                    Some(parent) => {
+                        parent.working = layer.working;
+                        parent.dirty |= layer.dirty;
+                    }
+                    None => {
+                        inner.committed = layer.working;
+                        inner.informed.clear();
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            }),
+        }
+    }
+
+    fn rollback(&self, action: ActionId) -> Result<(), ObjectError> {
+        let mut inner = self.shared.state.lock();
+        if std::env::var_os("CAA_TRACE").is_some() {
+            eprintln!(
+                "[obj {}] rollback by {action}, top owner {:?}",
+                self.shared.name,
+                inner.layers.last().map(|l| l.owner)
+            );
+        }
+        match inner.layers.last() {
+            Some(top) if top.owner == action => {
+                if !self.shared.undoable && top.dirty {
+                    return Err(ObjectError::UndoImpossible {
+                        object: self.shared.name.clone(),
+                    });
+                }
+                inner.layers.pop();
+                Ok(())
+            }
+            _ => Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            }),
+        }
+    }
+
+    fn inform_exception(&self, action: ActionId, exception: &str) {
+        let mut inner = self.shared.state.lock();
+        if inner.layers.last().is_some_and(|top| top.owner == action) {
+            inner.informed.push(exception.to_owned());
+        }
+    }
+
+    fn commit_tainted(&self, action: ActionId) -> Result<(), ObjectError> {
+        {
+            let mut inner = self.shared.state.lock();
+            inner.tainted = true;
+        }
+        self.commit(action)
+    }
+}
+
+/// Creates an object whose effects cannot be undone (e.g. a physical
+/// actuator). Rolling it back after modification fails, which converts the
+/// undo exception µ into the failure exception ƒ during signalling (§3.4).
+///
+/// # Examples
+///
+/// ```
+/// use caa_runtime::objects::irreversible;
+///
+/// let forge = irreversible("forge", 0u32);
+/// assert!(!forge.is_undoable());
+/// ```
+#[must_use]
+pub fn irreversible<T: Clone + Send + 'static>(
+    name: impl Into<String>,
+    initial: T,
+) -> SharedObject<T> {
+    SharedObject {
+        shared: Arc::new(ObjectShared {
+            name: name.into(),
+            undoable: false,
+            state: Mutex::new(ObjectInner {
+                committed: initial,
+                layers: Vec::new(),
+                informed: Vec::new(),
+                tainted: false,
+            }),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(serial: u64) -> ActionId {
+        ActionId::top_level(serial)
+    }
+
+    #[test]
+    fn acquire_modify_commit() {
+        let obj = SharedObject::new("belt", vec![1, 2]);
+        let a = aid(1);
+        assert!(obj.try_acquire(a, &[]));
+        obj.with_working(a, |v, dirty| {
+            v.push(3);
+            *dirty = true;
+        })
+        .unwrap();
+        // Uncommitted work is invisible outside.
+        assert_eq!(obj.committed(), vec![1, 2]);
+        obj.commit(a).unwrap();
+        assert_eq!(obj.committed(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rollback_restores_prior_state() {
+        let obj = SharedObject::new("table", 10u32);
+        let a = aid(1);
+        assert!(obj.try_acquire(a, &[]));
+        obj.with_working(a, |v, dirty| {
+            *v = 99;
+            *dirty = true;
+        })
+        .unwrap();
+        obj.rollback(a).unwrap();
+        assert_eq!(obj.committed(), 10);
+        assert!(!obj.is_tainted());
+    }
+
+    #[test]
+    fn competing_action_must_wait() {
+        let obj = SharedObject::new("press", 0u32);
+        let a = aid(1);
+        let b = aid(2);
+        assert!(obj.try_acquire(a, &[]));
+        assert!(!obj.try_acquire(b, &[]), "b is not nested inside a");
+        obj.commit(a).unwrap();
+        assert!(obj.try_acquire(b, &[]), "free after commit");
+    }
+
+    #[test]
+    fn nested_action_layers_commit_into_parent() {
+        let obj = SharedObject::new("robot", 0u32);
+        let outer = aid(1);
+        let inner = ActionId::nested(2, &outer);
+        assert!(obj.try_acquire(outer, &[]));
+        obj.with_working(outer, |v, d| {
+            *v = 1;
+            *d = true;
+        })
+        .unwrap();
+        assert!(obj.try_acquire(inner, &[outer]));
+        obj.with_working(inner, |v, d| {
+            *v += 10;
+            *d = true;
+        })
+        .unwrap();
+        // Inner commit merges into outer's layer, not the committed state.
+        obj.commit(inner).unwrap();
+        assert_eq!(obj.committed(), 0);
+        obj.commit(outer).unwrap();
+        assert_eq!(obj.committed(), 11);
+    }
+
+    #[test]
+    fn nested_rollback_preserves_parent_work() {
+        let obj = SharedObject::new("robot", 0u32);
+        let outer = aid(1);
+        let inner = ActionId::nested(2, &outer);
+        obj.try_acquire(outer, &[]);
+        obj.with_working(outer, |v, d| {
+            *v = 5;
+            *d = true;
+        })
+        .unwrap();
+        obj.try_acquire(inner, &[outer]);
+        obj.with_working(inner, |v, d| {
+            *v = 999;
+            *d = true;
+        })
+        .unwrap();
+        obj.rollback(inner).unwrap();
+        obj.with_working(outer, |v, _| assert_eq!(*v, 5)).unwrap();
+        obj.commit(outer).unwrap();
+        assert_eq!(obj.committed(), 5);
+    }
+
+    #[test]
+    fn irreversible_object_refuses_dirty_rollback() {
+        let obj = irreversible("forge", 0u32);
+        assert!(!obj.is_undoable());
+        let a = aid(1);
+        obj.try_acquire(a, &[]);
+        // Clean layer can still be discarded.
+        obj.rollback(a).unwrap();
+        obj.try_acquire(a, &[]);
+        obj.with_working(a, |v, d| {
+            *v = 1;
+            *d = true;
+        })
+        .unwrap();
+        assert_eq!(
+            obj.rollback(a).unwrap_err(),
+            ObjectError::UndoImpossible {
+                object: "forge".into()
+            }
+        );
+    }
+
+    #[test]
+    fn tainted_commit_records_failure() {
+        let obj = SharedObject::new("deposit", 0u32);
+        let a = aid(1);
+        obj.try_acquire(a, &[]);
+        obj.with_working(a, |v, d| {
+            *v = 7;
+            *d = true;
+        })
+        .unwrap();
+        obj.commit_tainted(a).unwrap();
+        assert!(obj.is_tainted());
+        assert_eq!(obj.committed(), 7, "ƒ leaves the erroneous effects visible");
+    }
+
+    #[test]
+    fn inform_exception_is_recorded_until_commit() {
+        let obj = SharedObject::new("arm1", 0u32);
+        let a = aid(1);
+        obj.try_acquire(a, &[]);
+        obj.inform_exception(a, "l_plate");
+        assert_eq!(obj.informed_exceptions(), vec!["l_plate".to_owned()]);
+        obj.commit(a).unwrap();
+        assert!(obj.informed_exceptions().is_empty());
+    }
+
+    #[test]
+    fn operations_without_acquisition_fail() {
+        let obj = SharedObject::new("lone", 0u32);
+        let a = aid(1);
+        assert!(matches!(
+            obj.with_working(a, |_, _| ()).unwrap_err(),
+            ObjectError::NotAcquired { .. }
+        ));
+        assert!(obj.commit(a).is_err());
+        assert!(obj.rollback(a).is_err());
+    }
+
+    #[test]
+    fn reacquire_by_same_action_is_idempotent() {
+        let obj = SharedObject::new("belt", 0u32);
+        let a = aid(1);
+        assert!(obj.try_acquire(a, &[]));
+        assert!(obj.try_acquire(a, &[]));
+        obj.commit(a).unwrap();
+        // After commit the layer is gone; commit again fails.
+        assert!(obj.commit(a).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ObjectError::UndoImpossible {
+            object: "press".into(),
+        };
+        assert_eq!(e.to_string(), "object press cannot undo its effects");
+    }
+}

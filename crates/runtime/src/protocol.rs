@@ -1,0 +1,495 @@
+//! Pluggable resolution protocols.
+//!
+//! The run-time drives concurrent exception handling through a
+//! [`ResolutionProtocol`]: the paper's algorithm ([`XrrResolution`], §3.3.2)
+//! is the default, and the baseline algorithms it is compared against
+//! (Campbell & Randell 1986, Romanovsky et al. 1996) implement the same
+//! trait in the `caa-baselines` crate — mirroring how the paper "modelled
+//! the CR algorithm by updating our algorithm and kept the rest of the CA
+//! action support unchanged" (§5.3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use caa_core::exception::{Exception, ExceptionId};
+use caa_core::ids::{ActionId, ThreadId};
+use caa_core::message::Message;
+use caa_core::state::ParticipantState;
+use caa_exgraph::ExceptionGraph;
+
+/// Static context a resolver state receives with every event.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoCtx<'a> {
+    /// This participant's thread id.
+    pub me: ThreadId,
+    /// The action instance being recovered.
+    pub action: ActionId,
+    /// All participating threads of the action, sorted ascending.
+    pub group: &'a [ThreadId],
+    /// The action's exception graph.
+    pub graph: &'a ExceptionGraph,
+}
+
+impl ProtoCtx<'_> {
+    /// The other members of the group (everyone but `me`).
+    pub fn peers(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        let me = self.me;
+        self.group.iter().copied().filter(move |&t| t != me)
+    }
+}
+
+/// An event fed to a [`ResolverState`].
+#[derive(Debug)]
+pub enum ProtoEvent<'a> {
+    /// This thread raised `e` in the action (including an abortion-handler
+    /// exception after a nested abort).
+    LocalRaise(&'a Exception),
+    /// This thread halts normal computation because of exceptions raised by
+    /// peers (transition N → S).
+    LocalSuspend,
+    /// A control message of the recovery protocol arrived.
+    Control(&'a Message),
+}
+
+/// What a [`ResolverState`] wants done after an event.
+#[derive(Debug, Default)]
+pub struct ProtoActions {
+    /// Messages to send, in order.
+    pub outbound: Vec<(ThreadId, Message)>,
+    /// How many times the resolution procedure (graph search) was invoked
+    /// while processing this event. The driver charges `Treso` virtual time
+    /// per invocation and the statistics feed Figure 13(b).
+    pub resolve_invocations: u32,
+    /// When set, agreement is reached for this thread: every participant
+    /// must handle this resolving exception.
+    pub resolved: Option<ExceptionId>,
+}
+
+/// Per-(thread, action-instance) protocol state.
+pub trait ResolverState: Send {
+    /// Processes one event; returns messages to send and, eventually, the
+    /// resolving exception.
+    fn on_event(&mut self, ctx: &ProtoCtx<'_>, event: ProtoEvent<'_>) -> ProtoActions;
+
+    /// Current N/X/S state of this participant, for diagnostics.
+    fn participant_state(&self) -> ParticipantState;
+}
+
+/// Factory for [`ResolverState`]s — one strategy per system.
+pub trait ResolutionProtocol: Send + Sync + fmt::Debug {
+    /// Short name used in reports (e.g. `"xrr98"`, `"cr86"`).
+    fn name(&self) -> &'static str;
+
+    /// Creates the state driving one action instance's recovery at one
+    /// participant.
+    fn new_state(&self) -> Box<dyn ResolverState>;
+}
+
+/// The paper's resolution algorithm (§3.3.2).
+///
+/// * A thread raising an exception broadcasts `Exception(A, Ti, E)`.
+/// * A thread that did not raise but learns of exceptions broadcasts
+///   `Suspended(A, Ti, S)` once.
+/// * When a thread holds an entry (exception or suspension) from **every**
+///   participant and it has *the biggest identifying number among threads in
+///   the exceptional state*, it alone resolves the accumulated exceptions
+///   through the exception graph and broadcasts `Commit(A, E)`.
+///
+/// Message complexity: `(N + 1) × (N − 1)` without nesting, independent of
+/// how many exceptions were raised concurrently (§3.3.3); the resolution
+/// procedure runs exactly once per recovery.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct XrrResolution;
+
+impl ResolutionProtocol for XrrResolution {
+    fn name(&self) -> &'static str {
+        "xrr98"
+    }
+
+    fn new_state(&self) -> Box<dyn ResolverState> {
+        Box::new(XrrState::default())
+    }
+}
+
+/// One participant's view of the §3.3.2 algorithm: the paper's `LE` list
+/// plus its own N/X/S state.
+#[derive(Debug, Default)]
+struct XrrState {
+    state: ParticipantState,
+    /// The `LE` list: one entry per participant — either the exception it
+    /// raised or its suspension. `BTreeMap` keeps deterministic order.
+    entries: BTreeMap<ThreadId, Entry>,
+    resolved: Option<ExceptionId>,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Exception(ExceptionId),
+    Suspended,
+}
+
+impl XrrState {
+    /// "if Ti has all exceptions, or state S, of other threads within A and
+    /// Ti has the biggest identifying number among threads with the state X
+    /// then resolve exceptions in LEi; Commit(A, E) ⇒ all Tj in GA".
+    fn try_resolve(&mut self, ctx: &ProtoCtx<'_>, actions: &mut ProtoActions) {
+        if self.resolved.is_some() || actions.resolved.is_some() {
+            return;
+        }
+        if self.entries.len() < ctx.group.len() {
+            return;
+        }
+        let max_exceptional = self
+            .entries
+            .iter()
+            .filter(|(_, e)| matches!(e, Entry::Exception(_)))
+            .map(|(&t, _)| t)
+            .max();
+        if max_exceptional != Some(ctx.me) || self.state != ParticipantState::Exceptional {
+            return;
+        }
+        let raised: Vec<ExceptionId> = self
+            .entries
+            .values()
+            .filter_map(|e| match e {
+                Entry::Exception(id) => Some(id.clone()),
+                Entry::Suspended => None,
+            })
+            .collect();
+        let resolved = ctx.graph.resolve(&raised);
+        actions.resolve_invocations += 1;
+        for peer in ctx.peers() {
+            actions.outbound.push((
+                peer,
+                Message::Commit {
+                    action: ctx.action,
+                    from: ctx.me,
+                    resolved: resolved.clone(),
+                },
+            ));
+        }
+        self.resolved = Some(resolved.clone());
+        actions.resolved = Some(resolved);
+    }
+}
+
+impl ResolverState for XrrState {
+    fn on_event(&mut self, ctx: &ProtoCtx<'_>, event: ProtoEvent<'_>) -> ProtoActions {
+        let mut actions = ProtoActions::default();
+        match event {
+            ProtoEvent::LocalRaise(e) => {
+                self.state = ParticipantState::Exceptional;
+                self.entries
+                    .insert(ctx.me, Entry::Exception(e.id().clone()));
+                for peer in ctx.peers() {
+                    actions.outbound.push((
+                        peer,
+                        Message::Exception {
+                            action: ctx.action,
+                            from: ctx.me,
+                            exception: e.clone(),
+                        },
+                    ));
+                }
+            }
+            ProtoEvent::LocalSuspend => {
+                if self.state == ParticipantState::Normal {
+                    self.state = ParticipantState::Suspended;
+                    self.entries.insert(ctx.me, Entry::Suspended);
+                    for peer in ctx.peers() {
+                        actions.outbound.push((
+                            peer,
+                            Message::Suspended {
+                                action: ctx.action,
+                                from: ctx.me,
+                            },
+                        ));
+                    }
+                }
+            }
+            ProtoEvent::Control(msg) => match msg {
+                Message::Exception {
+                    from, exception, ..
+                } => {
+                    self.entries
+                        .insert(*from, Entry::Exception(exception.id().clone()));
+                }
+                Message::Suspended { from, .. } => {
+                    // Never demote a raised exception to a suspension.
+                    self.entries.entry(*from).or_insert(Entry::Suspended);
+                }
+                Message::Commit { resolved, .. } => {
+                    self.resolved = Some(resolved.clone());
+                    actions.resolved = Some(resolved.clone());
+                }
+                _ => {}
+            },
+        }
+        self.try_resolve(ctx, &mut actions);
+        actions
+    }
+
+    fn participant_state(&self) -> ParticipantState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caa_exgraph::ExceptionGraphBuilder;
+
+    fn graph() -> ExceptionGraph {
+        ExceptionGraphBuilder::new()
+            .resolves("e1∩e2", ["e1", "e2"])
+            .build()
+            .unwrap()
+    }
+
+    fn tid(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+
+    fn ctx<'a>(me: u32, group: &'a [ThreadId], graph: &'a ExceptionGraph) -> ProtoCtx<'a> {
+        ProtoCtx {
+            me: tid(me),
+            action: ActionId::top_level(1),
+            group,
+            graph,
+        }
+    }
+
+    /// Drives a set of XrrStates to completion by relaying outbound
+    /// messages synchronously; returns each thread's resolved exception and
+    /// the total message count by kind.
+    fn run_to_completion(
+        n: u32,
+        raises: &[(u32, &str)],
+    ) -> (Vec<ExceptionId>, usize, usize, usize, u32) {
+        let g = graph();
+        let group: Vec<ThreadId> = (0..n).map(tid).collect();
+        let mut states: Vec<XrrState> = (0..n).map(|_| XrrState::default()).collect();
+        let mut resolved: Vec<Option<ExceptionId>> = vec![None; n as usize];
+        let mut queue: Vec<(ThreadId, Message)> = Vec::new();
+        let (mut exc, mut susp, mut commit) = (0usize, 0usize, 0usize);
+        let mut invocations = 0u32;
+
+        // Raisers raise.
+        for &(who, name) in raises {
+            let e = Exception::new(name).with_origin(tid(who));
+            let c = ctx(who, &group, &g);
+            let a = states[who as usize].on_event(&c, ProtoEvent::LocalRaise(&e));
+            invocations += a.resolve_invocations;
+            if let Some(r) = a.resolved {
+                resolved[who as usize] = Some(r);
+            }
+            queue.extend(a.outbound);
+        }
+        // Relay until quiescent.
+        while let Some((to, msg)) = queue.pop() {
+            match msg.kind() {
+                caa_core::MessageKind::Exception => exc += 1,
+                caa_core::MessageKind::Suspended => susp += 1,
+                caa_core::MessageKind::Commit => commit += 1,
+                _ => {}
+            }
+            let idx = to.index();
+            let c = ctx(to.as_u32(), &group, &g);
+            // First delivery of an exception to a normal thread suspends it
+            // (the runtime driver issues LocalSuspend on the trigger).
+            let is_trigger = matches!(msg, Message::Exception { .. })
+                && states[idx].participant_state() == ParticipantState::Normal
+                && !raises.iter().any(|&(who, _)| who == to.as_u32());
+            let a = states[idx].on_event(&c, ProtoEvent::Control(&msg));
+            invocations += a.resolve_invocations;
+            if let Some(r) = a.resolved {
+                resolved[idx] = Some(r);
+            }
+            queue.extend(a.outbound);
+            if is_trigger {
+                let a = states[idx].on_event(&c, ProtoEvent::LocalSuspend);
+                invocations += a.resolve_invocations;
+                if let Some(r) = a.resolved {
+                    resolved[idx] = Some(r);
+                }
+                queue.extend(a.outbound);
+            }
+        }
+        let all: Vec<ExceptionId> = resolved
+            .into_iter()
+            .map(|r| r.expect("every thread must resolve"))
+            .collect();
+        (all, exc, susp, commit, invocations)
+    }
+
+    #[test]
+    fn single_exception_single_thread_group() {
+        let g = graph();
+        let group = [tid(0)];
+        let mut s = XrrState::default();
+        let c = ctx(0, &group, &g);
+        let e = Exception::new("e1");
+        let a = s.on_event(&c, ProtoEvent::LocalRaise(&e));
+        assert_eq!(a.resolved, Some(ExceptionId::new("e1")));
+        assert!(a.outbound.is_empty(), "no peers, no messages");
+        assert_eq!(a.resolve_invocations, 1);
+    }
+
+    #[test]
+    fn one_exception_three_threads_message_count() {
+        // §3.3.3 case 1: one exception, no nesting: (N+1)(N-1) messages =
+        // (N-1) Exception + (N-1)^2 Suspended + (N-1) Commit.
+        let n = 3;
+        let (resolved, exc, susp, commit, inv) = run_to_completion(n, &[(0, "e1")]);
+        assert!(resolved.iter().all(|r| r == &ExceptionId::new("e1")));
+        assert_eq!(exc, (n as usize) - 1);
+        assert_eq!(susp, ((n as usize) - 1) * ((n as usize) - 1));
+        assert_eq!(commit, (n as usize) - 1);
+        assert_eq!(exc + susp + commit, ((n as usize) + 1) * ((n as usize) - 1));
+        assert_eq!(inv, 1, "resolution runs exactly once");
+    }
+
+    #[test]
+    fn all_raise_three_threads_message_count() {
+        // §3.3.3 case 2: all N raise: N(N-1) Exceptions + (N-1) Commits.
+        let n = 3usize;
+        let (resolved, exc, susp, commit, inv) =
+            run_to_completion(n as u32, &[(0, "e1"), (1, "e2"), (2, "e1")]);
+        assert_eq!(exc, n * (n - 1));
+        assert_eq!(susp, 0);
+        assert_eq!(commit, n - 1);
+        assert_eq!(exc + susp + commit, (n + 1) * (n - 1));
+        assert_eq!(inv, 1);
+        // e1 and e2 concurrently resolve to their covering exception.
+        assert!(resolved.iter().all(|r| r == &ExceptionId::new("e1∩e2")));
+    }
+
+    #[test]
+    fn resolver_is_highest_id_exceptional_thread() {
+        let g = graph();
+        let group: Vec<ThreadId> = (0..3).map(tid).collect();
+        // T0 raises; T2 suspends; T1 raises. Resolver must be T1? No: both
+        // T0 and T1 are exceptional, T1 > T0, and T2 is only suspended, so
+        // T1 resolves even though T2 has a bigger id.
+        let mut t1 = XrrState::default();
+        let c1 = ctx(1, &group, &g);
+        let e0 = Exception::new("e1").with_origin(tid(0));
+        let e1 = Exception::new("e2").with_origin(tid(1));
+        t1.on_event(&c1, ProtoEvent::LocalRaise(&e1));
+        t1.on_event(
+            &c1,
+            ProtoEvent::Control(&Message::Exception {
+                action: c1.action,
+                from: tid(0),
+                exception: e0,
+            }),
+        );
+        let a = t1.on_event(
+            &c1,
+            ProtoEvent::Control(&Message::Suspended {
+                action: c1.action,
+                from: tid(2),
+            }),
+        );
+        assert_eq!(a.resolved, Some(ExceptionId::new("e1∩e2")));
+        assert_eq!(
+            a.outbound.len(),
+            2,
+            "commit goes to both other participants"
+        );
+        assert!(a
+            .outbound
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Commit { .. })));
+    }
+
+    #[test]
+    fn non_resolver_waits_for_commit() {
+        let g = graph();
+        let group: Vec<ThreadId> = (0..2).map(tid).collect();
+        let mut t0 = XrrState::default();
+        let c0 = ctx(0, &group, &g);
+        let e0 = Exception::new("e1").with_origin(tid(0));
+        let e1 = Exception::new("e2").with_origin(tid(1));
+        t0.on_event(&c0, ProtoEvent::LocalRaise(&e0));
+        // T0 has all entries but T1 > T0 is exceptional too: T0 must wait.
+        let a = t0.on_event(
+            &c0,
+            ProtoEvent::Control(&Message::Exception {
+                action: c0.action,
+                from: tid(1),
+                exception: e1,
+            }),
+        );
+        assert!(a.resolved.is_none());
+        assert_eq!(a.resolve_invocations, 0);
+        // The commit arrives.
+        let a = t0.on_event(
+            &c0,
+            ProtoEvent::Control(&Message::Commit {
+                action: c0.action,
+                from: tid(1),
+                resolved: ExceptionId::new("e1∩e2"),
+            }),
+        );
+        assert_eq!(a.resolved, Some(ExceptionId::new("e1∩e2")));
+    }
+
+    #[test]
+    fn suspended_never_overwrites_exception() {
+        let g = graph();
+        let group: Vec<ThreadId> = (0..2).map(tid).collect();
+        let mut t1 = XrrState::default();
+        let c1 = ctx(1, &group, &g);
+        let e0 = Exception::new("e1").with_origin(tid(0));
+        t1.on_event(&c1, ProtoEvent::LocalRaise(&Exception::new("e2")));
+        t1.on_event(
+            &c1,
+            ProtoEvent::Control(&Message::Exception {
+                action: c1.action,
+                from: tid(0),
+                exception: e0,
+            }),
+        );
+        // A stray Suspended from T0 (e.g. protocol race) must not erase e1.
+        let a = t1.on_event(
+            &c1,
+            ProtoEvent::Control(&Message::Suspended {
+                action: c1.action,
+                from: tid(0),
+            }),
+        );
+        // Resolution already happened on the second event; entries intact.
+        assert!(
+            a.resolved.is_some() || t1.resolved.is_some(),
+            "resolution must have completed with both exceptions known"
+        );
+        assert_eq!(t1.resolved, Some(ExceptionId::new("e1∩e2")));
+    }
+
+    #[test]
+    fn duplicate_suspend_event_is_idempotent() {
+        let g = graph();
+        let group: Vec<ThreadId> = (0..3).map(tid).collect();
+        let mut t2 = XrrState::default();
+        let c2 = ctx(2, &group, &g);
+        let a1 = t2.on_event(&c2, ProtoEvent::LocalSuspend);
+        assert_eq!(a1.outbound.len(), 2);
+        let a2 = t2.on_event(&c2, ProtoEvent::LocalSuspend);
+        assert!(a2.outbound.is_empty(), "suspend broadcast happens once");
+        assert_eq!(t2.participant_state(), ParticipantState::Suspended);
+    }
+
+    #[test]
+    fn protocol_reports_name() {
+        assert_eq!(XrrResolution.name(), "xrr98");
+        let _state = XrrResolution.new_state();
+    }
+
+    #[test]
+    fn shareable_across_threads() {
+        fn assert_traits<T: Send + Sync>(_: &T) {}
+        let p: std::sync::Arc<dyn ResolutionProtocol> = std::sync::Arc::new(XrrResolution);
+        assert_traits(&p);
+    }
+}

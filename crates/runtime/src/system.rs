@@ -1,0 +1,330 @@
+//! The distributed CA-action system: participating threads, the simulated
+//! network beneath them, and run-wide statistics.
+//!
+//! §5.1: "For a given CA action, each participating thread is located in its
+//! own node (or partition) … Every partition has a copy of the run-time
+//! system, including the subsystems for concurrent exception handling and
+//! resolution." [`System::spawn`] creates exactly that: one OS thread per
+//! participant, bound 1:1 to a network partition, with the recovery driver
+//! (see [`crate::context`]) as its partition executive.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use caa_core::ids::ThreadId;
+use caa_core::message::Message;
+use caa_core::time::{VirtualDuration, VirtualInstant};
+use caa_simnet::{
+    ClockMode, FaultPlan, LatencyModel, NetConfig, NetStats, Network,
+};
+use parking_lot::Mutex;
+
+use crate::context::Ctx;
+use crate::error::{RuntimeError, Step, Unwind};
+use crate::protocol::{ResolutionProtocol, XrrResolution};
+
+/// Run-wide counters maintained by the recovery driver.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RuntimeStats {
+    /// Completed coordinated recoveries (one per participant per action
+    /// recovery).
+    pub recoveries: u64,
+    /// Exceptions raised by roles (including abortion-handler exceptions).
+    pub exceptions_raised: u64,
+    /// Invocations of the resolution procedure (graph search). The paper's
+    /// algorithm performs exactly one per recovery; the Campbell–Randell
+    /// baseline performs `N(N−1)(N−2)` (§5.3).
+    pub resolutions_invoked: u64,
+    /// Nested actions aborted by enclosing-level recovery.
+    pub aborts: u64,
+    /// Undo rounds executed by the signalling algorithm (§3.4 case 2).
+    pub undo_rounds: u64,
+    /// Corrupted messages absorbed outside the signalling window.
+    pub corrupted_ignored: u64,
+}
+
+/// State shared between all participants of one [`System`].
+pub(crate) struct SystemShared {
+    pub(crate) protocol: Arc<dyn ResolutionProtocol>,
+    /// The paper's `Treso`: virtual time charged per invocation of the
+    /// resolution procedure.
+    pub(crate) resolution_delay: VirtualDuration,
+    pub(crate) stats: Mutex<RuntimeStats>,
+}
+
+/// A distributed object system hosting CA actions.
+///
+/// # Examples
+///
+/// ```
+/// use caa_runtime::{ActionDef, System};
+/// use caa_core::outcome::ActionOutcome;
+/// use caa_core::time::secs;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sys = System::builder().build();
+/// let action = ActionDef::builder("hello")
+///     .role("solo", 0u32)
+///     .build()?;
+///
+/// sys.spawn("T0", move |ctx| {
+///     let outcome = ctx.enter(&action, "solo", |rc| rc.work(secs(1.0)))?;
+///     assert_eq!(outcome, ActionOutcome::Success);
+///     Ok(())
+/// });
+/// let report = sys.run();
+/// assert!(report.is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub struct System {
+    net: Network<Message>,
+    shared: Arc<SystemShared>,
+    threads: Vec<(String, JoinHandle<Result<(), RuntimeError>>)>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("threads", &self.threads.len())
+            .field("protocol", &self.shared.protocol.name())
+            .finish()
+    }
+}
+
+impl System {
+    /// Starts configuring a system.
+    #[must_use]
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// The underlying network (message counters, current virtual time).
+    #[must_use]
+    pub fn network(&self) -> &Network<Message> {
+        &self.net
+    }
+
+    /// Snapshot of the runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Spawns a participating thread. Thread ids are assigned in spawn
+    /// order starting from 0 — bind action roles accordingly.
+    ///
+    /// The body runs on its own OS thread with a dedicated network
+    /// partition; it typically enters one or more CA actions and propagates
+    /// [`Flow`](crate::Flow) with `?`.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) -> Step + Send + 'static,
+    ) -> ThreadId {
+        let name = name.into();
+        let endpoint = self.net.endpoint(name.clone());
+        let me = ThreadId::new(endpoint.id().as_u32());
+        let shared = Arc::clone(&self.shared);
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                let mut ctx = Ctx::new(me, thread_name, endpoint, shared);
+                let result = body(&mut ctx);
+                ctx.shutdown();
+                match result {
+                    Ok(()) => Ok(()),
+                    Err(flow) => match flow.unwind {
+                        Unwind::Fatal(e) => Err(e),
+                        other => Err(RuntimeError::Protocol(format!(
+                            "control flow unwound to the thread top level: {other:?}"
+                        ))),
+                    },
+                }
+            })
+            .expect("spawning an OS thread");
+        self.threads.push((name, handle));
+        me
+    }
+
+    /// Waits for every participating thread and collects the run's results
+    /// and statistics.
+    #[must_use]
+    pub fn run(self) -> SystemReport {
+        let mut results = Vec::with_capacity(self.threads.len());
+        for (name, handle) in self.threads {
+            let result = match handle.join() {
+                Ok(r) => r,
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(RuntimeError::Protocol(format!("thread panicked: {msg}")))
+                }
+            };
+            results.push((name, result));
+        }
+        SystemReport {
+            elapsed: self.net.now().duration_since(VirtualInstant::EPOCH),
+            net_stats: self.net.stats(),
+            runtime_stats: self.shared.stats.lock().clone(),
+            results,
+        }
+    }
+}
+
+/// Outcome of a whole system run.
+#[derive(Debug)]
+pub struct SystemReport {
+    /// Per-thread results in spawn order.
+    pub results: Vec<(String, Result<(), RuntimeError>)>,
+    /// Message counters from the network.
+    pub net_stats: NetStats,
+    /// Runtime counters.
+    pub runtime_stats: RuntimeStats,
+    /// Total (virtual) execution time.
+    pub elapsed: VirtualDuration,
+}
+
+impl SystemReport {
+    /// Whether every thread completed without a fatal error.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.results.iter().all(|(_, r)| r.is_ok())
+    }
+
+    /// Panics with a readable summary if any thread failed.
+    ///
+    /// # Panics
+    ///
+    /// When any thread returned an error.
+    pub fn expect_ok(&self) {
+        for (name, result) in &self.results {
+            if let Err(e) = result {
+                panic!("thread {name} failed: {e}");
+            }
+        }
+    }
+
+    /// Total execution time in seconds, the unit of the paper's tables.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Builder for [`System`] ([C-BUILDER]).
+pub struct SystemBuilder {
+    mode: ClockMode,
+    latency: LatencyModel,
+    seed: u64,
+    ack_timeout: Option<VirtualDuration>,
+    faults: FaultPlan,
+    resolution_delay: VirtualDuration,
+    protocol: Arc<dyn ResolutionProtocol>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            mode: ClockMode::Virtual,
+            latency: LatencyModel::default(),
+            seed: 0,
+            ack_timeout: None,
+            faults: FaultPlan::new(),
+            resolution_delay: VirtualDuration::ZERO,
+            protocol: Arc::new(XrrResolution),
+        }
+    }
+}
+
+impl fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("mode", &self.mode)
+            .field("latency", &self.latency)
+            .field("seed", &self.seed)
+            .field("protocol", &self.protocol.name())
+            .finish()
+    }
+}
+
+impl SystemBuilder {
+    /// Virtual (default) or real time.
+    #[must_use]
+    pub fn clock(mut self, mode: ClockMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Message latency model — the paper's `Tmmax` lives here.
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Seed for deterministic latency sampling.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Acknowledgment timeout for the retransmission model (the >1 s knee
+    /// of Figure 10).
+    #[must_use]
+    pub fn ack_timeout(mut self, timeout: VirtualDuration) -> Self {
+        self.ack_timeout = Some(timeout);
+        self
+    }
+
+    /// Message losses and corruptions to inject.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The paper's `Treso`: virtual time charged per invocation of the
+    /// resolution procedure.
+    #[must_use]
+    pub fn resolution_delay(mut self, delay: VirtualDuration) -> Self {
+        self.resolution_delay = delay;
+        self
+    }
+
+    /// The resolution protocol (default: the paper's algorithm,
+    /// [`XrrResolution`]).
+    #[must_use]
+    pub fn protocol(mut self, protocol: Arc<dyn ResolutionProtocol>) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Builds the system.
+    #[must_use]
+    pub fn build(self) -> System {
+        let net = Network::new(NetConfig {
+            mode: self.mode,
+            latency: self.latency,
+            seed: self.seed,
+            ack_timeout: self.ack_timeout,
+            faults: self.faults,
+        });
+        System {
+            net,
+            shared: Arc::new(SystemShared {
+                protocol: self.protocol,
+                resolution_delay: self.resolution_delay,
+                stats: Mutex::new(RuntimeStats::default()),
+            }),
+            threads: Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Fault injection for the simulated network.
+//!
+//! §3.4 extends the signalling algorithm to node/link faults: "the corrupted
+//! message or lost message can be simply treated as a failure exception".
+//! A [`FaultPlan`] describes which messages to lose or corrupt so tests can
+//! drive exactly that path.
+
+use caa_core::ids::PartitionId;
+
+/// Matcher for messages a fault should affect.
+///
+/// All criteria are optional; an empty spec matches every message. `skip`
+/// lets the fault begin after some matching traffic; `count` bounds how many
+/// messages are affected.
+///
+/// # Examples
+///
+/// ```
+/// use caa_simnet::FaultSpec;
+/// use caa_core::ids::PartitionId;
+///
+/// // Lose the first Commit sent from node 0 to node 2.
+/// let spec = FaultSpec::link(PartitionId::new(0), PartitionId::new(2))
+///     .class("Commit")
+///     .count(1);
+/// assert_eq!(spec.remaining(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    src: Option<PartitionId>,
+    dst: Option<PartitionId>,
+    class: Option<&'static str>,
+    skip: u64,
+    count: u64,
+}
+
+impl FaultSpec {
+    /// Matches every message (until narrowed).
+    #[must_use]
+    pub fn any() -> Self {
+        FaultSpec {
+            src: None,
+            dst: None,
+            class: None,
+            skip: 0,
+            count: u64::MAX,
+        }
+    }
+
+    /// Matches messages on the directed link `src → dst`.
+    #[must_use]
+    pub fn link(src: PartitionId, dst: PartitionId) -> Self {
+        FaultSpec {
+            src: Some(src),
+            dst: Some(dst),
+            ..FaultSpec::any()
+        }
+    }
+
+    /// Matches messages sent by `src` to anyone.
+    #[must_use]
+    pub fn from(src: PartitionId) -> Self {
+        FaultSpec {
+            src: Some(src),
+            ..FaultSpec::any()
+        }
+    }
+
+    /// Matches messages delivered to `dst` from anyone.
+    #[must_use]
+    pub fn to(dst: PartitionId) -> Self {
+        FaultSpec {
+            dst: Some(dst),
+            ..FaultSpec::any()
+        }
+    }
+
+    /// Restricts the match to one message class (see
+    /// [`Classify`](crate::Classify)).
+    #[must_use]
+    pub fn class(mut self, class: &'static str) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Skips the first `n` matching messages before taking effect.
+    #[must_use]
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Affects at most `n` matching messages (default: unbounded).
+    #[must_use]
+    pub fn count(mut self, n: u64) -> Self {
+        self.count = n;
+        self
+    }
+
+    /// How many more messages this spec will affect.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.count
+    }
+
+    fn matches(&self, src: PartitionId, dst: PartitionId, class: &'static str) -> bool {
+        self.src.map_or(true, |s| s == src)
+            && self.dst.map_or(true, |d| d == dst)
+            && self.class.map_or(true, |c| c == class)
+    }
+
+    /// Consumes one match: returns true if the fault fires for this message.
+    fn fire(&mut self, src: PartitionId, dst: PartitionId, class: &'static str) -> bool {
+        if self.count == 0 || !self.matches(src, dst, class) {
+            return false;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return false;
+        }
+        self.count -= 1;
+        true
+    }
+}
+
+/// A schedule of message losses and corruptions applied by the network.
+///
+/// # Examples
+///
+/// ```
+/// use caa_simnet::{FaultPlan, FaultSpec};
+/// use caa_core::ids::PartitionId;
+///
+/// let plan = FaultPlan::new()
+///     .lose(FaultSpec::from(PartitionId::new(1)).count(1))
+///     .corrupt(FaultSpec::any().class("toBeSignalled").count(2));
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    losses: Vec<FaultSpec>,
+    corruptions: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a message-loss rule.
+    #[must_use]
+    pub fn lose(mut self, spec: FaultSpec) -> Self {
+        self.losses.push(spec);
+        self
+    }
+
+    /// Adds a message-corruption rule.
+    #[must_use]
+    pub fn corrupt(mut self, spec: FaultSpec) -> Self {
+        self.corruptions.push(spec);
+        self
+    }
+
+    /// Whether the plan contains any rule.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty() && self.corruptions.is_empty()
+    }
+
+    /// Decides whether the given message is lost. Mutates rule budgets.
+    pub(crate) fn should_lose(
+        &mut self,
+        src: PartitionId,
+        dst: PartitionId,
+        class: &'static str,
+    ) -> bool {
+        self.losses.iter_mut().any(|r| r.fire(src, dst, class))
+    }
+
+    /// Decides whether the given message is corrupted. Mutates rule budgets.
+    pub(crate) fn should_corrupt(
+        &mut self,
+        src: PartitionId,
+        dst: PartitionId,
+        class: &'static str,
+    ) -> bool {
+        self.corruptions.iter_mut().any(|r| r.fire(src, dst, class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: PartitionId = PartitionId::new(0);
+    const B: PartitionId = PartitionId::new(1);
+    const C: PartitionId = PartitionId::new(2);
+
+    #[test]
+    fn any_matches_everything_until_budget_exhausted() {
+        let mut plan = FaultPlan::new().lose(FaultSpec::any().count(2));
+        assert!(plan.should_lose(A, B, "x"));
+        assert!(plan.should_lose(B, C, "y"));
+        assert!(!plan.should_lose(A, C, "x"));
+    }
+
+    #[test]
+    fn link_and_class_filters_apply() {
+        let mut plan = FaultPlan::new().lose(FaultSpec::link(A, B).class("Commit"));
+        assert!(!plan.should_lose(A, C, "Commit"));
+        assert!(!plan.should_lose(A, B, "Exception"));
+        assert!(plan.should_lose(A, B, "Commit"));
+    }
+
+    #[test]
+    fn skip_delays_the_fault() {
+        let mut plan = FaultPlan::new().lose(FaultSpec::from(A).skip(2).count(1));
+        assert!(!plan.should_lose(A, B, "m"));
+        assert!(!plan.should_lose(A, B, "m"));
+        assert!(plan.should_lose(A, B, "m"));
+        assert!(!plan.should_lose(A, B, "m"));
+    }
+
+    #[test]
+    fn corruption_is_independent_of_loss() {
+        let mut plan = FaultPlan::new()
+            .lose(FaultSpec::to(B).count(1))
+            .corrupt(FaultSpec::to(C).count(1));
+        assert!(plan.should_lose(A, B, "m"));
+        assert!(!plan.should_corrupt(A, B, "m"));
+        assert!(plan.should_corrupt(A, C, "m"));
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.should_lose(A, B, "m"));
+        assert!(!plan.should_corrupt(A, B, "m"));
+    }
+}

@@ -1,0 +1,1016 @@
+//! The simulated message-passing network and its virtual-time scheduler.
+//!
+//! The paper's prototype runs each participating thread in its own Ada 95
+//! partition on top of "a simple, and hence portable, subsystem for message
+//! passing … messages are first kept in the cyclic buffer of the receiver
+//! and then processed afterwards" (§5.1). [`Network`] reproduces that
+//! substrate in-process:
+//!
+//! * each participant registers an [`Endpoint`] (one per partition);
+//! * sends are asynchronous; per-link delivery is FIFO (Assumption 2) and
+//!   reliable unless a [`FaultPlan`] injects losses or corruption;
+//! * latencies come from a deterministic [`LatencyModel`], optionally
+//!   inflated by the acknowledgment-timeout retransmission model;
+//! * in [`ClockMode::Virtual`] the network doubles as a conservative
+//!   virtual-time scheduler: virtual time advances only when every live
+//!   endpoint is blocked, directly to the earliest wake-up point. A global
+//!   block with no wake-up point is a genuine deadlock and is reported as
+//!   [`SimError::Deadlock`] to every participant — the property Theorem 1
+//!   says the resolution algorithm never triggers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use caa_core::ids::PartitionId;
+use caa_core::time::{VirtualDuration, VirtualInstant};
+use parking_lot::{Condvar, Mutex};
+
+use crate::fault::FaultPlan;
+use crate::latency::{effective_latency, LatencyModel};
+use crate::stats::{Classify, NetStats};
+
+/// How the network experiences time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Virtual time: delays are simulated; wall-clock speed is limited only
+    /// by the host CPU. Deterministic given a seed and a deterministic
+    /// application.
+    #[default]
+    Virtual,
+    /// Real time: `sleep` and latencies consume wall-clock time. Used by
+    /// smoke tests to demonstrate the protocols do not depend on the
+    /// virtual-time machinery.
+    Real,
+}
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NetConfig {
+    /// Virtual or real time.
+    pub mode: ClockMode,
+    /// Per-message latency model (the paper's `Tmmax` lives here).
+    pub latency: LatencyModel,
+    /// Seed for deterministic latency sampling.
+    pub seed: u64,
+    /// Acknowledgment timeout; latencies beyond it trigger retransmissions
+    /// (models the >1 s knee of Figure 10). `None` disables the model.
+    pub ack_timeout: Option<VirtualDuration>,
+    /// Scheduled message losses and corruptions.
+    pub faults: FaultPlan,
+}
+
+/// Why a blocking network operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Every live endpoint is blocked with no pending wake-up: the system
+    /// can never make progress again. Only possible in
+    /// [`ClockMode::Virtual`].
+    Deadlock(DeadlockInfo),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(info) => write!(f, "simulation deadlock: {info}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Diagnostic snapshot taken when a deadlock is detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockInfo {
+    /// Virtual time at which the deadlock occurred.
+    pub at: VirtualInstant,
+    /// The blocked endpoints: `(name, what they were blocked on)`.
+    pub blocked: Vec<(String, &'static str)>,
+}
+
+impl fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}, all endpoints blocked:", self.at)?;
+        for (name, kind) in &self.blocked {
+            write!(f, " {name}({kind})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A message as delivered to a receiver.
+#[derive(Debug)]
+pub struct Received<M> {
+    /// The sending partition.
+    pub src: PartitionId,
+    /// When the message was sent.
+    pub sent_at: VirtualInstant,
+    /// When the message became available to the receiver.
+    pub delivered_at: VirtualInstant,
+    /// The payload, or `None` if fault injection corrupted the message in
+    /// transit (§3.4 treats corrupted messages as the failure exception).
+    pub msg: Option<M>,
+}
+
+impl<M> Received<M> {
+    /// Whether the message was corrupted in transit.
+    #[must_use]
+    pub fn is_corrupted(&self) -> bool {
+        self.msg.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Recv,
+    Sleep,
+}
+
+impl BlockKind {
+    fn label(self) -> &'static str {
+        match self {
+            BlockKind::Recv => "recv",
+            BlockKind::Sleep => "sleep",
+        }
+    }
+}
+
+struct ActorSlot {
+    name: String,
+    alive: bool,
+    running: bool,
+    blocked_on: BlockKind,
+    wake_at: Option<VirtualInstant>,
+}
+
+struct Envelope<M> {
+    deliver_at: VirtualInstant,
+    src: PartitionId,
+    seq: u64,
+    sent_at: VirtualInstant,
+    msg: Option<M>,
+}
+
+impl<M> Envelope<M> {
+    fn key(&self) -> (VirtualInstant, u32, u64) {
+        (self.deliver_at, self.src.as_u32(), self.seq)
+    }
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for Envelope<M> {}
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[derive(Default)]
+struct LinkState {
+    seq: u64,
+    last_delivery: VirtualInstant,
+}
+
+struct Inner<M> {
+    now: VirtualInstant,
+    actors: Vec<ActorSlot>,
+    queues: Vec<BinaryHeap<Reverse<Envelope<M>>>>,
+    links: HashMap<(u32, u32), LinkState>,
+    stats: NetStats,
+    faults: FaultPlan,
+    deadlocked: Option<DeadlockInfo>,
+}
+
+struct Shared<M> {
+    state: Mutex<Inner<M>>,
+    cv: Condvar,
+    mode: ClockMode,
+    latency: LatencyModel,
+    seed: u64,
+    ack_timeout: Option<VirtualDuration>,
+    start: std::time::Instant,
+}
+
+/// The simulated network (and, in virtual mode, the time scheduler).
+///
+/// Cheap to clone; all clones share state.
+///
+/// # Examples
+///
+/// ```
+/// use caa_simnet::{Network, NetConfig, Classify};
+/// use caa_core::time::secs;
+///
+/// #[derive(Debug)]
+/// struct Ping(u32);
+/// impl Classify for Ping {
+///     fn class(&self) -> &'static str { "Ping" }
+/// }
+///
+/// let net: Network<Ping> = Network::new(NetConfig::default());
+/// let a = net.endpoint("a");
+/// let mut b = net.endpoint("b");
+/// let b_id = b.id();
+///
+/// let handle = std::thread::spawn(move || {
+///     let got = b.recv().expect("no deadlock");
+///     got.msg.expect("not corrupted").0
+/// });
+/// a.send(b_id, Ping(7));
+/// a.retire();
+/// assert_eq!(handle.join().unwrap(), 7);
+/// # assert_eq!(net.stats().sent("Ping"), 1);
+/// ```
+pub struct Network<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.shared.state.lock();
+        f.debug_struct("Network")
+            .field("mode", &self.shared.mode)
+            .field("now", &inner.now)
+            .field("endpoints", &inner.actors.len())
+            .finish()
+    }
+}
+
+impl<M: Send + Classify> Network<M> {
+    /// Creates a network with the given configuration.
+    #[must_use]
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            shared: Arc::new(Shared {
+                state: Mutex::new(Inner {
+                    now: VirtualInstant::EPOCH,
+                    actors: Vec::new(),
+                    queues: Vec::new(),
+                    links: HashMap::new(),
+                    stats: NetStats::default(),
+                    faults: config.faults,
+                    deadlocked: None,
+                }),
+                cv: Condvar::new(),
+                mode: config.mode,
+                latency: config.latency,
+                seed: config.seed,
+                ack_timeout: config.ack_timeout,
+                start: std::time::Instant::now(),
+            }),
+        }
+    }
+
+    /// Registers a new endpoint (one partition / participating thread).
+    ///
+    /// The endpoint is counted as *running* from this moment, so register it
+    /// before handing it to its thread — otherwise virtual time may advance
+    /// past events the thread would have handled.
+    pub fn endpoint(&self, name: impl Into<String>) -> Endpoint<M> {
+        let mut inner = self.shared.state.lock();
+        let id = PartitionId::new(u32::try_from(inner.actors.len()).expect("fewer than 2^32 endpoints"));
+        inner.actors.push(ActorSlot {
+            name: name.into(),
+            alive: true,
+            running: true,
+            blocked_on: BlockKind::Recv,
+            wake_at: None,
+        });
+        inner.queues.push(BinaryHeap::new());
+        Endpoint {
+            net: self.clone(),
+            id,
+            retired: false,
+        }
+    }
+
+    /// Current time (virtual, or wall-clock since creation in real mode).
+    #[must_use]
+    pub fn now(&self) -> VirtualInstant {
+        match self.shared.mode {
+            ClockMode::Virtual => self.shared.state.lock().now,
+            ClockMode::Real => self.real_now(),
+        }
+    }
+
+    /// Snapshot of the message counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.shared.state.lock().stats.clone()
+    }
+
+    fn real_now(&self) -> VirtualInstant {
+        let nanos = self.shared.start.elapsed().as_nanos();
+        VirtualInstant::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+
+    fn now_locked(&self, inner: &Inner<M>) -> VirtualInstant {
+        match self.shared.mode {
+            ClockMode::Virtual => inner.now,
+            ClockMode::Real => self.real_now(),
+        }
+    }
+
+    fn send_from(&self, src: PartitionId, dst: PartitionId, msg: M) {
+        let class = msg.class();
+        let mut inner = self.shared.state.lock();
+        let now = self.now_locked(&inner);
+
+        if inner.faults.should_lose(src, dst, class) {
+            inner.stats.record_dropped(class);
+            return;
+        }
+        let corrupted = inner.faults.should_corrupt(src, dst, class);
+
+        let link = inner.links.entry((src.as_u32(), dst.as_u32())).or_default();
+        let seq = link.seq;
+        link.seq += 1;
+
+        let raw = self.shared.latency.sample(self.shared.seed, src, dst, seq);
+        let eff = effective_latency(raw, self.shared.ack_timeout);
+        let mut deliver_at = now.saturating_add(eff);
+        // Per-link FIFO (Assumption 2): never deliver before an earlier
+        // message on the same link.
+        if deliver_at <= link.last_delivery {
+            deliver_at = link.last_delivery.saturating_add(VirtualDuration::from_nanos(1));
+        }
+        link.last_delivery = deliver_at;
+
+        inner.stats.record_sent(class);
+        if corrupted {
+            inner.stats.record_corrupted(class);
+        }
+        if eff > raw && !raw.is_zero() {
+            inner
+                .stats
+                .record_retransmissions(eff.as_nanos().saturating_sub(raw.as_nanos()) / raw.as_nanos().max(1));
+        }
+
+        let di = dst.index();
+        if di >= inner.queues.len() || !inner.actors[di].alive {
+            // Destination unknown or retired: the message is silently lost,
+            // like a datagram to a dead host.
+            return;
+        }
+        inner.queues[di].push(Reverse(Envelope {
+            deliver_at,
+            src,
+            seq,
+            sent_at: now,
+            msg: (!corrupted).then_some(msg),
+        }));
+        // If the destination is blocked waiting for messages, ensure the
+        // scheduler knows when it becomes wakeable.
+        let slot = &mut inner.actors[di];
+        if !slot.running && slot.blocked_on == BlockKind::Recv {
+            slot.wake_at = Some(match slot.wake_at {
+                Some(existing) => existing.min(deliver_at),
+                None => deliver_at,
+            });
+        }
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+
+    /// Core blocking primitive.
+    ///
+    /// Re-evaluates `pred` under the lock whenever woken; while blocked,
+    /// `wake_hint` tells the scheduler the earliest instant at which `pred`
+    /// could become true (None = only a message or retirement can help).
+    fn block_until<T>(
+        &self,
+        id: PartitionId,
+        kind: BlockKind,
+        mut pred: impl FnMut(&mut Inner<M>, VirtualInstant) -> Option<T>,
+        mut wake_hint: impl FnMut(&Inner<M>, VirtualInstant) -> Option<VirtualInstant>,
+    ) -> Result<T, SimError> {
+        let mut inner = self.shared.state.lock();
+        loop {
+            if let Some(info) = &inner.deadlocked {
+                return Err(SimError::Deadlock(info.clone()));
+            }
+            let now = self.now_locked(&inner);
+            if let Some(v) = pred(&mut inner, now) {
+                inner.actors[id.index()].running = true;
+                return Ok(v);
+            }
+            let hint = wake_hint(&inner, now);
+            {
+                let slot = &mut inner.actors[id.index()];
+                slot.running = false;
+                slot.blocked_on = kind;
+                slot.wake_at = hint;
+            }
+            match self.shared.mode {
+                ClockMode::Virtual => {
+                    // If our own blocking triggered an advance (or deadlock
+                    // detection), the notification fired before we could
+                    // wait — re-evaluate instead of waiting for it.
+                    let changed = self.maybe_advance(&mut inner);
+                    if !changed && inner.deadlocked.is_none() {
+                        self.shared.cv.wait(&mut inner);
+                    }
+                }
+                ClockMode::Real => match hint {
+                    Some(t) => {
+                        let dur: std::time::Duration = t.duration_since(self.real_now()).into();
+                        let _ = self.shared.cv.wait_for(&mut inner, dur);
+                    }
+                    None => self.shared.cv.wait(&mut inner),
+                },
+            }
+        }
+    }
+
+    /// Advances virtual time if every live endpoint is blocked; detects
+    /// deadlock if none of them has a wake-up point. Returns whether it
+    /// changed the world (advanced time or declared deadlock), so the
+    /// calling blocker can re-evaluate instead of missing its own wake-up.
+    fn maybe_advance(&self, inner: &mut Inner<M>) -> bool {
+        debug_assert_eq!(self.shared.mode, ClockMode::Virtual);
+        if inner.deadlocked.is_some() {
+            return false;
+        }
+        let live = inner.actors.iter().filter(|a| a.alive);
+        let mut min_wake: Option<VirtualInstant> = None;
+        for actor in live {
+            if actor.running {
+                return false; // someone can still make progress right now
+            }
+            if let Some(w) = actor.wake_at {
+                if w <= inner.now {
+                    return false; // already wakeable; it was notified
+                }
+                min_wake = Some(match min_wake {
+                    Some(m) => m.min(w),
+                    None => w,
+                });
+            }
+        }
+        match min_wake {
+            Some(t) => {
+                inner.now = t;
+                self.shared.cv.notify_all();
+                true
+            }
+            None => {
+                let any_live = inner.actors.iter().any(|a| a.alive);
+                if !any_live {
+                    return false; // everyone retired: nothing to schedule
+                }
+                let info = DeadlockInfo {
+                    at: inner.now,
+                    blocked: inner
+                        .actors
+                        .iter()
+                        .filter(|a| a.alive)
+                        .map(|a| (a.name.clone(), a.blocked_on.label()))
+                        .collect(),
+                };
+                inner.deadlocked = Some(info);
+                self.shared.cv.notify_all();
+                true
+            }
+        }
+    }
+
+    fn retire_actor(&self, id: PartitionId) {
+        let mut inner = self.shared.state.lock();
+        let slot = &mut inner.actors[id.index()];
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.running = false;
+        if self.shared.mode == ClockMode::Virtual {
+            self.maybe_advance(&mut inner);
+        }
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// One participant's connection to the [`Network`] — the paper's partition.
+///
+/// Sending is `&self`; receiving is `&mut self` (an endpoint has a single
+/// consumer: its owning thread). Dropping the endpoint retires it.
+pub struct Endpoint<M> {
+    net: Network<M>,
+    id: PartitionId,
+    retired: bool,
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("retired", &self.retired)
+            .finish()
+    }
+}
+
+impl<M: Send + Classify> Endpoint<M> {
+    /// This endpoint's partition id.
+    #[must_use]
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// The network this endpoint belongs to.
+    #[must_use]
+    pub fn network(&self) -> &Network<M> {
+        &self.net
+    }
+
+    /// Current (virtual) time.
+    #[must_use]
+    pub fn now(&self) -> VirtualInstant {
+        self.net.now()
+    }
+
+    /// Sends `msg` to `dst` asynchronously (fire and forget, like the
+    /// paper's "asynchronous remote procedure calls (without out
+    /// parameters)").
+    pub fn send(&self, dst: PartitionId, msg: M) {
+        self.net.send_from(self.id, dst, msg);
+    }
+
+    /// Receives the next message, blocking until one is deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the whole simulation can no longer make
+    /// progress (virtual mode only).
+    pub fn recv(&mut self) -> Result<Received<M>, SimError> {
+        let id = self.id;
+        self.net.block_until(
+            id,
+            BlockKind::Recv,
+            |inner, now| pop_ready(inner, id, now),
+            |inner, _| head_deliver_at(inner, id),
+        )
+    }
+
+    /// Receives the next message if one is already deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the simulation already deadlocked.
+    pub fn try_recv(&mut self) -> Result<Option<Received<M>>, SimError> {
+        let mut inner = self.net.shared.state.lock();
+        if let Some(info) = &inner.deadlocked {
+            return Err(SimError::Deadlock(info.clone()));
+        }
+        let now = self.net.now_locked(&inner);
+        Ok(pop_ready(&mut inner, self.id, now))
+    }
+
+    /// Receives the next message, waiting at most `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout — the hook the runtime uses to treat
+    /// lost messages as the failure exception (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the whole simulation can no longer make
+    /// progress.
+    pub fn recv_timeout(&mut self, timeout: VirtualDuration) -> Result<Option<Received<M>>, SimError> {
+        let id = self.id;
+        let deadline = self.net.now().saturating_add(timeout);
+        self.net.block_until(
+            id,
+            BlockKind::Recv,
+            |inner, now| match pop_ready(inner, id, now) {
+                Some(r) => Some(Some(r)),
+                None if now >= deadline => Some(None),
+                None => None,
+            },
+            |inner, _| match head_deliver_at(inner, id) {
+                Some(h) => Some(h.min(deadline)),
+                None => Some(deadline),
+            },
+        )
+    }
+
+    /// Sleeps for `dur` — models local computation taking virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the simulation deadlocked while sleeping.
+    pub fn sleep(&self, dur: VirtualDuration) -> Result<(), SimError> {
+        if dur.is_zero() {
+            return Ok(());
+        }
+        let id = self.id;
+        let deadline = self.net.now().saturating_add(dur);
+        self.net.block_until(
+            id,
+            BlockKind::Sleep,
+            |_, now| (now >= deadline).then_some(()),
+            |_, _| Some(deadline),
+        )
+    }
+
+    /// Retires the endpoint: the scheduler stops waiting for this
+    /// participant and undelivered messages to it are discarded.
+    pub fn retire(mut self) {
+        self.retired = true;
+        self.net.retire_actor(self.id);
+    }
+}
+
+impl<M> Drop for Endpoint<M> {
+    fn drop(&mut self) {
+        if !self.retired {
+            // Duplicate of retire() without the Classify bound.
+            let net = &self.net;
+            let mut inner = net.shared.state.lock();
+            let slot = &mut inner.actors[self.id.index()];
+            if slot.alive {
+                slot.alive = false;
+                slot.running = false;
+                if net.shared.mode == ClockMode::Virtual {
+                    // Inline maybe_advance without the Classify bound.
+                    advance_unbounded(net, &mut inner);
+                }
+            }
+            drop(inner);
+            net.shared.cv.notify_all();
+        }
+    }
+}
+
+/// `maybe_advance` logic callable without `M: Classify` (for Drop).
+fn advance_unbounded<M>(net: &Network<M>, inner: &mut Inner<M>) {
+    if inner.deadlocked.is_some() {
+        return;
+    }
+    let mut min_wake: Option<VirtualInstant> = None;
+    for actor in inner.actors.iter().filter(|a| a.alive) {
+        if actor.running {
+            return;
+        }
+        if let Some(w) = actor.wake_at {
+            if w <= inner.now {
+                return;
+            }
+            min_wake = Some(match min_wake {
+                Some(m) => m.min(w),
+                None => w,
+            });
+        }
+    }
+    match min_wake {
+        Some(t) => inner.now = t,
+        None => {
+            if inner.actors.iter().any(|a| a.alive) {
+                inner.deadlocked = Some(DeadlockInfo {
+                    at: inner.now,
+                    blocked: inner
+                        .actors
+                        .iter()
+                        .filter(|a| a.alive)
+                        .map(|a| (a.name.clone(), a.blocked_on.label()))
+                        .collect(),
+                });
+            }
+        }
+    }
+    net.shared.cv.notify_all();
+}
+
+fn pop_ready<M>(inner: &mut Inner<M>, id: PartitionId, now: VirtualInstant) -> Option<Received<M>> {
+    let queue = &mut inner.queues[id.index()];
+    if queue.peek().is_some_and(|Reverse(env)| env.deliver_at <= now) {
+        let Reverse(env) = queue.pop().expect("peeked");
+        Some(Received {
+            src: env.src,
+            sent_at: env.sent_at,
+            delivered_at: env.deliver_at,
+            msg: env.msg,
+        })
+    } else {
+        None
+    }
+}
+
+fn head_deliver_at<M>(inner: &Inner<M>, id: PartitionId) -> Option<VirtualInstant> {
+    inner.queues[id.index()].peek().map(|Reverse(env)| env.deliver_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caa_core::time::secs;
+    use std::thread;
+
+    #[derive(Debug, PartialEq)]
+    struct Msg(u64);
+    impl Classify for Msg {
+        fn class(&self) -> &'static str {
+            "Msg"
+        }
+    }
+
+    fn virtual_net(latency: LatencyModel) -> Network<Msg> {
+        Network::new(NetConfig {
+            mode: ClockMode::Virtual,
+            latency,
+            seed: 42,
+            ack_timeout: None,
+            faults: FaultPlan::new(),
+        })
+    }
+
+    #[test]
+    fn ping_pong_advances_virtual_time() {
+        let net = virtual_net(LatencyModel::Fixed(secs(0.5)));
+        let mut a = net.endpoint("a");
+        let mut b = net.endpoint("b");
+        let (a_id, b_id) = (a.id(), b.id());
+
+        let tb = thread::spawn(move || {
+            let got = b.recv().unwrap();
+            assert_eq!(got.msg.unwrap(), Msg(1));
+            b.send(a_id, Msg(2));
+            b.retire();
+            got.delivered_at
+        });
+        a.send(b_id, Msg(1));
+        let reply = a.recv().unwrap();
+        assert_eq!(reply.msg.unwrap(), Msg(2));
+        // Two half-second hops.
+        assert_eq!(reply.delivered_at, VirtualInstant::EPOCH + secs(1.0));
+        let t_b = tb.join().unwrap();
+        assert_eq!(t_b, VirtualInstant::EPOCH + secs(0.5));
+        a.retire();
+        assert_eq!(net.stats().sent("Msg"), 2);
+    }
+
+    #[test]
+    fn sleep_advances_time_without_busy_waiting() {
+        let net = virtual_net(LatencyModel::default());
+        let a = net.endpoint("a");
+        let wall = std::time::Instant::now();
+        a.sleep(secs(3600.0)).unwrap();
+        assert!(net.now() >= VirtualInstant::EPOCH + secs(3600.0));
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(5),
+            "an hour of virtual time must take well under 5 s of wall time"
+        );
+        a.retire();
+    }
+
+    #[test]
+    fn fifo_per_link_despite_random_latencies() {
+        let net = virtual_net(LatencyModel::UniformUpTo(secs(1.0)));
+        let a = net.endpoint("a");
+        let mut b = net.endpoint("b");
+        let b_id = b.id();
+        for i in 0..50 {
+            a.send(b_id, Msg(i));
+        }
+        a.retire();
+        let t = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..50 {
+                got.push(b.recv().unwrap().msg.unwrap().0);
+            }
+            b.retire();
+            got
+        });
+        let got = t.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "per-link FIFO violated");
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported_to_all() {
+        let net = virtual_net(LatencyModel::default());
+        let mut a = net.endpoint("alice");
+        let mut b = net.endpoint("bob");
+        // Both wait forever for messages nobody sends.
+        let ta = thread::spawn(move || a.recv());
+        let tb = thread::spawn(move || b.recv());
+        let ra = ta.join().unwrap();
+        let rb = tb.join().unwrap();
+        for r in [ra, rb] {
+            match r {
+                Err(SimError::Deadlock(info)) => {
+                    assert_eq!(info.blocked.len(), 2);
+                    let names: Vec<_> = info.blocked.iter().map(|(n, _)| n.as_str()).collect();
+                    assert!(names.contains(&"alice") && names.contains(&"bob"));
+                }
+                other => panic!("expected deadlock, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sleeping_peer_prevents_false_deadlock() {
+        let net = virtual_net(LatencyModel::Fixed(secs(0.1)));
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        let tb = thread::spawn(move || {
+            b.sleep(secs(5.0)).unwrap();
+            b.send(a_id, Msg(9));
+            b.retire();
+        });
+        let got = a.recv().unwrap();
+        assert_eq!(got.msg.unwrap(), Msg(9));
+        assert_eq!(got.delivered_at, VirtualInstant::EPOCH + secs(5.1));
+        tb.join().unwrap();
+        a.retire();
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_nothing_arrives() {
+        let net = virtual_net(LatencyModel::default());
+        let mut a = net.endpoint("a");
+        // A timed wait has a wake-up point, so a lone endpoint is not a
+        // deadlock: virtual time advances straight to the timeout.
+        let got = a.recv_timeout(secs(2.0)).unwrap();
+        assert!(got.is_none());
+        assert!(net.now() >= VirtualInstant::EPOCH + secs(2.0));
+        a.retire();
+    }
+
+    #[test]
+    fn recv_timeout_returns_message_when_it_arrives_first() {
+        let net = virtual_net(LatencyModel::Fixed(secs(0.3)));
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        let tb = thread::spawn(move || {
+            b.send(a_id, Msg(5));
+            b.retire();
+        });
+        let got = a.recv_timeout(secs(10.0)).unwrap();
+        assert_eq!(got.unwrap().msg.unwrap(), Msg(5));
+        tb.join().unwrap();
+        a.retire();
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let net = virtual_net(LatencyModel::Fixed(secs(1.0)));
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        assert!(a.try_recv().unwrap().is_none());
+        b.send(a_id, Msg(1));
+        // In flight, not yet deliverable.
+        assert!(a.try_recv().unwrap().is_none());
+        // Retire the idle endpoint: every live endpoint must be driven by a
+        // thread, or it blocks virtual-time advancement.
+        b.retire();
+        // After sleeping past the latency it is deliverable.
+        a.sleep(secs(1.5)).unwrap();
+        assert_eq!(a.try_recv().unwrap().unwrap().msg.unwrap(), Msg(1));
+        a.retire();
+    }
+
+    #[test]
+    fn lost_messages_are_counted_and_not_delivered() {
+        let net: Network<Msg> = Network::new(NetConfig {
+            mode: ClockMode::Virtual,
+            latency: LatencyModel::default(),
+            seed: 1,
+            ack_timeout: None,
+            faults: FaultPlan::new().lose(crate::FaultSpec::any().count(1)),
+        });
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        b.send(a_id, Msg(1)); // lost
+        b.send(a_id, Msg(2)); // delivered
+        b.retire();
+        let got = a.recv().unwrap();
+        assert_eq!(got.msg.unwrap(), Msg(2));
+        assert_eq!(net.stats().dropped("Msg"), 1);
+        assert_eq!(net.stats().sent("Msg"), 1);
+        a.retire();
+    }
+
+    #[test]
+    fn corrupted_messages_arrive_with_no_payload() {
+        let net: Network<Msg> = Network::new(NetConfig {
+            mode: ClockMode::Virtual,
+            latency: LatencyModel::default(),
+            seed: 1,
+            ack_timeout: None,
+            faults: FaultPlan::new().corrupt(crate::FaultSpec::any().count(1)),
+        });
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        b.send(a_id, Msg(1));
+        b.retire();
+        let got = a.recv().unwrap();
+        assert!(got.is_corrupted());
+        assert_eq!(net.stats().corrupted("Msg"), 1);
+        a.retire();
+    }
+
+    #[test]
+    fn messages_to_retired_endpoints_are_discarded() {
+        let net = virtual_net(LatencyModel::default());
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let b_id = b.id();
+        b.retire();
+        a.send(b_id, Msg(1)); // must not panic or deadlock
+        a.retire();
+    }
+
+    #[test]
+    fn dropping_an_endpoint_retires_it() {
+        let net = virtual_net(LatencyModel::default());
+        let mut a = net.endpoint("a");
+        {
+            let _b = net.endpoint("b");
+            // _b dropped here without explicit retire.
+        }
+        // With b gone, a alone waiting forever is a deadlock.
+        let r = a.recv();
+        assert!(matches!(r, Err(SimError::Deadlock(_))));
+    }
+
+    #[test]
+    fn real_mode_delivers_with_wall_clock_delay() {
+        let net: Network<Msg> = Network::new(NetConfig {
+            mode: ClockMode::Real,
+            latency: LatencyModel::Fixed(VirtualDuration::from_millis(30)),
+            seed: 0,
+            ack_timeout: None,
+            faults: FaultPlan::new(),
+        });
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        let wall = std::time::Instant::now();
+        b.send(a_id, Msg(3));
+        let got = a.recv().unwrap();
+        assert_eq!(got.msg.unwrap(), Msg(3));
+        assert!(
+            wall.elapsed() >= std::time::Duration::from_millis(25),
+            "real mode must consume wall time"
+        );
+        a.retire();
+        b.retire();
+    }
+
+    #[test]
+    fn three_party_broadcast_order_is_deterministic() {
+        // Run the same scenario twice; delivery times must be identical.
+        let run = || {
+            let net = virtual_net(LatencyModel::UniformUpTo(secs(1.0)));
+            let a = net.endpoint("a");
+            let mut b = net.endpoint("b");
+            let mut c = net.endpoint("c");
+            let (b_id, c_id) = (b.id(), c.id());
+            for i in 0..10 {
+                a.send(b_id, Msg(i));
+                a.send(c_id, Msg(i));
+            }
+            a.retire();
+            let tb = thread::spawn(move || {
+                let mut ts = Vec::new();
+                for _ in 0..10 {
+                    ts.push(b.recv().unwrap().delivered_at);
+                }
+                b.retire();
+                ts
+            });
+            let tc = thread::spawn(move || {
+                let mut ts = Vec::new();
+                for _ in 0..10 {
+                    ts.push(c.recv().unwrap().delivered_at);
+                }
+                c.retire();
+                ts
+            });
+            (tb.join().unwrap(), tc.join().unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,180 @@
+//! Message counters.
+//!
+//! §3.3.3 and §3.4 state exact message-complexity results — e.g.
+//! `(N + 1) × (N − 1)` messages for a single exception with no nesting —
+//! which the benchmark harness verifies empirically. The network therefore
+//! counts every message by a caller-supplied *class* label (the runtime
+//! uses the protocol message kinds; application traffic is counted
+//! separately, since the paper's results exclude it).
+
+use std::collections::BTreeMap;
+
+/// Classification hook: the network asks each payload for its class label.
+///
+/// Implement this for your message type so [`NetStats`] can attribute
+/// counts. Labels should be `'static` literals (e.g. `"Exception"`).
+pub trait Classify {
+    /// The class label under which this message is counted.
+    fn class(&self) -> &'static str;
+}
+
+impl Classify for caa_core::Message {
+    /// Protocol messages are counted under their [`caa_core::MessageKind`]
+    /// names, so the §3.3.3 / §3.4 complexity results can be read straight
+    /// off the counters.
+    fn class(&self) -> &'static str {
+        match self.kind() {
+            caa_core::MessageKind::Exception => "Exception",
+            caa_core::MessageKind::Suspended => "Suspended",
+            caa_core::MessageKind::Commit => "Commit",
+            caa_core::MessageKind::Resolve => "Resolve",
+            caa_core::MessageKind::ToBeSignalled => "toBeSignalled",
+            caa_core::MessageKind::ExitVote => "ExitVote",
+            caa_core::MessageKind::App => "App",
+        }
+    }
+}
+
+/// Snapshot of per-class message counters.
+///
+/// # Examples
+///
+/// ```
+/// use caa_simnet::NetStats;
+///
+/// let mut stats = NetStats::default();
+/// stats.record_sent("Exception");
+/// stats.record_sent("Exception");
+/// stats.record_dropped("Commit");
+/// assert_eq!(stats.sent("Exception"), 2);
+/// assert_eq!(stats.dropped("Commit"), 1);
+/// assert_eq!(stats.total_sent(), 2);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    sent: BTreeMap<&'static str, u64>,
+    dropped: BTreeMap<&'static str, u64>,
+    corrupted: BTreeMap<&'static str, u64>,
+    retransmissions: u64,
+}
+
+impl NetStats {
+    /// Records a successfully enqueued message of the given class.
+    pub fn record_sent(&mut self, class: &'static str) {
+        *self.sent.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records a message lost by fault injection.
+    pub fn record_dropped(&mut self, class: &'static str) {
+        *self.dropped.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records a message corrupted by fault injection.
+    pub fn record_corrupted(&mut self, class: &'static str) {
+        *self.corrupted.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records `n` ack-timeout retransmissions.
+    pub fn record_retransmissions(&mut self, n: u64) {
+        self.retransmissions += n;
+    }
+
+    /// Messages of `class` sent (including later-corrupted ones, excluding
+    /// dropped ones).
+    #[must_use]
+    pub fn sent(&self, class: &str) -> u64 {
+        self.sent.get(class).copied().unwrap_or(0)
+    }
+
+    /// Messages of `class` lost by fault injection.
+    #[must_use]
+    pub fn dropped(&self, class: &str) -> u64 {
+        self.dropped.get(class).copied().unwrap_or(0)
+    }
+
+    /// Messages of `class` corrupted by fault injection.
+    #[must_use]
+    pub fn corrupted(&self, class: &str) -> u64 {
+        self.corrupted.get(class).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all classes.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total ack-timeout retransmissions across all messages.
+    #[must_use]
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Sum of sent counts over the classes for which `filter` returns true.
+    ///
+    /// The §3.3.3 results count only `Exception`, `Suspended` and `Commit`
+    /// messages; this is the hook the harness uses to apply that filter.
+    #[must_use]
+    pub fn sent_matching(&self, mut filter: impl FnMut(&str) -> bool) -> u64 {
+        self.sent
+            .iter()
+            .filter(|(class, _)| filter(class))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Iterates `(class, sent-count)` pairs in lexicographic class order.
+    pub fn iter_sent(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.sent.iter().map(|(&c, &n)| (c, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let mut s = NetStats::default();
+        for _ in 0..3 {
+            s.record_sent("Exception");
+        }
+        s.record_sent("Commit");
+        s.record_dropped("Suspended");
+        s.record_corrupted("Commit");
+        s.record_retransmissions(2);
+        assert_eq!(s.sent("Exception"), 3);
+        assert_eq!(s.sent("Commit"), 1);
+        assert_eq!(s.sent("Suspended"), 0);
+        assert_eq!(s.dropped("Suspended"), 1);
+        assert_eq!(s.corrupted("Commit"), 1);
+        assert_eq!(s.total_sent(), 4);
+        assert_eq!(s.retransmissions(), 2);
+    }
+
+    #[test]
+    fn sent_matching_filters_classes() {
+        let mut s = NetStats::default();
+        s.record_sent("Exception");
+        s.record_sent("Suspended");
+        s.record_sent("App");
+        let control = s.sent_matching(|c| c != "App");
+        assert_eq!(control, 2);
+    }
+
+    #[test]
+    fn iter_sent_is_sorted() {
+        let mut s = NetStats::default();
+        s.record_sent("b");
+        s.record_sent("a");
+        let classes: Vec<_> = s.iter_sent().map(|(c, _)| c).collect();
+        assert_eq!(classes, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_classes_read_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.sent("nothing"), 0);
+        assert_eq!(s.total_sent(), 0);
+    }
+}
