@@ -145,8 +145,7 @@ impl ResolverState for CrState {
         match event {
             ProtoEvent::LocalRaise(e) => {
                 self.state = ParticipantState::Exceptional;
-                self.direct
-                    .insert(ctx.me, Entry::Exception(e.id().clone()));
+                self.direct.insert(ctx.me, Entry::Exception(e.id().clone()));
                 self.exceptions.insert(ctx.me, e.id().clone());
                 for peer in ctx.peers() {
                     actions.outbound.push((
@@ -183,10 +182,8 @@ impl ResolverState for CrState {
                     if *from == origin {
                         // Direct copy: record, re-broadcast to all third
                         // parties (the CR flooding step), and re-resolve.
-                        let new_direct = !matches!(
-                            self.direct.get(&origin),
-                            Some(Entry::Exception(_))
-                        );
+                        let new_direct =
+                            !matches!(self.direct.get(&origin), Some(Entry::Exception(_)));
                         self.direct
                             .insert(origin, Entry::Exception(exception.id().clone()));
                         for peer in ctx.peers() {

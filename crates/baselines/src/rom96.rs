@@ -60,8 +60,7 @@ impl Rom96State {
     fn step(&mut self, ctx: &ProtoCtx<'_>, actions: &mut ProtoActions) {
         // Phase 2: all announcements in → propose once.
         if self.my_proposal.is_none() && self.announced.len() == ctx.group.len() {
-            let raised: Vec<ExceptionId> =
-                self.announced.values().flatten().cloned().collect();
+            let raised: Vec<ExceptionId> = self.announced.values().flatten().cloned().collect();
             let proposal = ctx.graph.resolve(&raised);
             actions.resolve_invocations += 1;
             self.my_proposal = Some(proposal.clone());
@@ -80,9 +79,7 @@ impl Rom96State {
         }
         // Phase 3: all proposals in (and identical, by determinism) →
         // confirm once.
-        if !self.confirmed
-            && self.my_proposal.is_some()
-            && self.proposals.len() == ctx.group.len()
+        if !self.confirmed && self.my_proposal.is_some() && self.proposals.len() == ctx.group.len()
         {
             self.confirmed = true;
             self.confirms.insert(ctx.me);
@@ -100,10 +97,7 @@ impl Rom96State {
             }
         }
         // Decision: all confirmations in.
-        if self.resolved.is_none()
-            && self.confirmed
-            && self.confirms.len() == ctx.group.len()
-        {
+        if self.resolved.is_none() && self.confirmed && self.confirms.len() == ctx.group.len() {
             self.resolved = self.my_proposal.clone();
             actions.resolved = self.resolved.clone();
         }
@@ -147,8 +141,7 @@ impl ResolverState for Rom96State {
                 Message::Exception {
                     from, exception, ..
                 } => {
-                    self.announced
-                        .insert(*from, Some(exception.id().clone()));
+                    self.announced.insert(*from, Some(exception.id().clone()));
                 }
                 Message::Suspended { from, .. } => {
                     self.announced.entry(*from).or_insert(None);
@@ -213,8 +206,14 @@ mod tests {
             }
             a.resolved
         };
-        let r0 = push_all(&mut queue, s0.on_event(&mk_ctx(0), ProtoEvent::LocalRaise(&ea)));
-        let r1 = push_all(&mut queue, s1.on_event(&mk_ctx(1), ProtoEvent::LocalRaise(&eb)));
+        let r0 = push_all(
+            &mut queue,
+            s0.on_event(&mk_ctx(0), ProtoEvent::LocalRaise(&ea)),
+        );
+        let r1 = push_all(
+            &mut queue,
+            s1.on_event(&mk_ctx(1), ProtoEvent::LocalRaise(&eb)),
+        );
         assert!(r0.is_none() && r1.is_none());
         let (mut d0, mut d1) = (None, None);
         let mut messages = 0;

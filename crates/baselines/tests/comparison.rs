@@ -163,19 +163,14 @@ fn baselines_handle_single_exception_with_bystanders() {
         Arc::new(Rom96Resolution),
     ] {
         let name = protocol.name();
-        let graph = conjunction_lattice(
-            &[ExceptionId::new("only")],
-            1,
-        )
-        .unwrap();
+        let graph = conjunction_lattice(&[ExceptionId::new("only")], 1).unwrap();
         let mut builder = ActionDef::builder("single");
         for i in 0..3u32 {
             builder = builder.role(format!("r{i}"), i);
         }
         builder = builder.graph(graph);
         for i in 0..3u32 {
-            builder = builder
-                .fallback_handler(format!("r{i}"), |_| Ok(HandlerVerdict::Recovered));
+            builder = builder.fallback_handler(format!("r{i}"), |_| Ok(HandlerVerdict::Recovered));
         }
         let action = builder.build().unwrap();
         let mut sys = System::builder()

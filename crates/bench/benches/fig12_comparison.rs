@@ -19,21 +19,17 @@ fn bench_fig12(c: &mut Criterion) {
     ];
     for (name, protocol) in &protocols {
         for n in [3u32, 5] {
-            group.bench_with_input(
-                BenchmarkId::new(*name, format!("n{n}")),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        simultaneous_raise(
-                            SimultaneousRaiseParams {
-                                n,
-                                ..SimultaneousRaiseParams::default()
-                            },
-                            Arc::clone(protocol),
-                        )
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, format!("n{n}")), &n, |b, &n| {
+                b.iter(|| {
+                    simultaneous_raise(
+                        SimultaneousRaiseParams {
+                            n,
+                            ..SimultaneousRaiseParams::default()
+                        },
+                        Arc::clone(protocol),
+                    )
+                });
+            });
         }
     }
     group.finish();

@@ -1,0 +1,40 @@
+//! Sweep-throughput bench: how many deterministic simulation seeds per
+//! second the harness explores (the "as fast as the hardware allows" axis
+//! of the ROADMAP — each seed is a full multi-threaded virtual-time run
+//! with trace recording and oracle checking).
+
+use caa_harness::sweep::{sweep, SweepConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_sweep");
+    group.sample_size(10);
+    for &seeds in &[50u64, 200] {
+        group.bench_with_input(BenchmarkId::new("seeds", seeds), &seeds, |b, &n| {
+            b.iter(|| {
+                let report = sweep(&SweepConfig {
+                    seeds: n,
+                    check_replay: false,
+                    ..SweepConfig::default()
+                });
+                assert!(report.all_passed(), "{}", report.summary());
+                report.trace_entries
+            });
+        });
+    }
+    group.bench_function("seeds_with_replay/100", |b| {
+        b.iter(|| {
+            let report = sweep(&SweepConfig {
+                seeds: 100,
+                check_replay: true,
+                ..SweepConfig::default()
+            });
+            assert!(report.all_passed(), "{}", report.summary());
+            report.trace_entries
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

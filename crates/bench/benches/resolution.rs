@@ -9,8 +9,7 @@ use std::hint::black_box;
 fn bench_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("exception_graph_resolve");
     for n in [4usize, 8, 12] {
-        let prims: Vec<ExceptionId> =
-            (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+        let prims: Vec<ExceptionId> = (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
         // Pairs-and-triples lattice: realistic application-scale graphs.
         let graph = conjunction_lattice(&prims, 3.min(n)).unwrap();
         let raised: Vec<ExceptionId> = prims.iter().take(3).cloned().collect();
@@ -35,8 +34,7 @@ fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("exception_graph_generate");
     group.sample_size(20);
     for n in [6usize, 10] {
-        let prims: Vec<ExceptionId> =
-            (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+        let prims: Vec<ExceptionId> = (0..n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
         group.bench_with_input(BenchmarkId::new("lattice3", n), &prims, |b, p| {
             b.iter(|| conjunction_lattice(black_box(p), 3).unwrap());
         });

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use caa_baselines::{CrResolution, Rom96Resolution};
 use caa_bench::{
-    lemma1_bound, nested_abort, resolution_messages, simultaneous_raise,
-    NestedAbortParams, SimultaneousRaiseParams,
+    lemma1_bound, nested_abort, resolution_messages, simultaneous_raise, NestedAbortParams,
+    SimultaneousRaiseParams,
 };
 use caa_core::exception::Exception;
 use caa_core::outcome::HandlerVerdict;
@@ -25,7 +25,15 @@ use caa_simnet::LatencyModel;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["fig9", "fig10", "fig12", "fig13", "msgs", "signalling", "lemma1"]
+        vec![
+            "fig9",
+            "fig10",
+            "fig12",
+            "fig13",
+            "msgs",
+            "signalling",
+            "lemma1",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -249,16 +257,20 @@ fn fig13() {
     let o2 = fig12_point(2.4, 0.3, &ours);
     let c1 = fig12_point(1.0, 0.3, &cr);
     let c2 = fig12_point(2.4, 0.3, &cr);
-    println!("(a) d(total)/d(Tmmax): ours {:.2} vs CR {:.2}   (paper: 3.98 vs 6.01)",
-        slope(o1, o2, 1.4), slope(c1, c2, 1.4));
+    println!(
+        "(a) d(total)/d(Tmmax): ours {:.2} vs CR {:.2}   (paper: 3.98 vs 6.01)",
+        slope(o1, o2, 1.4),
+        slope(c1, c2, 1.4)
+    );
 
     let o3 = fig12_point(1.0, 1.5, &ours);
     let c3 = fig12_point(1.0, 1.5, &cr);
-    println!("(b) d(total)/d(Tres) : ours {:.2} vs CR {:.2}   (paper: 1.05 vs 2.93)",
-        slope(o1, o3, 1.2), slope(c1, c3, 1.2));
     println!(
-        "    resolution invoked  : ours once per recovery; CR N(N-1)(N-2)+N(N-1) times"
+        "(b) d(total)/d(Tres) : ours {:.2} vs CR {:.2}   (paper: 1.05 vs 2.93)",
+        slope(o1, o3, 1.2),
+        slope(c1, c3, 1.2)
     );
+    println!("    resolution invoked  : ours once per recovery; CR N(N-1)(N-2)+N(N-1) times");
     println!();
 }
 

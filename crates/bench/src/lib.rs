@@ -18,6 +18,6 @@
 pub mod scenarios;
 
 pub use scenarios::{
-    lemma1_bound, nested_abort, resolution_messages, simultaneous_raise,
-    simultaneous_raise_xrr, NestedAbortParams, SimultaneousRaiseParams,
+    lemma1_bound, nested_abort, resolution_messages, simultaneous_raise, simultaneous_raise_xrr,
+    NestedAbortParams, SimultaneousRaiseParams,
 };

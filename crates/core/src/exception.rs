@@ -14,8 +14,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
 use crate::ids::ThreadId;
 
 /// Reserved name of the undo exception `µ`.
@@ -156,19 +154,6 @@ impl AsRef<str> for ExceptionId {
     }
 }
 
-impl Serialize for ExceptionId {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.name())
-    }
-}
-
-impl<'de> Deserialize<'de> for ExceptionId {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let name = String::deserialize(deserializer)?;
-        Ok(ExceptionId::from(name))
-    }
-}
-
 /// A raised exception: an [`ExceptionId`] plus diagnostic context.
 ///
 /// The coordination protocols operate on the id alone; the origin and detail
@@ -186,7 +171,7 @@ impl<'de> Deserialize<'de> for ExceptionId {
 /// assert_eq!(e.id().name(), "vm_stop");
 /// assert_eq!(e.origin(), Some(ThreadId::new(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Exception {
     id: ExceptionId,
     origin: Option<ThreadId>,
@@ -268,7 +253,7 @@ impl From<ExceptionId> for Exception {
 /// assert!(!s.is_none());
 /// assert_eq!(Signal::Undo, Signal::from(ExceptionId::undo()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Signal {
     /// `φ`: the participant has nothing to signal; the action completed
     /// successfully from its point of view.

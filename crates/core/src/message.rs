@@ -17,9 +17,7 @@ use crate::ids::{ActionId, ThreadId};
 
 /// Round number of the signalling algorithm: the first exchange, or the
 /// second exchange forced by a failed undo (§3.4, case 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SignalRound {
     /// First exchange of intended signals.
     First,
@@ -228,7 +226,7 @@ impl Message {
 
 /// Classification of protocol messages for statistics (§3.3.3, §3.4 count
 /// messages per kind; application traffic is excluded from those counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageKind {
     /// Resolution algorithm: a raised exception is broadcast.
     Exception,

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::exception::{ExceptionId, Signal};
 
 /// How one participant's involvement in a CA action concluded.
@@ -24,7 +22,7 @@ use crate::exception::{ExceptionId, Signal};
 /// let sig = ActionOutcome::Signalled(ExceptionId::new("L_PLATE"));
 /// assert_eq!(sig.signalled(), Some(&ExceptionId::new("L_PLATE")));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ActionOutcome {
     /// The action completed successfully — either no exception occurred, or
     /// forward error recovery repaired the state and the action "exit[ed]
@@ -115,7 +113,7 @@ impl From<Signal> for ActionOutcome {
 ///     Signal::Exception(ExceptionId::new("NCS_FAIL")),
 /// );
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum HandlerVerdict {
     /// Forward recovery succeeded; the action can complete normally.
     Recovered,
@@ -177,10 +175,7 @@ mod tests {
 
     #[test]
     fn outcome_from_signal() {
-        assert_eq!(
-            ActionOutcome::from(Signal::None),
-            ActionOutcome::Success
-        );
+        assert_eq!(ActionOutcome::from(Signal::None), ActionOutcome::Success);
         assert_eq!(ActionOutcome::from(Signal::Undo), ActionOutcome::Undone);
         assert_eq!(ActionOutcome::from(Signal::Failure), ActionOutcome::Failed);
         assert_eq!(

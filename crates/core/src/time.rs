@@ -12,8 +12,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 const NANOS_PER_SEC: u64 = 1_000_000_000;
 const NANOS_PER_MILLI: u64 = 1_000_000;
 const NANOS_PER_MICRO: u64 = 1_000;
@@ -33,9 +31,7 @@ const NANOS_PER_MICRO: u64 = 1_000;
 /// assert_eq!(t_mmax.as_nanos(), 200_000_000);
 /// assert_eq!((t_mmax * 3).as_secs_f64(), 0.6);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualDuration(u64);
 
 impl VirtualDuration {
@@ -74,7 +70,7 @@ impl VirtualDuration {
     /// never negative.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return VirtualDuration::ZERO;
         }
         let nanos = secs * NANOS_PER_SEC as f64;
@@ -225,9 +221,7 @@ impl From<VirtualDuration> for std::time::Duration {
 /// let later = start + VirtualDuration::from_millis(250);
 /// assert_eq!(later.duration_since(start), VirtualDuration::from_millis(250));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualInstant(u64);
 
 impl VirtualInstant {
@@ -412,6 +406,9 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_readable() {
         assert_eq!(secs(1.5).to_string(), "1.500000s");
-        assert_eq!((VirtualInstant::EPOCH + secs(2.0)).to_string(), "@2.000000s");
+        assert_eq!(
+            (VirtualInstant::EPOCH + secs(2.0)).to_string(),
+            "@2.000000s"
+        );
     }
 }

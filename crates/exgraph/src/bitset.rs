@@ -26,7 +26,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub(crate) fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 

@@ -65,7 +65,7 @@ impl ExceptionGraph {
                 out,
                 "  \"{}\" [shape={shape}, label=\"{}\"];",
                 escape(id.name()),
-                escape(&id.to_string()),
+                escape(id.as_ref()),
             );
         }
 

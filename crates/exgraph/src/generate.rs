@@ -38,10 +38,7 @@ pub fn conjunction_name<I>(members: I) -> ExceptionId
 where
     I: IntoIterator<Item = ExceptionId>,
 {
-    let mut names: Vec<String> = members
-        .into_iter()
-        .map(|id| id.name().to_owned())
-        .collect();
+    let mut names: Vec<String> = members.into_iter().map(|id| id.name().to_owned()).collect();
     names.sort();
     names.dedup();
     ExceptionId::new(names.join("∩"))
@@ -91,9 +88,8 @@ pub fn conjunction_lattice(
     let max_combo = max_combo.min(n);
     // Materialise levels bottom-up; at each size k, a combination covers its
     // (k-1)-sized sub-combinations.
-    let mut previous: Vec<(Vec<usize>, ExceptionId)> = (0..n)
-        .map(|i| (vec![i], primitives[i].clone()))
-        .collect();
+    let mut previous: Vec<(Vec<usize>, ExceptionId)> =
+        (0..n).map(|i| (vec![i], primitives[i].clone())).collect();
     for size in 2..=max_combo {
         let combos = combinations(n, size);
         let mut current = Vec::with_capacity(combos.len());
@@ -258,10 +254,7 @@ mod tests {
 
     #[test]
     fn empty_primitives_is_an_error() {
-        assert_eq!(
-            conjunction_lattice(&[], 2).unwrap_err(),
-            GraphError::Empty
-        );
+        assert_eq!(conjunction_lattice(&[], 2).unwrap_err(), GraphError::Empty);
     }
 
     #[test]

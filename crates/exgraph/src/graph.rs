@@ -12,7 +12,6 @@ use std::collections::HashMap;
 use std::fmt;
 
 use caa_core::exception::ExceptionId;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::bitset::BitSet;
 use crate::error::GraphError;
@@ -115,9 +114,10 @@ impl ExceptionGraph {
     /// The resolving exceptions (interior nodes: neither primitive nor the
     /// universal root).
     pub fn resolving(&self) -> impl Iterator<Item = &ExceptionId> {
-        self.nodes.iter().enumerate().filter_map(|(i, id)| {
-            (!self.children[i].is_empty() && i != self.root).then_some(id)
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, id)| (!self.children[i].is_empty() && i != self.root).then_some(id))
     }
 
     /// The level of `id`: primitives are level 0; a resolving exception is
@@ -352,23 +352,10 @@ impl PartialEq for ExceptionGraph {
 
 impl Eq for ExceptionGraph {}
 
-impl Serialize for ExceptionGraph {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.to_spec().serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for ExceptionGraph {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let spec = GraphSpec::deserialize(deserializer)?;
-        ExceptionGraph::from_spec(spec).map_err(serde::de::Error::custom)
-    }
-}
-
 /// Declarative description of an exception graph: nodes plus
 /// `(high, low)` cover edges. Obtained from [`ExceptionGraph::to_spec`] and
-/// consumed by [`ExceptionGraph::from_spec`]; also the serde representation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// consumed by [`ExceptionGraph::from_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphSpec {
     /// All declared exceptions.
     pub nodes: Vec<ExceptionId>,
@@ -532,10 +519,10 @@ impl ExceptionGraphBuilder {
             parents[l].push(h);
         }
         // Root the graph: the universal exception covers every maximal node.
-        for i in 0..nodes.len() {
-            if i != root && parents[i].is_empty() {
+        for (i, node_parents) in parents.iter_mut().enumerate() {
+            if i != root && node_parents.is_empty() {
                 children[root].push(i);
-                parents[i].push(root);
+                node_parents.push(root);
             }
         }
 
@@ -561,9 +548,8 @@ impl ExceptionGraphBuilder {
         }
 
         // Descendant bitsets and levels, children before parents.
-        let mut descendants: Vec<BitSet> = (0..nodes.len())
-            .map(|_| BitSet::new(nodes.len()))
-            .collect();
+        let mut descendants: Vec<BitSet> =
+            (0..nodes.len()).map(|_| BitSet::new(nodes.len())).collect();
         let mut level = vec![0usize; nodes.len()];
         for &n in topo.iter().rev() {
             let mut set = BitSet::new(nodes.len());
@@ -606,7 +592,7 @@ mod tests {
     }
 
     fn ids(names: &[&str]) -> Vec<ExceptionId> {
-        names.iter().map(|n| ExceptionId::new(n)).collect()
+        names.iter().map(ExceptionId::new).collect()
     }
 
     #[test]
@@ -735,7 +721,10 @@ mod tests {
 
     #[test]
     fn self_edge_is_an_error() {
-        let err = ExceptionGraphBuilder::new().edge("x", "x").build().unwrap_err();
+        let err = ExceptionGraphBuilder::new()
+            .edge("x", "x")
+            .build()
+            .unwrap_err();
         assert_eq!(err, GraphError::SelfEdge("x".into()));
     }
 

@@ -111,7 +111,7 @@ proptest! {
         let mut s = seed;
         for id in &all {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if s % 3 == 0 {
+            if s.is_multiple_of(3) {
                 raised.push(id.clone());
             }
         }
@@ -129,7 +129,7 @@ proptest! {
         let mut s = seed;
         for id in &prims {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 raised.push(id.clone());
             }
         }
@@ -162,7 +162,7 @@ proptest! {
         let mut s = seed;
         for id in &prims {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 raised.push(id.clone());
             }
         }
@@ -197,7 +197,7 @@ proptest! {
         let g = conjunction_lattice(&prims, n).unwrap();
         // Remove the first pair node and check all pairs still resolve to a
         // covering exception.
-        let victim = ExceptionId::new(format!("p0∩p1"));
+        let victim = ExceptionId::new("p0∩p1");
         let g2 = g.without(&victim).unwrap();
         for i in 0..n {
             for j in (i + 1)..n {

@@ -1,0 +1,29 @@
+//! One-command seed replay: re-run a violating (or any) seed, print the
+//! oracle verdicts and the full canonical trace.
+//!
+//! ```text
+//! cargo run -p caa-harness --example replay -- 42
+//! ```
+
+use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::sweep::run_seed;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let plan = ScenarioPlan::generate(seed, &ScenarioConfig::default());
+    println!("{}", plan.describe());
+    let result = run_seed(seed, &ScenarioConfig::default(), true);
+    println!("{}", result.artifacts.trace.render());
+    if result.passed() {
+        println!("seed {seed}: every oracle passed");
+    } else {
+        println!("seed {seed}: {} violation(s)", result.violations.len());
+        for v in &result.violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Scenario execution: materialises a [`ScenarioPlan`] into real
+//! [`ActionDef`]s and participant bodies, runs them on the virtual-time
+//! network with a [`TraceRecorder`] attached, and returns the run's
+//! artifacts.
+
+use std::sync::Arc;
+
+use caa_core::exception::{Exception, ExceptionId};
+use caa_core::outcome::HandlerVerdict;
+use caa_core::time::{secs, VirtualDuration};
+use caa_exgraph::generate::conjunction_lattice;
+use caa_runtime::{ActionDef, Ctx, Step, System, SystemReport};
+use caa_simnet::LatencyModel;
+
+use crate::plan::{ActionPlan, Phase, ScenarioPlan, VerdictChoice};
+use crate::trace::{Trace, TraceRecorder};
+
+/// Everything produced by one scenario execution.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The executed plan.
+    pub plan: ScenarioPlan,
+    /// The canonical recorded trace.
+    pub trace: Trace,
+    /// The system's own report (thread results, counters, elapsed time).
+    pub report: SystemReport,
+}
+
+/// One action of the plan, compiled: its definition plus compiled phases.
+struct ExecNode {
+    plan: ActionPlan,
+    def: ActionDef,
+    phases: Vec<ExecPhase>,
+}
+
+enum ExecPhase {
+    Compute {
+        dur: VirtualDuration,
+        sends: Vec<(u32, u32)>,
+        listeners: Vec<u32>,
+    },
+    Nested {
+        children: Vec<Arc<ExecNode>>,
+    },
+}
+
+fn role_name(thread: u32) -> String {
+    format!("r{thread}")
+}
+
+fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
+    let prims: Vec<ExceptionId> = plan
+        .group
+        .iter()
+        .map(|&t| ExceptionId::new(plan.raise_exception(t)))
+        .collect();
+    let graph = conjunction_lattice(&prims, 2.min(prims.len()))
+        .expect("per-action raise exceptions are nonempty and distinct");
+
+    let mut builder = ActionDef::builder(plan.name.clone())
+        .graph(graph)
+        .signal_timeout(secs(scenario.signal_timeout));
+    for &t in &plan.group {
+        builder = builder.role(role_name(t), t);
+    }
+    let delta = secs(scenario.delta);
+    for &(t, verdict) in &plan.verdicts {
+        let signal_exc = ExceptionId::new(plan.signal_exception());
+        builder = builder.fallback_handler(role_name(t), move |hc| {
+            hc.work(delta)?;
+            Ok(match verdict {
+                VerdictChoice::Recovered => HandlerVerdict::Recovered,
+                VerdictChoice::Undo => HandlerVerdict::Undo,
+                VerdictChoice::Fail => HandlerVerdict::Fail,
+                VerdictChoice::Signal => HandlerVerdict::Signal(signal_exc.clone()),
+            })
+        });
+    }
+    if plan.depth > 0 {
+        let t_abort = secs(scenario.t_abort);
+        for &t in &plan.group {
+            let eab = plan
+                .abort_raises_eab
+                .contains(&t)
+                .then(|| ExceptionId::new(plan.eab_exception(t)));
+            builder = builder.abort_handler(role_name(t), move |ac| {
+                ac.work(t_abort)?;
+                Ok(eab.clone().map(Exception::new))
+            });
+        }
+    }
+    let def = builder
+        .build()
+        .expect("generated plans declare valid roles");
+
+    let phases = plan
+        .phases
+        .iter()
+        .map(|phase| match phase {
+            Phase::Compute {
+                dur_ns,
+                sends,
+                listeners,
+            } => ExecPhase::Compute {
+                dur: VirtualDuration::from_nanos(*dur_ns),
+                sends: sends.clone(),
+                listeners: listeners.clone(),
+            },
+            Phase::Nested { children } => ExecPhase::Nested {
+                children: children.iter().map(|c| build_node(c, scenario)).collect(),
+            },
+        })
+        .collect();
+
+    Arc::new(ExecNode {
+        plan: plan.clone(),
+        def,
+        phases,
+    })
+}
+
+/// Drains the role's app inbox for exactly `dur` of virtual time, so the
+/// phase consumes the same duration whether or not messages arrive (the
+/// alignment discipline the Lemma 1 oracle relies on).
+fn listen(rc: &mut Ctx, dur: VirtualDuration) -> Step<()> {
+    let deadline = rc.now().saturating_add(dur);
+    loop {
+        let remaining = deadline.duration_since(rc.now());
+        if remaining.is_zero() {
+            return Ok(());
+        }
+        let _ = rc.recv_app_timeout(remaining)?;
+    }
+}
+
+fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32) -> Step<()> {
+    for phase in &node.phases {
+        match phase {
+            ExecPhase::Compute {
+                dur,
+                sends,
+                listeners,
+            } => {
+                for &(from, to) in sends {
+                    if from == me {
+                        rc.send_to_role(&role_name(to), "app", u64::from(to))?;
+                    }
+                }
+                if listeners.contains(&me) {
+                    listen(rc, *dur)?;
+                } else {
+                    rc.work(*dur)?;
+                }
+            }
+            ExecPhase::Nested { children } => {
+                if let Some(child) = children.iter().find(|c| c.plan.group.contains(&me)) {
+                    let def = child.def.clone();
+                    let child = Arc::clone(child);
+                    rc.enter(&def, &role_name(me), move |cc| body_phases(cc, &child, me))
+                        .map(|_| ())?;
+                }
+            }
+        }
+    }
+    if let Some(raise_phase) = &node.plan.raise {
+        match raise_phase.raisers.iter().find(|(t, _)| *t == me) {
+            Some(&(_, delay_ns)) => {
+                rc.work(VirtualDuration::from_nanos(delay_ns))?;
+                rc.raise(Exception::new(node.plan.raise_exception(me)))?;
+            }
+            None => {
+                // Peers will raise; compute until their recovery interrupts.
+                rc.work(secs(30.0))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes `plan` on a fresh virtual-time system, recording a canonical
+/// trace. The run is deterministic: the same plan produces byte-identical
+/// [`Trace::render`] output on every execution.
+#[must_use]
+pub fn execute(plan: &ScenarioPlan) -> RunArtifacts {
+    let recorder = TraceRecorder::new();
+    let mut sys = System::builder()
+        .latency(LatencyModel::UniformUpTo(secs(plan.t_mmax)))
+        .seed(plan.seed)
+        .resolution_delay(secs(plan.t_reso))
+        .faults(plan.fault_plan())
+        .observer(Arc::clone(&recorder) as _)
+        .tap(Arc::clone(&recorder) as _)
+        .build();
+
+    let nodes: Vec<Arc<ExecNode>> = plan.top.iter().map(|a| build_node(a, plan)).collect();
+    for t in 0..plan.threads {
+        let nodes = nodes.clone();
+        sys.spawn(format!("T{t}"), move |ctx| {
+            for node in &nodes {
+                let def = node.def.clone();
+                let node = Arc::clone(node);
+                ctx.enter(&def, &role_name(t), move |rc| body_phases(rc, &node, t))
+                    .map(|_| ())?;
+            }
+            Ok(())
+        });
+    }
+    let report = sys.run();
+    RunArtifacts {
+        plan: plan.clone(),
+        trace: recorder.finish(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioConfig;
+
+    #[test]
+    fn a_simple_seed_executes_cleanly() {
+        let plan = ScenarioPlan::generate(1, &ScenarioConfig::default());
+        let artifacts = execute(&plan);
+        assert!(
+            artifacts.report.is_ok(),
+            "threads failed: {:?}",
+            artifacts.report.results
+        );
+        assert!(!artifacts.trace.is_empty());
+        // Every thread entered every top-level action.
+        let enters = artifacts
+            .trace
+            .runtime_events()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    caa_runtime::observe::EventKind::Enter { depth: 1, .. }
+                )
+            })
+            .count();
+        assert_eq!(
+            enters,
+            plan.top.len() * plan.threads as usize,
+            "trace:\n{}",
+            artifacts.trace.render()
+        );
+    }
+}

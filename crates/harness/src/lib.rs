@@ -1,0 +1,72 @@
+//! **caa-harness** — deterministic simulation testing for the coordinated
+//! exception-handling runtime, in the spirit of FoundationDB-style
+//! simulation: a single `u64` seed determines an entire distributed
+//! scenario (action topology, workload, fault schedule), the virtual-time
+//! network executes it deterministically, a structured trace records every
+//! protocol step, and invariant oracles derived from the paper's theorems
+//! judge the result.
+//!
+//! The paper validates its resolution and signalling algorithms on one
+//! hand-built case study; this crate turns that into an unbounded,
+//! machine-explorable scenario space:
+//!
+//! * [`plan`] — seeded scenario generation: randomized nesting trees, role
+//!   groups, exception graphs, concurrent raises, handler verdicts
+//!   (forward recovery, µ, ƒ, interface signals), abortion-handler
+//!   exceptions, message loss/corruption and signalling crashes;
+//! * [`exec`] — materialises a plan into real [`caa_runtime`] actions and
+//!   runs it on the virtual-time network;
+//! * [`trace`] — the structured event log captured through
+//!   [`caa_runtime::observe`] and [`caa_simnet::NetTap`] hooks, with a
+//!   canonical byte-stable rendering;
+//! * [`oracle`] — resolution agreement, single-resolution, the Lemma 1
+//!   completion bound, §3.3.3 message complexity, nesting/abortion
+//!   consistency and deterministic replay;
+//! * [`sweep`] — fans thousands of seeds across OS threads and reports any
+//!   violating seed for one-command replay;
+//! * [`prodcell`] — the §4 production cell driven as a harness scenario.
+//!
+//! # Quick start
+//!
+//! Sweep seeds and fail loudly on the first counterexample:
+//!
+//! ```
+//! use caa_harness::sweep::{sweep, SweepConfig};
+//!
+//! let report = sweep(&SweepConfig {
+//!     seeds: 25,
+//!     check_replay: true,
+//!     ..SweepConfig::default()
+//! });
+//! assert!(report.all_passed(), "{}", report.summary());
+//! ```
+//!
+//! Replay a single seed and inspect its trace:
+//!
+//! ```
+//! use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+//! use caa_harness::{exec, oracle};
+//!
+//! let plan = ScenarioPlan::generate(7, &ScenarioConfig::default());
+//! let artifacts = exec::execute(&plan);
+//! assert!(oracle::check_run(&artifacts).is_empty());
+//! println!("{}", artifacts.trace.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod exec;
+pub mod oracle;
+pub mod plan;
+pub mod prodcell;
+pub mod rng;
+pub mod sweep;
+pub mod trace;
+
+pub use exec::{execute, RunArtifacts};
+pub use oracle::{check_invariants, check_replay, check_replay_protocol, check_run, Violation};
+pub use plan::{ScenarioConfig, ScenarioPlan};
+pub use sweep::{run_seed, sweep, SeedResult, SweepConfig, SweepReport};
+pub use trace::{Trace, TraceRecorder};

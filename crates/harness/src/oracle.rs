@@ -1,0 +1,415 @@
+//! Invariant oracles checked against every recorded trace.
+//!
+//! Each oracle encodes a property the paper proves or measures:
+//!
+//! * **Resolution agreement** (§3.3.2): every participant of a recovery
+//!   commits to the *same* resolving exception.
+//! * **Single resolution** (§3.3.3): the resolution procedure runs at most
+//!   once per action-instance recovery under the paper's algorithm.
+//! * **Lemma 1 time bound**: from the first raise of a recovery to the last
+//!   handler completion takes at most
+//!   `(2·nmax+3)·Tmmax + nmax·Tabort + (nmax+1)·(Treso+∆max)` (plus one
+//!   `Tmmax` of entry skew the scenario shape permits).
+//! * **Message complexity** (§3.3.3): an action instance's recovery costs
+//!   at most `(N+1)·(N−1)` resolution messages.
+//! * **Nesting/abortion consistency** (§3.3.1): every action entry is
+//!   closed by exactly one exit or abort on the entering thread.
+//! * **Deterministic replay** (§5.1's repeatability requirement): the same
+//!   seed renders the byte-identical trace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use caa_runtime::observe::EventKind;
+
+use caa_runtime::SystemReport;
+
+use crate::exec::RunArtifacts;
+use crate::plan::ScenarioPlan;
+use crate::trace::Trace;
+
+/// One oracle violation, carrying enough context to debug the seed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A participating thread ended with a fatal error (deadlock or
+    /// protocol invariant breach).
+    ThreadFailure {
+        /// The failed thread's name.
+        thread: String,
+        /// Its error.
+        error: String,
+    },
+    /// Participants of one recovery committed to different resolving
+    /// exceptions.
+    ResolutionDisagreement {
+        /// Canonical action label.
+        action: u64,
+        /// `(thread, resolved exception)` as observed.
+        resolved: Vec<(u32, String)>,
+    },
+    /// The resolution procedure ran more than once for one instance.
+    MultipleResolutions {
+        /// Canonical action label.
+        action: u64,
+        /// Total graph-search invocations observed.
+        invocations: u64,
+    },
+    /// Recovery exceeded the Lemma 1 completion bound.
+    Lemma1Exceeded {
+        /// Canonical action label.
+        action: u64,
+        /// Observed first-raise → last-handler-completion time (seconds).
+        measured: f64,
+        /// The bound (seconds).
+        bound: f64,
+    },
+    /// An instance used more resolution messages than §3.3.3 permits.
+    MessageBoundExceeded {
+        /// Canonical action label.
+        action: u64,
+        /// Observed Exception+Suspended+Commit sends.
+        messages: u64,
+        /// The `(N+1)(N−1)` bound.
+        bound: u64,
+    },
+    /// An action entry was not closed by exactly one exit/abort.
+    NestingInconsistent {
+        /// Canonical action label.
+        action: u64,
+        /// The offending thread.
+        thread: u32,
+        /// Enter events observed.
+        enters: usize,
+        /// Exit events observed.
+        exits: usize,
+        /// Abort events observed.
+        aborts: usize,
+    },
+    /// Two executions of the same seed rendered different traces.
+    ReplayDiverged {
+        /// First line (0-based) at which the renderings differ.
+        first_diff_line: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ThreadFailure { thread, error } => {
+                write!(f, "thread {thread} failed: {error}")
+            }
+            Violation::ResolutionDisagreement { action, resolved } => {
+                write!(f, "action {action}: participants disagree on the resolved exception: {resolved:?}")
+            }
+            Violation::MultipleResolutions {
+                action,
+                invocations,
+            } => {
+                write!(
+                    f,
+                    "action {action}: resolution procedure ran {invocations} times (max 1)"
+                )
+            }
+            Violation::Lemma1Exceeded {
+                action,
+                measured,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "action {action}: recovery took {measured:.6}s, Lemma 1 bound {bound:.6}s"
+                )
+            }
+            Violation::MessageBoundExceeded {
+                action,
+                messages,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "action {action}: {messages} resolution messages exceed (N+1)(N-1) = {bound}"
+                )
+            }
+            Violation::NestingInconsistent {
+                action,
+                thread,
+                enters,
+                exits,
+                aborts,
+            } => {
+                write!(
+                    f,
+                    "action {action}: thread {thread} entered {enters}x but exited {exits}x / aborted {aborts}x"
+                )
+            }
+            Violation::ReplayDiverged { first_diff_line } => {
+                write!(
+                    f,
+                    "replay diverged from the original trace at line {first_diff_line}"
+                )
+            }
+        }
+    }
+}
+
+/// The Lemma 1 completion bound for this plan's parameters (seconds).
+///
+/// One extra `Tmmax` covers the entry skew the aligned scenario shape can
+/// accumulate across a completed protocol barrier (exit votes arrive within
+/// one message latency of each other), and a microsecond absorbs
+/// virtual-time rounding.
+#[must_use]
+pub fn lemma1_bound(plan: &ScenarioPlan) -> f64 {
+    let nmax = plan.max_depth() as f64;
+    (2.0 * nmax + 3.0) * plan.t_mmax
+        + nmax * plan.t_abort
+        + (nmax + 1.0) * (plan.t_reso + plan.delta)
+        + plan.t_mmax
+        + 1e-6
+}
+
+#[derive(Default)]
+struct InstanceView {
+    name: Option<String>,
+    resolved: Vec<(u32, String)>,
+    invocations: u64,
+    first_raise_ns: Option<u64>,
+    last_handler_end_ns: Option<u64>,
+    resolution_msgs: u64,
+    per_thread: BTreeMap<u32, (usize, usize, usize)>, // enters, exits, aborts
+}
+
+/// One per-instance pass over the trace's runtime and network events.
+fn collect_views(trace: &Trace) -> BTreeMap<u64, InstanceView> {
+    let mut instances: BTreeMap<u64, InstanceView> = BTreeMap::new();
+    for event in trace.runtime_events() {
+        let view = instances.entry(event.action.serial()).or_default();
+        let thread = event.thread.as_u32();
+        match &event.kind {
+            EventKind::Enter { name, .. } => {
+                view.name = Some(name.clone());
+                view.per_thread.entry(thread).or_default().0 += 1;
+            }
+            EventKind::Exit { .. } => {
+                view.per_thread.entry(thread).or_default().1 += 1;
+            }
+            EventKind::Abort { .. } => {
+                view.per_thread.entry(thread).or_default().2 += 1;
+            }
+            EventKind::Raise { .. } => {
+                let at = event.at.as_nanos();
+                view.first_raise_ns = Some(view.first_raise_ns.map_or(at, |v| v.min(at)));
+            }
+            EventKind::Resolved { exception } => {
+                view.resolved.push((thread, exception.name().to_owned()));
+            }
+            EventKind::ResolutionInvoked { invocations } => {
+                view.invocations += u64::from(*invocations);
+            }
+            EventKind::HandlerEnd { .. } => {
+                let at = event.at.as_nanos();
+                view.last_handler_end_ns = Some(view.last_handler_end_ns.map_or(at, |v| v.max(at)));
+            }
+            _ => {}
+        }
+    }
+    for send in trace.net_sends() {
+        if matches!(send.class, "Exception" | "Suspended" | "Commit") {
+            instances
+                .entry(send.correlation)
+                .or_default()
+                .resolution_msgs += 1;
+        }
+    }
+    instances
+}
+
+/// Checks the plan-independent protocol invariants — thread success,
+/// resolution agreement, single resolution per instance and
+/// nesting/abortion consistency — on any recorded run. Violation `action`
+/// fields carry the same dense `A<n>` labels the rendered trace uses.
+///
+/// Systems driven from a [`ScenarioPlan`] get the plan-dependent Lemma 1
+/// and message-complexity checks on top via [`check_run`]; externally
+/// built systems (e.g. the production cell) use this directly.
+#[must_use]
+pub fn check_invariants(report: &SystemReport, trace: &Trace) -> Vec<Violation> {
+    let labels = trace.canonical_labels();
+    let views = collect_views(trace);
+    invariant_violations(report, &views, &labels)
+}
+
+fn invariant_violations(
+    report: &SystemReport,
+    views: &BTreeMap<u64, InstanceView>,
+    labels: &std::collections::HashMap<u64, usize>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (name, result) in &report.results {
+        if let Err(e) = result {
+            violations.push(Violation::ThreadFailure {
+                thread: name.clone(),
+                error: e.to_string(),
+            });
+        }
+    }
+    for (&serial, view) in views {
+        let action = labels.get(&serial).copied().unwrap_or(usize::MAX) as u64;
+
+        // Resolution agreement (§3.3.2).
+        if view.resolved.windows(2).any(|w| w[0].1 != w[1].1) {
+            violations.push(Violation::ResolutionDisagreement {
+                action,
+                resolved: view.resolved.clone(),
+            });
+        }
+
+        // One resolution per recovery, and at most one recovery per
+        // instance under the termination model (§3.3.3).
+        if view.invocations > 1 {
+            violations.push(Violation::MultipleResolutions {
+                action,
+                invocations: view.invocations,
+            });
+        }
+
+        // Nesting/abortion consistency (§3.3.1).
+        for (&thread, &(enters, exits, aborts)) in &view.per_thread {
+            if enters != 1 || exits + aborts != 1 {
+                violations.push(Violation::NestingInconsistent {
+                    action,
+                    thread,
+                    enters,
+                    exits,
+                    aborts,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks every per-trace oracle against one plan-driven run: the
+/// invariants of [`check_invariants`] plus the plan-dependent Lemma 1
+/// completion bound and §3.3.3 message-complexity bound.
+#[must_use]
+pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
+    let plan = &artifacts.plan;
+    let labels = artifacts.trace.canonical_labels();
+    let views = collect_views(&artifacts.trace);
+    let mut violations = invariant_violations(&artifacts.report, &views, &labels);
+
+    // Group-size lookup by action name (instances report their definition
+    // name in their Enter events).
+    let group_by_name: BTreeMap<&str, usize> = plan
+        .actions()
+        .iter()
+        .map(|a| (a.name.as_str(), a.group.len()))
+        .collect();
+
+    let bound_secs = lemma1_bound(plan);
+    for (&serial, view) in &views {
+        let action = labels.get(&serial).copied().unwrap_or(usize::MAX) as u64;
+
+        // Lemma 1 completion bound.
+        if let (Some(raise), Some(done)) = (view.first_raise_ns, view.last_handler_end_ns) {
+            let measured = (done.saturating_sub(raise)) as f64 / 1e9;
+            if measured > bound_secs {
+                violations.push(Violation::Lemma1Exceeded {
+                    action,
+                    measured,
+                    bound: bound_secs,
+                });
+            }
+        }
+
+        // §3.3.3 message complexity.
+        let group_size = view
+            .name
+            .as_deref()
+            .and_then(|name| group_by_name.get(name).copied());
+        if let Some(n) = group_size {
+            let n = n as u64;
+            let bound = (n + 1).saturating_mul(n.saturating_sub(1));
+            if view.resolution_msgs > bound {
+                violations.push(Violation::MessageBoundExceeded {
+                    action,
+                    messages: view.resolution_msgs,
+                    bound,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Compares two renderings of the same seed's trace (deterministic-replay
+/// oracle).
+#[must_use]
+pub fn check_replay(original: &Trace, replay: &Trace) -> Option<Violation> {
+    diff_renderings(&original.render(), &replay.render())
+}
+
+/// Compares the timestamp-free protocol projections of two traces — the
+/// determinism contract for systems that also synchronise through shared
+/// objects (see [`Trace::protocol_projection`]).
+#[must_use]
+pub fn check_replay_protocol(original: &Trace, replay: &Trace) -> Option<Violation> {
+    diff_renderings(
+        &original.protocol_projection(),
+        &replay.protocol_projection(),
+    )
+}
+
+fn diff_renderings(a: &str, b: &str) -> Option<Violation> {
+    if a == b {
+        return None;
+    }
+    let first_diff_line = a
+        .lines()
+        .zip(b.lines())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.lines().count().min(b.lines().count()));
+    Some(Violation::ReplayDiverged { first_diff_line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::plan::ScenarioConfig;
+
+    #[test]
+    fn clean_seeds_pass_every_oracle() {
+        let cfg = ScenarioConfig::default();
+        for seed in [0, 1, 2, 3] {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            let artifacts = execute(&plan);
+            let violations = check_run(&artifacts);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} ({}):\n{}\ntrace:\n{}",
+                plan.describe(),
+                violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                artifacts.trace.render(),
+            );
+        }
+    }
+
+    #[test]
+    fn replay_check_accepts_identical_and_flags_divergent() {
+        let cfg = ScenarioConfig::default();
+        let plan = ScenarioPlan::generate(5, &cfg);
+        let a = execute(&plan);
+        let b = execute(&plan);
+        assert_eq!(check_replay(&a.trace, &b.trace), None);
+        let other = execute(&ScenarioPlan::generate(6, &cfg));
+        assert!(check_replay(&a.trace, &other.trace).is_some());
+    }
+}

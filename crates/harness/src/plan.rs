@@ -1,0 +1,539 @@
+//! The scenario model: from a single `u64` seed to a fully determined
+//! scenario plan.
+//!
+//! A [`ScenarioPlan`] fixes everything about one simulated run — the number
+//! of participating threads, the latency/resolution/handler timing
+//! parameters, a tree of CA actions (nesting structure, role groups,
+//! exception graphs, handler verdicts, abortion behaviour), the workload of
+//! every role (computation, messaging, concurrent raises) and the network
+//! fault schedule. Two calls with the same seed yield the identical plan;
+//! the executor ([`crate::exec`]) then replays it deterministically on the
+//! virtual-time network.
+//!
+//! ## Shape of generated scenarios
+//!
+//! Every top-level action is entered by **all** threads at the same virtual
+//! time, and each action consists of: zero or more aligned *compute* phases
+//! (equal virtual duration for every member, with optional role-to-role
+//! messages), then optionally one *nested* phase (disjoint sub-groups each
+//! entering a child action concurrently), then optionally one *raise* phase
+//! (a subset of members raising concurrently within a short window). This
+//! alignment discipline keeps entry skew within one message latency, which
+//! is what makes the Lemma 1 time-bound oracle sound (see
+//! [`crate::oracle`]). Within that shape the space is unbounded: nesting
+//! depth, sibling concurrency, raiser sets, verdicts (forward recovery, µ,
+//! ƒ, interface signals), abortion-handler exceptions and fault schedules
+//! all vary with the seed.
+
+use caa_core::ids::PartitionId;
+use caa_simnet::{FaultPlan, FaultSpec};
+
+use crate::rng::Rng;
+
+/// Knobs bounding the scenario space explored by seed generation.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Minimum number of participating threads (≥ 1).
+    pub min_threads: u32,
+    /// Maximum number of participating threads.
+    pub max_threads: u32,
+    /// Maximum nesting depth below the top-level actions (0 = flat).
+    pub max_depth: usize,
+    /// Maximum number of sequential top-level actions.
+    pub max_top_actions: u32,
+    /// Whether to generate network fault schedules (message loss and
+    /// corruption of signalling/application traffic, signalling crashes).
+    pub allow_faults: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            min_threads: 2,
+            max_threads: 5,
+            max_depth: 2,
+            max_top_actions: 2,
+            allow_faults: true,
+        }
+    }
+}
+
+/// How a role's handler concludes for any resolved exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictChoice {
+    /// Forward recovery succeeds.
+    Recovered,
+    /// Request the undo round (µ).
+    Undo,
+    /// Unrecoverable: signal ƒ.
+    Fail,
+    /// Signal an interface exception to the enclosing context.
+    Signal,
+}
+
+/// One network fault rule of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultChoice {
+    /// Message class affected (`"toBeSignalled"` or `"App"` — classes whose
+    /// loss the protocols tolerate by design; resolution-critical classes
+    /// are excluded per Assumption 1).
+    pub class: &'static str,
+    /// Lose the message (true) or corrupt it in transit (false).
+    pub lose: bool,
+    /// Restrict to messages sent by this thread, if set. Generated plans
+    /// always pin the sender: a rule matching several senders consumes its
+    /// skip/count budget in arrival order, and same-instant sends from
+    /// different partitions reach the fault injector in nondeterministic
+    /// wall-clock order — a pinned sender's messages arrive in its own
+    /// (deterministic) program order.
+    pub src: Option<u32>,
+    /// Matching messages to let through before the fault starts.
+    pub skip: u64,
+    /// Matching messages affected (`u64::MAX` models a signalling crash:
+    /// every announcement from `src` is lost from `skip` onward).
+    pub count: u64,
+}
+
+/// An aligned phase of one action.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// Every member spends exactly `dur_ns` of virtual time: `sends` fire
+    /// (instantly) at phase start, `listeners` drain their app inbox for
+    /// the whole phase, everyone else computes.
+    Compute {
+        /// Phase length in virtual nanoseconds.
+        dur_ns: u64,
+        /// `(from, to)` application messages sent at phase start.
+        sends: Vec<(u32, u32)>,
+        /// Threads that listen instead of computing.
+        listeners: Vec<u32>,
+    },
+    /// Disjoint sub-groups of the action's members enter child actions
+    /// concurrently; members outside every child group proceed directly.
+    Nested {
+        /// The concurrently entered child actions.
+        children: Vec<ActionPlan>,
+    },
+}
+
+/// The optional final raise phase of an action.
+#[derive(Debug, Clone)]
+pub struct RaisePhase {
+    /// `(thread, delay_ns)`: each raiser works `delay_ns` into the phase
+    /// and then raises its own exception, producing genuinely concurrent
+    /// raises when delays are close.
+    pub raisers: Vec<(u32, u64)>,
+}
+
+/// One CA action of the scenario (a node of the action tree).
+#[derive(Debug, Clone)]
+pub struct ActionPlan {
+    /// Unique name (`a0`, `a0.1`, …) encoding the tree path.
+    pub name: String,
+    /// Member threads (each playing role `r<thread>`).
+    pub group: Vec<u32>,
+    /// Nesting depth: top-level actions are 0.
+    pub depth: usize,
+    /// The aligned phases, in order.
+    pub phases: Vec<Phase>,
+    /// The optional final raise phase.
+    pub raise: Option<RaisePhase>,
+    /// Per-member handler verdicts.
+    pub verdicts: Vec<(u32, VerdictChoice)>,
+    /// Members whose abortion handler raises an `Eab` exception (§3.3.1).
+    pub abort_raises_eab: Vec<u32>,
+}
+
+impl ActionPlan {
+    /// The exception `thread` raises in this action.
+    #[must_use]
+    pub fn raise_exception(&self, thread: u32) -> String {
+        format!("{}_e{thread}", self.name)
+    }
+
+    /// The interface exception a `Signal` verdict reports from this action.
+    #[must_use]
+    pub fn signal_exception(&self) -> String {
+        format!("{}_sig", self.name)
+    }
+
+    /// The `Eab` exception `thread`'s abortion handler raises.
+    #[must_use]
+    pub fn eab_exception(&self, thread: u32) -> String {
+        format!("{}_eab{thread}", self.name)
+    }
+
+    /// Depth of the deepest action in this subtree, relative to this node.
+    #[must_use]
+    pub fn subtree_depth(&self) -> usize {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Nested { children } => children.iter().map(|c| 1 + c.subtree_depth()).max(),
+                Phase::Compute { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// This node and every descendant, preorder.
+    pub fn walk(&self) -> Vec<&ActionPlan> {
+        let mut out = vec![self];
+        for phase in &self.phases {
+            if let Phase::Nested { children } = phase {
+                for child in children {
+                    out.extend(child.walk());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fully determined scenario: everything needed to execute and to check
+/// one simulated run.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    /// The generating seed.
+    pub seed: u64,
+    /// Number of participating threads.
+    pub threads: u32,
+    /// The paper's `Tmmax` (seconds): upper bound of the uniform latency.
+    pub t_mmax: f64,
+    /// The paper's `Treso` (seconds): cost per resolution invocation.
+    pub t_reso: f64,
+    /// Handler computation `∆` (seconds) — identical for every role.
+    pub delta: f64,
+    /// Abortion-handler computation `Tabort` (seconds).
+    pub t_abort: f64,
+    /// Signalling timeout (seconds); a missing announcement is then ƒ.
+    pub signal_timeout: f64,
+    /// The network fault schedule.
+    pub faults: Vec<FaultChoice>,
+    /// Sequential top-level actions, each entered by every thread.
+    pub top: Vec<ActionPlan>,
+}
+
+impl ScenarioPlan {
+    /// Generates the plan determined by `seed` under `config`.
+    #[must_use]
+    pub fn generate(seed: u64, config: &ScenarioConfig) -> ScenarioPlan {
+        let mut rng = Rng::new(seed);
+        let threads = rng.range(
+            u64::from(config.min_threads.max(1)),
+            u64::from(config.max_threads),
+        ) as u32;
+        let all: Vec<u32> = (0..threads).collect();
+        let t_mmax = rng.f64_range(0.05, 1.0);
+        let t_reso = rng.f64_range(0.0, 0.3);
+        let delta = rng.f64_range(0.0, 0.3);
+        let t_abort = rng.f64_range(0.0, 0.3);
+
+        let top_n = rng.range(1, u64::from(config.max_top_actions.max(1)));
+        let mut top = Vec::new();
+        for i in 0..top_n {
+            top.push(gen_action(
+                &mut rng,
+                format!("a{i}"),
+                all.clone(),
+                0,
+                config.max_depth,
+            ));
+        }
+
+        let mut faults = Vec::new();
+        if config.allow_faults {
+            if rng.chance(0.5) {
+                for _ in 0..rng.range(1, 2) {
+                    faults.push(FaultChoice {
+                        class: if rng.chance(0.5) {
+                            "toBeSignalled"
+                        } else {
+                            "App"
+                        },
+                        lose: rng.chance(0.5),
+                        src: Some(rng.below(u64::from(threads)) as u32),
+                        skip: rng.below(30),
+                        count: rng.range(1, 2),
+                    });
+                }
+            }
+            if rng.chance(0.15) {
+                // A signalling crash: from some point on, none of this
+                // thread's announcements arrive; peers time out and treat
+                // the silence as ƒ (§3.4 crash extension).
+                faults.push(FaultChoice {
+                    class: "toBeSignalled",
+                    lose: true,
+                    src: Some(rng.below(u64::from(threads)) as u32),
+                    skip: rng.below(10),
+                    count: u64::MAX,
+                });
+            }
+        }
+
+        ScenarioPlan {
+            seed,
+            threads,
+            t_mmax,
+            t_reso,
+            delta,
+            t_abort,
+            signal_timeout: 60.0,
+            faults,
+            top,
+        }
+    }
+
+    /// Depth of the deepest generated action (`nmax` of Lemma 1).
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.top
+            .iter()
+            .map(ActionPlan::subtree_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Every action of the plan, preorder across the top-level sequence.
+    pub fn actions(&self) -> Vec<&ActionPlan> {
+        self.top.iter().flat_map(ActionPlan::walk).collect()
+    }
+
+    /// Materialises the plan's fault schedule as a network [`FaultPlan`].
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for f in &self.faults {
+            let mut spec = match f.src {
+                Some(t) => FaultSpec::from(PartitionId::new(t)),
+                None => FaultSpec::any(),
+            };
+            spec = spec.class(f.class).skip(f.skip).count(f.count);
+            plan = if f.lose {
+                plan.lose(spec)
+            } else {
+                plan.corrupt(spec)
+            };
+        }
+        plan
+    }
+
+    /// One-paragraph human summary (for violation reports).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "seed {}: {} threads, {} top actions, depth {}, Tmmax {:.3}s, \
+             Treso {:.3}s, ∆ {:.3}s, Tabort {:.3}s, {} fault rule(s)",
+            self.seed,
+            self.threads,
+            self.top.len(),
+            self.max_depth(),
+            self.t_mmax,
+            self.t_reso,
+            self.delta,
+            self.t_abort,
+            self.faults.len(),
+        )
+    }
+}
+
+fn gen_verdict(rng: &mut Rng) -> VerdictChoice {
+    let roll = rng.unit_f64();
+    if roll < 0.70 {
+        VerdictChoice::Recovered
+    } else if roll < 0.85 {
+        VerdictChoice::Undo
+    } else if roll < 0.95 {
+        VerdictChoice::Signal
+    } else {
+        VerdictChoice::Fail
+    }
+}
+
+fn gen_action(
+    rng: &mut Rng,
+    name: String,
+    group: Vec<u32>,
+    depth: usize,
+    max_depth: usize,
+) -> ActionPlan {
+    let mut phases = Vec::new();
+
+    // Aligned compute phases with optional messaging.
+    for _ in 0..rng.range(0, 2) {
+        let dur_ns = (rng.f64_range(0.02, 0.4) * 1e9) as u64;
+        let mut sends = Vec::new();
+        let mut listeners = Vec::new();
+        if group.len() >= 2 {
+            for &t in &group {
+                if rng.chance(0.35) {
+                    let peers: Vec<u32> = group.iter().copied().filter(|&p| p != t).collect();
+                    let to = peers[rng.below(peers.len() as u64) as usize];
+                    sends.push((t, to));
+                }
+                if rng.chance(0.3) {
+                    listeners.push(t);
+                }
+            }
+        }
+        phases.push(Phase::Compute {
+            dur_ns,
+            sends,
+            listeners,
+        });
+    }
+
+    // Optional nested phase: disjoint sub-groups entered concurrently.
+    if depth < max_depth && !group.is_empty() && rng.chance(0.6) {
+        let mut pool = group.clone();
+        // Deterministic shuffle.
+        for i in (1..pool.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            pool.swap(i, j);
+        }
+        let n_children = if pool.len() >= 3 && rng.chance(0.4) {
+            2
+        } else {
+            1
+        };
+        let mut children = Vec::new();
+        for c in 0..n_children {
+            if pool.is_empty() {
+                break;
+            }
+            let take = rng.range(1, pool.len() as u64) as usize;
+            let mut sub: Vec<u32> = pool.drain(..take).collect();
+            sub.sort_unstable();
+            children.push(gen_action(
+                rng,
+                format!("{name}.{c}"),
+                sub,
+                depth + 1,
+                max_depth,
+            ));
+        }
+        phases.push(Phase::Nested { children });
+    }
+
+    // Optional final raise phase: concurrent raises within a short window.
+    let raise = if rng.chance(if depth == 0 { 0.75 } else { 0.5 }) {
+        let mut raisers: Vec<(u32, u64)> = Vec::new();
+        for &t in &group {
+            if rng.chance(0.45) {
+                raisers.push((t, rng.below(200_000_000)));
+            }
+        }
+        (!raisers.is_empty()).then_some(RaisePhase { raisers })
+    } else {
+        None
+    };
+
+    let verdicts = group.iter().map(|&t| (t, gen_verdict(rng))).collect();
+    let abort_raises_eab = if depth > 0 {
+        group.iter().copied().filter(|_| rng.chance(0.5)).collect()
+    } else {
+        Vec::new()
+    };
+
+    ActionPlan {
+        name,
+        group,
+        depth,
+        phases,
+        raise,
+        verdicts,
+        abort_raises_eab,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ScenarioConfig::default();
+        let a = ScenarioPlan::generate(42, &cfg);
+        let b = ScenarioPlan::generate(42, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn different_seeds_explore_different_plans() {
+        let cfg = ScenarioConfig::default();
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..64 {
+            distinct.insert(format!("{:?}", ScenarioPlan::generate(seed, &cfg)));
+        }
+        assert!(
+            distinct.len() > 60,
+            "only {} distinct plans",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn structure_respects_config_bounds() {
+        let cfg = ScenarioConfig {
+            min_threads: 2,
+            max_threads: 4,
+            max_depth: 2,
+            max_top_actions: 2,
+            allow_faults: true,
+        };
+        for seed in 0..200 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            assert!((2..=4).contains(&plan.threads), "seed {seed}");
+            assert!(plan.max_depth() <= 2, "seed {seed}");
+            assert!(plan.top.len() <= 2, "seed {seed}");
+            for action in plan.actions() {
+                assert!(!action.group.is_empty());
+                // Children partition a subset of the parent group.
+                for phase in &action.phases {
+                    if let Phase::Nested { children } = phase {
+                        let mut seen = std::collections::HashSet::new();
+                        for child in children {
+                            for &t in &child.group {
+                                assert!(action.group.contains(&t));
+                                assert!(seen.insert(t), "overlapping child groups");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_reach_interesting_features() {
+        let cfg = ScenarioConfig::default();
+        let (mut nested, mut multi_raise, mut faults, mut crash) = (0, 0, 0, 0);
+        for seed in 0..300 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            if plan.max_depth() > 0 {
+                nested += 1;
+            }
+            if plan
+                .actions()
+                .iter()
+                .any(|a| a.raise.as_ref().is_some_and(|r| r.raisers.len() >= 2))
+            {
+                multi_raise += 1;
+            }
+            if !plan.faults.is_empty() {
+                faults += 1;
+            }
+            if plan.faults.iter().any(|f| f.count == u64::MAX) {
+                crash += 1;
+            }
+        }
+        assert!(nested > 100, "nesting too rare: {nested}/300");
+        assert!(
+            multi_raise > 60,
+            "concurrent raises too rare: {multi_raise}/300"
+        );
+        assert!(faults > 100, "faults too rare: {faults}/300");
+        assert!(crash > 10, "crashes too rare: {crash}/300");
+    }
+}

@@ -1,0 +1,214 @@
+//! Seed-sweep exploration: fan thousands of seeds across OS worker threads,
+//! check every oracle on every trace, and report violating seeds for
+//! one-command replay.
+//!
+//! Each seed is an independent, fully deterministic simulation; the sweep
+//! is embarrassingly parallel and scales with the host's cores while the
+//! simulated time stays virtual. A violating seed reproduces exactly with
+//! [`run_seed`] (or `cargo run -p caa-harness --example replay -- <seed>`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::exec::{execute, RunArtifacts};
+use crate::oracle::{check_replay, check_run, Violation};
+use crate::plan::{ScenarioConfig, ScenarioPlan};
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// First seed (inclusive).
+    pub start_seed: u64,
+    /// Number of seeds to explore.
+    pub seeds: u64,
+    /// Worker OS threads; 0 = one per available core.
+    pub workers: usize,
+    /// Scenario-space bounds.
+    pub scenario: ScenarioConfig,
+    /// Execute every seed twice and require byte-identical traces.
+    pub check_replay: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            start_seed: 0,
+            seeds: 1000,
+            workers: 0,
+            scenario: ScenarioConfig::default(),
+            check_replay: true,
+        }
+    }
+}
+
+/// The outcome of one seed.
+#[derive(Debug)]
+pub struct SeedResult {
+    /// The seed.
+    pub seed: u64,
+    /// Oracle violations (empty = the seed passed).
+    pub violations: Vec<Violation>,
+    /// The run's artifacts (plan, trace, report).
+    pub artifacts: RunArtifacts,
+}
+
+impl SeedResult {
+    /// Whether every oracle passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The command reproducing this seed's run and oracle verdicts.
+    ///
+    /// The `replay` example regenerates the plan under the **default**
+    /// [`ScenarioConfig`]; a sweep run with a custom config must instead
+    /// call [`run_seed`] with that same config to reproduce the seed.
+    #[must_use]
+    pub fn replay_command(&self) -> String {
+        format!("cargo run -p caa-harness --example replay -- {}", self.seed)
+    }
+}
+
+/// Aggregated outcome of a sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Seeds explored.
+    pub seeds_run: u64,
+    /// Results of the seeds that violated at least one oracle.
+    pub failures: Vec<SeedResult>,
+    /// Total trace entries recorded across all seeds.
+    pub trace_entries: u64,
+    /// Total virtual time simulated across all seeds (seconds).
+    pub virtual_secs: f64,
+    /// Wall-clock duration of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Whether every explored seed passed every oracle.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A human summary, listing replay commands for any violating seed.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "swept {} seeds in {:.2?} ({:.0} seeds/s): {} entries, {:.0}s virtual time, {} failing\n",
+            self.seeds_run,
+            self.wall,
+            self.seeds_run as f64 / self.wall.as_secs_f64().max(1e-9),
+            self.trace_entries,
+            self.virtual_secs,
+            self.failures.len(),
+        );
+        for failure in &self.failures {
+            let _ = writeln!(
+                out,
+                "  seed {} ({}): replay with `{}`",
+                failure.seed,
+                failure.artifacts.plan.describe(),
+                failure.replay_command(),
+            );
+            for violation in &failure.violations {
+                let _ = writeln!(out, "    - {violation}");
+            }
+        }
+        out
+    }
+}
+
+/// Runs one seed end to end: generate the plan, execute it, check every
+/// oracle — executing twice and comparing traces when `check_replay`.
+#[must_use]
+pub fn run_seed(seed: u64, scenario: &ScenarioConfig, check_replay_too: bool) -> SeedResult {
+    let plan = ScenarioPlan::generate(seed, scenario);
+    let artifacts = execute(&plan);
+    let mut violations = check_run(&artifacts);
+    if check_replay_too {
+        let replayed = execute(&plan);
+        if let Some(v) = check_replay(&artifacts.trace, &replayed.trace) {
+            violations.push(v);
+        }
+    }
+    SeedResult {
+        seed,
+        violations,
+        artifacts,
+    }
+}
+
+/// Explores `config.seeds` seeds across worker threads.
+#[must_use]
+pub fn sweep(config: &SweepConfig) -> SweepReport {
+    let started = Instant::now();
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        config.workers
+    };
+    let next = AtomicU64::new(0);
+    let failures: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
+    let entries = AtomicU64::new(0);
+    let virtual_ns = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.seeds {
+                    return;
+                }
+                let seed = config.start_seed + i;
+                let result = run_seed(seed, &config.scenario, config.check_replay);
+                entries.fetch_add(result.artifacts.trace.len() as u64, Ordering::Relaxed);
+                virtual_ns.fetch_add(
+                    result.artifacts.report.elapsed.as_nanos(),
+                    Ordering::Relaxed,
+                );
+                if !result.passed() {
+                    failures.lock().expect("sweep collector").push(result);
+                }
+            });
+        }
+    });
+
+    let mut failures = failures.into_inner().expect("sweep collector");
+    failures.sort_by_key(|f| f.seed);
+    SweepReport {
+        seeds_run: config.seeds,
+        failures,
+        trace_entries: entries.into_inner(),
+        virtual_secs: virtual_ns.into_inner() as f64 / 1e9,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_passes_and_reports() {
+        let report = sweep(&SweepConfig {
+            seeds: 16,
+            workers: 2,
+            check_replay: true,
+            ..SweepConfig::default()
+        });
+        assert!(report.all_passed(), "{}", report.summary());
+        assert_eq!(report.seeds_run, 16);
+        assert!(report.trace_entries > 0);
+        assert!(report.summary().contains("swept 16 seeds"));
+    }
+
+    #[test]
+    fn run_seed_exposes_replay_command() {
+        let result = run_seed(3, &ScenarioConfig::default(), false);
+        assert!(result.replay_command().contains("-- 3"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Structured trace recording.
+//!
+//! A [`TraceRecorder`] implements both the runtime's
+//! [`Observer`](caa_runtime::observe::Observer) hook and the network's
+//! [`NetTap`](caa_simnet::NetTap) hook, collecting every protocol-level
+//! step and every message send/loss/corruption of one simulated run. Events
+//! arrive from the participating OS threads in arbitrary wall-clock order;
+//! [`TraceRecorder::finish`] sorts them into the canonical order
+//! `(virtual time, thread, per-thread sequence)`, which is fully
+//! deterministic for a deterministic run — the same seed renders the same
+//! byte-identical trace, which is exactly what the deterministic-replay
+//! oracle checks.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use caa_runtime::observe::{Event, Observer};
+use caa_simnet::{NetTap, TapEvent};
+use parking_lot::Mutex;
+
+/// What one trace entry records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A runtime protocol step (entry/exit, raise, resolution, handler,
+    /// signalling, abortion).
+    Runtime(Event),
+    /// A message accepted by the network.
+    NetSent(TapEvent),
+    /// A message lost by fault injection.
+    NetDropped(TapEvent),
+    /// A message corrupted by fault injection.
+    NetCorrupted(TapEvent),
+}
+
+/// One entry of a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Virtual timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// The thread (partition) the entry originates from.
+    pub thread: u32,
+    /// Per-thread sequence number (program order within the thread).
+    pub seq: u64,
+    /// The recorded step.
+    pub kind: EntryKind,
+}
+
+impl Entry {
+    /// The action-instance serial this entry refers to.
+    #[must_use]
+    pub fn action_serial(&self) -> u64 {
+        match &self.kind {
+            EntryKind::Runtime(e) => e.action.serial(),
+            EntryKind::NetSent(e) | EntryKind::NetDropped(e) | EntryKind::NetCorrupted(e) => {
+                e.correlation
+            }
+        }
+    }
+
+    /// Renders one line. `act` is the canonical (run-independent) label of
+    /// the entry's action instance: raw instance serials incorporate
+    /// process-global definition ids and would differ between two
+    /// executions of the same seed.
+    fn render(&self, out: &mut String, act: usize) {
+        let _ = write!(
+            out,
+            "@{:>12} T{} #{:<4} A{act} ",
+            self.at_ns, self.thread, self.seq
+        );
+        match &self.kind {
+            EntryKind::Runtime(e) => {
+                let _ = write!(out, "{}", e.kind);
+            }
+            EntryKind::NetSent(e) => {
+                let _ = write!(
+                    out,
+                    "net send {} {}->{} seq={} deliver@{}",
+                    e.class,
+                    e.src,
+                    e.dst,
+                    e.seq,
+                    e.deliver_at.as_nanos()
+                );
+            }
+            EntryKind::NetDropped(e) => {
+                let _ = write!(out, "net drop {} {}->{}", e.class, e.src, e.dst);
+            }
+            EntryKind::NetCorrupted(e) => {
+                let _ = write!(out, "net corrupt {} {}->{}", e.class, e.src, e.dst);
+            }
+        }
+        out.push('\n');
+    }
+}
+
+/// A completed, canonically ordered trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<Entry>,
+}
+
+impl Trace {
+    /// The entries in canonical order.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The runtime events of the trace, in canonical order.
+    pub fn runtime_events(&self) -> impl Iterator<Item = &Event> {
+        self.entries.iter().filter_map(|e| match &e.kind {
+            EntryKind::Runtime(ev) => Some(ev),
+            _ => None,
+        })
+    }
+
+    /// The network send events of the trace, in canonical order.
+    pub fn net_sends(&self) -> impl Iterator<Item = &TapEvent> {
+        self.entries.iter().filter_map(|e| match &e.kind {
+            EntryKind::NetSent(ev) => Some(ev),
+            _ => None,
+        })
+    }
+
+    /// Dense, run-independent labels for the trace's action instances,
+    /// assigned in canonical-order of first appearance — the `A<n>` labels
+    /// used by [`Trace::render`] and by oracle violation reports.
+    #[must_use]
+    pub fn canonical_labels(&self) -> HashMap<u64, usize> {
+        let mut canonical: HashMap<u64, usize> = HashMap::new();
+        for entry in &self.entries {
+            let next = canonical.len();
+            canonical.entry(entry.action_serial()).or_insert(next);
+        }
+        canonical
+    }
+
+    /// Renders the whole trace as text: one line per entry, byte-identical
+    /// across replays of the same seed. Action-instance serials are
+    /// replaced by dense labels assigned in canonical-order of first
+    /// appearance ([`Trace::canonical_labels`]), so the rendering is
+    /// independent of process-global definition-id state.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let canonical = self.canonical_labels();
+        let mut out = String::with_capacity(self.entries.len() * 64);
+        for entry in &self.entries {
+            entry.render(&mut out, canonical[&entry.action_serial()]);
+        }
+        out
+    }
+
+    /// Renders the timestamp-free, per-thread *protocol projection*: each
+    /// thread's sequence of runtime protocol steps, with canonical action
+    /// labels, no virtual times and no network events.
+    ///
+    /// Harness-generated scenarios replay byte-identically under
+    /// [`Trace::render`]. Systems that also synchronise through
+    /// transactional shared objects (e.g. the production cell) race on
+    /// same-instant object acquisition, which shifts *timings* between
+    /// replays while the protocol steps each thread performs stay fixed —
+    /// this projection is the determinism contract for those systems.
+    #[must_use]
+    pub fn protocol_projection(&self) -> String {
+        let mut per_thread: BTreeMap<u32, Vec<&Entry>> = BTreeMap::new();
+        for entry in &self.entries {
+            if matches!(entry.kind, EntryKind::Runtime(_)) {
+                per_thread.entry(entry.thread).or_default().push(entry);
+            }
+        }
+        for entries in per_thread.values_mut() {
+            entries.sort_by_key(|e| e.seq);
+        }
+        let mut canonical: HashMap<u64, usize> = HashMap::new();
+        let mut out = String::with_capacity(self.entries.len() * 32);
+        for (thread, entries) in &per_thread {
+            for entry in entries {
+                let next = canonical.len();
+                let act = *canonical.entry(entry.action_serial()).or_insert(next);
+                if let EntryKind::Runtime(e) = &entry.kind {
+                    let _ = writeln!(out, "T{thread} A{act} {}", e.kind);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RecorderState {
+    entries: Vec<Entry>,
+    next_seq: HashMap<u32, u64>,
+}
+
+/// Collects runtime and network events from a running system.
+///
+/// Attach one recorder as both the system's observer and its network tap:
+///
+/// ```
+/// use std::sync::Arc;
+/// use caa_harness::trace::TraceRecorder;
+/// use caa_runtime::System;
+///
+/// let recorder = Arc::new(TraceRecorder::default());
+/// let sys = System::builder()
+///     .observer(Arc::clone(&recorder) as _)
+///     .tap(Arc::clone(&recorder) as _)
+///     .build();
+/// # drop(sys);
+/// ```
+#[derive(Default)]
+pub struct TraceRecorder {
+    state: Mutex<RecorderState>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("entries", &self.state.lock().entries.len())
+            .finish()
+    }
+}
+
+impl TraceRecorder {
+    /// A fresh recorder behind an `Arc`, ready to attach.
+    #[must_use]
+    pub fn new() -> Arc<TraceRecorder> {
+        Arc::new(TraceRecorder::default())
+    }
+
+    fn push(&self, at_ns: u64, thread: u32, kind: EntryKind) {
+        let mut state = self.state.lock();
+        let seq = state.next_seq.entry(thread).or_insert(0);
+        let seq_now = *seq;
+        *seq += 1;
+        state.entries.push(Entry {
+            at_ns,
+            thread,
+            seq: seq_now,
+            kind,
+        });
+    }
+
+    /// Extracts the canonical trace recorded so far.
+    #[must_use]
+    pub fn finish(&self) -> Trace {
+        let mut entries = self.state.lock().entries.clone();
+        entries.sort_by_key(|e| (e.at_ns, e.thread, e.seq));
+        Trace { entries }
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_event(&self, event: &Event) {
+        self.push(
+            event.at.as_nanos(),
+            event.thread.as_u32(),
+            EntryKind::Runtime(event.clone()),
+        );
+    }
+}
+
+impl NetTap for TraceRecorder {
+    fn on_sent(&self, event: &TapEvent) {
+        self.push(
+            event.at.as_nanos(),
+            event.src.as_u32(),
+            EntryKind::NetSent(event.clone()),
+        );
+    }
+
+    fn on_dropped(&self, event: &TapEvent) {
+        self.push(
+            event.at.as_nanos(),
+            event.src.as_u32(),
+            EntryKind::NetDropped(event.clone()),
+        );
+    }
+
+    fn on_corrupted(&self, event: &TapEvent) {
+        self.push(
+            event.at.as_nanos(),
+            event.src.as_u32(),
+            EntryKind::NetCorrupted(event.clone()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caa_core::exception::ExceptionId;
+    use caa_core::ids::{ActionId, PartitionId, ThreadId};
+    use caa_core::time::VirtualInstant;
+    use caa_runtime::observe::EventKind;
+
+    fn runtime_event(at: u64, thread: u32) -> Event {
+        Event {
+            at: VirtualInstant::from_nanos(at),
+            thread: ThreadId::new(thread),
+            action: ActionId::top_level(5),
+            kind: EventKind::Raise {
+                exception: ExceptionId::new("x"),
+            },
+        }
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_time_thread_seq() {
+        let rec = TraceRecorder::new();
+        rec.on_event(&runtime_event(200, 1));
+        rec.on_event(&runtime_event(100, 1));
+        rec.on_event(&runtime_event(100, 0));
+        let trace = rec.finish();
+        let keys: Vec<(u64, u32)> = trace
+            .entries()
+            .iter()
+            .map(|e| (e.at_ns, e.thread))
+            .collect();
+        assert_eq!(keys, vec![(100, 0), (100, 1), (200, 1)]);
+        // Per-thread sequence numbers preserve arrival (program) order:
+        // thread 1 recorded its @200 event before its @100 event.
+        assert_eq!(trace.entries()[1].seq, 1);
+        assert_eq!(trace.entries()[2].seq, 0);
+    }
+
+    #[test]
+    fn render_is_stable_and_line_oriented() {
+        let rec = TraceRecorder::new();
+        rec.on_event(&runtime_event(1, 0));
+        rec.on_sent(&TapEvent {
+            src: PartitionId::new(0),
+            dst: PartitionId::new(1),
+            class: "Exception",
+            correlation: 9,
+            at: VirtualInstant::from_nanos(2),
+            deliver_at: VirtualInstant::from_nanos(7),
+            seq: 0,
+        });
+        let trace = rec.finish();
+        let text = trace.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("raise x"), "{text}");
+        assert!(text.contains("net send Exception"), "{text}");
+        assert_eq!(text, rec.finish().render());
+    }
+}

@@ -3,13 +3,12 @@
 
 use caa_runtime::objects::irreversible;
 use caa_runtime::SharedObject;
-use serde::{Deserialize, Serialize};
 
 use crate::devices::{DepositBelt, FeedBelt, Press, Robot, RotaryTable};
 use crate::faults::FaultScript;
 
 /// Per-device fault schedules for one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellFaultScripts {
     /// Feed-belt faults.
     pub feed: FaultScript,
@@ -24,7 +23,7 @@ pub struct CellFaultScripts {
 }
 
 /// Counters maintained by the controller.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CellMetrics {
     /// Blanks inserted by the environment.
     pub inserted: u32,

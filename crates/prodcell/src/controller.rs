@@ -232,9 +232,7 @@ impl Definitions {
             unload = unload.fallback_handler(role, move |hc| {
                 let resolved = hc.handling().expect("in handler").clone();
                 let name = resolved.name().to_owned();
-                if name.contains("l_plate")
-                    || name.contains(L_PLATE_SIGNAL)
-                    || name == "plate_gone"
+                if name.contains("l_plate") || name.contains(L_PLATE_SIGNAL) || name == "plate_gone"
                 {
                     return Ok(HandlerVerdict::Signal(ExceptionId::new(L_PLATE_SIGNAL)));
                 }
@@ -285,7 +283,9 @@ impl Definitions {
         for role in ["robot_sensor", "robot"] {
             extend_arm1 = extend_arm1.fallback_handler(role, micro_policy);
         }
-        let extend_arm1 = extend_arm1.build().expect("Extend_Arm1 definition is valid");
+        let extend_arm1 = extend_arm1
+            .build()
+            .expect("Extend_Arm1 definition is valid");
 
         let mut grab = ActionDef::builder("Grab_Plate_From_Table")
             .role("table_sensor", TABLE_SENSOR)
@@ -297,7 +297,9 @@ impl Definitions {
         for role in ["table_sensor", "table", "robot_sensor", "robot"] {
             grab = grab.fallback_handler(role, micro_policy);
         }
-        let grab = grab.build().expect("Grab_Plate_From_Table definition is valid");
+        let grab = grab
+            .build()
+            .expect("Grab_Plate_From_Table definition is valid");
 
         let mut retract_arm1 = ActionDef::builder("Retract_Arm1")
             .role("robot_sensor", ROBOT_SENSOR)
@@ -307,7 +309,9 @@ impl Definitions {
         for role in ["robot_sensor", "robot"] {
             retract_arm1 = retract_arm1.fallback_handler(role, micro_policy);
         }
-        let retract_arm1 = retract_arm1.build().expect("Retract_Arm1 definition is valid");
+        let retract_arm1 = retract_arm1
+            .build()
+            .expect("Retract_Arm1 definition is valid");
 
         // ---------------- Pressing ----------------
         let mut pressing = ActionDef::builder("Pressing")
@@ -320,9 +324,8 @@ impl Definitions {
         for role in ["robot_sensor", "robot", "press_sensor", "press"] {
             let c = cell.clone();
             let repairs = role == "press";
-            pressing = pressing.fallback_handler(role, move |hc| {
-                pressing_recovery(hc, &c, repairs)
-            });
+            pressing =
+                pressing.fallback_handler(role, move |hc| pressing_recovery(hc, &c, repairs));
         }
         let pressing = pressing.build().expect("Pressing definition is valid");
 
@@ -339,7 +342,9 @@ impl Definitions {
                 mlt_style_recovery(hc, &c, op_time, role_is_table(role), MotionGoal::ToBelt)
             });
         }
-        let back = back.build().expect("Move_Unloaded_Table_Back definition is valid");
+        let back = back
+            .build()
+            .expect("Move_Unloaded_Table_Back definition is valid");
 
         // ---------------- Remove_Plate ----------------
         let mut remove = ActionDef::builder("Remove_Plate")
@@ -352,9 +357,8 @@ impl Definitions {
         for role in ["robot_sensor", "robot", "press_sensor", "press"] {
             let c = cell.clone();
             let repairs = role == "robot";
-            remove = remove.fallback_handler(role, move |hc| {
-                remove_plate_recovery(hc, &c, repairs)
-            });
+            remove =
+                remove.fallback_handler(role, move |hc| remove_plate_recovery(hc, &c, repairs));
         }
         let remove = remove.build().expect("Remove_Plate definition is valid");
 
@@ -373,7 +377,12 @@ impl Definitions {
 
     // ---------------- per-thread cycle bodies ----------------
 
-    fn run_cycle_table_sensor(&self, ctx: &mut Ctx, cell: &ProductionCell, op: VirtualDuration) -> Step {
+    fn run_cycle_table_sensor(
+        &self,
+        ctx: &mut Ctx,
+        cell: &ProductionCell,
+        op: VirtualDuration,
+    ) -> Step {
         let d = self.clone();
         let c = cell.clone();
         ctx.enter(&self.tpr, "table_sensor", move |rc| {
@@ -382,7 +391,9 @@ impl Definitions {
                 uc.enter(&d.grab, "table_sensor", |gc| gc.work(op))?;
                 Ok(())
             })?;
-            rc.enter(&d.back, "table_sensor", |mc| sensor_verify_table_back(mc, &c, op))?;
+            rc.enter(&d.back, "table_sensor", |mc| {
+                sensor_verify_table_back(mc, &c, op)
+            })?;
             Ok(())
         })
         .map(|_| ())
@@ -438,12 +449,19 @@ impl Definitions {
         .map(|_| ())
     }
 
-    fn run_cycle_robot_sensor(&self, ctx: &mut Ctx, cell: &ProductionCell, op: VirtualDuration) -> Step {
+    fn run_cycle_robot_sensor(
+        &self,
+        ctx: &mut Ctx,
+        cell: &ProductionCell,
+        op: VirtualDuration,
+    ) -> Step {
         let d = self.clone();
         let c = cell.clone();
         ctx.enter(&self.tpr, "robot_sensor", move |rc| {
             rc.enter(&d.unload, "robot_sensor", |uc| {
-                uc.enter(&d.extend_arm1, "robot_sensor", |ec| sensor_verify_arm1(ec, &c, op, true))?;
+                uc.enter(&d.extend_arm1, "robot_sensor", |ec| {
+                    sensor_verify_arm1(ec, &c, op, true)
+                })?;
                 uc.enter(&d.grab, "robot_sensor", |gc| gc.work(op))?;
                 uc.enter(&d.retract_arm1, "robot_sensor", |ec| {
                     sensor_verify_arm1(ec, &c, op, false)
@@ -506,7 +524,12 @@ impl Definitions {
         .map(|_| ())
     }
 
-    fn run_cycle_press_sensor(&self, ctx: &mut Ctx, cell: &ProductionCell, op: VirtualDuration) -> Step {
+    fn run_cycle_press_sensor(
+        &self,
+        ctx: &mut Ctx,
+        cell: &ProductionCell,
+        op: VirtualDuration,
+    ) -> Step {
         let d = self.clone();
         let c = cell.clone();
         ctx.enter(&self.tpr, "press_sensor", move |rc| {
@@ -574,13 +597,6 @@ fn build_move_loaded_table(cell: &ProductionCell, op: VirtualDuration) -> Action
     mlt.build().expect("Move_Loaded_Table definition is valid")
 }
 
-/// The shared recovery policy for the table-motion actions:
-///
-/// * motor failures — forward recovery: repair the motor(s) and finish the
-///   motion, then exit with success;
-/// * sensor failures — repair and signal `NCS_FAIL` (degraded);
-/// * lost plate — signal `L_PLATE`;
-/// * anything else (universal included) — request µ.
 /// Which way the interrupted table motion was headed.
 #[derive(Clone, Copy, PartialEq)]
 enum MotionGoal {
@@ -590,6 +606,13 @@ enum MotionGoal {
     ToBelt,
 }
 
+/// The shared recovery policy for the table-motion actions:
+///
+/// * motor failures — forward recovery: repair the motor(s) and finish the
+///   motion, then exit with success;
+/// * sensor failures — repair and signal `NCS_FAIL` (degraded);
+/// * lost plate — signal `L_PLATE`;
+/// * anything else (universal included) — request µ.
 fn mlt_style_recovery(
     hc: &mut Ctx,
     cell: &ProductionCell,
@@ -607,8 +630,12 @@ fn mlt_style_recovery(
         "dual_motor_failures",
     ]
     .contains(&name.as_str());
-    let sensorish = ["s_stuck", "table_and_sensor_failures", "sensor_failure_or_lplate"]
-        .contains(&name.as_str());
+    let sensorish = [
+        "s_stuck",
+        "table_and_sensor_failures",
+        "sensor_failure_or_lplate",
+    ]
+    .contains(&name.as_str());
 
     if name == "l_plate" {
         return Ok(HandlerVerdict::Signal(ExceptionId::new(L_PLATE_SIGNAL)));
@@ -728,8 +755,9 @@ fn remove_plate_recovery(
     }
     hc.work(VirtualDuration::from_millis(50))?;
     let current_id = hc.read(&cell.feed, |f| f.total_inserted())?;
-    let already_delivered =
-        hc.read(&cell.deposit, |d| d.delivered().iter().any(|p| p.id == current_id))?;
+    let already_delivered = hc.read(&cell.deposit, |d| {
+        d.delivered().iter().any(|p| p.id == current_id)
+    })?;
     if already_delivered {
         return Ok(HandlerVerdict::Recovered);
     }
@@ -904,4 +932,3 @@ fn sensor_verify_arm1(
     }
     Ok(())
 }
-

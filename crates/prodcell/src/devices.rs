@@ -13,12 +13,10 @@
 //! scheduled fault makes the operation fail with the corresponding
 //! primitive exception of Figure 7 and applies its physical effect.
 
-use serde::{Deserialize, Serialize};
-
 use crate::faults::{DeviceFault, ScriptHandle};
 
 /// A metal blank travelling through the cell; forged by the press.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Plate {
     /// Identity assigned by the environment's blank supplier.
     pub id: u32,
@@ -38,7 +36,7 @@ impl Plate {
 pub type DeviceResult<T = ()> = Result<T, DeviceFault>;
 
 /// Rotation positions of the elevating rotary table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableAngle {
     /// Aligned with the feed belt (loading position).
     Belt,
@@ -47,7 +45,7 @@ pub enum TableAngle {
 }
 
 /// The feed belt: carries blanks from the environment to the table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FeedBelt {
     items: Vec<Plate>,
     /// The "traffic light for insertion": green permits the environment to
@@ -57,7 +55,6 @@ pub struct FeedBelt {
     /// assignment and the physical insertion are atomic within this object.
     total_inserted: u32,
     ops: u64,
-    #[serde(skip)]
     script: ScriptHandle,
 }
 
@@ -141,7 +138,7 @@ impl FeedBelt {
 
 /// The elevating rotary table: rotates between belt and robot positions and
 /// lifts the blank to the robot's grabbing height (steps 3 and 7').
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RotaryTable {
     /// Current rotation position.
     pub angle: TableAngle,
@@ -155,7 +152,6 @@ pub struct RotaryTable {
     /// Set when the position sensors are stuck at 0.
     pub sensor_stuck: bool,
     ops: u64,
-    #[serde(skip)]
     script: ScriptHandle,
 }
 
@@ -293,13 +289,12 @@ impl RotaryTable {
 }
 
 /// The press: forges a blank into a plate (step 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Press {
     /// Whether the press is open (safe for arms).
     pub open: bool,
     plate: Option<Plate>,
     ops: u64,
-    #[serde(skip)]
     script: ScriptHandle,
     /// Count of completed forgings (metrics).
     pub forgings: u64,
@@ -338,7 +333,10 @@ impl Press {
     /// plate cannot be un-forged (µ becomes ƒ if requested after this).
     pub fn forge(&mut self) -> DeviceResult {
         self.step()?;
-        let plate = self.plate.as_mut().ok_or(DeviceFault::ControlSoftwareFault)?;
+        let plate = self
+            .plate
+            .as_mut()
+            .ok_or(DeviceFault::ControlSoftwareFault)?;
         plate.forged = true;
         self.forgings += 1;
         Ok(())
@@ -364,7 +362,7 @@ impl Press {
 }
 
 /// One of the robot's two orthogonal extendible arms.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Arm {
     /// Whether the arm is extended over its target.
     pub extended: bool,
@@ -380,7 +378,7 @@ impl Arm {
 }
 
 /// Orientation of the rotary robot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RobotAngle {
     /// Arm 1 toward the table, arm 2 toward the press.
     Arm1Table,
@@ -389,7 +387,7 @@ pub enum RobotAngle {
 }
 
 /// The two-armed rotary robot (steps 4 and 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Robot {
     /// Current orientation.
     pub angle: RobotAngle,
@@ -400,7 +398,6 @@ pub struct Robot {
     /// Set when an arm sensor is stuck.
     pub sensor_stuck: bool,
     ops: u64,
-    #[serde(skip)]
     script: ScriptHandle,
 }
 
@@ -519,7 +516,7 @@ impl Robot {
 }
 
 /// The deposit belt: carries forged plates to the environment (step 6–7).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DepositBelt {
     items: Vec<Plate>,
     /// The "traffic light for deposit": green permits forwarding plates to
@@ -527,7 +524,6 @@ pub struct DepositBelt {
     pub light_green: bool,
     delivered: Vec<Plate>,
     ops: u64,
-    #[serde(skip)]
     script: ScriptHandle,
 }
 
@@ -706,7 +702,12 @@ mod tests {
             deposit.accept(Plate::blank(1)),
             Err(DeviceFault::ControlSoftwareFault)
         );
-        deposit.accept(Plate { id: 1, forged: true }).unwrap();
+        deposit
+            .accept(Plate {
+                id: 1,
+                forged: true,
+            })
+            .unwrap();
         deposit.light_green = false;
         assert_eq!(deposit.forward().unwrap(), 0);
         deposit.light_green = true;

@@ -55,7 +55,10 @@ pub fn move_loaded_table_graph() -> ExceptionGraph {
         )
         .resolves("sensor_failure_or_lplate", ["s_stuck", "l_plate"])
         .resolves("two_unrelated_exceptions", ["l_plate", "cs_fault"])
-        .resolves("other_undefined_exceptions", ["cs_fault", "l_mes", "rt_exc"])
+        .resolves(
+            "other_undefined_exceptions",
+            ["cs_fault", "l_mes", "rt_exc"],
+        )
         .build()
         .expect("Figure 7 graph is valid")
 }

@@ -8,11 +8,10 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use caa_core::exception::ExceptionId;
-use serde::{Deserialize, Serialize};
 
 /// The ways a production-cell device can fail — one per primitive exception
 /// of the Move_Loaded_Table graph (Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceFault {
     /// `vm_stop`: vertical table motor stops unexpectedly.
     VerticalMotorStop,
@@ -95,7 +94,7 @@ impl fmt::Display for DeviceFault {
 /// // One-shot: the fault fires once.
 /// assert_eq!(script.check(3), None);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultScript {
     scheduled: VecDeque<(u64, DeviceFault)>,
 }
@@ -110,8 +109,7 @@ impl FaultScript {
     /// Schedules `fault` to fire at the device's `op_index`-th operation.
     pub fn schedule(&mut self, op_index: u64, fault: DeviceFault) {
         self.scheduled.push_back((op_index, fault));
-        self
-            .scheduled
+        self.scheduled
             .make_contiguous()
             .sort_by_key(|&(idx, _)| idx);
     }
@@ -203,7 +201,10 @@ mod tests {
 
     #[test]
     fn fault_names_match_figure7() {
-        let names: Vec<&str> = DeviceFault::ALL.iter().map(|f| f.exception_name()).collect();
+        let names: Vec<&str> = DeviceFault::ALL
+            .iter()
+            .map(|f| f.exception_name())
+            .collect();
         assert_eq!(
             names,
             vec![

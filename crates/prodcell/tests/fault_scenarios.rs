@@ -53,7 +53,10 @@ fn vertical_motor_stop_is_forward_recovered() {
         m.delivered, 2,
         "forward recovery must save the plate: {m:?}"
     );
-    assert!(report.runtime_stats.recoveries > 0, "a recovery must have run");
+    assert!(
+        report.runtime_stats.recoveries > 0,
+        "a recovery must have run"
+    );
     assert_eq!(m.lost_plates, 0);
     assert!(cell.audit_committed().is_consistent());
     // The motor was repaired by the handler.
@@ -163,7 +166,11 @@ fn multiple_faults_across_cycles_all_recover() {
     let (cell, report) = run(scripts, 4);
     let m = cell.metrics.committed();
     assert_eq!(m.inserted, 4, "{m:?}");
-    assert!(report.runtime_stats.recoveries > 0, "{:?}", report.runtime_stats);
+    assert!(
+        report.runtime_stats.recoveries > 0,
+        "{:?}",
+        report.runtime_stats
+    );
     assert!(cell.audit_committed().is_consistent());
     assert_eq!(m.inserted, m.delivered + m.lost_plates, "{m:?}");
     assert!(m.delivered >= 2, "most cycles should still produce: {m:?}");

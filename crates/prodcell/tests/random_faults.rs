@@ -1,94 +1,72 @@
-//! Property-based fault injection: under *any* schedule of device faults,
-//! the production cell terminates, every thread completes, and plate
+//! Seeded fault exploration through the simulation harness: under *any*
+//! schedule of device faults, the production cell terminates, every thread
+//! completes, resolution agreement and nesting consistency hold on the
+//! recorded trace, the run replays deterministically, and plate
 //! conservation holds — the case-study form of Theorem 1 plus the §3.1
 //! requirement that recovery leaves external objects consistent.
+//!
+//! Each seed fully determines the fault schedule (faults are injected into
+//! the table, robot and press — the fault surface of §4's Figure 7); a
+//! failing seed reproduces exactly by number.
 
-use caa_prodcell::{
-    build_system, CellFaultScripts, ControllerConfig, DeviceFault, FaultScript, ProductionCell,
-};
-use proptest::prelude::*;
+use caa_harness::prodcell::run_seed;
 
-/// Faults that the random scripts may inject. `LostMessage` is excluded
-/// (it is injected at the network layer, not by devices); the rest of
-/// Figure 7's nine appear.
-const INJECTABLE: [DeviceFault; 8] = [
-    DeviceFault::VerticalMotorStop,
-    DeviceFault::RotationMotorStop,
-    DeviceFault::VerticalMotorNoMove,
-    DeviceFault::RotationMotorNoMove,
-    DeviceFault::SensorStuck,
-    DeviceFault::LostPlate,
-    DeviceFault::ControlSoftwareFault,
-    DeviceFault::RuntimeException,
-];
+const CYCLES: u32 = 2;
 
-fn fault() -> impl Strategy<Value = DeviceFault> {
-    prop::sample::select(INJECTABLE.to_vec())
-}
-
-fn script(max_op: u64) -> impl Strategy<Value = FaultScript> {
-    prop::collection::vec((1..=max_op, fault()), 0..2).prop_map(|entries| {
-        let mut s = FaultScript::new();
-        for (op, f) in entries {
-            s.schedule(op, f);
-        }
-        s
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    /// Faults are injected into the table, robot and press — the fault
-    /// surface of §4's Figure 7. (Belt faults at the exact hand-over ops
-    /// need id-level provenance to audit and are exercised by the
-    /// deterministic scenarios instead.)
-    #[test]
-    fn any_fault_schedule_terminates_consistently(
-        table in script(14),
-        robot in script(22),
-        press in script(8),
-        seed in 0u64..1000,
-    ) {
-        let cycles = 2u32;
-        let scripts = CellFaultScripts {
-            table,
-            robot,
-            press,
-            ..CellFaultScripts::default()
-        };
-        let cell = ProductionCell::new(scripts);
-        let config = ControllerConfig {
-            cycles,
-            seed,
-            ..ControllerConfig::default()
-        };
-        let report = build_system(&cell, &config).run();
-        // 1. Theorem 1: no deadlock, every thread terminates cleanly.
-        prop_assert!(
-            report.is_ok(),
-            "thread failures: {:?}",
-            report
-                .results
-                .iter()
-                .filter(|(_, r)| r.is_err())
-                .collect::<Vec<_>>()
+#[test]
+fn any_fault_schedule_terminates_consistently() {
+    let mut seeds_with_recoveries = 0u32;
+    for seed in 0..24 {
+        // Replay checking doubles the cost; the dedicated seed test below
+        // covers it, so the bulk sweep checks the other oracles only.
+        let run = run_seed(seed, CYCLES, false);
+        assert!(
+            run.violations.is_empty(),
+            "seed {seed}: {:?}\ntrace:\n{}",
+            run.violations,
+            run.trace.render()
         );
-        // 2. Conservation: every inserted blank is delivered, lost or
-        //    still inside the cell.
-        let audit = cell.audit_committed();
-        prop_assert!(audit.is_consistent(), "audit {audit:?}");
-        // 3. The (fault-free) feed belt inserted one blank per cycle.
-        prop_assert_eq!(audit.inserted, cycles, "audit {:?}", audit);
-        // 4. Whatever was delivered is forged.
-        prop_assert!(cell
-            .deposit
-            .committed()
-            .delivered()
-            .iter()
-            .all(|p| p.forged));
+
+        // Conservation: every inserted blank is delivered, lost or still
+        // inside the cell; the fault-free feed belt inserted one per cycle.
+        let audit = run.cell.audit_committed();
+        assert!(audit.is_consistent(), "seed {seed}: audit {audit:?}");
+        assert_eq!(audit.inserted, CYCLES, "seed {seed}: audit {audit:?}");
+
+        // Whatever was delivered is forged.
+        assert!(
+            run.cell
+                .deposit
+                .committed()
+                .delivered()
+                .iter()
+                .all(|p| p.forged),
+            "seed {seed}: unforged plate delivered"
+        );
+
+        if run.report.runtime_stats.recoveries > 0 {
+            seeds_with_recoveries += 1;
+        }
+    }
+    // The seeded schedules must actually exercise coordinated recovery,
+    // not just fault-free production.
+    assert!(
+        seeds_with_recoveries >= 8,
+        "only {seeds_with_recoveries}/24 seeds exercised coordinated recovery"
+    );
+}
+
+#[test]
+fn faulty_seeds_replay_deterministically() {
+    // Replay determinism (protocol projection — the cell also synchronises
+    // through shared objects, see `Trace::protocol_projection`) on a
+    // handful of seeds, including ones with non-empty fault schedules.
+    for seed in [0, 3, 7, 11] {
+        let run = run_seed(seed, CYCLES, true);
+        assert!(
+            run.violations.is_empty(),
+            "seed {seed}: {:?}",
+            run.violations
+        );
     }
 }

@@ -175,7 +175,6 @@ pub struct ActionDef {
 
 impl ActionDef {
     /// Starts building an action definition.
-    #[must_use]
     pub fn builder(name: impl Into<String>) -> ActionDefBuilder {
         ActionDefBuilder {
             name: name.into(),
@@ -273,7 +272,8 @@ impl ActionDefBuilder {
         I: IntoIterator<Item = T>,
         T: Into<ExceptionId>,
     {
-        self.interface.extend(exceptions.into_iter().map(Into::into));
+        self.interface
+            .extend(exceptions.into_iter().map(Into::into));
         self
     }
 
@@ -584,7 +584,10 @@ mod tests {
             .unwrap();
         let table = def.inner.role_id("table").unwrap();
         assert_eq!(def.inner.thread_of(table), ThreadId::new(3));
-        assert_eq!(def.inner.role_of_thread(ThreadId::new(1)), def.inner.role_id("robot"));
+        assert_eq!(
+            def.inner.role_of_thread(ThreadId::new(1)),
+            def.inner.role_id("robot")
+        );
         assert_eq!(def.inner.role_of_thread(ThreadId::new(9)), None);
         assert!(def.inner.role_id("ghost").is_none());
     }

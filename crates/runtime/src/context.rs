@@ -28,6 +28,7 @@ use caa_simnet::{Endpoint, Received};
 use crate::action::{make_action_id, ActionDef, DefInner};
 use crate::error::{Flow, RuntimeError, Step, Unwind};
 use crate::objects::{ObjectError, SharedObject, TxControl};
+use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
 use crate::system::SystemShared;
 
@@ -71,6 +72,11 @@ struct Frame {
     /// instance are stragglers and are dropped (termination model: nothing
     /// new can be raised within the action after handlers start).
     recovered: bool,
+    /// Enclosing-level recovery is aborting this frame (its abortion
+    /// handler may be running). In-flight recovery messages for the
+    /// instance — e.g. a `Commit` whose resolution raced with the
+    /// enclosing trigger — are stragglers and are dropped.
+    aborting: bool,
     /// External objects this thread touched within the action.
     objects: Vec<Box<dyn TxControl>>,
     /// Protocol state for this frame's recovery.
@@ -177,6 +183,21 @@ impl Ctx {
     #[must_use]
     pub fn thread_id(&self) -> ThreadId {
         self.me
+    }
+
+    /// Reports one step to the system's observer, if any (see
+    /// [`crate::observe`]). The event payload is only built — and the
+    /// clock only read — when an observer is attached, so unobserved runs
+    /// pay nothing on the protocol's hot paths.
+    fn observe(&self, action: ActionId, kind: impl FnOnce() -> EventKind) {
+        if let Some(observer) = &self.system.observer {
+            observer.on_event(&Event {
+                at: self.endpoint.now(),
+                thread: self.me,
+                action,
+                kind: kind(),
+            });
+        }
     }
 
     /// This thread's display name.
@@ -307,11 +328,7 @@ impl Ctx {
             if self.stack.is_empty() {
                 return Err(RuntimeError::NoActiveAction("recv_app").into());
             }
-            if let Some(msg) = self
-                .stack
-                .last_mut()
-                .and_then(|f| f.app_inbox.pop_front())
-            {
+            if let Some(msg) = self.stack.last_mut().and_then(|f| f.app_inbox.pop_front()) {
                 return Ok(msg);
             }
             let received = self.endpoint.recv()?;
@@ -332,11 +349,7 @@ impl Ctx {
             if self.stack.is_empty() {
                 return Err(RuntimeError::NoActiveAction("recv_app").into());
             }
-            if let Some(msg) = self
-                .stack
-                .last_mut()
-                .and_then(|f| f.app_inbox.pop_front())
-            {
+            if let Some(msg) = self.stack.last_mut().and_then(|f| f.app_inbox.pop_front()) {
                 return Ok(Some(msg));
             }
             let remaining = deadline.duration_since(self.now());
@@ -474,6 +487,7 @@ impl Ctx {
             exit_epoch: 0,
             signals: BTreeMap::new(),
             recovered: false,
+            aborting: false,
             objects: Vec::new(),
             resolver: self.system.protocol.new_state(),
             in_handler: None,
@@ -512,11 +526,21 @@ impl Ctx {
         self.retained = still_retained;
 
         trace!(self, "enter {} as {} ({})", inner.name, role, action);
+        self.observe(action, || EventKind::Enter {
+            name: inner.name.clone(),
+            role: role.to_owned(),
+            depth: self.stack.len(),
+        });
         let outcome = self.drive(initial, body);
         if std::env::var_os("CAA_TRACE").is_some() {
             match &outcome {
                 Ok(o) => trace!(self, "leave {} ({action}): {o}", inner.name),
-                Err(f) => trace!(self, "unwind from {} ({action}): {:?}", inner.name, f.unwind),
+                Err(f) => trace!(
+                    self,
+                    "unwind from {} ({action}): {:?}",
+                    inner.name,
+                    f.unwind
+                ),
             }
         }
 
@@ -610,7 +634,11 @@ impl Ctx {
     fn abort_current_frame(&mut self) -> Result<Option<Exception>, Flow> {
         self.system.stats.lock().aborts += 1;
         let (action, def, role) = {
-            let frame = self.stack.last().expect("abort requires a frame");
+            let frame = self.stack.last_mut().expect("abort requires a frame");
+            // From here on, recovery messages for this instance are
+            // stragglers: its own recovery (if any) is abandoned in favour
+            // of the enclosing level's.
+            frame.aborting = true;
             (frame.action, Arc::clone(&frame.def), frame.role)
         };
         // Run the abortion handler while the frame is still active so it
@@ -642,6 +670,9 @@ impl Ctx {
                 let _ = obj.commit_tainted(action);
             }
         }
+        self.observe(action, || EventKind::Abort {
+            eab: eab.as_ref().map(|e| e.id().clone()),
+        });
         self.pop_frame();
         if let Some((target, e)) = deeper {
             // The cascade continues past the original target.
@@ -658,6 +689,7 @@ impl Ctx {
             for obj in &objects {
                 let _ = obj.rollback(action);
             }
+            self.observe(action, || EventKind::Abort { eab: None });
             self.pop_frame();
         }
     }
@@ -689,6 +721,9 @@ impl Ctx {
         {
             let frame = self.stack.last_mut().expect("frame active");
             frame.exit_epoch += 1;
+            let action = frame.action;
+            let signal = my_signal.clone();
+            self.observe(action, || EventKind::SignalOutcome { signal });
         }
         match self.run_exit()? {
             ExitResult::Done => {}
@@ -737,6 +772,9 @@ impl Ctx {
                 }
             }
         }
+        self.observe(action, || EventKind::Exit {
+            outcome: outcome.clone(),
+        });
         self.pop_frame();
         Ok(outcome)
     }
@@ -747,6 +785,12 @@ impl Ctx {
 
     fn run_recovery(&mut self, start: RecoveryStart) -> Step<ExceptionId> {
         trace!(self, "recovery start: {start:?}");
+        {
+            let frame = self.stack.last().expect("frame active");
+            self.observe(frame.action, || EventKind::RecoveryStart {
+                raised: matches!(start, RecoveryStart::Raise(_)),
+            });
+        }
         // Feed the stashed trigger(s) first, then our own transition.
         let pending: Vec<Message> = {
             let frame = self.stack.last_mut().expect("frame active");
@@ -768,6 +812,9 @@ impl Ctx {
                 for obj in &frame.objects {
                     obj.inform_exception(action, e.id().name());
                 }
+                self.observe(action, || EventKind::Raise {
+                    exception: e.id().clone(),
+                });
                 if let Some(r) = self.feed_resolver(ProtoEventKind::Raise(e.clone()))? {
                     resolved = Some(r);
                 }
@@ -801,6 +848,10 @@ impl Ctx {
         trace!(self, "resolved: {resolved}");
         let frame = self.stack.last_mut().expect("frame active");
         frame.recovered = true;
+        let action = frame.action;
+        self.observe(action, || EventKind::Resolved {
+            exception: resolved.clone(),
+        });
         Ok(resolved)
     }
 
@@ -823,7 +874,9 @@ impl Ctx {
                 graph: &graph,
             };
             match &event {
-                ProtoEventKind::Raise(e) => frame.resolver.on_event(&ctx, ProtoEvent::LocalRaise(e)),
+                ProtoEventKind::Raise(e) => {
+                    frame.resolver.on_event(&ctx, ProtoEvent::LocalRaise(e))
+                }
                 ProtoEventKind::Suspend => frame.resolver.on_event(&ctx, ProtoEvent::LocalSuspend),
                 ProtoEventKind::Control(m) => frame.resolver.on_event(&ctx, ProtoEvent::Control(m)),
             }
@@ -833,6 +886,9 @@ impl Ctx {
         }
         if actions.resolve_invocations > 0 {
             self.system.stats.lock().resolutions_invoked += u64::from(actions.resolve_invocations);
+            self.observe(action, || EventKind::ResolutionInvoked {
+                invocations: actions.resolve_invocations,
+            });
             let delay = self.system.resolution_delay * actions.resolve_invocations;
             if !delay.is_zero() {
                 self.endpoint.sleep(delay)?;
@@ -846,12 +902,19 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     fn run_handler(&mut self, resolved: &ExceptionId) -> Step<HandlerVerdict> {
-        let (handler, role) = {
+        let (handler, role, action) = {
             let frame = self.stack.last_mut().expect("frame active");
             frame.in_handler = Some(resolved.clone());
-            (frame.def.handler_for(frame.role, resolved), frame.role)
+            (
+                frame.def.handler_for(frame.role, resolved),
+                frame.role,
+                frame.action,
+            )
         };
         let _ = role;
+        self.observe(action, || EventKind::HandlerStart {
+            exception: resolved.clone(),
+        });
         let verdict = match handler {
             Some(h) => {
                 let r = h(self);
@@ -867,6 +930,9 @@ impl Ctx {
                 DefInner::default_verdict(resolved)
             }
         };
+        self.observe(action, || EventKind::HandlerEnd {
+            verdict: verdict.clone(),
+        });
         Ok(verdict)
     }
 
@@ -1001,10 +1067,7 @@ impl Ctx {
                         // exceptions.
                         let frame = self.stack.last_mut().expect("frame active");
                         for &t in &group {
-                            frame
-                                .signals
-                                .entry((round, t))
-                                .or_insert(Signal::Failure);
+                            frame.signals.entry((round, t)).or_insert(Signal::Failure);
                         }
                         continue;
                     }
@@ -1034,11 +1097,7 @@ impl Ctx {
         let (action, group, epoch) = {
             let frame = self.stack.last_mut().expect("frame active");
             let epoch = frame.exit_epoch;
-            frame
-                .exit_votes
-                .entry(epoch)
-                .or_default()
-                .insert(self.me);
+            frame.exit_votes.entry(epoch).or_default().insert(self.me);
             (frame.action, frame.def.group.clone(), epoch)
         };
         for &peer in group.iter().filter(|&&t| t != self.me) {
@@ -1143,16 +1202,20 @@ impl Ctx {
             Some(m) => m,
             None => return Ok(Routed::Corrupted),
         };
-        trace!(self, "recv {} from {} for {}", msg.kind(), msg.from(), msg.action());
+        trace!(
+            self,
+            "recv {} from {} for {}",
+            msg.kind(),
+            msg.from(),
+            msg.action()
+        );
         let action = msg.action();
         let position = self.stack.iter().position(|f| f.action == action);
         match position {
             Some(i) if i + 1 == self.stack.len() => self.route_to_frame(i, msg, true),
             Some(i) => self.route_to_frame(i, msg, false),
             None => {
-                if !self.finished.contains(&action.serial())
-                    && self.retained.len() < RETAINED_CAP
-                {
+                if !self.finished.contains(&action.serial()) && self.retained.len() < RETAINED_CAP {
                     // For an action this thread has not entered yet:
                     // "retain the Exception or Suspended message till Ti
                     // enters A*". (Messages for instances this thread will
@@ -1169,8 +1232,8 @@ impl Ctx {
         let target = self.stack[index].action;
         match msg {
             Message::Exception { .. } | Message::Suspended { .. } => {
-                if self.stack[index].recovered {
-                    return Ok(Routed::Done); // straggler after commit
+                if self.stack[index].recovered || self.stack[index].aborting {
+                    return Ok(Routed::Done); // straggler after commit/abort
                 }
                 if is_top {
                     Ok(Routed::ActiveControl(msg))
@@ -1182,7 +1245,11 @@ impl Ctx {
                 }
             }
             Message::Commit { .. } | Message::Resolve { .. } => {
-                if self.stack[index].recovered {
+                // A commit may race with an enclosing-level trigger that is
+                // aborting this frame: the nested resolution completed at a
+                // peer while this thread had already abandoned it (§3.3.1
+                // gives the enclosing recovery precedence).
+                if self.stack[index].recovered || self.stack[index].aborting {
                     return Ok(Routed::Done);
                 }
                 if is_top {
@@ -1195,7 +1262,10 @@ impl Ctx {
                 }
             }
             Message::ToBeSignalled {
-                from, round, signal, ..
+                from,
+                round,
+                signal,
+                ..
             } => {
                 self.stack[index].signals.insert((round, from), signal);
                 Ok(Routed::Done)
@@ -1211,11 +1281,9 @@ impl Ctx {
             Message::App {
                 from, tag, payload, ..
             } => {
-                self.stack[index].app_inbox.push_back(AppMsg {
-                    from,
-                    tag,
-                    payload,
-                });
+                self.stack[index]
+                    .app_inbox
+                    .push_back(AppMsg { from, tag, payload });
                 Ok(Routed::Done)
             }
         }

@@ -72,6 +72,7 @@ pub mod action;
 pub mod context;
 mod error;
 pub mod objects;
+pub mod observe;
 pub mod protocol;
 mod system;
 

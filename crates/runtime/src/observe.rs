@@ -1,0 +1,189 @@
+//! Observation hooks into the CA-action runtime.
+//!
+//! A [`System`](crate::System) can carry an [`Observer`] (see
+//! [`SystemBuilder::observer`](crate::SystemBuilder::observer)) that is
+//! invoked synchronously at every protocol-significant step of every
+//! participating thread: action entry/exit, raises, recovery, resolution,
+//! handler execution, signalling and abortion. The simulation-testing
+//! harness (`caa-harness`) builds its structured traces and invariant
+//! oracles on these hooks; they are equally useful for ad-hoc diagnostics.
+//!
+//! Observers run on the participating threads themselves, inside the
+//! virtual-time simulation: they must be cheap, must not block on other
+//! participants, and must not call back into the observed [`Ctx`]
+//! (crate::Ctx).
+//!
+//! Events from one thread arrive in that thread's execution order; events
+//! from different threads interleave in arbitrary *wall-clock* order even
+//! though their virtual timestamps are deterministic. Consumers that need a
+//! canonical order should sort by `(at, thread, per-thread sequence)` as
+//! the harness's trace recorder does.
+
+use std::fmt;
+
+use caa_core::exception::{ExceptionId, Signal};
+use caa_core::ids::{ActionId, ThreadId};
+use caa_core::outcome::{ActionOutcome, HandlerVerdict};
+use caa_core::time::VirtualInstant;
+
+/// One observed runtime step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the step happened.
+    pub at: VirtualInstant,
+    /// The participating thread that performed the step.
+    pub thread: ThreadId,
+    /// The action instance the step belongs to.
+    pub action: ActionId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of observable runtime steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// The thread entered an action, playing `role` at nesting `depth`
+    /// (1 = top level).
+    Enter {
+        /// Action (definition) name.
+        name: String,
+        /// Role the thread performs.
+        role: String,
+        /// Nesting depth after entry; top-level actions are depth 1.
+        depth: usize,
+    },
+    /// The action completed with `outcome` (objects committed or rolled
+    /// back accordingly and the frame popped).
+    Exit {
+        /// The outcome the action completed with.
+        outcome: ActionOutcome,
+    },
+    /// The action was aborted by enclosing-level recovery; `eab` is the
+    /// abortion-handler exception propagated outward, if any (§3.3.1).
+    Abort {
+        /// Exception produced by the abortion handler.
+        eab: Option<ExceptionId>,
+    },
+    /// The thread raised `exception` in the action (§3.1).
+    Raise {
+        /// The raised exception's identity.
+        exception: ExceptionId,
+    },
+    /// The thread started coordinated recovery of the action, either
+    /// because it raised (`raised`) or because peers' exceptions suspended
+    /// it.
+    RecoveryStart {
+        /// Whether this thread's own raise started the recovery.
+        raised: bool,
+    },
+    /// The resolution procedure (exception-graph search) ran `invocations`
+    /// times on this thread while processing one protocol event.
+    ResolutionInvoked {
+        /// Number of graph searches performed.
+        invocations: u32,
+    },
+    /// Resolution agreement was reached on this thread: every participant
+    /// must handle `exception` (§3.3.2).
+    Resolved {
+        /// The resolving exception.
+        exception: ExceptionId,
+    },
+    /// The thread began executing its handler for `exception`.
+    HandlerStart {
+        /// The resolving exception being handled.
+        exception: ExceptionId,
+    },
+    /// The handler finished with `verdict` (termination model, §3.1).
+    HandlerEnd {
+        /// The handler's verdict.
+        verdict: HandlerVerdict,
+    },
+    /// The signalling algorithm concluded on this thread with `signal`
+    /// (§3.4).
+    SignalOutcome {
+        /// The coordinated signal this thread will act on.
+        signal: Signal,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Enter { name, role, depth } => {
+                write!(f, "enter {name} as {role} depth={depth}")
+            }
+            EventKind::Exit { outcome } => write!(f, "exit {outcome}"),
+            EventKind::Abort { eab: Some(e) } => write!(f, "abort eab={e}"),
+            EventKind::Abort { eab: None } => f.write_str("abort"),
+            EventKind::Raise { exception } => write!(f, "raise {exception}"),
+            EventKind::RecoveryStart { raised } => {
+                write!(f, "recovery {}", if *raised { "raise" } else { "suspend" })
+            }
+            EventKind::ResolutionInvoked { invocations } => {
+                write!(f, "resolve-invoked x{invocations}")
+            }
+            EventKind::Resolved { exception } => write!(f, "resolved {exception}"),
+            EventKind::HandlerStart { exception } => write!(f, "handler-start {exception}"),
+            EventKind::HandlerEnd { verdict } => write!(f, "handler-end {verdict:?}"),
+            EventKind::SignalOutcome { signal } => write!(f, "signal {signal:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.at, self.thread, self.action, self.kind
+        )
+    }
+}
+
+/// Receives runtime [`Event`]s from every participating thread.
+///
+/// Implementations must be thread-safe: participants invoke the observer
+/// concurrently from their own OS threads.
+pub trait Observer: Send + Sync {
+    /// Called synchronously at each observable step.
+    fn on_event(&self, event: &Event);
+}
+
+/// The default observer: ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn on_event(&self, _event: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_compactly() {
+        let e = Event {
+            at: VirtualInstant::EPOCH,
+            thread: ThreadId::new(2),
+            action: ActionId::top_level(9),
+            kind: EventKind::Raise {
+                exception: ExceptionId::new("vm_stop"),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("raise vm_stop"), "{s}");
+    }
+
+    #[test]
+    fn noop_observer_is_callable() {
+        let e = Event {
+            at: VirtualInstant::EPOCH,
+            thread: ThreadId::new(0),
+            action: ActionId::top_level(1),
+            kind: EventKind::RecoveryStart { raised: true },
+        };
+        NoopObserver.on_event(&e);
+    }
+}

@@ -15,13 +15,12 @@ use std::thread::JoinHandle;
 use caa_core::ids::ThreadId;
 use caa_core::message::Message;
 use caa_core::time::{VirtualDuration, VirtualInstant};
-use caa_simnet::{
-    ClockMode, FaultPlan, LatencyModel, NetConfig, NetStats, Network,
-};
+use caa_simnet::{ClockMode, FaultPlan, LatencyModel, NetConfig, NetStats, Network};
 use parking_lot::Mutex;
 
 use crate::context::Ctx;
 use crate::error::{RuntimeError, Step, Unwind};
+use crate::observe::Observer;
 use crate::protocol::{ResolutionProtocol, XrrResolution};
 
 /// Run-wide counters maintained by the recovery driver.
@@ -52,6 +51,33 @@ pub(crate) struct SystemShared {
     /// resolution procedure.
     pub(crate) resolution_delay: VirtualDuration,
     pub(crate) stats: Mutex<RuntimeStats>,
+    pub(crate) observer: Option<Arc<dyn Observer>>,
+}
+
+/// Holds participant bodies back until every participant is registered.
+///
+/// A spawned OS thread may otherwise run ahead — advancing virtual time,
+/// sending messages to not-yet-registered partitions, or even declaring a
+/// deadlock — before the caller has spawned its peers. [`System::run`]
+/// opens the gate once spawning is complete.
+#[derive(Default)]
+struct StartGate {
+    open: Mutex<bool>,
+    cv: parking_lot::Condvar,
+}
+
+impl StartGate {
+    fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
 }
 
 /// A distributed object system hosting CA actions.
@@ -82,6 +108,7 @@ pub(crate) struct SystemShared {
 pub struct System {
     net: Network<Message>,
     shared: Arc<SystemShared>,
+    gate: Arc<StartGate>,
     threads: Vec<(String, JoinHandle<Result<(), RuntimeError>>)>,
 }
 
@@ -128,10 +155,15 @@ impl System {
         let endpoint = self.net.endpoint(name.clone());
         let me = ThreadId::new(endpoint.id().as_u32());
         let shared = Arc::clone(&self.shared);
+        let gate = Arc::clone(&self.gate);
         let thread_name = name.clone();
         let handle = std::thread::Builder::new()
             .name(name.clone())
             .spawn(move || {
+                // Hold the body until every participant is registered, so
+                // virtual time cannot advance past a partition that does
+                // not exist yet.
+                gate.wait();
                 let mut ctx = Ctx::new(me, thread_name, endpoint, shared);
                 let result = body(&mut ctx);
                 ctx.shutdown();
@@ -153,9 +185,10 @@ impl System {
     /// Waits for every participating thread and collects the run's results
     /// and statistics.
     #[must_use]
-    pub fn run(self) -> SystemReport {
+    pub fn run(mut self) -> SystemReport {
+        self.gate.open();
         let mut results = Vec::with_capacity(self.threads.len());
-        for (name, handle) in self.threads {
+        for (name, handle) in std::mem::take(&mut self.threads) {
             let result = match handle.join() {
                 Ok(r) => r,
                 Err(panic) => {
@@ -175,6 +208,16 @@ impl System {
             runtime_stats: self.shared.stats.lock().clone(),
             results,
         }
+    }
+}
+
+impl Drop for System {
+    /// Opens the start gate so spawned participant threads do not park
+    /// forever when a `System` is dropped without [`System::run`] (their
+    /// bodies then execute and terminate as they did before the gate
+    /// existed).
+    fn drop(&mut self) {
+        self.gate.open();
     }
 }
 
@@ -227,6 +270,8 @@ pub struct SystemBuilder {
     faults: FaultPlan,
     resolution_delay: VirtualDuration,
     protocol: Arc<dyn ResolutionProtocol>,
+    observer: Option<Arc<dyn Observer>>,
+    tap: Option<Arc<dyn caa_simnet::NetTap>>,
 }
 
 impl Default for SystemBuilder {
@@ -239,6 +284,8 @@ impl Default for SystemBuilder {
             faults: FaultPlan::new(),
             resolution_delay: VirtualDuration::ZERO,
             protocol: Arc::new(XrrResolution),
+            observer: None,
+            tap: None,
         }
     }
 }
@@ -307,6 +354,23 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches an [`Observer`] receiving every protocol-significant
+    /// runtime event (see [`crate::observe`]). Default: none — without an
+    /// observer the runtime skips event construction entirely.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a network tap receiving every message send, loss and
+    /// corruption (see [`caa_simnet::NetTap`]). Default: none.
+    #[must_use]
+    pub fn tap(mut self, tap: Arc<dyn caa_simnet::NetTap>) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
     /// Builds the system.
     #[must_use]
     pub fn build(self) -> System {
@@ -316,6 +380,7 @@ impl SystemBuilder {
             seed: self.seed,
             ack_timeout: self.ack_timeout,
             faults: self.faults,
+            tap: self.tap,
         });
         System {
             net,
@@ -323,7 +388,9 @@ impl SystemBuilder {
                 protocol: self.protocol,
                 resolution_delay: self.resolution_delay,
                 stats: Mutex::new(RuntimeStats::default()),
+                observer: self.observer,
             }),
+            gate: Arc::new(StartGate::default()),
             threads: Vec::new(),
         }
     }

@@ -11,10 +11,10 @@
 use std::sync::{Arc, Mutex};
 
 use caa_core::exception::Exception;
+use caa_core::exception::ExceptionId;
 use caa_core::outcome::HandlerVerdict;
 use caa_core::time::{secs, VirtualInstant};
 use caa_exgraph::generate::conjunction_lattice;
-use caa_core::exception::ExceptionId;
 use caa_runtime::{ActionDef, System};
 use caa_simnet::LatencyModel;
 use proptest::prelude::*;
@@ -30,8 +30,14 @@ struct Params {
 }
 
 fn params() -> impl Strategy<Value = Params> {
-    (2u32..=5, 0.05f64..1.0, 0.0f64..0.5, 0.0f64..0.5, any::<u64>()).prop_flat_map(
-        |(n, t_mmax, t_reso, delta, seed)| {
+    (
+        2u32..=5,
+        0.05f64..1.0,
+        0.0f64..0.5,
+        0.0f64..0.5,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(n, t_mmax, t_reso, delta, seed)| {
             prop::collection::vec(0..n, 1..=n as usize).prop_map(move |mut raisers| {
                 raisers.sort_unstable();
                 raisers.dedup();
@@ -44,14 +50,15 @@ fn params() -> impl Strategy<Value = Params> {
                     seed,
                 }
             })
-        },
-    )
+        })
 }
 
 /// Runs a flat (nmax = 0) scenario and returns
 /// `(first_raise_at, last_handler_done_at)` in seconds.
 fn run_flat(p: &Params) -> (f64, f64) {
-    let prims: Vec<ExceptionId> = (0..p.n).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+    let prims: Vec<ExceptionId> = (0..p.n)
+        .map(|i| ExceptionId::new(format!("e{i}")))
+        .collect();
     let graph = conjunction_lattice(&prims, prims.len()).unwrap();
 
     let raise_at: Arc<Mutex<Option<VirtualInstant>>> = Arc::new(Mutex::new(None));

@@ -8,10 +8,10 @@
 //! * the resolution procedure runs exactly once per recovery.
 
 use caa_core::exception::Exception;
+use caa_core::exception::ExceptionId;
 use caa_core::outcome::HandlerVerdict;
 use caa_core::time::secs;
 use caa_exgraph::generate::conjunction_lattice;
-use caa_core::exception::ExceptionId;
 use caa_runtime::{ActionDef, System, SystemReport};
 use caa_simnet::LatencyModel;
 

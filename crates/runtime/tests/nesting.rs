@@ -21,7 +21,10 @@ fn signalled_exception_is_raised_in_enclosing_action() {
         .primitive("NESTED_FAIL")
         .build()
         .unwrap();
-    let graph_inner = ExceptionGraphBuilder::new().primitive("inner_e").build().unwrap();
+    let graph_inner = ExceptionGraphBuilder::new()
+        .primitive("inner_e")
+        .build()
+        .unwrap();
 
     let mut outer_builder = ActionDef::builder("outer")
         .role("t1", 0u32)
@@ -229,7 +232,9 @@ fn abort_cascade_runs_innermost_first_and_keeps_only_top_eab() {
     for role in ["t0", "t1"] {
         let r = Arc::clone(&raised_in_outer);
         outer_builder = outer_builder.fallback_handler(role, move |ctx| {
-            r.lock().unwrap().push(ctx.handling().unwrap().name().to_owned());
+            r.lock()
+                .unwrap()
+                .push(ctx.handling().unwrap().name().to_owned());
             Ok(HandlerVerdict::Recovered)
         });
     }
@@ -302,7 +307,10 @@ fn enclosing_exception_aborts_nested_recovery_in_progress() {
     let nested_handler_done = Arc::new(AtomicU32::new(0));
     let outer_handled = Arc::new(AtomicU32::new(0));
 
-    let graph_outer = ExceptionGraphBuilder::new().primitive("TOP").build().unwrap();
+    let graph_outer = ExceptionGraphBuilder::new()
+        .primitive("TOP")
+        .build()
+        .unwrap();
     let mut outer_builder = ActionDef::builder("outer")
         .role("t0", 0u32)
         .role("t1", 1u32)
@@ -317,7 +325,10 @@ fn enclosing_exception_aborts_nested_recovery_in_progress() {
     }
     let outer = outer_builder.build().unwrap();
 
-    let graph_inner = ExceptionGraphBuilder::new().primitive("inner_e").build().unwrap();
+    let graph_inner = ExceptionGraphBuilder::new()
+        .primitive("inner_e")
+        .build()
+        .unwrap();
     let nh1 = Arc::clone(&nested_handler_done);
     let nh2 = Arc::clone(&nested_handler_done);
     let nested = ActionDef::builder("nested")
@@ -440,7 +451,10 @@ fn nested_undo_exception_is_handled_by_enclosing() {
         });
     }
     let outer = outer_builder.build().unwrap();
-    let graph_inner = ExceptionGraphBuilder::new().primitive("broken").build().unwrap();
+    let graph_inner = ExceptionGraphBuilder::new()
+        .primitive("broken")
+        .build()
+        .unwrap();
     let nested = ActionDef::builder("nested")
         .role("n0", 0u32)
         .role("n1", 1u32)

@@ -23,17 +23,16 @@ struct Scenario {
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    (2u32..=6, 0.05f64..1.5, any::<u64>())
-        .prop_flat_map(|(n, t_mmax, seed)| {
-            prop::collection::btree_map(0..n, 0.0f64..2.0, 1..=n as usize).prop_map(
-                move |raisers| Scenario {
-                    n,
-                    raisers: raisers.into_iter().collect(),
-                    t_mmax,
-                    seed,
-                },
-            )
+    (2u32..=6, 0.05f64..1.5, any::<u64>()).prop_flat_map(|(n, t_mmax, seed)| {
+        prop::collection::btree_map(0..n, 0.0f64..2.0, 1..=n as usize).prop_map(move |raisers| {
+            Scenario {
+                n,
+                raisers: raisers.into_iter().collect(),
+                t_mmax,
+                seed,
+            }
         })
+    })
 }
 
 proptest! {

@@ -21,7 +21,10 @@ fn two_exc_graph() -> caa_exgraph::ExceptionGraph {
 #[test]
 fn solo_action_completes() {
     let mut sys = System::builder().build();
-    let action = ActionDef::builder("solo").role("only", 0u32).build().unwrap();
+    let action = ActionDef::builder("solo")
+        .role("only", 0u32)
+        .build()
+        .unwrap();
     sys.spawn("T0", move |ctx| {
         let outcome = ctx.enter(&action, "only", |rc| rc.work(secs(1.0)))?;
         assert_eq!(outcome, ActionOutcome::Success);
@@ -37,7 +40,10 @@ fn solo_action_completes() {
 fn solo_action_raise_resolves_to_itself() {
     let handled: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let log = Arc::clone(&handled);
-    let graph = ExceptionGraphBuilder::new().primitive("oops").build().unwrap();
+    let graph = ExceptionGraphBuilder::new()
+        .primitive("oops")
+        .build()
+        .unwrap();
     let action = ActionDef::builder("solo")
         .role("only", 0u32)
         .graph(graph)
@@ -68,7 +74,10 @@ fn solo_action_raise_resolves_to_itself() {
 fn peer_is_informed_and_both_handle_same_exception() {
     let handled = Arc::new(Mutex::new(Vec::new()));
     let (l0, l1) = (Arc::clone(&handled), Arc::clone(&handled));
-    let graph = ExceptionGraphBuilder::new().primitive("e1").build().unwrap();
+    let graph = ExceptionGraphBuilder::new()
+        .primitive("e1")
+        .build()
+        .unwrap();
     let action = ActionDef::builder("pair")
         .role("a", 0u32)
         .role("b", 1u32)
@@ -239,10 +248,12 @@ fn resolution_delay_is_charged_once() {
         .build();
     let a = action.clone();
     sys.spawn("T0", move |ctx| {
-        ctx.enter(&a, "a", |rc| rc.raise(Exception::new("e"))).map(|_| ())
+        ctx.enter(&a, "a", |rc| rc.raise(Exception::new("e")))
+            .map(|_| ())
     });
     sys.spawn("T1", move |ctx| {
-        ctx.enter(&action, "b", |rc| rc.work(secs(60.0))).map(|_| ())
+        ctx.enter(&action, "b", |rc| rc.work(secs(60.0)))
+            .map(|_| ())
     });
     let report = sys.run();
     report.expect_ok();
@@ -313,7 +324,10 @@ fn exception_during_exit_vote_window_still_recovers() {
     // T0 waits. T0 must join the recovery and handle the exception.
     let handled = Arc::new(AtomicU32::new(0));
     let (h0, h1) = (Arc::clone(&handled), Arc::clone(&handled));
-    let graph = ExceptionGraphBuilder::new().primitive("late").build().unwrap();
+    let graph = ExceptionGraphBuilder::new()
+        .primitive("late")
+        .build()
+        .unwrap();
     let action = ActionDef::builder("pair")
         .role("a", 0u32)
         .role("b", 1u32)
@@ -355,7 +369,10 @@ fn exception_during_exit_vote_window_still_recovers() {
 fn repeated_action_instances_are_isolated() {
     // The same definition entered in a loop: each iteration is a fresh
     // instance; recovery in one must not leak into the next.
-    let graph = ExceptionGraphBuilder::new().primitive("glitch").build().unwrap();
+    let graph = ExceptionGraphBuilder::new()
+        .primitive("glitch")
+        .build()
+        .unwrap();
     let action = ActionDef::builder("loop")
         .role("a", 0u32)
         .role("b", 1u32)

@@ -6,16 +6,19 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use caa_core::exception::{Exception, ExceptionId};
+use caa_core::ids::PartitionId;
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
 use caa_core::time::secs;
 use caa_exgraph::ExceptionGraphBuilder;
 use caa_runtime::objects::irreversible;
 use caa_runtime::{ActionDef, SharedObject, System};
 use caa_simnet::{FaultPlan, FaultSpec, LatencyModel};
-use caa_core::ids::PartitionId;
 
 fn graph_with(name: &str) -> caa_exgraph::ExceptionGraph {
-    ExceptionGraphBuilder::new().primitive(name).build().unwrap()
+    ExceptionGraphBuilder::new()
+        .primitive(name)
+        .build()
+        .unwrap()
 }
 
 /// Case 1 of §3.4: no µ or ƒ — each thread signals its own exception; here
@@ -27,7 +30,9 @@ fn mixed_epsilon_and_phi_signals() {
         .role("b", 1u32)
         .graph(graph_with("e"))
         .interface(["EPS"])
-        .handler("a", "e", |_| Ok(HandlerVerdict::Signal(ExceptionId::new("EPS"))))
+        .handler("a", "e", |_| {
+            Ok(HandlerVerdict::Signal(ExceptionId::new("EPS")))
+        })
         .handler("b", "e", |_| Ok(HandlerVerdict::Recovered))
         .build()
         .unwrap();
@@ -207,18 +212,22 @@ fn lost_signal_message_is_treated_as_failure() {
         .graph(graph_with("e"))
         .interface(["EPS"])
         .signal_timeout(secs(5.0))
-        .handler("a", "e", |_| Ok(HandlerVerdict::Signal(ExceptionId::new("EPS"))))
+        .handler("a", "e", |_| {
+            Ok(HandlerVerdict::Signal(ExceptionId::new("EPS")))
+        })
         .handler("b", "e", |_| Ok(HandlerVerdict::Recovered))
         .build()
         .unwrap();
     let mut sys = System::builder()
         .latency(LatencyModel::Fixed(secs(0.1)))
         // Lose T1's toBeSignalled announcement to T0.
-        .faults(FaultPlan::new().lose(
-            FaultSpec::link(PartitionId::new(1), PartitionId::new(0))
-                .class("toBeSignalled")
-                .count(1),
-        ))
+        .faults(
+            FaultPlan::new().lose(
+                FaultSpec::link(PartitionId::new(1), PartitionId::new(0))
+                    .class("toBeSignalled")
+                    .count(1),
+            ),
+        )
         .build();
     let a = action.clone();
     sys.spawn("T0", move |ctx| {
@@ -297,8 +306,14 @@ fn corrupted_app_message_raises_l_mes() {
 #[test]
 fn competing_actions_serialize_on_shared_objects() {
     let resource = SharedObject::new("resource", Vec::<u32>::new());
-    let action_a = ActionDef::builder("writer_a").role("w", 0u32).build().unwrap();
-    let action_b = ActionDef::builder("writer_b").role("w", 1u32).build().unwrap();
+    let action_a = ActionDef::builder("writer_a")
+        .role("w", 0u32)
+        .build()
+        .unwrap();
+    let action_b = ActionDef::builder("writer_b")
+        .role("w", 1u32)
+        .build()
+        .unwrap();
     let mut sys = System::builder().build();
     let ra = resource.clone();
     sys.spawn("T0", move |ctx| {
@@ -339,7 +354,10 @@ fn undone_action_releases_objects() {
         .handler("w", "e", |_| Ok(HandlerVerdict::Undo))
         .build()
         .unwrap();
-    let succeeding = ActionDef::builder("succeeding").role("w", 1u32).build().unwrap();
+    let succeeding = ActionDef::builder("succeeding")
+        .role("w", 1u32)
+        .build()
+        .unwrap();
     let mut sys = System::builder().build();
     let ra = resource.clone();
     sys.spawn("T0", move |ctx| {
@@ -361,5 +379,9 @@ fn undone_action_releases_objects() {
     });
     let report = sys.run();
     report.expect_ok();
-    assert_eq!(resource.committed(), 1, "undo then the successful increment");
+    assert_eq!(
+        resource.committed(),
+        1,
+        "undo then the successful increment"
+    );
 }

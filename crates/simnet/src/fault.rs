@@ -4,6 +4,15 @@
 //! message or lost message can be simply treated as a failure exception".
 //! A [`FaultPlan`] describes which messages to lose or corrupt so tests can
 //! drive exactly that path.
+//!
+//! **Determinism caveat:** a rule's `skip`/`count` budget is consumed in
+//! message *arrival* order at the injector. Messages from one sender arrive
+//! in that sender's program order, which virtual time makes deterministic —
+//! but two different partitions sending matching messages at the same
+//! virtual instant race for the budget in wall-clock order. Experiments
+//! that must replay identically from a seed (e.g. `caa-harness` scenarios)
+//! should therefore pin each rule to a single sender with
+//! [`FaultSpec::from`] or [`FaultSpec::link`].
 
 use caa_core::ids::PartitionId;
 
@@ -104,9 +113,9 @@ impl FaultSpec {
     }
 
     fn matches(&self, src: PartitionId, dst: PartitionId, class: &'static str) -> bool {
-        self.src.map_or(true, |s| s == src)
-            && self.dst.map_or(true, |d| d == dst)
-            && self.class.map_or(true, |c| c == class)
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && self.class.is_none_or(|c| c == class)
     }
 
     /// Consumes one match: returns true if the fault fires for this message.

@@ -17,7 +17,6 @@
 
 use caa_core::ids::PartitionId;
 use caa_core::time::VirtualDuration;
-use serde::{Deserialize, Serialize};
 
 /// Strategy for assigning a latency to each message.
 ///
@@ -35,7 +34,7 @@ use serde::{Deserialize, Serialize};
 /// // Deterministic: same inputs, same latency.
 /// assert_eq!(l, model.sample(42, a, b, 0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatencyModel {
     /// Every message takes exactly this long.
     Fixed(VirtualDuration),
@@ -48,7 +47,13 @@ impl LatencyModel {
     ///
     /// Pure and deterministic in all four arguments.
     #[must_use]
-    pub fn sample(&self, seed: u64, src: PartitionId, dst: PartitionId, seq: u64) -> VirtualDuration {
+    pub fn sample(
+        &self,
+        seed: u64,
+        src: PartitionId,
+        dst: PartitionId,
+        seq: u64,
+    ) -> VirtualDuration {
         match *self {
             LatencyModel::Fixed(d) => d,
             LatencyModel::UniformUpTo(max) => {

@@ -58,8 +58,10 @@ mod fault;
 mod latency;
 mod net;
 mod stats;
+mod tap;
 
 pub use fault::{FaultPlan, FaultSpec};
 pub use latency::{effective_latency, LatencyModel};
 pub use net::{ClockMode, DeadlockInfo, Endpoint, NetConfig, Network, Received, SimError};
 pub use stats::{Classify, NetStats};
+pub use tap::{NetTap, TapEvent};

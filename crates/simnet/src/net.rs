@@ -30,6 +30,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::fault::FaultPlan;
 use crate::latency::{effective_latency, LatencyModel};
 use crate::stats::{Classify, NetStats};
+use crate::tap::{NetTap, TapEvent};
 
 /// How the network experiences time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,7 +47,7 @@ pub enum ClockMode {
 }
 
 /// Configuration for a [`Network`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct NetConfig {
     /// Virtual or real time.
     pub mode: ClockMode,
@@ -59,6 +60,22 @@ pub struct NetConfig {
     pub ack_timeout: Option<VirtualDuration>,
     /// Scheduled message losses and corruptions.
     pub faults: FaultPlan,
+    /// Observation hook for sends, losses and corruptions (see
+    /// [`NetTap`]).
+    pub tap: Option<Arc<dyn NetTap>>,
+}
+
+impl fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("mode", &self.mode)
+            .field("latency", &self.latency)
+            .field("seed", &self.seed)
+            .field("ack_timeout", &self.ack_timeout)
+            .field("faults", &self.faults)
+            .field("tap", &self.tap.as_ref().map(|_| "<tap>"))
+            .finish()
+    }
 }
 
 /// Why a blocking network operation failed.
@@ -199,6 +216,7 @@ struct Shared<M> {
     latency: LatencyModel,
     seed: u64,
     ack_timeout: Option<VirtualDuration>,
+    tap: Option<Arc<dyn NetTap>>,
     start: std::time::Instant,
 }
 
@@ -275,6 +293,7 @@ impl<M: Send + Classify> Network<M> {
                 latency: config.latency,
                 seed: config.seed,
                 ack_timeout: config.ack_timeout,
+                tap: config.tap,
                 start: std::time::Instant::now(),
             }),
         }
@@ -287,7 +306,8 @@ impl<M: Send + Classify> Network<M> {
     /// past events the thread would have handled.
     pub fn endpoint(&self, name: impl Into<String>) -> Endpoint<M> {
         let mut inner = self.shared.state.lock();
-        let id = PartitionId::new(u32::try_from(inner.actors.len()).expect("fewer than 2^32 endpoints"));
+        let id =
+            PartitionId::new(u32::try_from(inner.actors.len()).expect("fewer than 2^32 endpoints"));
         inner.actors.push(ActorSlot {
             name: name.into(),
             alive: true,
@@ -332,11 +352,32 @@ impl<M: Send + Classify> Network<M> {
 
     fn send_from(&self, src: PartitionId, dst: PartitionId, msg: M) {
         let class = msg.class();
+        let correlation = msg.correlation();
+        let tap_event = |at, deliver_at, seq| TapEvent {
+            src,
+            dst,
+            class,
+            correlation,
+            at,
+            deliver_at,
+            seq,
+        };
         let mut inner = self.shared.state.lock();
         let now = self.now_locked(&inner);
 
         if inner.faults.should_lose(src, dst, class) {
             inner.stats.record_dropped(class);
+            // A lost message still occupies its slot in the per-link
+            // sequence, so tap consumers see a unique (src, dst, seq) per
+            // message whether it was delivered or lost.
+            let link = inner.links.entry((src.as_u32(), dst.as_u32())).or_default();
+            let seq = link.seq;
+            link.seq += 1;
+            if let Some(tap) = &self.shared.tap {
+                let event = tap_event(now, now, seq);
+                drop(inner);
+                tap.on_dropped(&event);
+            }
             return;
         }
         let corrupted = inner.faults.should_corrupt(src, dst, class);
@@ -351,7 +392,9 @@ impl<M: Send + Classify> Network<M> {
         // Per-link FIFO (Assumption 2): never deliver before an earlier
         // message on the same link.
         if deliver_at <= link.last_delivery {
-            deliver_at = link.last_delivery.saturating_add(VirtualDuration::from_nanos(1));
+            deliver_at = link
+                .last_delivery
+                .saturating_add(VirtualDuration::from_nanos(1));
         }
         link.last_delivery = deliver_at;
 
@@ -360,15 +403,24 @@ impl<M: Send + Classify> Network<M> {
             inner.stats.record_corrupted(class);
         }
         if eff > raw && !raw.is_zero() {
-            inner
-                .stats
-                .record_retransmissions(eff.as_nanos().saturating_sub(raw.as_nanos()) / raw.as_nanos().max(1));
+            inner.stats.record_retransmissions(
+                eff.as_nanos().saturating_sub(raw.as_nanos()) / raw.as_nanos().max(1),
+            );
         }
 
         let di = dst.index();
         if di >= inner.queues.len() || !inner.actors[di].alive {
-            // Destination unknown or retired: the message is silently lost,
-            // like a datagram to a dead host.
+            // Destination unknown or retired: the message is lost like a
+            // datagram to a dead host — but it was accepted, so the tap
+            // still sees it.
+            if let Some(tap) = &self.shared.tap {
+                let event = tap_event(now, deliver_at, seq);
+                drop(inner);
+                tap.on_sent(&event);
+                if corrupted {
+                    tap.on_corrupted(&event);
+                }
+            }
             return;
         }
         inner.queues[di].push(Reverse(Envelope {
@@ -388,6 +440,13 @@ impl<M: Send + Classify> Network<M> {
             });
         }
         drop(inner);
+        if let Some(tap) = &self.shared.tap {
+            let event = tap_event(now, deliver_at, seq);
+            tap.on_sent(&event);
+            if corrupted {
+                tap.on_corrupted(&event);
+            }
+        }
         self.shared.cv.notify_all();
     }
 
@@ -593,7 +652,10 @@ impl<M: Send + Classify> Endpoint<M> {
     ///
     /// [`SimError::Deadlock`] if the whole simulation can no longer make
     /// progress.
-    pub fn recv_timeout(&mut self, timeout: VirtualDuration) -> Result<Option<Received<M>>, SimError> {
+    pub fn recv_timeout(
+        &mut self,
+        timeout: VirtualDuration,
+    ) -> Result<Option<Received<M>>, SimError> {
         let id = self.id;
         let deadline = self.net.now().saturating_add(timeout);
         self.net.block_until(
@@ -700,7 +762,10 @@ fn advance_unbounded<M>(net: &Network<M>, inner: &mut Inner<M>) {
 
 fn pop_ready<M>(inner: &mut Inner<M>, id: PartitionId, now: VirtualInstant) -> Option<Received<M>> {
     let queue = &mut inner.queues[id.index()];
-    if queue.peek().is_some_and(|Reverse(env)| env.deliver_at <= now) {
+    if queue
+        .peek()
+        .is_some_and(|Reverse(env)| env.deliver_at <= now)
+    {
         let Reverse(env) = queue.pop().expect("peeked");
         Some(Received {
             src: env.src,
@@ -714,7 +779,9 @@ fn pop_ready<M>(inner: &mut Inner<M>, id: PartitionId, now: VirtualInstant) -> O
 }
 
 fn head_deliver_at<M>(inner: &Inner<M>, id: PartitionId) -> Option<VirtualInstant> {
-    inner.queues[id.index()].peek().map(|Reverse(env)| env.deliver_at)
+    inner.queues[id.index()]
+        .peek()
+        .map(|Reverse(env)| env.deliver_at)
 }
 
 #[cfg(test)]
@@ -738,6 +805,7 @@ mod tests {
             seed: 42,
             ack_timeout: None,
             faults: FaultPlan::new(),
+            tap: None,
         })
     }
 
@@ -897,6 +965,7 @@ mod tests {
             seed: 1,
             ack_timeout: None,
             faults: FaultPlan::new().lose(crate::FaultSpec::any().count(1)),
+            tap: None,
         });
         let mut a = net.endpoint("a");
         let b = net.endpoint("b");
@@ -919,6 +988,7 @@ mod tests {
             seed: 1,
             ack_timeout: None,
             faults: FaultPlan::new().corrupt(crate::FaultSpec::any().count(1)),
+            tap: None,
         });
         let mut a = net.endpoint("a");
         let b = net.endpoint("b");
@@ -963,6 +1033,7 @@ mod tests {
             seed: 0,
             ack_timeout: None,
             faults: FaultPlan::new(),
+            tap: None,
         });
         let mut a = net.endpoint("a");
         let b = net.endpoint("b");

@@ -35,7 +35,9 @@ fn transfer_action(undoable: bool) -> (ActionDef, SharedObject<i64>, SharedObjec
         .graph(graph)
         // The receiving side cannot recover: it requests undo.
         .handler("credit", "compliance_hold", |_| Ok(HandlerVerdict::Undo))
-        .handler("debit", "compliance_hold", |_| Ok(HandlerVerdict::Recovered))
+        .handler("debit", "compliance_hold", |_| {
+            Ok(HandlerVerdict::Recovered)
+        })
         .build()
         .expect("definition");
     (action, source, dest)

@@ -19,6 +19,7 @@
 //! | [`runtime`] | `caa-runtime` | the CA-action runtime: resolution, signalling, abortion (§3.3–3.4) |
 //! | [`baselines`] | `caa-baselines` | Campbell–Randell 1986 and Romanovsky 1996 (§5.3) |
 //! | [`prodcell`] | `caa-prodcell` | the production-cell case study (§4) |
+//! | [`harness`] | `caa-harness` | deterministic scenario/chaos harness: seed sweeps, traces, oracles |
 //!
 //! # Quick start
 //!
@@ -72,6 +73,7 @@
 pub use caa_baselines as baselines;
 pub use caa_core as core;
 pub use caa_exgraph as exgraph;
+pub use caa_harness as harness;
 pub use caa_prodcell as prodcell;
 pub use caa_runtime as runtime;
 pub use caa_simnet as simnet;

@@ -9,9 +9,7 @@ use caa::core::outcome::{ActionOutcome, HandlerVerdict};
 use caa::core::time::secs;
 use caa::exgraph::generate::conjunction_lattice;
 use caa::exgraph::ExceptionGraphBuilder;
-use caa::prodcell::{
-    CellFaultScripts, ControllerConfig, DeviceFault, FaultScript, ProductionCell,
-};
+use caa::prodcell::{CellFaultScripts, ControllerConfig, DeviceFault, FaultScript, ProductionCell};
 use caa::runtime::protocol::ResolutionProtocol;
 use caa::runtime::{ActionDef, System};
 use caa::simnet::{ClockMode, FaultPlan, FaultSpec, LatencyModel};
@@ -136,8 +134,7 @@ fn real_clock_smoke_test() {
 #[test]
 fn virtual_runs_are_reproducible() {
     let run = || {
-        let prims: Vec<ExceptionId> =
-            (0..4).map(|i| ExceptionId::new(format!("e{i}"))).collect();
+        let prims: Vec<ExceptionId> = (0..4).map(|i| ExceptionId::new(format!("e{i}"))).collect();
         let graph = conjunction_lattice(&prims, 4).unwrap();
         let mut builder = ActionDef::builder("repro");
         for i in 0..4u32 {
@@ -145,8 +142,7 @@ fn virtual_runs_are_reproducible() {
         }
         builder = builder.graph(graph);
         for i in 0..4u32 {
-            builder =
-                builder.fallback_handler(format!("r{i}"), |_| Ok(HandlerVerdict::Recovered));
+            builder = builder.fallback_handler(format!("r{i}"), |_| Ok(HandlerVerdict::Recovered));
         }
         let action = builder.build().unwrap();
         let mut sys = System::builder()
