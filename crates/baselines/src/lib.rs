@@ -4,7 +4,7 @@
 //! Both baselines implement the runtime's
 //! [`ResolutionProtocol`](caa_runtime::protocol::ResolutionProtocol), so a
 //! [`System`](caa_runtime::System) can swap algorithms while "the rest of
-//! the CA action support [is] kept unchanged" — exactly how the paper built
+//! the CA action support \[is\] kept unchanged" — exactly how the paper built
 //! its comparison:
 //!
 //! * [`CrResolution`] — Campbell & Randell 1986: flooding re-broadcast,
@@ -13,6 +13,12 @@
 //! * [`Rom96Resolution`] — Romanovsky et al. 1996: three explicit
 //!   exchanges (announce / propose / confirm), `3N(N−1)` messages per
 //!   nesting level, one resolution invocation per thread.
+//!
+//! # Determinism
+//!
+//! Both baselines are pure state machines over delivered messages — no
+//! clocks, no randomness — so comparative experiments replay exactly and
+//! measured message counts are properties of the algorithm, not the run.
 //!
 //! # Examples
 //!

@@ -10,6 +10,12 @@
 //!   simulated experiments and of exception-graph resolution.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for paper-vs-measured values.
+//!
+//! # Determinism
+//!
+//! The *simulated* quantities (virtual durations, message counts) are
+//! seed-determined and identical on every run; only the wall-clock cost
+//! of simulating them — what Criterion measures — varies with the host.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -1,6 +1,6 @@
 //! Identifiers for the entities of the CA-action model.
 //!
-//! The resolution algorithm of §3.3 requires that "each thread [has] a unique
+//! The resolution algorithm of §3.3 requires that "each thread \[has\] a unique
 //! identifier and all threads are ordered"; the thread with the biggest
 //! identifier among those in the exceptional state performs resolution.
 //! [`ThreadId`] therefore carries a total order. Actions, roles and network

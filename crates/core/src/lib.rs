@@ -22,6 +22,14 @@
 //! protocol crates (`caa-exgraph`, `caa-simnet`, `caa-runtime`) can be
 //! tested against pure data.
 //!
+//! # Determinism
+//!
+//! Nothing here reads a clock or a random source: time is the explicit
+//! [`time::VirtualInstant`]/[`time::VirtualDuration`] pair, and every id
+//! is caller-assigned. This is the foundation of the workspace-wide
+//! byte-exact replay guarantee — all nondeterminism upstream must enter
+//! through a seed.
+//!
 //! # Examples
 //!
 //! ```

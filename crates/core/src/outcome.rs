@@ -25,7 +25,7 @@ use crate::exception::{ExceptionId, Signal};
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ActionOutcome {
     /// The action completed successfully — either no exception occurred, or
-    /// forward error recovery repaired the state and the action "exit[ed]
+    /// forward error recovery repaired the state and the action "exit\[ed\]
     /// with a successful outcome" (Figure 1).
     Success,
     /// The action signalled interface exception `ε` to the enclosing action.
@@ -97,7 +97,7 @@ impl From<Signal> for ActionOutcome {
 
 /// What an exception handler decides after attempting recovery.
 ///
-/// A handler "take[s] over the duties" of its thread and must either
+/// A handler "take\[s\] over the duties" of its thread and must either
 /// complete the action or escalate. The verdict feeds the signalling
 /// algorithm of §3.4.
 ///

@@ -18,6 +18,14 @@
 //!   and the simplification rules of §3.2;
 //! * DOT export for documentation ([`ExceptionGraph::to_dot`]).
 //!
+//! # Determinism
+//!
+//! Resolution is a pure function of the graph and the *set* of raised
+//! exceptions: the result is independent of raise order and of which
+//! participant performs the search — which is exactly what lets every
+//! partition resolve locally yet agree (§3.3.2), and what the harness's
+//! resolution-agreement oracle checks empirically.
+//!
 //! # Examples
 //!
 //! The Move_Loaded_Table exception graph of Figure 7 (excerpt):

@@ -1,7 +1,13 @@
 //! Scenario execution: materialises a [`ScenarioPlan`] into real
-//! [`ActionDef`]s and participant bodies, runs them on the virtual-time
-//! network with a [`TraceRecorder`] attached, and returns the run's
-//! artifacts.
+//! [`ActionDef`]s, shared objects and participant bodies, runs them on the
+//! virtual-time network with a [`TraceRecorder`] attached, and returns the
+//! run's artifacts.
+//!
+//! Execution is deterministic end to end: message timing comes from the
+//! seeded latency model, object acquisition from the runtime's arbitrated
+//! grant order, fault budgets from per-link sequence numbers, and a
+//! crash-stop participant dies at its plan-determined virtual instant — so
+//! the same plan renders a byte-identical [`Trace`] on every run.
 
 use std::sync::Arc;
 
@@ -9,10 +15,10 @@ use caa_core::exception::{Exception, ExceptionId};
 use caa_core::outcome::HandlerVerdict;
 use caa_core::time::{secs, VirtualDuration};
 use caa_exgraph::generate::conjunction_lattice;
-use caa_runtime::{ActionDef, Ctx, Step, System, SystemReport};
+use caa_runtime::{ActionDef, Ctx, SharedObject, Step, System, SystemReport};
 use caa_simnet::LatencyModel;
 
-use crate::plan::{ActionPlan, Phase, ScenarioPlan, VerdictChoice};
+use crate::plan::{ActionPlan, ObjectOp, Phase, ScenarioPlan, VerdictChoice};
 use crate::trace::{Trace, TraceRecorder};
 
 /// Everything produced by one scenario execution.
@@ -38,6 +44,7 @@ enum ExecPhase {
         dur: VirtualDuration,
         sends: Vec<(u32, u32)>,
         listeners: Vec<u32>,
+        object_ops: Vec<ObjectOp>,
     },
     Nested {
         children: Vec<Arc<ExecNode>>,
@@ -59,7 +66,8 @@ fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
 
     let mut builder = ActionDef::builder(plan.name.clone())
         .graph(graph)
-        .signal_timeout(secs(scenario.signal_timeout));
+        .signal_timeout(secs(scenario.signal_timeout))
+        .exit_timeout(secs(scenario.exit_timeout));
     for &t in &plan.group {
         builder = builder.role(role_name(t), t);
     }
@@ -101,10 +109,12 @@ fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
                 dur_ns,
                 sends,
                 listeners,
+                object_ops,
             } => ExecPhase::Compute {
                 dur: VirtualDuration::from_nanos(*dur_ns),
                 sends: sends.clone(),
                 listeners: listeners.clone(),
+                object_ops: object_ops.clone(),
             },
             Phase::Nested { children } => ExecPhase::Nested {
                 children: children.iter().map(|c| build_node(c, scenario)).collect(),
@@ -133,13 +143,45 @@ fn listen(rc: &mut Ctx, dur: VirtualDuration) -> Step<()> {
     }
 }
 
-fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32) -> Step<()> {
+/// Computes through one phase, issuing this thread's object operations at
+/// their fixed offsets. Acquisition waits extend the phase beyond `dur`
+/// (deterministically); the trailing work is clamped to the deadline.
+fn compute_with_ops(
+    rc: &mut Ctx,
+    dur: VirtualDuration,
+    ops: &[&ObjectOp],
+    objects: &[SharedObject<u64>],
+) -> Step<()> {
+    let start = rc.now();
+    let deadline = start.saturating_add(dur);
+    for op in ops {
+        let target = start.saturating_add(VirtualDuration::from_nanos(op.delay_ns));
+        let lead = target.duration_since(rc.now());
+        if !lead.is_zero() {
+            rc.work(lead)?;
+        }
+        let obj = &objects[op.object as usize];
+        if op.update {
+            rc.update(obj, |v| *v = v.wrapping_add(1))?;
+        } else {
+            let _ = rc.read(obj, |v| *v)?;
+        }
+    }
+    let rest = deadline.duration_since(rc.now());
+    if !rest.is_zero() {
+        rc.work(rest)?;
+    }
+    Ok(())
+}
+
+fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32, objects: &[SharedObject<u64>]) -> Step<()> {
     for phase in &node.phases {
         match phase {
             ExecPhase::Compute {
                 dur,
                 sends,
                 listeners,
+                object_ops,
             } => {
                 for &(from, to) in sends {
                     if from == me {
@@ -149,15 +191,21 @@ fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32) -> Step<()> {
                 if listeners.contains(&me) {
                     listen(rc, *dur)?;
                 } else {
-                    rc.work(*dur)?;
+                    let mut my_ops: Vec<&ObjectOp> =
+                        object_ops.iter().filter(|op| op.thread == me).collect();
+                    my_ops.sort_by_key(|op| op.delay_ns);
+                    compute_with_ops(rc, *dur, &my_ops, objects)?;
                 }
             }
             ExecPhase::Nested { children } => {
                 if let Some(child) = children.iter().find(|c| c.plan.group.contains(&me)) {
                     let def = child.def.clone();
                     let child = Arc::clone(child);
-                    rc.enter(&def, &role_name(me), move |cc| body_phases(cc, &child, me))
-                        .map(|_| ())?;
+                    let objects = objects.to_vec();
+                    rc.enter(&def, &role_name(me), move |cc| {
+                        body_phases(cc, &child, me, &objects)
+                    })
+                    .map(|_| ())?;
                 }
             }
         }
@@ -192,15 +240,39 @@ pub fn execute(plan: &ScenarioPlan) -> RunArtifacts {
         .tap(Arc::clone(&recorder) as _)
         .build();
 
+    let objects: Vec<SharedObject<u64>> = plan
+        .objects
+        .iter()
+        .map(|name| SharedObject::new(name.clone(), 0u64))
+        .collect();
     let nodes: Vec<Arc<ExecNode>> = plan.top.iter().map(|a| build_node(a, plan)).collect();
+    let crash = plan.crash;
     for t in 0..plan.threads {
         let nodes = nodes.clone();
+        let objects = objects.clone();
         sys.spawn(format!("T{t}"), move |ctx| {
-            for node in &nodes {
+            let last = nodes.len() - 1;
+            for (i, node) in nodes.iter().enumerate() {
                 let def = node.def.clone();
-                let node = Arc::clone(node);
-                ctx.enter(&def, &role_name(t), move |rc| body_phases(rc, &node, t))
-                    .map(|_| ())?;
+                match crash.filter(|c| c.thread == t && i == last) {
+                    Some(c) => {
+                        // The designated participant dies mid-action; the
+                        // `?` below unwinds the crash to the thread top.
+                        ctx.enter(&def, &role_name(t), move |rc| {
+                            rc.work(VirtualDuration::from_nanos(c.delay_ns))?;
+                            rc.crash_stop()
+                        })
+                        .map(|_| ())?;
+                    }
+                    None => {
+                        let node = Arc::clone(node);
+                        let objects = objects.clone();
+                        ctx.enter(&def, &role_name(t), move |rc| {
+                            body_phases(rc, &node, t, &objects)
+                        })
+                        .map(|_| ())?;
+                    }
+                }
             }
             Ok(())
         });
@@ -222,11 +294,16 @@ mod tests {
     fn a_simple_seed_executes_cleanly() {
         let plan = ScenarioPlan::generate(1, &ScenarioConfig::default());
         let artifacts = execute(&plan);
-        assert!(
-            artifacts.report.is_ok(),
-            "threads failed: {:?}",
-            artifacts.report.results
-        );
+        for (i, (name, result)) in artifacts.report.results.iter().enumerate() {
+            let expected_crash = plan.crash.is_some_and(|c| c.thread == i as u32);
+            match result {
+                Ok(()) => assert!(!expected_crash, "{name} should have crashed"),
+                Err(caa_runtime::RuntimeError::Crashed) => {
+                    assert!(expected_crash, "{name} crashed unplanned");
+                }
+                Err(e) => panic!("{name} failed: {e}"),
+            }
+        }
         assert!(!artifacts.trace.is_empty());
         // Every thread entered every top-level action.
         let enters = artifacts
@@ -245,5 +322,55 @@ mod tests {
             "trace:\n{}",
             artifacts.trace.render()
         );
+    }
+
+    #[test]
+    fn object_scenarios_record_acquisitions() {
+        let cfg = ScenarioConfig::default();
+        let mut acquisitions = 0usize;
+        for seed in 0..40 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            if !plan.has_objects() {
+                continue;
+            }
+            let artifacts = execute(&plan);
+            acquisitions += artifacts
+                .trace
+                .runtime_events()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        caa_runtime::observe::EventKind::ObjectAcquired { .. }
+                    )
+                })
+                .count();
+        }
+        assert!(
+            acquisitions > 0,
+            "object scenarios must actually acquire objects"
+        );
+    }
+
+    #[test]
+    fn crash_scenarios_terminate_with_the_crash_reported() {
+        let cfg = ScenarioConfig::default();
+        let mut found = false;
+        for seed in 0..60 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            let Some(crash) = plan.crash else { continue };
+            found = true;
+            let artifacts = execute(&plan);
+            for (i, (name, result)) in artifacts.report.results.iter().enumerate() {
+                if i as u32 == crash.thread {
+                    assert!(
+                        matches!(result, Err(caa_runtime::RuntimeError::Crashed)),
+                        "{name} should have crashed: {result:?}"
+                    );
+                } else {
+                    assert!(result.is_ok(), "{name} failed: {result:?}");
+                }
+            }
+        }
+        assert!(found, "no crash seed in range");
     }
 }

@@ -13,18 +13,22 @@
 //! * [`plan`] — seeded scenario generation: randomized nesting trees, role
 //!   groups, exception graphs, concurrent raises, handler verdicts
 //!   (forward recovery, µ, ƒ, interface signals), abortion-handler
-//!   exceptions, message loss/corruption and signalling crashes;
-//! * [`exec`] — materialises a plan into real [`caa_runtime`] actions and
-//!   runs it on the virtual-time network;
+//!   exceptions, shared-object workloads (cycle-free by construction),
+//!   crash-stop participants, message loss/corruption and signalling
+//!   crashes;
+//! * [`exec`] — materialises a plan into real [`caa_runtime`] actions,
+//!   shared objects and crash injections, and runs it on the virtual-time
+//!   network;
 //! * [`trace`] — the structured event log captured through
 //!   [`caa_runtime::observe`] and [`caa_simnet::NetTap`] hooks, with a
-//!   canonical byte-stable rendering;
+//!   canonical byte-stable rendering (object acquisitions included);
 //! * [`oracle`] — resolution agreement, single-resolution, the Lemma 1
-//!   completion bound, §3.3.3 message complexity, nesting/abortion
-//!   consistency and deterministic replay;
-//! * [`sweep`] — fans thousands of seeds across OS threads and reports any
+//!   completion bound, §3.3.3 message complexity, nesting/abortion/crash
+//!   consistency, the exit-timeout liveness bound and byte-exact replay;
+//! * [`mod@sweep`] — fans thousands of seeds across OS threads and reports any
 //!   violating seed for one-command replay;
-//! * [`prodcell`] — the §4 production cell driven as a harness scenario.
+//! * [`prodcell`] — the §4 production cell driven as a harness scenario,
+//!   replay-checked byte-exactly.
 //!
 //! # Quick start
 //!

@@ -5,9 +5,10 @@
 //! of participating threads, the latency/resolution/handler timing
 //! parameters, a tree of CA actions (nesting structure, role groups,
 //! exception graphs, handler verdicts, abortion behaviour), the workload of
-//! every role (computation, messaging, concurrent raises) and the network
-//! fault schedule. Two calls with the same seed yield the identical plan;
-//! the executor ([`crate::exec`]) then replays it deterministically on the
+//! every role (computation, messaging, shared-object traffic, concurrent
+//! raises), the network fault schedule, and optionally one crash-stop
+//! participant. Two calls with the same seed yield the identical plan; the
+//! executor ([`crate::exec`]) then replays it deterministically on the
 //! virtual-time network.
 //!
 //! ## Shape of generated scenarios
@@ -15,15 +16,54 @@
 //! Every top-level action is entered by **all** threads at the same virtual
 //! time, and each action consists of: zero or more aligned *compute* phases
 //! (equal virtual duration for every member, with optional role-to-role
-//! messages), then optionally one *nested* phase (disjoint sub-groups each
-//! entering a child action concurrently), then optionally one *raise* phase
-//! (a subset of members raising concurrently within a short window). This
-//! alignment discipline keeps entry skew within one message latency, which
-//! is what makes the Lemma 1 time-bound oracle sound (see
-//! [`crate::oracle`]). Within that shape the space is unbounded: nesting
-//! depth, sibling concurrency, raiser sets, verdicts (forward recovery, µ,
-//! ƒ, interface signals), abortion-handler exceptions and fault schedules
-//! all vary with the seed.
+//! messages and shared-object operations at fixed offsets), then optionally
+//! one *nested* phase (disjoint sub-groups each entering a child action
+//! concurrently), then optionally one *raise* phase (a subset of members
+//! raising concurrently within a short window). This alignment discipline
+//! keeps entry skew within one message latency, which is what makes the
+//! Lemma 1 time-bound oracle sound (see [`crate::oracle`]). Within that
+//! shape the space is unbounded: nesting depth, sibling concurrency,
+//! raiser sets, verdicts (forward recovery, µ, ƒ, interface signals),
+//! abortion-handler exceptions, object contention and fault schedules all
+//! vary with the seed.
+//!
+//! ## Shared-object workloads
+//!
+//! Each action node uses **at most one** shared object, and all of a
+//! plan's objects live at **one seed-chosen nesting depth**. This
+//! discipline provably excludes wait-for cycles. A node holds at most one
+//! object, and same-depth competitors have disjoint concerns (top-level
+//! actions are sequential, nested siblings have disjoint groups), so a
+//! holder's completion never depends on a same-depth waiter. The
+//! single-depth restriction closes the subtler loops the exploratory
+//! sweeps of this scheme actually found: the §3.3.2 *retain-till-entry*
+//! rule means a recovery waits for a late member that cannot be
+//! interrupted while it blocks on an object at a **shallower** level —
+//! with objects at two depths, such a recovery edge can close a cycle
+//! through a sibling subtree (and with an *inherited* ancestor object it
+//! deadlocks even directly: the late member waits on the very sub-layer
+//! the nested action holds while its recovery waits for that member).
+//! With one object depth per plan, a late member's pre-entry work is
+//! object-free, so it always arrives. Nested transaction layering is
+//! still exercised: every access opens layers for the requester's whole
+//! action chain on the touched object.
+//!
+//! Object waits stretch compute phases by the contention they encounter,
+//! so plans with object traffic skip the Lemma 1 bound (its entry-skew
+//! premise no longer holds); every other oracle, including byte-exact
+//! replay, still applies.
+//!
+//! ## Crash-stop participants
+//!
+//! A plan may designate one thread to **crash-stop** partway into the
+//! *last* top-level action. That action's subtree is stripped of raise and
+//! nested phases (a recovery or nested exit would wait forever for the
+//! dead participant — resolution has no crash extension; only signalling
+//! and exit do), corruption faults are dropped for the same reason, and
+//! the crashing thread performs no object operations there (its layers
+//! would be broken mid-flight). Survivors run their workload, reach the
+//! exit protocol, time out on the missing vote, and resolve the action to
+//! abortion (ƒ) — which the exit-timeout oracle then bounds.
 
 use caa_core::ids::PartitionId;
 use caa_simnet::{FaultPlan, FaultSpec};
@@ -44,6 +84,10 @@ pub struct ScenarioConfig {
     /// Whether to generate network fault schedules (message loss and
     /// corruption of signalling/application traffic, signalling crashes).
     pub allow_faults: bool,
+    /// Whether to generate shared-object workloads.
+    pub allow_objects: bool,
+    /// Whether to generate crash-stop participants.
+    pub allow_crashes: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -54,6 +98,8 @@ impl Default for ScenarioConfig {
             max_depth: 2,
             max_top_actions: 2,
             allow_faults: true,
+            allow_objects: true,
+            allow_crashes: true,
         }
     }
 }
@@ -80,18 +126,30 @@ pub struct FaultChoice {
     pub class: &'static str,
     /// Lose the message (true) or corrupt it in transit (false).
     pub lose: bool,
-    /// Restrict to messages sent by this thread, if set. Generated plans
-    /// always pin the sender: a rule matching several senders consumes its
-    /// skip/count budget in arrival order, and same-instant sends from
-    /// different partitions reach the fault injector in nondeterministic
-    /// wall-clock order — a pinned sender's messages arrive in its own
-    /// (deterministic) program order.
+    /// Restrict to messages sent by this thread, if set. Unpinned rules
+    /// (`None`) replay deterministically too: fault budgets are consumed
+    /// per directed link as a pure function of per-link sequence numbers
+    /// (see `caa_simnet::fault`).
     pub src: Option<u32>,
-    /// Matching messages to let through before the fault starts.
+    /// Matching messages to let through (per link) before the fault starts.
     pub skip: u64,
-    /// Matching messages affected (`u64::MAX` models a signalling crash:
-    /// every announcement from `src` is lost from `skip` onward).
+    /// Matching messages affected per link (`u64::MAX` models a signalling
+    /// crash: every announcement from `src` is lost from `skip` onward).
     pub count: u64,
+}
+
+/// One shared-object operation of a compute phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectOp {
+    /// The thread performing the operation.
+    pub thread: u32,
+    /// Offset into the phase at which the operation is issued (the
+    /// *request* instant; the deterministic arbitration decides the grant).
+    pub delay_ns: u64,
+    /// Index into [`ScenarioPlan::objects`].
+    pub object: u32,
+    /// Transactional update (true) or read (false).
+    pub update: bool,
 }
 
 /// An aligned phase of one action.
@@ -99,14 +157,17 @@ pub struct FaultChoice {
 pub enum Phase {
     /// Every member spends exactly `dur_ns` of virtual time: `sends` fire
     /// (instantly) at phase start, `listeners` drain their app inbox for
-    /// the whole phase, everyone else computes.
+    /// the whole phase, everyone else computes — issuing its `object_ops`
+    /// at their fixed offsets along the way.
     Compute {
-        /// Phase length in virtual nanoseconds.
+        /// Phase length in virtual nanoseconds (plus any object-wait time).
         dur_ns: u64,
         /// `(from, to)` application messages sent at phase start.
         sends: Vec<(u32, u32)>,
         /// Threads that listen instead of computing.
         listeners: Vec<u32>,
+        /// Shared-object operations, per thread at fixed offsets.
+        object_ops: Vec<ObjectOp>,
     },
     /// Disjoint sub-groups of the action's members enter child actions
     /// concurrently; members outside every child group proceed directly.
@@ -123,6 +184,15 @@ pub struct RaisePhase {
     /// and then raises its own exception, producing genuinely concurrent
     /// raises when delays are close.
     pub raisers: Vec<(u32, u64)>,
+}
+
+/// The designated crash-stop participant of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashChoice {
+    /// The thread that crash-stops.
+    pub thread: u32,
+    /// How far into the last top-level action it crashes.
+    pub delay_ns: u64,
 }
 
 /// One CA action of the scenario (a node of the action tree).
@@ -188,6 +258,17 @@ impl ActionPlan {
         }
         out
     }
+
+    /// Whether this subtree contains any shared-object operation.
+    #[must_use]
+    pub fn uses_objects(&self) -> bool {
+        self.walk().iter().any(|a| {
+            a.phases.iter().any(|p| match p {
+                Phase::Compute { object_ops, .. } => !object_ops.is_empty(),
+                Phase::Nested { .. } => false,
+            })
+        })
+    }
 }
 
 /// A fully determined scenario: everything needed to execute and to check
@@ -208,11 +289,21 @@ pub struct ScenarioPlan {
     pub t_abort: f64,
     /// Signalling timeout (seconds); a missing announcement is then ƒ.
     pub signal_timeout: f64,
+    /// Exit-protocol timeout (seconds); a missing vote is then a presumed
+    /// crash and the action resolves to abortion.
+    pub exit_timeout: f64,
     /// The network fault schedule.
     pub faults: Vec<FaultChoice>,
+    /// Shared-object names ([`ObjectOp::object`] indexes this).
+    pub objects: Vec<String>,
+    /// The designated crash-stop participant, if any.
+    pub crash: Option<CrashChoice>,
     /// Sequential top-level actions, each entered by every thread.
     pub top: Vec<ActionPlan>,
 }
+
+/// Size of the object pool (all at the plan's single object depth).
+const OBJECT_POOL: u32 = 2;
 
 impl ScenarioPlan {
     /// Generates the plan determined by `seed` under `config`.
@@ -229,6 +320,23 @@ impl ScenarioPlan {
         let delta = rng.f64_range(0.0, 0.3);
         let t_abort = rng.f64_range(0.0, 0.3);
 
+        // All of a plan's objects live at one nesting depth (see the
+        // module docs for the cycle-freedom argument). Depth 0 always
+        // exists; deeper levels only when the seed generates nesting, so
+        // bias toward the top.
+        let object_depth: Option<usize> = (config.allow_objects && rng.chance(0.5)).then(|| {
+            if rng.chance(0.6) {
+                0
+            } else {
+                rng.below(config.max_depth as u64 + 1) as usize
+            }
+        });
+        let objects: Vec<String> = if object_depth.is_some() {
+            (0..OBJECT_POOL).map(|i| format!("o{i}")).collect()
+        } else {
+            Vec::new()
+        };
+
         let top_n = rng.range(1, u64::from(config.max_top_actions.max(1)));
         let mut top = Vec::new();
         for i in 0..top_n {
@@ -238,7 +346,32 @@ impl ScenarioPlan {
                 all.clone(),
                 0,
                 config.max_depth,
+                object_depth,
             ));
+        }
+
+        let crash = if config.allow_crashes && rng.chance(0.15) {
+            Some(CrashChoice {
+                thread: rng.below(u64::from(threads)) as u32,
+                delay_ns: rng.below(1_500_000_000),
+            })
+        } else {
+            None
+        };
+        if let Some(crash) = crash {
+            // The crashed participant cannot take part in a recovery or a
+            // nested exit (resolution has no crash extension), so the last
+            // top-level action — where the crash happens — is flattened to
+            // compute phases only, and the crashing thread performs no
+            // object operations there.
+            let last = top.last_mut().expect("at least one top action");
+            last.phases.retain(|p| matches!(p, Phase::Compute { .. }));
+            last.raise = None;
+            for phase in &mut last.phases {
+                if let Phase::Compute { object_ops, .. } = phase {
+                    object_ops.retain(|op| op.thread != crash.thread);
+                }
+            }
         }
 
         let mut faults = Vec::new();
@@ -251,8 +384,15 @@ impl ScenarioPlan {
                         } else {
                             "App"
                         },
-                        lose: rng.chance(0.5),
-                        src: Some(rng.below(u64::from(threads)) as u32),
+                        // Corrupted deliveries raise the corruption
+                        // exception, which a crash-stop scenario cannot
+                        // resolve (the dead peer never answers): lose only.
+                        lose: crash.is_some() || rng.chance(0.5),
+                        src: if rng.chance(0.7) {
+                            Some(rng.below(u64::from(threads)) as u32)
+                        } else {
+                            None // unpinned: per-link budgets replay too
+                        },
                         skip: rng.below(30),
                         count: rng.range(1, 2),
                     });
@@ -280,7 +420,14 @@ impl ScenarioPlan {
             delta,
             t_abort,
             signal_timeout: 60.0,
+            // Well above any live participant's achievable exit skew (a
+            // thread can lag by a few signalling timeouts when
+            // announcements are lost), so only genuine crash-stops trip
+            // the bounded wait. Virtual time makes the headroom free.
+            exit_timeout: 600.0,
             faults,
+            objects,
+            crash,
             top,
         }
     }
@@ -298,6 +445,14 @@ impl ScenarioPlan {
     /// Every action of the plan, preorder across the top-level sequence.
     pub fn actions(&self) -> Vec<&ActionPlan> {
         self.top.iter().flat_map(ActionPlan::walk).collect()
+    }
+
+    /// Whether any action performs shared-object operations. Such plans
+    /// skip the Lemma 1 bound: object waits stretch compute phases, so the
+    /// aligned-entry premise of the bound no longer holds.
+    #[must_use]
+    pub fn has_objects(&self) -> bool {
+        self.top.iter().any(ActionPlan::uses_objects)
     }
 
     /// Materialises the plan's fault schedule as a network [`FaultPlan`].
@@ -324,7 +479,8 @@ impl ScenarioPlan {
     pub fn describe(&self) -> String {
         format!(
             "seed {}: {} threads, {} top actions, depth {}, Tmmax {:.3}s, \
-             Treso {:.3}s, ∆ {:.3}s, Tabort {:.3}s, {} fault rule(s)",
+             Treso {:.3}s, ∆ {:.3}s, Tabort {:.3}s, {} fault rule(s), \
+             objects {}, crash {}",
             self.seed,
             self.threads,
             self.top.len(),
@@ -334,6 +490,11 @@ impl ScenarioPlan {
             self.delta,
             self.t_abort,
             self.faults.len(),
+            if self.has_objects() { "yes" } else { "no" },
+            match self.crash {
+                Some(c) => format!("T{} @{:.3}s", c.thread, c.delay_ns as f64 / 1e9),
+                None => "no".into(),
+            },
         )
     }
 }
@@ -357,10 +518,16 @@ fn gen_action(
     group: Vec<u32>,
     depth: usize,
     max_depth: usize,
+    object_depth: Option<usize>,
 ) -> ActionPlan {
+    // At most one object per action node, only at the plan's single
+    // object depth. See the module docs for the cycle-freedom argument.
+    let object: Option<u32> = (object_depth == Some(depth) && rng.chance(0.6))
+        .then(|| rng.below(u64::from(OBJECT_POOL)) as u32);
+
     let mut phases = Vec::new();
 
-    // Aligned compute phases with optional messaging.
+    // Aligned compute phases with optional messaging and object traffic.
     for _ in 0..rng.range(0, 2) {
         let dur_ns = (rng.f64_range(0.02, 0.4) * 1e9) as u64;
         let mut sends = Vec::new();
@@ -377,10 +544,24 @@ fn gen_action(
                 }
             }
         }
+        let mut object_ops = Vec::new();
+        if let Some(object) = object {
+            for &t in &group {
+                if !listeners.contains(&t) && rng.chance(0.4) {
+                    object_ops.push(ObjectOp {
+                        thread: t,
+                        delay_ns: rng.below(dur_ns.max(1)),
+                        object,
+                        update: rng.chance(0.7),
+                    });
+                }
+            }
+        }
         phases.push(Phase::Compute {
             dur_ns,
             sends,
             listeners,
+            object_ops,
         });
     }
 
@@ -411,6 +592,7 @@ fn gen_action(
                 sub,
                 depth + 1,
                 max_depth,
+                object_depth,
             ));
         }
         phases.push(Phase::Nested { children });
@@ -481,6 +663,8 @@ mod tests {
             max_depth: 2,
             max_top_actions: 2,
             allow_faults: true,
+            allow_objects: true,
+            allow_crashes: true,
         };
         for seed in 0..200 {
             let plan = ScenarioPlan::generate(seed, &cfg);
@@ -506,9 +690,77 @@ mod tests {
     }
 
     #[test]
+    fn object_ops_are_well_formed() {
+        let cfg = ScenarioConfig::default();
+        for seed in 0..300 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            for action in plan.actions() {
+                let mut action_objects = std::collections::HashSet::new();
+                for phase in &action.phases {
+                    if let Phase::Compute {
+                        dur_ns,
+                        listeners,
+                        object_ops,
+                        ..
+                    } = phase
+                    {
+                        for op in object_ops {
+                            assert!(action.group.contains(&op.thread), "seed {seed}");
+                            assert!(!listeners.contains(&op.thread), "seed {seed}");
+                            assert!(op.delay_ns < *dur_ns, "seed {seed}");
+                            assert!(
+                                (op.object as usize) < plan.objects.len(),
+                                "seed {seed}: op references unknown object"
+                            );
+                            action_objects.insert(op.object);
+                        }
+                    }
+                }
+                assert!(
+                    action_objects.len() <= 1,
+                    "seed {seed}: action {} uses {} objects (max 1)",
+                    action.name,
+                    action_objects.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_scenarios_are_flat_and_lose_only() {
+        let cfg = ScenarioConfig::default();
+        let mut crashes = 0;
+        for seed in 0..400 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            let Some(crash) = plan.crash else { continue };
+            crashes += 1;
+            assert!(crash.thread < plan.threads, "seed {seed}");
+            let last = plan.top.last().unwrap();
+            assert!(last.raise.is_none(), "seed {seed}: raise in crash action");
+            for phase in &last.phases {
+                match phase {
+                    Phase::Nested { .. } => panic!("seed {seed}: nesting in crash action"),
+                    Phase::Compute { object_ops, .. } => {
+                        assert!(
+                            object_ops.iter().all(|op| op.thread != crash.thread),
+                            "seed {seed}: crashing thread holds objects"
+                        );
+                    }
+                }
+            }
+            assert!(
+                plan.faults.iter().all(|f| f.lose),
+                "seed {seed}: corruption faults with a crash-stop participant"
+            );
+        }
+        assert!(crashes > 30, "crashes too rare: {crashes}/400");
+    }
+
+    #[test]
     fn seeds_reach_interesting_features() {
         let cfg = ScenarioConfig::default();
         let (mut nested, mut multi_raise, mut faults, mut crash) = (0, 0, 0, 0);
+        let (mut objects, mut unpinned, mut crash_stop) = (0, 0, 0);
         for seed in 0..300 {
             let plan = ScenarioPlan::generate(seed, &cfg);
             if plan.max_depth() > 0 {
@@ -527,6 +779,15 @@ mod tests {
             if plan.faults.iter().any(|f| f.count == u64::MAX) {
                 crash += 1;
             }
+            if plan.has_objects() {
+                objects += 1;
+            }
+            if plan.faults.iter().any(|f| f.src.is_none()) {
+                unpinned += 1;
+            }
+            if plan.crash.is_some() {
+                crash_stop += 1;
+            }
         }
         assert!(nested > 100, "nesting too rare: {nested}/300");
         assert!(
@@ -534,6 +795,12 @@ mod tests {
             "concurrent raises too rare: {multi_raise}/300"
         );
         assert!(faults > 100, "faults too rare: {faults}/300");
-        assert!(crash > 10, "crashes too rare: {crash}/300");
+        assert!(crash > 10, "signalling crashes too rare: {crash}/300");
+        assert!(objects > 40, "object workloads too rare: {objects}/300");
+        assert!(
+            unpinned > 20,
+            "unpinned fault rules too rare: {unpinned}/300"
+        );
+        assert!(crash_stop > 20, "crash-stops too rare: {crash_stop}/300");
     }
 }

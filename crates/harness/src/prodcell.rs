@@ -10,7 +10,7 @@ use caa_prodcell::{
 };
 use caa_runtime::{System, SystemReport};
 
-use crate::oracle::{check_invariants, check_replay_protocol, Violation};
+use crate::oracle::{check_invariants, check_replay, Violation};
 use crate::rng::Rng;
 use crate::trace::{Trace, TraceRecorder};
 
@@ -110,13 +110,19 @@ pub fn run_seed(seed: u64, cycles: u32, replay: bool) -> ProdcellRun {
     }
 
     if replay {
-        // The cell synchronises through transactional shared objects as
-        // well as the network, so replays are compared on the
-        // timestamp-free protocol projection (see
-        // [`Trace::protocol_projection`]).
-        let (_, _, second) = execute(seed, cycles);
-        if let Some(v) = check_replay_protocol(&trace, &second) {
+        // Shared-object acquisition is arbitrated deterministically through
+        // the simulation (see `caa_runtime::objects`), so the cell's full
+        // trace — timings, network sends and object acquisitions included —
+        // must be byte-identical across replays.
+        let (second_cell, _, second) = execute(seed, cycles);
+        if let Some(v) = check_replay(&trace, &second) {
             violations.push(v);
+        }
+        if second_cell.audit_committed() != cell.audit_committed() {
+            violations.push(Violation::ThreadFailure {
+                thread: "audit".into(),
+                error: "replay reached a different committed cell state".into(),
+            });
         }
     }
 

@@ -1,8 +1,8 @@
 //! Structured trace recording.
 //!
 //! A [`TraceRecorder`] implements both the runtime's
-//! [`Observer`](caa_runtime::observe::Observer) hook and the network's
-//! [`NetTap`](caa_simnet::NetTap) hook, collecting every protocol-level
+//! [`caa_runtime::observe::Observer`] hook and the network's
+//! [`caa_simnet::NetTap`] hook, collecting every protocol-level
 //! step and every message send/loss/corruption of one simulated run. Events
 //! arrive from the participating OS threads in arbitrary wall-clock order;
 //! [`TraceRecorder::finish`] sorts them into the canonical order
@@ -167,12 +167,12 @@ impl Trace {
     /// thread's sequence of runtime protocol steps, with canonical action
     /// labels, no virtual times and no network events.
     ///
-    /// Harness-generated scenarios replay byte-identically under
-    /// [`Trace::render`]. Systems that also synchronise through
-    /// transactional shared objects (e.g. the production cell) race on
-    /// same-instant object acquisition, which shifts *timings* between
-    /// replays while the protocol steps each thread performs stay fixed —
-    /// this projection is the determinism contract for those systems.
+    /// Every supported system — harness scenarios and the production cell
+    /// alike — now replays byte-identically under [`Trace::render`]
+    /// (shared-object acquisition is arbitrated deterministically through
+    /// the simulation). The projection survives as a triage tool: when a
+    /// future regression makes full traces diverge, comparing projections
+    /// tells apart timing-only drift from genuine protocol divergence.
     #[must_use]
     pub fn protocol_projection(&self) -> String {
         let mut per_thread: BTreeMap<u32, Vec<&Entry>> = BTreeMap::new();

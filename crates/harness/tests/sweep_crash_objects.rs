@@ -1,0 +1,55 @@
+//! The crash/object acceptance sweep: ≥10k seeds whose scenario space
+//! includes shared-object workloads (arbitrated deterministically through
+//! the simulation) and crash-stop participants (resolved by the bounded
+//! exit wait), checked against every oracle — resolution agreement,
+//! message complexity, nesting/abortion/crash consistency, the
+//! exit-timeout bound, and **byte-exact** replay (object acquisitions
+//! included).
+
+use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::sweep::{sweep, SweepConfig};
+
+const SEEDS: u64 = 10_000;
+
+#[test]
+fn crash_and_object_sweep_10k_passes_every_oracle() {
+    let scenario = ScenarioConfig::default();
+    assert!(scenario.allow_objects && scenario.allow_crashes);
+
+    // The sweep must actually explore the new scenario features.
+    let (mut with_objects, mut with_crashes, mut with_both) = (0u64, 0u64, 0u64);
+    for seed in 0..SEEDS {
+        let plan = ScenarioPlan::generate(seed, &scenario);
+        let objects = plan.has_objects();
+        let crash = plan.crash.is_some();
+        with_objects += u64::from(objects);
+        with_crashes += u64::from(crash);
+        with_both += u64::from(objects && crash);
+    }
+    assert!(
+        with_objects > 1000,
+        "only {with_objects}/{SEEDS} seeds have object workloads"
+    );
+    assert!(
+        with_crashes > 1000,
+        "only {with_crashes}/{SEEDS} seeds have crash-stop participants"
+    );
+    assert!(
+        with_both > 100,
+        "only {with_both}/{SEEDS} seeds combine objects and crashes"
+    );
+
+    let report = sweep(&SweepConfig {
+        start_seed: 0,
+        seeds: SEEDS,
+        workers: 0,
+        scenario,
+        check_replay: true,
+    });
+    assert!(
+        report.all_passed(),
+        "violating seeds found:\n{}",
+        report.summary()
+    );
+    assert_eq!(report.seeds_run, SEEDS);
+}

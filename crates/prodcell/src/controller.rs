@@ -116,8 +116,9 @@ pub fn build_system(cell: &ProductionCell, config: &ControllerConfig) -> System 
     sys
 }
 
-/// Like [`build_system`] but over a caller-prepared [`SystemBuilder`]
-/// (e.g. with fault injection on the network).
+/// Like [`build_system`] but over a caller-prepared
+/// [`SystemBuilder`](caa_runtime::SystemBuilder) (e.g. with fault
+/// injection on the network).
 pub fn spawn_controller(sys: &mut System, cell: &ProductionCell, config: &ControllerConfig) {
     let defs = Definitions::new(cell, config);
     let cycles = config.cycles;
@@ -798,9 +799,14 @@ fn tpr_repair(hc: &mut Ctx, cell: &ProductionCell, is_table_role: bool) -> Step<
     let thread = hc.thread_id().as_u32();
 
     // Clear the abandoned work piece from whatever this lane controls.
+    // Clearing is an operator-level (force) reset: the outermost recovery
+    // models physical intervention, which a scripted device fault cannot
+    // refuse — otherwise a plate written off as lost would linger inside a
+    // stuck device and break the conservation audit (found by the harness's
+    // byte-replay sweeps once object interleavings became deterministic).
     if is_table_role {
         hc.update(&cell.table, |t| {
-            let _ = t.take_plate();
+            let _ = t.force_clear();
             for f in crate::faults::DeviceFault::ALL {
                 t.repair(f);
             }
@@ -813,12 +819,11 @@ fn tpr_repair(hc: &mut Ctx, cell: &ProductionCell, is_table_role: bool) -> Step<
         })?;
         // Drop any blank still waiting on the feed belt for this cycle.
         hc.update(&cell.feed, |f| {
-            let _ = f.convey_to_table();
+            let _ = f.force_clear();
         })?;
     } else if thread == threads::ROBOT {
         hc.update(&cell.robot, |r| {
-            let _ = r.arm1_release();
-            let _ = r.arm2_release();
+            let _ = r.force_clear_arms();
             r.repair(crate::faults::DeviceFault::SensorStuck);
             if r.arm1.extended {
                 let _ = r.retract_arm1();
@@ -830,7 +835,7 @@ fn tpr_repair(hc: &mut Ctx, cell: &ProductionCell, is_table_role: bool) -> Step<
         })?;
     } else if thread == threads::PRESS {
         hc.update(&cell.press, |p| {
-            let _ = p.remove();
+            let _ = p.force_clear();
         })?;
     } else if thread == threads::ROBOT_SENSOR {
         hc.update(&cell.robot, |r| {
@@ -846,7 +851,15 @@ fn tpr_repair(hc: &mut Ctx, cell: &ProductionCell, is_table_role: bool) -> Step<
         // Recovery at the outermost action abandons the cycle: its blank is
         // written off unless it already reached the environment. This is
         // the single source of truth for the lost count (the lanes above
-        // only clear devices).
+        // only clear devices). A forged plate stranded on the deposit
+        // backlog is delivered, not lost — force-forward it (bypassing the
+        // belt's fault script, like every other force reset here) before
+        // the write-off check, or the audit would count it both lost and
+        // in-flight.
+        let forwarded = hc.update(&cell.deposit, |d| d.force_forward())?;
+        if forwarded > 0 {
+            hc.update(&cell.metrics, |m| m.delivered += forwarded as u32)?;
+        }
         let current = hc.read(&cell.feed, |f| f.total_inserted())?;
         let delivered = hc.read(&cell.deposit, |d| {
             d.delivered().iter().any(|p| p.id == current)

@@ -113,6 +113,13 @@ impl FeedBelt {
         Ok(plate)
     }
 
+    /// Operator-level reset (outermost recovery): removes every blank from
+    /// the belt, bypassing the fault script — a physical intervention
+    /// cannot be blocked by a belt fault. Returns the removed blanks.
+    pub fn force_clear(&mut self) -> Vec<Plate> {
+        std::mem::take(&mut self.items)
+    }
+
     /// Conveys the oldest blank to the table end (step 2); `None` when the
     /// belt is empty. A lost-plate fault drops the blank on the floor.
     pub fn convey_to_table(&mut self) -> DeviceResult<Option<Plate>> {
@@ -222,6 +229,12 @@ impl RotaryTable {
         self.step_vertical()?;
         self.lifted = false;
         Ok(())
+    }
+
+    /// Operator-level reset (outermost recovery): removes whatever plate is
+    /// on the table, bypassing the fault script.
+    pub fn force_clear(&mut self) -> Option<Plate> {
+        self.plate.take()
     }
 
     /// The robot magnetizes the plate off the table.
@@ -346,6 +359,13 @@ impl Press {
     pub fn remove(&mut self) -> DeviceResult<Plate> {
         self.step()?;
         self.plate.take().ok_or(DeviceFault::LostPlate)
+    }
+
+    /// Operator-level reset (outermost recovery): removes whatever plate is
+    /// inside the press, bypassing the fault script — a stuck press cannot
+    /// refuse a physical intervention.
+    pub fn force_clear(&mut self) -> Option<Plate> {
+        self.plate.take()
     }
 
     fn step(&mut self) -> DeviceResult {
@@ -496,6 +516,12 @@ impl Robot {
         }
     }
 
+    /// Operator-level reset (outermost recovery): demagnetises both arms,
+    /// bypassing the fault script. Returns whatever the arms held.
+    pub fn force_clear_arms(&mut self) -> (Option<Plate>, Option<Plate>) {
+        (self.arm1.holding.take(), self.arm2.holding.take())
+    }
+
     fn step(&mut self) -> DeviceResult {
         self.ops += 1;
         match self.script.check(self.ops) {
@@ -575,6 +601,16 @@ impl DepositBelt {
     #[must_use]
     pub fn delivered(&self) -> &[Plate] {
         &self.delivered
+    }
+
+    /// Operator-level reset (outermost recovery): forwards every waiting
+    /// plate to the environment, bypassing the fault script and the
+    /// traffic light — a physical intervention cannot be blocked by a
+    /// belt fault. Returns how many plates were delivered.
+    pub fn force_forward(&mut self) -> usize {
+        let n = self.items.len();
+        self.delivered.append(&mut self.items);
+        n
     }
 
     /// Plates accepted but not yet forwarded to the environment.

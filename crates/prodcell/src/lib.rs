@@ -19,6 +19,17 @@
 //!   escalation chain (`L_PLATE`, `NCS_FAIL`, `T_SENSOR`, `A1_SENSOR`,
 //!   µ, ƒ).
 //!
+//! # Determinism
+//!
+//! A controller run is a pure function of its configuration: device
+//! faults fire on scripted operation counts, message latencies come from
+//! the seed, and the cell's [`SharedObject`]s are acquired through the
+//! runtime's deterministic arbitration — so a seeded run (including the
+//! harness's `caa_harness::prodcell::run_seed`) renders a byte-identical
+//! trace on every replay.
+//!
+//! [`SharedObject`]: caa_runtime::SharedObject
+//!
 //! # Examples
 //!
 //! A fault-free run forging three blanks:

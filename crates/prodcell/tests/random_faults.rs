@@ -58,9 +58,10 @@ fn any_fault_schedule_terminates_consistently() {
 
 #[test]
 fn faulty_seeds_replay_deterministically() {
-    // Replay determinism (protocol projection — the cell also synchronises
-    // through shared objects, see `Trace::protocol_projection`) on a
-    // handful of seeds, including ones with non-empty fault schedules.
+    // Byte-exact replay determinism: shared-object acquisition is
+    // arbitrated through the simulation, so the full trace — timings,
+    // sends and object acquisitions — is identical across runs, on a
+    // handful of seeds including ones with non-empty fault schedules.
     for seed in [0, 3, 7, 11] {
         let run = run_seed(seed, CYCLES, true);
         assert!(

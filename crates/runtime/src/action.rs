@@ -85,6 +85,7 @@ pub(crate) struct DefInner {
     pub(crate) abort_handlers: HashMap<RoleId, AbortHandler>,
     pub(crate) undo_hooks: HashMap<RoleId, UndoHook>,
     pub(crate) signal_timeout: Option<VirtualDuration>,
+    pub(crate) exit_timeout: Option<VirtualDuration>,
     pub(crate) corruption_exception: ExceptionId,
 }
 
@@ -186,6 +187,7 @@ impl ActionDef {
             aborts: Vec::new(),
             undos: Vec::new(),
             signal_timeout: None,
+            exit_timeout: None,
             corruption_exception: ExceptionId::new("l_mes"),
         }
     }
@@ -240,6 +242,7 @@ pub struct ActionDefBuilder {
     aborts: Vec<(String, AbortHandler)>,
     undos: Vec<(String, UndoHook)>,
     signal_timeout: Option<VirtualDuration>,
+    exit_timeout: Option<VirtualDuration>,
     corruption_exception: ExceptionId,
 }
 
@@ -341,6 +344,20 @@ impl ActionDefBuilder {
         self
     }
 
+    /// Bounds how long the exit protocol waits for peer votes — the §3.4
+    /// timeout generalised from signalling to exit. When the bound expires
+    /// with votes missing, the peer is presumed crashed and the action
+    /// resolves to abortion (outcome ƒ / [`ActionOutcome::Failed`]) instead
+    /// of deadlocking. The bound must exceed any live participant's exit
+    /// skew (latency plus scheduling), or slow peers are misclassified as
+    /// crashed. Without it (the default) the exit wait is unbounded.
+    ///
+    /// [`ActionOutcome::Failed`]: caa_core::outcome::ActionOutcome::Failed
+    pub fn exit_timeout(mut self, timeout: VirtualDuration) -> Self {
+        self.exit_timeout = Some(timeout);
+        self
+    }
+
     /// The internal exception raised when a corrupted message is delivered
     /// while this action runs (defaults to `l_mes`, as in the production
     /// cell's Figure 7).
@@ -420,6 +437,7 @@ impl ActionDefBuilder {
                 abort_handlers,
                 undo_hooks,
                 signal_timeout: self.signal_timeout,
+                exit_timeout: self.exit_timeout,
                 corruption_exception: self.corruption_exception,
             }),
         })

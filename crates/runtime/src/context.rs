@@ -27,7 +27,7 @@ use caa_simnet::{Endpoint, Received};
 
 use crate::action::{make_action_id, ActionDef, DefInner};
 use crate::error::{Flow, RuntimeError, Step, Unwind};
-use crate::objects::{ObjectError, SharedObject, TxControl};
+use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl};
 use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
 use crate::system::SystemShared;
@@ -261,6 +261,22 @@ impl Ctx {
         }
     }
 
+    /// Simulates a **crash-stop** of this participant: every open action
+    /// frame is discarded without running handlers or sending messages
+    /// (the process simply dies), transaction layers this thread had
+    /// registered are broken, and the thread terminates with
+    /// [`RuntimeError::Crashed`]. Peers observe only silence: their exit
+    /// protocol resolves the missing vote to abortion once the action's
+    /// [`exit timeout`](crate::ActionDefBuilder::exit_timeout) expires.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` — propagate it with `?`; it unwinds to the
+    /// thread's top level.
+    pub fn crash_stop(&mut self) -> Step<()> {
+        Err(Flow::new(Unwind::Crash))
+    }
+
     /// Raises exception `e` in the active action (§3.1 *raise*). The
     /// returned [`Flow`] must be propagated with `?`; the runtime then
     /// coordinates recovery across all participants.
@@ -395,34 +411,52 @@ impl Ctx {
         })
     }
 
+    /// Arbitration quantum: waiters retry on ticks of this virtual
+    /// duration, so every access costs at least one quantum and all grant
+    /// decisions happen at scheduler-visible instants (see
+    /// [`crate::objects`] for the determinism argument).
+    const OBJECT_QUANTUM: VirtualDuration = VirtualDuration::from_millis(1);
+
     fn access<T: Clone + Send + 'static, R>(
         &mut self,
         obj: &SharedObject<T>,
         f: impl FnOnce(&mut T, &mut bool) -> R,
     ) -> Step<R> {
         self.poll()?;
-        let (action, enclosing) = {
-            let frame = self
-                .stack
-                .last()
-                .ok_or_else(|| Flow::from(RuntimeError::NoActiveAction("object access")))?;
-            let enclosing: Vec<ActionId> = self.stack.iter().map(|fr| fr.action).collect();
-            (frame.action, enclosing)
-        };
-        // Wait for competing actions in scheduler-visible time.
-        while !obj.try_acquire(action, &enclosing[..enclosing.len() - 1]) {
-            self.work(VirtualDuration::from_millis(1))?;
+        if self.stack.is_empty() {
+            return Err(RuntimeError::NoActiveAction("object access").into());
         }
+        let chain: Vec<ActionId> = self.stack.iter().map(|fr| fr.action).collect();
+        let action = *chain.last().expect("stack nonempty");
+        // Register the request, then retry on quantum ticks. The wait is a
+        // poll point: recovery can interrupt it (the request is withdrawn).
+        obj.enqueue_waiter(self.me, self.now(), &chain);
+        let mut f = Some(f);
+        let (value, opened) = loop {
+            if let Err(flow) = self.work(Self::OBJECT_QUANTUM) {
+                obj.cancel_waiter(self.me, self.now());
+                return Err(flow);
+            }
+            match obj.try_access(self.me, self.now(), &chain, &mut f) {
+                AccessOutcome::Done { value, opened } => break (value, opened),
+                AccessOutcome::NotYet => {}
+            }
+        };
         // Register the object with every frame on the stack: acquisition
         // may have opened layers for enclosing actions too, and each frame
         // must commit or roll back its own layer when it completes.
+        // Dedup by identity, not name — two distinct objects may share one.
+        let obj_id = TxControl::object_id(obj);
         for frame in &mut self.stack {
-            if !frame.objects.iter().any(|o| o.object_name() == obj.name()) {
+            if !frame.objects.iter().any(|o| o.object_id() == obj_id) {
                 frame.objects.push(Box::new(obj.clone()));
             }
         }
-        obj.with_working(action, f)
-            .map_err(|e| Flow::from(RuntimeError::Protocol(e.to_string())))
+        if opened > 0 {
+            let object = obj.name().to_owned();
+            self.observe(action, || EventKind::ObjectAcquired { object });
+        }
+        Ok(value)
     }
 
     // ------------------------------------------------------------------
@@ -622,6 +656,11 @@ impl Ctx {
                     }))
                 }
             }
+            Unwind::Crash => {
+                // The process is "dead": unwind every frame silently.
+                self.crash_current_frame();
+                Err(Flow::new(Unwind::Crash))
+            }
             fatal @ Unwind::Fatal(_) => {
                 self.discard_current_frame();
                 Err(Flow { unwind: fatal })
@@ -654,6 +693,10 @@ impl Ctx {
                     Unwind::Raise(e) => eab = Some(e),
                     Unwind::Suspend => {}
                     Unwind::Outer { target, eab: e } => deeper = Some((target, e)),
+                    Unwind::Crash => {
+                        self.crash_current_frame();
+                        return Err(Flow::new(Unwind::Crash));
+                    }
                     fatal @ Unwind::Fatal(_) => {
                         self.discard_current_frame();
                         return Err(Flow { unwind: fatal });
@@ -663,11 +706,12 @@ impl Ctx {
         }
         // Undo the aborted action's effects; effects that cannot be undone
         // taint the object (ƒ semantics).
+        let now = self.endpoint.now();
         let frame = self.stack.last_mut().expect("frame still present");
         let objects = std::mem::take(&mut frame.objects);
         for obj in &objects {
-            if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action) {
-                let _ = obj.commit_tainted(action);
+            if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action, now) {
+                let _ = obj.commit_tainted(action, now);
             }
         }
         self.observe(action, || EventKind::Abort {
@@ -685,11 +729,32 @@ impl Ctx {
     fn discard_current_frame(&mut self) {
         if let Some(frame) = self.stack.last_mut() {
             let action = frame.action;
+            let now = self.endpoint.now();
             let objects = std::mem::take(&mut frame.objects);
             for obj in &objects {
-                let _ = obj.rollback(action);
+                let _ = obj.rollback(action, now);
             }
             self.observe(action, || EventKind::Abort { eab: None });
+            self.pop_frame();
+        }
+    }
+
+    /// Crash-stop: discards the top frame like a process death — objects
+    /// this thread registered are rolled back (the crashed node's
+    /// transaction layers are broken), no handlers run, no messages are
+    /// sent. Emits a [`EventKind::Crash`] event so traces and oracles can
+    /// account for the never-closed entry.
+    fn crash_current_frame(&mut self) {
+        if let Some(frame) = self.stack.last_mut() {
+            let action = frame.action;
+            let now = self.endpoint.now();
+            let objects = std::mem::take(&mut frame.objects);
+            for obj in &objects {
+                if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action, now) {
+                    let _ = obj.commit_tainted(action, now);
+                }
+            }
+            self.observe(action, || EventKind::Crash);
             self.pop_frame();
         }
     }
@@ -709,6 +774,9 @@ impl Ctx {
         match self.run_exit()? {
             ExitResult::Done => self.finalize(outcome),
             ExitResult::Recover => self.phase_recover(RecoveryStart::Suspend),
+            // A peer's vote never arrived: presume it crashed and resolve
+            // to abortion (ƒ) — objects are tainted, not left hanging.
+            ExitResult::TimedOut => self.finalize(ActionOutcome::Failed),
         }
     }
 
@@ -735,6 +803,9 @@ impl Ctx {
                 )
                 .into());
             }
+            // A peer crashed between signalling and exit: ƒ dominates
+            // whatever the signalling round concluded.
+            ExitResult::TimedOut => return self.finalize(ActionOutcome::Failed),
         }
         let outcome = match my_signal {
             Signal::None => ActionOutcome::Success,
@@ -747,6 +818,7 @@ impl Ctx {
 
     /// Commits or finalizes objects per outcome and pops the frame.
     fn finalize(&mut self, outcome: ActionOutcome) -> Step<ActionOutcome> {
+        let now = self.endpoint.now();
         let frame = self.stack.last_mut().expect("frame active");
         let action = frame.action;
         let objects = std::mem::take(&mut frame.objects);
@@ -754,21 +826,21 @@ impl Ctx {
             ActionOutcome::Success | ActionOutcome::Signalled(_) => {
                 // Forward recovery leaves objects in (new) valid states.
                 for obj in &objects {
-                    let _ = obj.commit(action);
+                    let _ = obj.commit(action, now);
                 }
             }
             ActionOutcome::Undone => {
                 // Rollback already happened during the undo round; any
                 // layer still open (acquired after undo) is discarded.
                 for obj in &objects {
-                    let _ = obj.rollback(action);
+                    let _ = obj.rollback(action, now);
                 }
             }
             ActionOutcome::Failed => {
                 // ƒ: effects may not have been undone; leave them visible
                 // and taint the objects.
                 for obj in &objects {
-                    let _ = obj.commit_tainted(action);
+                    let _ = obj.commit_tainted(action, now);
                 }
             }
         }
@@ -1000,13 +1072,14 @@ impl Ctx {
                 Err(_) => ok = false,
             }
         }
+        let now = self.endpoint.now();
         let frame = self.stack.last_mut().expect("frame active");
         let objects = std::mem::take(&mut frame.objects);
         for obj in &objects {
-            match obj.rollback(action) {
+            match obj.rollback(action, now) {
                 Ok(()) => {}
                 Err(ObjectError::UndoImpossible { .. }) => {
-                    let _ = obj.commit_tainted(action);
+                    let _ = obj.commit_tainted(action, now);
                     ok = false;
                 }
                 Err(ObjectError::NotAcquired { .. }) => {}
@@ -1042,6 +1115,10 @@ impl Ctx {
                 },
             );
         }
+        // The §3.4 timeout is a per-round deadline: unrelated traffic
+        // (exit votes, retained triggers for other instances) must not
+        // extend the wait, or a peer's signalling stall becomes unbounded.
+        let deadline = timeout.map(|t| self.now().saturating_add(t));
         loop {
             {
                 let frame = self.stack.last().expect("frame active");
@@ -1057,21 +1134,24 @@ impl Ctx {
                     return Ok(collected);
                 }
             }
-            let received = match timeout {
-                Some(t) => match self.endpoint.recv_timeout(t)? {
-                    Some(r) => r,
-                    None => {
-                        // §3.4 extension: a missing announcement (lost
-                        // message or crashed peer) is treated as ƒ; all
-                        // fault-free threads still signal coordinated
-                        // exceptions.
-                        let frame = self.stack.last_mut().expect("frame active");
-                        for &t in &group {
-                            frame.signals.entry((round, t)).or_insert(Signal::Failure);
+            let received = match deadline {
+                Some(deadline) => {
+                    let remaining = deadline.duration_since(self.now());
+                    match self.endpoint.recv_timeout(remaining)? {
+                        Some(r) => r,
+                        None => {
+                            // §3.4 extension: a missing announcement (lost
+                            // message or crashed peer) is treated as ƒ; all
+                            // fault-free threads still signal coordinated
+                            // exceptions.
+                            let frame = self.stack.last_mut().expect("frame active");
+                            for &t in &group {
+                                frame.signals.entry((round, t)).or_insert(Signal::Failure);
+                            }
+                            continue;
                         }
-                        continue;
                     }
-                },
+                }
                 None => self.endpoint.recv()?,
             };
             match self.route(received)? {
@@ -1094,12 +1174,19 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     fn run_exit(&mut self) -> Step<ExitResult> {
-        let (action, group, epoch) = {
+        let (action, group, epoch, timeout) = {
             let frame = self.stack.last_mut().expect("frame active");
             let epoch = frame.exit_epoch;
             frame.exit_votes.entry(epoch).or_default().insert(self.me);
-            (frame.action, frame.def.group.clone(), epoch)
+            (
+                frame.action,
+                frame.def.group.clone(),
+                epoch,
+                frame.def.exit_timeout,
+            )
         };
+        self.observe(action, || EventKind::ExitStart { epoch });
+        let deadline = timeout.map(|t| self.now().saturating_add(t));
         for &peer in group.iter().filter(|&&t| t != self.me) {
             self.endpoint.send(
                 PartitionId::new(peer.as_u32()),
@@ -1121,7 +1208,25 @@ impl Ctx {
                     return Ok(ExitResult::Done);
                 }
             }
-            let received = self.endpoint.recv()?;
+            let received = match deadline {
+                Some(deadline) => {
+                    let remaining = deadline.duration_since(self.now());
+                    match self.endpoint.recv_timeout(remaining)? {
+                        Some(r) => r,
+                        None => {
+                            // §3.4-style crash/loss extension generalised
+                            // to the exit protocol: a missing vote is
+                            // treated as a crashed participant and the
+                            // action resolves to abortion (ƒ) instead of
+                            // waiting forever.
+                            self.system.stats.lock().exit_timeouts += 1;
+                            self.observe(action, || EventKind::ExitTimeout { epoch });
+                            return Ok(ExitResult::TimedOut);
+                        }
+                    }
+                }
+                None => self.endpoint.recv()?,
+            };
             match self.route(received)? {
                 Routed::Done => {}
                 Routed::Corrupted => {
@@ -1306,4 +1411,6 @@ enum ProtoEventKind {
 enum ExitResult {
     Done,
     Recover,
+    /// The bounded exit wait expired with votes missing (crashed peer).
+    TimedOut,
 }

@@ -59,6 +59,10 @@ pub(crate) enum Unwind {
         target: ActionId,
         eab: Option<Exception>,
     },
+    /// The participant crash-stopped (simulated process death): frames are
+    /// discarded silently on the way out, no handlers run, no messages are
+    /// sent. Terminates the thread with [`RuntimeError::Crashed`].
+    Crash,
     /// Unrecoverable error; propagates to the thread's top level.
     Fatal(RuntimeError),
 }
@@ -95,6 +99,11 @@ pub enum RuntimeError {
     /// [`ResolutionProtocol`](crate::protocol::ResolutionProtocol)
     /// implementation.
     Protocol(String),
+    /// The participant crash-stopped via
+    /// [`Ctx::crash_stop`](crate::Ctx::crash_stop) — an *injected* fault,
+    /// not a runtime failure. Fault-injection harnesses treat this result
+    /// as expected.
+    Crashed,
 }
 
 impl fmt::Display for RuntimeError {
@@ -114,6 +123,7 @@ impl fmt::Display for RuntimeError {
                 f.write_str("handlers cannot raise; return a verdict instead")
             }
             RuntimeError::Protocol(msg) => write!(f, "protocol invariant violated: {msg}"),
+            RuntimeError::Crashed => f.write_str("participant crash-stopped (injected fault)"),
         }
     }
 }

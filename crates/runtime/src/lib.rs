@@ -21,6 +21,20 @@
 //! `Err(`[`Flow`]`)` — propagate it with `?` and the action boundary
 //! catches it.
 //!
+//! # Determinism
+//!
+//! On the virtual-time network every run is byte-replayable, including
+//! shared-object traffic: [`SharedObject`] acquisition is **mediated
+//! through the simulation** — requests queue per object and grants follow
+//! a deterministic `(registration virtual time, thread id)` order at
+//! scheduler-visible quantum ticks (see [`objects`]), costing each access
+//! one quantum of virtual time. Fault tolerance is bounded, not hung on:
+//! the §3.4 signalling timeout treats missing announcements as ƒ, and the
+//! same timeout generalised to the exit protocol
+//! ([`ActionDefBuilder::exit_timeout`]) resolves a crash-stopped peer's
+//! missing vote ([`Ctx::crash_stop`]) to abortion at a deterministic
+//! virtual deadline.
+//!
 //! # Examples
 //!
 //! Two roles cooperate; one raises; both run their handlers for the

@@ -1,4 +1,5 @@
-//! Transactional external objects (§2.2, §3.1 "External Objects").
+//! Transactional external objects (§2.2, §3.1 "External Objects") with
+//! simulation-mediated, deterministic acquisition.
 //!
 //! Objects external to a CA action "can hence be shared with other actions
 //! concurrently, must be atomic and individually responsible for their own
@@ -19,13 +20,45 @@
 //!   fails and the signalling algorithm converts the undo exception µ into
 //!   the failure exception ƒ (§3.4).
 //!
-//! Competing actions wait for the object via scheduler-visible polling, so
-//! virtual time keeps advancing while they queue.
+//! # Determinism
+//!
+//! Access arbitration is mediated through the virtual-time simulation.
+//! Every access first *registers* the requesting thread in the object's
+//! waiter queue, then retries on scheduler-visible quantum ticks; a request
+//! is granted only when
+//!
+//! 1. every open transaction layer belongs to the requester's action chain
+//!    (no competing holder),
+//! 2. the requester is the **minimum** waiter by
+//!    `(registration virtual time, thread id)`, and
+//! 3. no grant, release or cancellation has already happened on this object
+//!    at the *current* virtual instant (strict `<` gating).
+//!
+//! Because virtual time only advances when every participant is blocked,
+//! all same-instant registrations are present in the queue before any of
+//! them can be granted a quantum later, so the grant order is a pure
+//! function of `(registration virtual time, participant id)` —
+//! independent of wall-clock thread scheduling. Condition 3 makes decisions
+//! taken at instant *t* insensitive to the wall-clock order of other
+//! object operations happening at *t*: they are observed either as "still
+//! pending" or as "done at *t*", and both verdicts deny the grant. The
+//! access itself (the closure over the working state) executes under the
+//! same lock as the grant, so no competing operation can interleave.
+//!
+//! Layer pops are commutative under same-instant cross-thread races: a
+//! commit splices the owning action's layer out of the stack wherever it
+//! sits and merges downward, and a rollback truncates the layer **and every
+//! layer above it** (all necessarily descendants, whose effects §3.3.1
+//! rolls back with their aborting ancestor). Every pop pair —
+//! commit/commit, commit/rollback, rollback/rollback — therefore reaches
+//! the same final state in either wall-clock order, so the committed state
+//! is as replay-deterministic as the grant order.
 
 use std::fmt;
 use std::sync::Arc;
 
-use caa_core::ids::ActionId;
+use caa_core::ids::{ActionId, ThreadId};
+use caa_core::time::VirtualInstant;
 use parking_lot::Mutex;
 
 /// Errors reported by object transaction control.
@@ -65,6 +98,29 @@ struct TxLayer<T> {
     dirty: bool,
 }
 
+/// One pending acquisition request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Waiter {
+    /// Virtual time of registration (primary grant key; a thread has at
+    /// most one outstanding request per object, so `(registered_at,
+    /// thread)` identifies the request).
+    registered_at: VirtualInstant,
+    /// The requesting thread (tie-break for same-instant registrations).
+    thread: ThreadId,
+    /// The requester's action chain (outermost first, requesting action
+    /// last). A waiter only competes for a grant while every open layer
+    /// belongs to its chain; incompatible waiters do not block compatible
+    /// ones (otherwise a competing queue-head would deadlock against the
+    /// current holder's own re-accesses).
+    chain: Vec<ActionId>,
+}
+
+impl Waiter {
+    fn key(&self) -> (VirtualInstant, ThreadId) {
+        (self.registered_at, self.thread)
+    }
+}
+
 struct ObjectInner<T> {
     committed: T,
     layers: Vec<TxLayer<T>>,
@@ -73,12 +129,38 @@ struct ObjectInner<T> {
     informed: Vec<String>,
     /// Set when a failure exception left possibly-erroneous state behind.
     tainted: bool,
+    /// Pending acquisition requests, granted in `(registered_at, thread)`
+    /// order.
+    waiters: Vec<Waiter>,
+    /// Latest virtual instant at which a request was granted; at most one
+    /// grant per object per instant keeps same-instant accesses ordered.
+    last_grant_at: Option<VirtualInstant>,
+    /// Latest virtual instant at which a layer was popped; a release at
+    /// instant `t` only enables grants strictly after `t`.
+    last_release_at: Option<VirtualInstant>,
+    /// Latest virtual instant at which a waiter was cancelled (recovery
+    /// interrupted its wait); gates grants exactly like a release.
+    last_cancel_at: Option<VirtualInstant>,
 }
 
 struct ObjectShared<T> {
     name: String,
     undoable: bool,
     state: Mutex<ObjectInner<T>>,
+}
+
+/// Outcome of one arbitration attempt (see [`SharedObject`] internals).
+pub(crate) enum AccessOutcome<R> {
+    /// Conditions not met; retry on the next quantum tick.
+    NotYet,
+    /// Granted and executed. `opened` is the number of transaction layers
+    /// newly opened for the requesting chain (> 0 exactly on acquisition).
+    Done {
+        /// Closure result.
+        value: R,
+        /// Newly opened layers.
+        opened: usize,
+    },
 }
 
 /// An atomic object shared between CA actions.
@@ -118,8 +200,22 @@ impl<T: fmt::Debug> fmt::Debug for SharedObject<T> {
             .field("name", &self.shared.name)
             .field("committed", &inner.committed)
             .field("open_layers", &inner.layers.len())
+            .field("waiters", &inner.waiters.len())
             .field("tainted", &inner.tainted)
             .finish()
+    }
+}
+
+fn new_inner<T>(initial: T) -> ObjectInner<T> {
+    ObjectInner {
+        committed: initial,
+        layers: Vec::new(),
+        informed: Vec::new(),
+        tainted: false,
+        waiters: Vec::new(),
+        last_grant_at: None,
+        last_release_at: None,
+        last_cancel_at: None,
     }
 }
 
@@ -131,12 +227,7 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
             shared: Arc::new(ObjectShared {
                 name: name.into(),
                 undoable: true,
-                state: Mutex::new(ObjectInner {
-                    committed: initial,
-                    layers: Vec::new(),
-                    informed: Vec::new(),
-                    tainted: false,
-                }),
+                state: Mutex::new(new_inner(initial)),
             }),
         }
     }
@@ -162,6 +253,11 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
     /// Mutates the committed state directly, outside any CA action — the
     /// hook for the *environment* (e.g. the production cell's blank
     /// supplier adding a blank to the feed belt).
+    ///
+    /// This path is **not** arbitrated through the simulation: callers must
+    /// not race it against in-action access at the same virtual instant
+    /// (the production cell's environment only touches the cell before and
+    /// after runs).
     ///
     /// # Errors
     ///
@@ -190,21 +286,114 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
         self.shared.state.lock().informed.clone()
     }
 
-    /// Attempts to acquire the object for `action`, opening transaction
-    /// layers as needed. Returns `false` when a *competing* (non-enclosing)
-    /// action holds it — the caller should wait and retry in
-    /// scheduler-visible time.
+    /// Registers `thread` in the waiter queue at virtual time `now` with
+    /// its action chain (idempotent while the request is outstanding).
+    pub(crate) fn enqueue_waiter(&self, thread: ThreadId, now: VirtualInstant, chain: &[ActionId]) {
+        let mut inner = self.shared.state.lock();
+        if inner.waiters.iter().any(|w| w.thread == thread) {
+            return;
+        }
+        inner.waiters.push(Waiter {
+            registered_at: now,
+            thread,
+            chain: chain.to_vec(),
+        });
+    }
+
+    /// Withdraws `thread`'s pending request (coordinated recovery
+    /// interrupted its wait). Gates same-instant grants like a release.
+    pub(crate) fn cancel_waiter(&self, thread: ThreadId, now: VirtualInstant) {
+        let mut inner = self.shared.state.lock();
+        let before = inner.waiters.len();
+        inner.waiters.retain(|w| w.thread != thread);
+        if inner.waiters.len() != before {
+            inner.last_cancel_at = Some(now);
+        }
+    }
+
+    /// One arbitration attempt by `thread` at virtual time `now`, on
+    /// behalf of the action chain `chain` (outermost first, requesting
+    /// action last — never empty). On grant the missing chain layers are
+    /// opened, the waiter is dequeued, and `f` is taken and run over the
+    /// top working state — all under one lock, so the grant and the access
+    /// are atomic. `f` is left untouched when the attempt is denied.
+    pub(crate) fn try_access<R, F: FnOnce(&mut T, &mut bool) -> R>(
+        &self,
+        thread: ThreadId,
+        now: VirtualInstant,
+        chain: &[ActionId],
+        f: &mut Option<F>,
+    ) -> AccessOutcome<R> {
+        let mut inner = self.shared.state.lock();
+        // Instant gating: any same-instant grant, release or cancellation
+        // (whether it already happened or is still to happen) denies this
+        // attempt, making the verdict independent of wall-clock order.
+        let blocked_now = [
+            inner.last_grant_at,
+            inner.last_release_at,
+            inner.last_cancel_at,
+        ]
+        .iter()
+        .any(|t| t.is_some_and(|t| t >= now));
+        if blocked_now {
+            return AccessOutcome::NotYet;
+        }
+        let action = *chain.last().expect("chain is never empty");
+        if inner
+            .layers
+            .iter()
+            .any(|layer| !chain.contains(&layer.owner))
+        {
+            return AccessOutcome::NotYet; // competing holder
+        }
+        // Minimum-compatible-waiter rule: among the waiters whose chains
+        // are compatible with the open layers, strictly earlier
+        // registrations (and, at the same instant, smaller thread ids) go
+        // first. Incompatible waiters — blocked on the current holder —
+        // do not outrank the holder's own chain.
+        let my_key = match inner.waiters.iter().find(|w| w.thread == thread) {
+            Some(w) => w.key(),
+            None => return AccessOutcome::NotYet, // cancelled meanwhile
+        };
+        let outranked = inner.waiters.iter().any(|w| {
+            w.key() < my_key
+                && inner
+                    .layers
+                    .iter()
+                    .all(|layer| w.chain.contains(&layer.owner))
+        });
+        if outranked {
+            return AccessOutcome::NotYet;
+        }
+        // Granted: open the missing chain layers, run the access.
+        inner.waiters.retain(|w| w.thread != thread);
+        inner.last_grant_at = Some(now);
+        let opened = open_missing_layers(&mut inner, chain);
+        if std::env::var_os("CAA_TRACE").is_some() {
+            eprintln!(
+                "[obj {}] grant to {thread} for {action} at {now} (opened {opened}, depth {})",
+                self.shared.name,
+                inner.layers.len()
+            );
+        }
+        let top = inner.layers.last_mut().expect("chain layer just ensured");
+        debug_assert_eq!(top.owner, action);
+        let mut dirty = top.dirty;
+        let f = f.take().expect("closure consumed only on grant");
+        let value = f(&mut top.working, &mut dirty);
+        top.dirty = dirty;
+        AccessOutcome::Done { value, opened }
+    }
+
+    /// Directly opens transaction layers for `action` (and any enclosing
+    /// actions missing one) when no competing action holds the object.
+    /// Returns `false` if a competing layer exists.
     ///
-    /// `enclosing` must list the action ids on the caller's action stack
-    /// (outermost first, excluding `action` itself). A layer is opened for
-    /// **every** enclosing action missing one, so a nested action's commit
-    /// always lands under its ancestors' control: if an ancestor later
-    /// aborts, the nested effects roll back with it (nested-transaction
-    /// semantics, §2.2).
+    /// This is the unarbitrated path used by unit tests and internal
+    /// tooling; runtime access goes through [`SharedObject::try_access`].
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn try_acquire(&self, action: ActionId, enclosing: &[ActionId]) -> bool {
         let mut inner = self.shared.state.lock();
-        // Every already-open layer must belong to our action chain;
-        // anything else is a competing action.
         let chain: Vec<ActionId> = enclosing.iter().copied().chain([action]).collect();
         if inner
             .layers
@@ -213,33 +402,12 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
         {
             return false;
         }
-        // Open missing layers in chain order (existing layers are a
-        // chain-order prefix by construction).
-        for &owner in &chain {
-            if inner.layers.iter().any(|l| l.owner == owner) {
-                continue;
-            }
-            let working = inner
-                .layers
-                .last()
-                .map_or_else(|| inner.committed.clone(), |top| top.working.clone());
-            inner.layers.push(TxLayer {
-                owner,
-                working,
-                dirty: false,
-            });
-            if std::env::var_os("CAA_TRACE").is_some() {
-                eprintln!(
-                    "[obj {}] open layer for {owner} (depth {})",
-                    self.shared.name,
-                    inner.layers.len()
-                );
-            }
-        }
+        open_missing_layers(&mut inner, &chain);
         true
     }
 
     /// Reads through the layer owned by `action`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn with_working<R>(
         &self,
         action: ActionId,
@@ -260,98 +428,140 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
     }
 }
 
+/// Opens a layer for every chain member missing one, in chain order.
+/// Returns the number of layers opened.
+fn open_missing_layers<T: Clone>(inner: &mut ObjectInner<T>, chain: &[ActionId]) -> usize {
+    let mut opened = 0;
+    for &owner in chain {
+        if inner.layers.iter().any(|l| l.owner == owner) {
+            continue;
+        }
+        let working = inner
+            .layers
+            .last()
+            .map_or_else(|| inner.committed.clone(), |top| top.working.clone());
+        inner.layers.push(TxLayer {
+            owner,
+            working,
+            dirty: false,
+        });
+        opened += 1;
+    }
+    opened
+}
+
 /// Action-facing transaction control, object-type erased so an action frame
 /// can track heterogeneous objects.
 pub(crate) trait TxControl: Send {
-    /// The object's name (diagnostics).
-    fn object_name(&self) -> &str;
-    /// Commits the layer owned by `action` into its parent (or the
-    /// committed state).
-    fn commit(&self, action: ActionId) -> Result<(), ObjectError>;
+    /// Stable identity of the underlying object (names need not be
+    /// unique): the shared allocation's address.
+    fn object_id(&self) -> usize;
+    /// Commits the layer owned by `action` into the layer below it (or the
+    /// committed state). Stamps the release instant for grant gating.
+    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
     /// Discards the layer owned by `action`, restoring the prior state.
     /// Fails for irreversible objects whose layer was modified.
-    fn rollback(&self, action: ActionId) -> Result<(), ObjectError>;
+    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
     /// Records that recovery started in the owning action (§3.3.2 "inform
     /// external objects of the exception").
     fn inform_exception(&self, action: ActionId, exception: &str);
     /// Commits the layer but marks the object tainted: a failure exception
     /// ƒ left effects that "may have not been undone completely".
-    fn commit_tainted(&self, action: ActionId) -> Result<(), ObjectError>;
+    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
+}
+
+impl<T: Clone + Send + 'static> SharedObject<T> {
+    /// Position of `action`'s layer, if open.
+    fn layer_index(inner: &ObjectInner<T>, action: ActionId) -> Option<usize> {
+        inner.layers.iter().position(|l| l.owner == action)
+    }
 }
 
 impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
-    fn object_name(&self) -> &str {
-        &self.shared.name
+    fn object_id(&self) -> usize {
+        Arc::as_ptr(&self.shared) as *const () as usize
     }
 
-    fn commit(&self, action: ActionId) -> Result<(), ObjectError> {
+    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
         let mut inner = self.shared.state.lock();
+        let Some(index) = Self::layer_index(&inner, action) else {
+            return Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            });
+        };
         if std::env::var_os("CAA_TRACE").is_some() {
             eprintln!(
-                "[obj {}] commit by {action}, top owner {:?}",
+                "[obj {}] commit by {action} (layer {index} of {})",
                 self.shared.name,
-                inner.layers.last().map(|l| l.owner)
+                inner.layers.len()
             );
         }
-        match inner.layers.last() {
-            Some(top) if top.owner == action => {
-                let layer = inner.layers.pop().expect("just peeked");
-                match inner.layers.last_mut() {
-                    Some(parent) => {
-                        parent.working = layer.working;
-                        parent.dirty |= layer.dirty;
-                    }
-                    None => {
-                        inner.committed = layer.working;
-                        inner.informed.clear();
-                    }
-                }
-                Ok(())
+        // Splice the layer out wherever it sits and merge downward: pops of
+        // a completing action's layers commute with pops of its enclosing
+        // action's layers, so same-instant completions by different
+        // participants reach the same final state in any wall-clock order.
+        let layer = inner.layers.remove(index);
+        match index.checked_sub(1).map(|i| &mut inner.layers[i]) {
+            Some(parent) => {
+                parent.working = layer.working;
+                parent.dirty |= layer.dirty;
             }
-            _ => Err(ObjectError::NotAcquired {
-                object: self.shared.name.clone(),
-            }),
+            None => {
+                inner.committed = layer.working;
+                if inner.layers.is_empty() {
+                    inner.informed.clear();
+                }
+            }
         }
+        inner.last_release_at = Some(now);
+        Ok(())
     }
 
-    fn rollback(&self, action: ActionId) -> Result<(), ObjectError> {
+    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
         let mut inner = self.shared.state.lock();
+        let Some(index) = Self::layer_index(&inner, action) else {
+            return Err(ObjectError::NotAcquired {
+                object: self.shared.name.clone(),
+            });
+        };
         if std::env::var_os("CAA_TRACE").is_some() {
             eprintln!(
-                "[obj {}] rollback by {action}, top owner {:?}",
+                "[obj {}] rollback by {action} (layer {index} of {})",
                 self.shared.name,
-                inner.layers.last().map(|l| l.owner)
+                inner.layers.len()
             );
         }
-        match inner.layers.last() {
-            Some(top) if top.owner == action => {
-                if !self.shared.undoable && top.dirty {
-                    return Err(ObjectError::UndoImpossible {
-                        object: self.shared.name.clone(),
-                    });
-                }
-                inner.layers.pop();
-                Ok(())
-            }
-            _ => Err(ObjectError::NotAcquired {
+        if !self.shared.undoable && inner.layers[index..].iter().any(|l| l.dirty) {
+            return Err(ObjectError::UndoImpossible {
                 object: self.shared.name.clone(),
-            }),
+            });
         }
+        // Discard the layer AND everything above it. Any layer above was
+        // opened while this one existed, so its owner's chain contains
+        // `action` — it is a descendant, and §3.3.1 rolls nested effects
+        // back with their aborting ancestor. This also keeps pops
+        // commutative when a descendant's straggler commit races an
+        // enclosing rollback at the same virtual instant: whichever order
+        // the OS schedules, the descendant's working copy (which embeds
+        // the rolled-back state) never reaches `committed`.
+        inner.layers.truncate(index);
+        inner.last_release_at = Some(now);
+        Ok(())
     }
 
     fn inform_exception(&self, action: ActionId, exception: &str) {
         let mut inner = self.shared.state.lock();
-        if inner.layers.last().is_some_and(|top| top.owner == action) {
+        if inner.layers.iter().any(|l| l.owner == action) {
             inner.informed.push(exception.to_owned());
         }
     }
 
-    fn commit_tainted(&self, action: ActionId) -> Result<(), ObjectError> {
+    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
         {
             let mut inner = self.shared.state.lock();
             inner.tainted = true;
         }
-        self.commit(action)
+        self.commit(action, now)
     }
 }
 
@@ -376,12 +586,7 @@ pub fn irreversible<T: Clone + Send + 'static>(
         shared: Arc::new(ObjectShared {
             name: name.into(),
             undoable: false,
-            state: Mutex::new(ObjectInner {
-                committed: initial,
-                layers: Vec::new(),
-                informed: Vec::new(),
-                tainted: false,
-            }),
+            state: Mutex::new(new_inner(initial)),
         }),
     }
 }
@@ -393,6 +598,12 @@ mod tests {
     fn aid(serial: u64) -> ActionId {
         ActionId::top_level(serial)
     }
+
+    fn at(ns: u64) -> VirtualInstant {
+        VirtualInstant::from_nanos(ns)
+    }
+
+    const NOW: VirtualInstant = VirtualInstant::EPOCH;
 
     #[test]
     fn acquire_modify_commit() {
@@ -406,7 +617,7 @@ mod tests {
         .unwrap();
         // Uncommitted work is invisible outside.
         assert_eq!(obj.committed(), vec![1, 2]);
-        obj.commit(a).unwrap();
+        obj.commit(a, NOW).unwrap();
         assert_eq!(obj.committed(), vec![1, 2, 3]);
     }
 
@@ -420,7 +631,7 @@ mod tests {
             *dirty = true;
         })
         .unwrap();
-        obj.rollback(a).unwrap();
+        obj.rollback(a, NOW).unwrap();
         assert_eq!(obj.committed(), 10);
         assert!(!obj.is_tainted());
     }
@@ -432,7 +643,7 @@ mod tests {
         let b = aid(2);
         assert!(obj.try_acquire(a, &[]));
         assert!(!obj.try_acquire(b, &[]), "b is not nested inside a");
-        obj.commit(a).unwrap();
+        obj.commit(a, NOW).unwrap();
         assert!(obj.try_acquire(b, &[]), "free after commit");
     }
 
@@ -454,9 +665,9 @@ mod tests {
         })
         .unwrap();
         // Inner commit merges into outer's layer, not the committed state.
-        obj.commit(inner).unwrap();
+        obj.commit(inner, NOW).unwrap();
         assert_eq!(obj.committed(), 0);
-        obj.commit(outer).unwrap();
+        obj.commit(outer, NOW).unwrap();
         assert_eq!(obj.committed(), 11);
     }
 
@@ -477,10 +688,72 @@ mod tests {
             *d = true;
         })
         .unwrap();
-        obj.rollback(inner).unwrap();
+        obj.rollback(inner, NOW).unwrap();
         obj.with_working(outer, |v, _| assert_eq!(*v, 5)).unwrap();
-        obj.commit(outer).unwrap();
+        obj.commit(outer, NOW).unwrap();
         assert_eq!(obj.committed(), 5);
+    }
+
+    #[test]
+    fn out_of_order_pops_commute() {
+        // Same-instant completions: the enclosing action's layer may be
+        // committed while the nested layer is still open; the nested commit
+        // then lands in the committed state. Both orders agree.
+        let obj = SharedObject::new("metrics", 0u32);
+        let outer = aid(1);
+        let inner = ActionId::nested(2, &outer);
+        obj.try_acquire(outer, &[]);
+        obj.with_working(outer, |v, d| {
+            *v = 1;
+            *d = true;
+        })
+        .unwrap();
+        obj.try_acquire(inner, &[outer]);
+        obj.with_working(inner, |v, d| {
+            *v += 10;
+            *d = true;
+        })
+        .unwrap();
+        // Outer commits first (spliced from the middle), inner second.
+        obj.commit(outer, NOW).unwrap();
+        obj.commit(inner, NOW).unwrap();
+        assert_eq!(obj.committed(), 11, "same result as inner-then-outer");
+    }
+
+    #[test]
+    fn enclosing_rollback_discards_straggler_nested_layer_in_either_order() {
+        // The race: an enclosing recovery rolls back action O on one thread
+        // while a straggler commit completes nested N on another, at the
+        // same virtual instant. Both wall-clock orders must agree — and
+        // must NOT resurrect O's rolled-back effects via N's working copy.
+        let run = |nested_commit_first: bool| {
+            let obj = SharedObject::new("o", 0u32);
+            let outer = aid(1);
+            let nested = ActionId::nested(2, &outer);
+            obj.try_acquire(outer, &[]);
+            obj.with_working(outer, |v, d| {
+                *v = 10;
+                *d = true;
+            })
+            .unwrap();
+            obj.try_acquire(nested, &[outer]);
+            obj.with_working(nested, |v, d| {
+                *v += 5;
+                *d = true;
+            })
+            .unwrap();
+            if nested_commit_first {
+                obj.commit(nested, NOW).unwrap();
+                obj.rollback(outer, NOW).unwrap();
+            } else {
+                obj.rollback(outer, NOW).unwrap();
+                let _ = obj.commit(nested, NOW); // straggler: layer gone
+            }
+            obj.committed()
+        };
+        assert_eq!(run(true), 0, "rolled-back effects must not survive");
+        assert_eq!(run(false), 0);
+        assert_eq!(run(true), run(false), "pop order must not matter");
     }
 
     #[test]
@@ -490,7 +763,7 @@ mod tests {
         let a = aid(1);
         obj.try_acquire(a, &[]);
         // Clean layer can still be discarded.
-        obj.rollback(a).unwrap();
+        obj.rollback(a, NOW).unwrap();
         obj.try_acquire(a, &[]);
         obj.with_working(a, |v, d| {
             *v = 1;
@@ -498,7 +771,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(
-            obj.rollback(a).unwrap_err(),
+            obj.rollback(a, NOW).unwrap_err(),
             ObjectError::UndoImpossible {
                 object: "forge".into()
             }
@@ -515,7 +788,7 @@ mod tests {
             *d = true;
         })
         .unwrap();
-        obj.commit_tainted(a).unwrap();
+        obj.commit_tainted(a, NOW).unwrap();
         assert!(obj.is_tainted());
         assert_eq!(obj.committed(), 7, "ƒ leaves the erroneous effects visible");
     }
@@ -527,7 +800,7 @@ mod tests {
         obj.try_acquire(a, &[]);
         obj.inform_exception(a, "l_plate");
         assert_eq!(obj.informed_exceptions(), vec!["l_plate".to_owned()]);
-        obj.commit(a).unwrap();
+        obj.commit(a, NOW).unwrap();
         assert!(obj.informed_exceptions().is_empty());
     }
 
@@ -539,8 +812,8 @@ mod tests {
             obj.with_working(a, |_, _| ()).unwrap_err(),
             ObjectError::NotAcquired { .. }
         ));
-        assert!(obj.commit(a).is_err());
-        assert!(obj.rollback(a).is_err());
+        assert!(obj.commit(a, NOW).is_err());
+        assert!(obj.rollback(a, NOW).is_err());
     }
 
     #[test]
@@ -549,9 +822,9 @@ mod tests {
         let a = aid(1);
         assert!(obj.try_acquire(a, &[]));
         assert!(obj.try_acquire(a, &[]));
-        obj.commit(a).unwrap();
+        obj.commit(a, NOW).unwrap();
         // After commit the layer is gone; commit again fails.
-        assert!(obj.commit(a).is_err());
+        assert!(obj.commit(a, NOW).is_err());
     }
 
     #[test]
@@ -560,5 +833,144 @@ mod tests {
             object: "press".into(),
         };
         assert_eq!(e.to_string(), "object press cannot undo its effects");
+    }
+
+    // ---------------- arbitration semantics ----------------
+
+    fn tid(t: u32) -> ThreadId {
+        ThreadId::new(t)
+    }
+
+    fn grant<T: Clone + Send + 'static>(
+        obj: &SharedObject<T>,
+        thread: ThreadId,
+        now: VirtualInstant,
+        action: ActionId,
+    ) -> bool {
+        let mut f = Some(|_: &mut T, _: &mut bool| ());
+        matches!(
+            obj.try_access(thread, now, &[action], &mut f),
+            AccessOutcome::Done { .. }
+        )
+    }
+
+    #[test]
+    fn min_waiter_wins_regardless_of_attempt_order() {
+        let obj = SharedObject::new("o", 0u32);
+        // Both register at the same instant; the smaller thread id must win
+        // even when the larger one attempts first.
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
+        assert!(!grant(&obj, tid(2), at(1), aid(2)), "t2 is not min");
+        assert!(grant(&obj, tid(1), at(1), aid(1)), "t1 is min");
+    }
+
+    #[test]
+    fn earlier_registration_outranks_smaller_thread_id() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.enqueue_waiter(tid(5), at(0), &[aid(5)]);
+        obj.enqueue_waiter(tid(1), at(10), &[aid(1)]);
+        assert!(!grant(&obj, tid(1), at(20), aid(1)));
+        assert!(grant(&obj, tid(5), at(20), aid(5)));
+    }
+
+    #[test]
+    fn at_most_one_grant_per_instant() {
+        let obj = SharedObject::new("o", 0u32);
+        let (a, b) = (aid(1), ActionId::nested(2, &aid(1))); // same chain
+        obj.enqueue_waiter(tid(1), at(0), &[a]);
+        obj.enqueue_waiter(tid(2), at(0), &[a, b]);
+        assert!(grant(&obj, tid(1), at(5), a));
+        // Same chain, so layers do not block t2 — but the instant does.
+        let mut f = Some(|_: &mut u32, _: &mut bool| ());
+        assert!(
+            !matches!(
+                obj.try_access(tid(2), at(5), &[a, b], &mut f),
+                AccessOutcome::Done { .. }
+            ),
+            "second grant at the same instant must be denied"
+        );
+        assert!(f.is_some(), "denied attempts must not consume the closure");
+        assert!(matches!(
+            obj.try_access(tid(2), at(6), &[a, b], &mut f),
+            AccessOutcome::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn release_gates_same_instant_grants() {
+        let obj = SharedObject::new("o", 0u32);
+        let holder = aid(1);
+        obj.try_acquire(holder, &[]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.commit(holder, at(5)).unwrap();
+        assert!(
+            !grant(&obj, tid(2), at(5), aid(2)),
+            "release at t enables grants only strictly after t"
+        );
+        assert!(grant(&obj, tid(2), at(6), aid(2)));
+    }
+
+    #[test]
+    fn cancellation_gates_same_instant_grants() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.cancel_waiter(tid(1), at(5));
+        assert!(!grant(&obj, tid(2), at(5), aid(2)));
+        assert!(grant(&obj, tid(2), at(6), aid(2)));
+    }
+
+    #[test]
+    fn incompatible_earlier_waiter_does_not_block_holder_reaccess() {
+        // Priority inversion guard: a competing waiter that registered
+        // first (but cannot proceed while the holder's layer is open) must
+        // not outrank the holder's own re-access.
+        let obj = SharedObject::new("o", 0u32);
+        let holder = aid(1);
+        obj.try_acquire(holder, &[]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]); // competing, earlier
+        obj.enqueue_waiter(tid(1), at(10), &[holder]); // holder re-access
+        assert!(grant(&obj, tid(1), at(11), holder));
+        obj.commit(holder, at(12)).unwrap();
+        assert!(grant(&obj, tid(2), at(13), aid(2)));
+    }
+
+    #[test]
+    fn competing_holder_denies_grant() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.try_acquire(aid(1), &[]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        assert!(!grant(&obj, tid(2), at(3), aid(2)));
+        obj.commit(aid(1), at(4)).unwrap();
+        assert!(grant(&obj, tid(2), at(9), aid(2)));
+    }
+
+    #[test]
+    fn access_runs_atomically_with_grant_and_reports_opened_layers() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
+        let mut f = Some(|v: &mut u32, d: &mut bool| {
+            *v = 42;
+            *d = true;
+            *v
+        });
+        match obj.try_access(tid(1), at(1), &[aid(1)], &mut f) {
+            AccessOutcome::Done { value, opened } => {
+                assert_eq!(value, 42);
+                assert_eq!(opened, 1, "first access opens the layer");
+            }
+            AccessOutcome::NotYet => panic!("grant expected"),
+        }
+        // Re-access by the holder: no new layers.
+        obj.enqueue_waiter(tid(1), at(2), &[aid(1)]);
+        let mut f = Some(|v: &mut u32, _: &mut bool| *v);
+        match obj.try_access(tid(1), at(3), &[aid(1)], &mut f) {
+            AccessOutcome::Done { value, opened } => {
+                assert_eq!(value, 42);
+                assert_eq!(opened, 0);
+            }
+            AccessOutcome::NotYet => panic!("holder re-access must be granted"),
+        }
     }
 }

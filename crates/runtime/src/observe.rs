@@ -10,8 +10,8 @@
 //!
 //! Observers run on the participating threads themselves, inside the
 //! virtual-time simulation: they must be cheap, must not block on other
-//! participants, and must not call back into the observed [`Ctx`]
-//! (crate::Ctx).
+//! participants, and must not call back into the observed
+//! [`Ctx`](crate::Ctx).
 //!
 //! Events from one thread arrive in that thread's execution order; events
 //! from different threads interleave in arbitrary *wall-clock* order even
@@ -105,6 +105,28 @@ pub enum EventKind {
         /// The coordinated signal this thread will act on.
         signal: Signal,
     },
+    /// The thread acquired external object `object` for the action (opened
+    /// at least one transaction layer). Grant order is deterministic — see
+    /// the `caa-runtime` objects module — so these events byte-replay.
+    ObjectAcquired {
+        /// The object's name.
+        object: String,
+    },
+    /// The thread started the exit protocol (vote broadcast) for epoch
+    /// `epoch` of the action.
+    ExitStart {
+        /// The frame's exit epoch (incremented per recovery).
+        epoch: u32,
+    },
+    /// The bounded exit wait expired with votes missing; the thread
+    /// resolves the action to abortion (ƒ), presuming a crashed peer.
+    ExitTimeout {
+        /// The frame's exit epoch.
+        epoch: u32,
+    },
+    /// The thread crash-stopped inside this action: the frame was
+    /// discarded without handlers, messages or an exit.
+    Crash,
 }
 
 impl fmt::Display for EventKind {
@@ -127,6 +149,10 @@ impl fmt::Display for EventKind {
             EventKind::HandlerStart { exception } => write!(f, "handler-start {exception}"),
             EventKind::HandlerEnd { verdict } => write!(f, "handler-end {verdict:?}"),
             EventKind::SignalOutcome { signal } => write!(f, "signal {signal:?}"),
+            EventKind::ObjectAcquired { object } => write!(f, "object acquire {object}"),
+            EventKind::ExitStart { epoch } => write!(f, "exit start e{epoch}"),
+            EventKind::ExitTimeout { epoch } => write!(f, "exit timeout e{epoch}"),
+            EventKind::Crash => f.write_str("crash-stop"),
         }
     }
 }

@@ -42,6 +42,9 @@ pub struct RuntimeStats {
     pub undo_rounds: u64,
     /// Corrupted messages absorbed outside the signalling window.
     pub corrupted_ignored: u64,
+    /// Exit-protocol waits that expired with votes missing (presumed
+    /// crashed peers; the action resolved to abortion).
+    pub exit_timeouts: u64,
 }
 
 /// State shared between all participants of one [`System`].
@@ -171,6 +174,7 @@ impl System {
                     Ok(()) => Ok(()),
                     Err(flow) => match flow.unwind {
                         Unwind::Fatal(e) => Err(e),
+                        Unwind::Crash => Err(RuntimeError::Crashed),
                         other => Err(RuntimeError::Protocol(format!(
                             "control flow unwound to the thread top level: {other:?}"
                         ))),

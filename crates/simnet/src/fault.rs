@@ -5,22 +5,33 @@
 //! A [`FaultPlan`] describes which messages to lose or corrupt so tests can
 //! drive exactly that path.
 //!
-//! **Determinism caveat:** a rule's `skip`/`count` budget is consumed in
-//! message *arrival* order at the injector. Messages from one sender arrive
-//! in that sender's program order, which virtual time makes deterministic —
-//! but two different partitions sending matching messages at the same
-//! virtual instant race for the budget in wall-clock order. Experiments
-//! that must replay identically from a seed (e.g. `caa-harness` scenarios)
-//! should therefore pin each rule to a single sender with
-//! [`FaultSpec::from`] or [`FaultSpec::link`].
+//! **Determinism:** a rule's `skip`/`count` budget is consumed **per
+//! directed link**. Messages on one link arrive at the injector in the
+//! sender's program order, which virtual time makes deterministic, and each
+//! link draws from its own budget instance — so the set of affected
+//! messages is a pure function of per-link sequence numbers, independent of
+//! the wall-clock order in which different partitions' same-instant sends
+//! reach the injector. Unpinned rules ([`FaultSpec::any`]) therefore replay
+//! exactly; `skip(n).count(m)` reads as "on every matching link, let `n`
+//! matching messages through, then affect the next `m`".
+
+use std::collections::HashMap;
 
 use caa_core::ids::PartitionId;
+
+/// Remaining skip/count budget of one rule on one directed link.
+#[derive(Debug, Clone, Copy)]
+struct LinkBudget {
+    skip: u64,
+    count: u64,
+}
 
 /// Matcher for messages a fault should affect.
 ///
 /// All criteria are optional; an empty spec matches every message. `skip`
 /// lets the fault begin after some matching traffic; `count` bounds how many
-/// messages are affected.
+/// messages are affected. Budgets are instantiated **per directed link**
+/// (see the module docs), which keeps unpinned rules deterministic.
 ///
 /// # Examples
 ///
@@ -32,7 +43,7 @@ use caa_core::ids::PartitionId;
 /// let spec = FaultSpec::link(PartitionId::new(0), PartitionId::new(2))
 ///     .class("Commit")
 ///     .count(1);
-/// assert_eq!(spec.remaining(), 1);
+/// assert_eq!(spec.per_link_count(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultSpec {
@@ -41,6 +52,9 @@ pub struct FaultSpec {
     class: Option<&'static str>,
     skip: u64,
     count: u64,
+    /// Live budget per directed link, lazily instantiated from
+    /// `skip`/`count` on the link's first matching message.
+    budgets: HashMap<(u32, u32), LinkBudget>,
 }
 
 impl FaultSpec {
@@ -53,6 +67,7 @@ impl FaultSpec {
             class: None,
             skip: 0,
             count: u64::MAX,
+            budgets: HashMap::new(),
         }
     }
 
@@ -92,23 +107,28 @@ impl FaultSpec {
         self
     }
 
-    /// Skips the first `n` matching messages before taking effect.
+    /// Skips the first `n` matching messages **on each link** before taking
+    /// effect.
     #[must_use]
     pub fn skip(mut self, n: u64) -> Self {
         self.skip = n;
         self
     }
 
-    /// Affects at most `n` matching messages (default: unbounded).
+    /// Affects at most `n` matching messages **per link** (default:
+    /// unbounded).
     #[must_use]
     pub fn count(mut self, n: u64) -> Self {
         self.count = n;
         self
     }
 
-    /// How many more messages this spec will affect.
+    /// The configured per-link `count`: how many matching messages this
+    /// spec affects on each link it touches. (This is static
+    /// configuration, not live budget — budgets are tracked per link once
+    /// traffic flows.)
     #[must_use]
-    pub fn remaining(&self) -> u64 {
+    pub fn per_link_count(&self) -> u64 {
         self.count
     }
 
@@ -118,16 +138,27 @@ impl FaultSpec {
             && self.class.is_none_or(|c| c == class)
     }
 
-    /// Consumes one match: returns true if the fault fires for this message.
+    /// Consumes one match from the link's budget: returns true if the fault
+    /// fires for this message.
     fn fire(&mut self, src: PartitionId, dst: PartitionId, class: &'static str) -> bool {
         if self.count == 0 || !self.matches(src, dst, class) {
             return false;
         }
-        if self.skip > 0 {
-            self.skip -= 1;
+        let budget = self
+            .budgets
+            .entry((src.as_u32(), dst.as_u32()))
+            .or_insert(LinkBudget {
+                skip: self.skip,
+                count: self.count,
+            });
+        if budget.skip > 0 {
+            budget.skip -= 1;
             return false;
         }
-        self.count -= 1;
+        if budget.count == 0 {
+            return false;
+        }
+        budget.count -= 1;
         true
     }
 }
@@ -208,11 +239,36 @@ mod tests {
     const C: PartitionId = PartitionId::new(2);
 
     #[test]
-    fn any_matches_everything_until_budget_exhausted() {
-        let mut plan = FaultPlan::new().lose(FaultSpec::any().count(2));
+    fn any_budget_is_per_link() {
+        // `count(1)` on an unpinned rule: one message per matching link.
+        let mut plan = FaultPlan::new().lose(FaultSpec::any().count(1));
         assert!(plan.should_lose(A, B, "x"));
-        assert!(plan.should_lose(B, C, "y"));
-        assert!(!plan.should_lose(A, C, "x"));
+        assert!(plan.should_lose(B, C, "y"), "fresh link, fresh budget");
+        assert!(!plan.should_lose(A, B, "x"), "A→B budget exhausted");
+        assert!(plan.should_lose(A, C, "x"), "fresh link, fresh budget");
+    }
+
+    #[test]
+    fn per_link_budgets_are_order_independent() {
+        // The same traffic in two different cross-link interleavings fires
+        // on the same (link, per-link index) pairs — the determinism the
+        // harness's replay oracle relies on.
+        let traffic_a = [(A, B), (B, C), (A, B), (B, C)];
+        let traffic_b = [(B, C), (A, B), (B, C), (A, B)];
+        let fire = |traffic: &[(PartitionId, PartitionId)]| -> Vec<(u32, u32)> {
+            let mut plan = FaultPlan::new().lose(FaultSpec::any().skip(1).count(1));
+            traffic
+                .iter()
+                .filter(|(s, d)| plan.should_lose(*s, *d, "m"))
+                .map(|(s, d)| (s.as_u32(), d.as_u32()))
+                .collect()
+        };
+        let mut a = fire(&traffic_a);
+        let mut b = fire(&traffic_b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "affected set must not depend on interleaving");
+        assert_eq!(a, vec![(0, 1), (1, 2)], "second message of each link");
     }
 
     #[test]
@@ -224,12 +280,16 @@ mod tests {
     }
 
     #[test]
-    fn skip_delays_the_fault() {
+    fn skip_delays_the_fault_per_link() {
         let mut plan = FaultPlan::new().lose(FaultSpec::from(A).skip(2).count(1));
         assert!(!plan.should_lose(A, B, "m"));
         assert!(!plan.should_lose(A, B, "m"));
         assert!(plan.should_lose(A, B, "m"));
         assert!(!plan.should_lose(A, B, "m"));
+        // The A→C link has its own skip/count budget.
+        assert!(!plan.should_lose(A, C, "m"));
+        assert!(!plan.should_lose(A, C, "m"));
+        assert!(plan.should_lose(A, C, "m"));
     }
 
     #[test]
@@ -248,5 +308,11 @@ mod tests {
         assert!(plan.is_empty());
         assert!(!plan.should_lose(A, B, "m"));
         assert!(!plan.should_corrupt(A, B, "m"));
+    }
+
+    #[test]
+    fn zero_count_never_fires() {
+        let mut plan = FaultPlan::new().lose(FaultSpec::any().count(0));
+        assert!(!plan.should_lose(A, B, "m"));
     }
 }

@@ -22,6 +22,18 @@
 //! * **Message counters** ([`NetStats`]) for verifying the paper's
 //!   message-complexity results empirically.
 //!
+//! # Determinism
+//!
+//! Given a seed and a deterministic application, a virtual-time run is
+//! bit-reproducible: latencies are a pure hash of
+//! `(seed, src, dst, link sequence)`, per-link FIFO nudges resolve ties,
+//! and fault budgets are consumed **per directed link** as a pure
+//! function of per-link sequence numbers — so even unpinned
+//! ([`FaultSpec::any`]) loss/corruption rules affect the identical
+//! messages on every replay. The only nondeterminism OS scheduling can
+//! introduce is *wall-clock* interleaving of same-instant events, which
+//! never feeds back into virtual time.
+//!
 //! # Examples
 //!
 //! ```
