@@ -1,0 +1,160 @@
+//! `sweep_bench` — the sweep-throughput benchmark behind `BENCH_sweep.json`.
+//!
+//! Measures how fast the harness explores deterministic simulation seeds,
+//! under the honest accounting the sweep summary uses: **seeds/s** (what a
+//! CI budget buys) and **executions/s** (the real work rate — with
+//! `check_replay` every seed executes twice). Three configurations:
+//!
+//! * `default` — the acceptance-sweep scenario space, no replay check;
+//! * `default+replay` — the same space with byte-exact replay checking;
+//! * `object-heavy` — [`ScenarioConfig::object_heavy`]: every plan carries
+//!   a contended shared-object pool with ≥ 4 participants, the workload
+//!   the wake-on-release arbitration refactor targets.
+//!
+//! ```text
+//! cargo run -p caa-bench --release --bin sweep_bench -- \
+//!     [--seeds N] [--workers N] [--out BENCH_sweep.json]
+//! ```
+//!
+//! The JSON is a flat, diff-friendly document uploaded as a CI artifact
+//! (the per-commit measurement). The `BENCH_sweep.json` committed at the
+//! workspace root is the longer-lived perf trajectory: it aggregates
+//! labeled runs of this bench (`{"runs": [{label, cases}, …]}`) so
+//! before/after numbers for scheduler changes stay recorded.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use caa_harness::plan::ScenarioConfig;
+use caa_harness::sweep::{sweep, SweepConfig, SweepReport};
+
+struct BenchCase {
+    name: &'static str,
+    scenario: ScenarioConfig,
+    check_replay: bool,
+}
+
+struct BenchResult {
+    name: &'static str,
+    report: SweepReport,
+}
+
+fn run_case(case: &BenchCase, seeds: u64, workers: usize) -> BenchResult {
+    let report = sweep(&SweepConfig {
+        start_seed: 0,
+        seeds,
+        workers,
+        scenario: case.scenario.clone(),
+        check_replay: case.check_replay,
+        corpus_dir: None,
+    });
+    assert!(
+        report.all_passed(),
+        "bench sweep '{}' found violating seeds:\n{}",
+        case.name,
+        report.summary()
+    );
+    BenchResult {
+        name: case.name,
+        report,
+    }
+}
+
+fn json(results: &[BenchResult], seeds: u64, workers: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sweep\",");
+    let _ = writeln!(out, "  \"seeds_per_case\": {seeds},");
+    let _ = writeln!(
+        out,
+        "  \"workers\": {},",
+        if workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            workers
+        }
+    );
+    let _ = writeln!(out, "  \"cases\": [");
+    for (i, r) in results.iter().enumerate() {
+        let report = &r.report;
+        let wall = report.wall.as_secs_f64();
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"config\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"seeds\": {},", report.seeds_run);
+        let _ = writeln!(out, "      \"executions\": {},", report.executions_run);
+        let _ = writeln!(out, "      \"wall_s\": {wall:.4},");
+        let _ = writeln!(out, "      \"seeds_per_s\": {:.1},", report.seeds_per_sec());
+        let _ = writeln!(
+            out,
+            "      \"executions_per_s\": {:.1},",
+            report.executions_per_sec()
+        );
+        let _ = writeln!(out, "      \"trace_entries\": {},", report.trace_entries);
+        let _ = writeln!(
+            out,
+            "      \"trace_entries_per_s\": {:.0},",
+            report.trace_entries as f64 / wall.max(1e-9)
+        );
+        let _ = writeln!(out, "      \"virtual_secs\": {:.0}", report.virtual_secs);
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut seeds: u64 = 2000;
+    let mut workers: usize = 0;
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds").parse().expect("--seeds N"),
+            "--workers" => workers = value("--workers").parse().expect("--workers N"),
+            "--out" => out_path = value("--out"),
+            other => {
+                eprintln!("unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cases = [
+        BenchCase {
+            name: "default",
+            scenario: ScenarioConfig::default(),
+            check_replay: false,
+        },
+        BenchCase {
+            name: "default+replay",
+            scenario: ScenarioConfig::default(),
+            check_replay: true,
+        },
+        BenchCase {
+            name: "object-heavy",
+            scenario: ScenarioConfig::object_heavy(),
+            check_replay: false,
+        },
+    ];
+
+    let started = Instant::now();
+    let mut results = Vec::new();
+    for case in &cases {
+        let result = run_case(case, seeds, workers);
+        eprintln!("{}: {}", result.name, result.report.summary());
+        results.push(result);
+    }
+    let doc = json(&results, seeds, workers);
+    std::fs::write(&out_path, &doc).expect("write bench JSON");
+    print!("{doc}");
+    eprintln!("wrote {out_path} in {:.2?}", started.elapsed());
+}

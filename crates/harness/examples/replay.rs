@@ -1,22 +1,38 @@
 //! One-command seed replay: re-run a violating (or any) seed, print the
 //! oracle verdicts and the full canonical trace.
 //!
+//! Two forms:
+//!
 //! ```text
+//! # Regenerate the seed under the default ScenarioConfig:
 //! cargo run -p caa-harness --example replay -- 42
+//!
+//! # Replay a persisted corpus entry (the sweep's exact — possibly
+//! # custom — config, plus a byte-exact check against the recorded
+//! # trace):
+//! cargo run -p caa-harness --example replay -- --corpus target/caa-corpus/42
 //! ```
+
+use std::path::Path;
+use std::process::exit;
 
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
 use caa_harness::sweep::run_seed;
 
-fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let plan = ScenarioPlan::generate(seed, &ScenarioConfig::default());
+fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>) -> bool {
+    let plan = ScenarioPlan::generate(seed, config);
     println!("{}", plan.describe());
-    let result = run_seed(seed, &ScenarioConfig::default(), true);
+    let result = run_seed(seed, config, true);
     println!("{}", result.artifacts.trace.render());
+    let mut ok = true;
+    if let Some(recorded) = recorded_trace {
+        if result.artifacts.trace.render() == recorded {
+            println!("trace matches the recorded corpus bytes exactly");
+        } else {
+            println!("trace DIVERGES from the recorded corpus bytes");
+            ok = false;
+        }
+    }
     if result.passed() {
         println!("seed {seed}: every oracle passed");
     } else {
@@ -24,6 +40,56 @@ fn main() {
         for v in &result.violations {
             println!("  - {v}");
         }
-        std::process::exit(1);
+        ok = false;
+    }
+    ok
+}
+
+fn replay_corpus(entry: &Path) -> bool {
+    // Entry dirs are `<seed>` or `<seed>-<config hash>` (the sweep
+    // disambiguates same-seed failures from different configs).
+    let seed: u64 = entry
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(|n| n.split('-').next().unwrap_or(n))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("corpus entry directory must be named after its seed: {entry:?}");
+            exit(2);
+        });
+    let config_text = std::fs::read_to_string(entry.join("config.txt")).unwrap_or_else(|e| {
+        eprintln!("cannot read {:?}: {e}", entry.join("config.txt"));
+        exit(2);
+    });
+    let config = ScenarioConfig::from_kv(&config_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse corpus config: {e}");
+        exit(2);
+    });
+    let recorded = std::fs::read_to_string(entry.join("trace.txt")).ok();
+    println!("replaying corpus entry {} (seed {seed})", entry.display());
+    replay(seed, &config, recorded.as_deref())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ok = match args.first().map(String::as_str) {
+        Some("--corpus") => {
+            let entry = args.get(1).unwrap_or_else(|| {
+                eprintln!("usage: replay -- --corpus <dir>/<seed>");
+                exit(2);
+            });
+            replay_corpus(Path::new(entry))
+        }
+        Some(seed) => {
+            let seed: u64 = seed.parse().unwrap_or_else(|_| {
+                eprintln!("usage: replay -- <seed> | --corpus <dir>/<seed>");
+                exit(2);
+            });
+            replay(seed, &ScenarioConfig::default(), None)
+        }
+        None => replay(0, &ScenarioConfig::default(), None),
+    };
+    if !ok {
+        exit(1);
     }
 }

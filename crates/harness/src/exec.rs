@@ -230,7 +230,16 @@ fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32, objects: &[SharedObject<u
 /// [`Trace::render`] output on every execution.
 #[must_use]
 pub fn execute(plan: &ScenarioPlan) -> RunArtifacts {
-    let recorder = TraceRecorder::new();
+    execute_with_capacity(plan, 0)
+}
+
+/// [`execute`] with a trace-buffer preallocation hint (in entries) —
+/// sweep workers pass the previous seed's trace size so recording does
+/// not reallocate on the hot path. The hint has no observable effect on
+/// the run: traces stay byte-identical whatever its value.
+#[must_use]
+pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunArtifacts {
+    let recorder = TraceRecorder::with_capacity(trace_capacity);
     let mut sys = System::builder()
         .latency(LatencyModel::UniformUpTo(secs(plan.t_mmax)))
         .seed(plan.seed)
@@ -280,7 +289,7 @@ pub fn execute(plan: &ScenarioPlan) -> RunArtifacts {
     let report = sys.run();
     RunArtifacts {
         plan: plan.clone(),
-        trace: recorder.finish(),
+        trace: recorder.take_trace(),
         report,
     }
 }

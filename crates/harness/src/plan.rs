@@ -88,6 +88,10 @@ pub struct ScenarioConfig {
     pub allow_objects: bool,
     /// Whether to generate crash-stop participants.
     pub allow_crashes: bool,
+    /// Probability that a plan carries a shared-object pool at all
+    /// (given `allow_objects`). The default keeps the historical 50/50
+    /// mix; raise it toward 1.0 for object-heavy sweeps.
+    pub object_chance: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -100,7 +104,80 @@ impl Default for ScenarioConfig {
             allow_faults: true,
             allow_objects: true,
             allow_crashes: true,
+            object_chance: 0.5,
         }
+    }
+}
+
+impl ScenarioConfig {
+    /// The object-heavy configuration used by the arbitration throughput
+    /// benchmarks: every plan carries a contended object pool and at least
+    /// four participants compete for it. Crash-stops are disabled so the
+    /// sweep measures arbitration, not exit-timeout waits.
+    #[must_use]
+    pub fn object_heavy() -> Self {
+        ScenarioConfig {
+            min_threads: 4,
+            max_threads: 6,
+            max_depth: 1,
+            max_top_actions: 2,
+            allow_faults: false,
+            allow_objects: true,
+            allow_crashes: false,
+            object_chance: 1.0,
+        }
+    }
+
+    /// Serializes the config as `key=value` lines — the format corpus
+    /// entries persist so a violating seed from a *custom* config sweep
+    /// replays exactly ([`ScenarioConfig::from_kv`] round-trips it).
+    #[must_use]
+    pub fn to_kv(&self) -> String {
+        format!(
+            "min_threads={}\nmax_threads={}\nmax_depth={}\nmax_top_actions={}\n\
+             allow_faults={}\nallow_objects={}\nallow_crashes={}\nobject_chance={}\n",
+            self.min_threads,
+            self.max_threads,
+            self.max_depth,
+            self.max_top_actions,
+            self.allow_faults,
+            self.allow_objects,
+            self.allow_crashes,
+            self.object_chance,
+        )
+    }
+
+    /// Parses the `key=value` form written by [`ScenarioConfig::to_kv`].
+    /// Missing keys keep their defaults (so old corpus entries survive new
+    /// knobs); unknown keys or malformed values are errors.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending line.
+    pub fn from_kv(text: &str) -> Result<ScenarioConfig, String> {
+        let mut config = ScenarioConfig::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed config line (expected key=value): {line:?}"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("bad value for {key}: {e}");
+            match key {
+                "min_threads" => config.min_threads = value.parse().map_err(|e| bad(&e))?,
+                "max_threads" => config.max_threads = value.parse().map_err(|e| bad(&e))?,
+                "max_depth" => config.max_depth = value.parse().map_err(|e| bad(&e))?,
+                "max_top_actions" => config.max_top_actions = value.parse().map_err(|e| bad(&e))?,
+                "allow_faults" => config.allow_faults = value.parse().map_err(|e| bad(&e))?,
+                "allow_objects" => config.allow_objects = value.parse().map_err(|e| bad(&e))?,
+                "allow_crashes" => config.allow_crashes = value.parse().map_err(|e| bad(&e))?,
+                "object_chance" => config.object_chance = value.parse().map_err(|e| bad(&e))?,
+                other => return Err(format!("unknown config key: {other}")),
+            }
+        }
+        Ok(config)
     }
 }
 
@@ -324,13 +401,14 @@ impl ScenarioPlan {
         // module docs for the cycle-freedom argument). Depth 0 always
         // exists; deeper levels only when the seed generates nesting, so
         // bias toward the top.
-        let object_depth: Option<usize> = (config.allow_objects && rng.chance(0.5)).then(|| {
-            if rng.chance(0.6) {
-                0
-            } else {
-                rng.below(config.max_depth as u64 + 1) as usize
-            }
-        });
+        let object_depth: Option<usize> =
+            (config.allow_objects && rng.chance(config.object_chance)).then(|| {
+                if rng.chance(0.6) {
+                    0
+                } else {
+                    rng.below(config.max_depth as u64 + 1) as usize
+                }
+            });
         let objects: Vec<String> = if object_depth.is_some() {
             (0..OBJECT_POOL).map(|i| format!("o{i}")).collect()
         } else {
@@ -665,6 +743,7 @@ mod tests {
             allow_faults: true,
             allow_objects: true,
             allow_crashes: true,
+            object_chance: 0.5,
         };
         for seed in 0..200 {
             let plan = ScenarioPlan::generate(seed, &cfg);

@@ -84,7 +84,7 @@ fn execute(seed: u64, cycles: u32) -> (ProductionCell, SystemReport, Trace) {
         .build();
     spawn_controller(&mut sys, &cell, &config);
     let report = sys.run();
-    (cell, report, recorder.finish())
+    (cell, report, recorder.take_trace())
 }
 
 /// Runs the production cell under a seeded device-fault schedule, checks

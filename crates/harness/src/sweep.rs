@@ -7,11 +7,12 @@
 //! simulated time stays virtual. A violating seed reproduces exactly with
 //! [`run_seed`] (or `cargo run -p caa-harness --example replay -- <seed>`).
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::exec::{execute, RunArtifacts};
+use crate::exec::{execute_with_capacity, RunArtifacts};
 use crate::oracle::{check_replay, check_run, Violation};
 use crate::plan::{ScenarioConfig, ScenarioPlan};
 
@@ -28,6 +29,14 @@ pub struct SweepConfig {
     pub scenario: ScenarioConfig,
     /// Execute every seed twice and require byte-identical traces.
     pub check_replay: bool,
+    /// Where violating seeds persist their corpus entry
+    /// (`<dir>/<seed>/` with the scenario config, plan summary, trace
+    /// bytes and violations). `None` disables persistence. The default
+    /// (`target/caa-corpus`, relative to the working directory) makes
+    /// every violating sweep reproducible via
+    /// `cargo run -p caa-harness --example replay -- --corpus <entry>`,
+    /// custom [`ScenarioConfig`]s included.
+    pub corpus_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +47,7 @@ impl Default for SweepConfig {
             workers: 0,
             scenario: ScenarioConfig::default(),
             check_replay: true,
+            corpus_dir: Some(PathBuf::from("target/caa-corpus")),
         }
     }
 }
@@ -51,6 +61,9 @@ pub struct SeedResult {
     pub violations: Vec<Violation>,
     /// The run's artifacts (plan, trace, report).
     pub artifacts: RunArtifacts,
+    /// The persisted corpus entry, when the sweep dumped one (violating
+    /// seeds only, and only with [`SweepConfig::corpus_dir`] set).
+    pub corpus: Option<PathBuf>,
 }
 
 impl SeedResult {
@@ -62,13 +75,65 @@ impl SeedResult {
 
     /// The command reproducing this seed's run and oracle verdicts.
     ///
-    /// The `replay` example regenerates the plan under the **default**
-    /// [`ScenarioConfig`]; a sweep run with a custom config must instead
-    /// call [`run_seed`] with that same config to reproduce the seed.
+    /// With a persisted corpus entry the command replays from it —
+    /// including the sweep's (possibly non-default) [`ScenarioConfig`]
+    /// and a byte-exact comparison against the recorded trace. Without
+    /// one, the bare-seed form regenerates the plan under the **default**
+    /// config; a sweep run with a custom config but no corpus must call
+    /// [`run_seed`] with that same config to reproduce the seed.
     #[must_use]
     pub fn replay_command(&self) -> String {
-        format!("cargo run -p caa-harness --example replay -- {}", self.seed)
+        match &self.corpus {
+            Some(entry) => format!(
+                "cargo run -p caa-harness --example replay -- --corpus {}",
+                entry.display()
+            ),
+            None => format!("cargo run -p caa-harness --example replay -- {}", self.seed),
+        }
     }
+}
+
+/// Persists one violating seed's corpus entry under `<dir>/<seed>/`:
+/// the scenario config (key=value, [`ScenarioConfig::from_kv`]-loadable),
+/// the plan summary, the canonical trace bytes and the oracle verdicts.
+///
+/// Entries never clobber a *different* config's repro: when `<dir>/<seed>`
+/// already records another config (two sweeps sharing a corpus dir), the
+/// entry lands at `<dir>/<seed>-<config hash>` instead. The replay
+/// example parses the seed from the leading digits, so both forms load.
+fn dump_corpus(
+    dir: &Path,
+    scenario: &ScenarioConfig,
+    result: &SeedResult,
+) -> std::io::Result<PathBuf> {
+    use std::fmt::Write as _;
+    let kv = scenario.to_kv();
+    let mut entry = dir.join(result.seed.to_string());
+    match std::fs::read_to_string(entry.join("config.txt")) {
+        Ok(existing) if existing != kv => {
+            // FNV-1a over the config: a stable, collision-resistant-enough
+            // discriminator for a handful of configs per corpus dir.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in kv.as_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            entry = dir.join(format!("{}-{:08x}", result.seed, hash as u32));
+        }
+        _ => {}
+    }
+    std::fs::create_dir_all(&entry)?;
+    std::fs::write(entry.join("config.txt"), kv)?;
+    let mut plan = result.artifacts.plan.describe();
+    plan.push('\n');
+    std::fs::write(entry.join("plan.txt"), plan)?;
+    std::fs::write(entry.join("trace.txt"), result.artifacts.trace.render())?;
+    let mut verdicts = String::new();
+    for violation in &result.violations {
+        let _ = writeln!(verdicts, "{violation}");
+    }
+    std::fs::write(entry.join("violations.txt"), verdicts)?;
+    Ok(entry)
 }
 
 /// Aggregated outcome of a sweep.
@@ -76,9 +141,15 @@ impl SeedResult {
 pub struct SweepReport {
     /// Seeds explored.
     pub seeds_run: u64,
+    /// Full scenario executions performed: with
+    /// [`SweepConfig::check_replay`] every seed executes **twice** (run +
+    /// replay), so this is `2 × seeds_run` there — the honest denominator
+    /// for throughput claims.
+    pub executions_run: u64,
     /// Results of the seeds that violated at least one oracle.
     pub failures: Vec<SeedResult>,
-    /// Total trace entries recorded across all seeds.
+    /// Total trace entries recorded across all seeds (primary executions
+    /// only; replay traces are compared, then discarded).
     pub trace_entries: u64,
     /// Total virtual time simulated across all seeds (seconds).
     pub virtual_secs: f64,
@@ -93,15 +164,31 @@ impl SweepReport {
         self.failures.is_empty()
     }
 
+    /// Seeds explored per wall-clock second.
+    #[must_use]
+    pub fn seeds_per_sec(&self) -> f64 {
+        self.seeds_run as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Scenario executions per wall-clock second (counts replay-check
+    /// re-executions, which "seeds/s" hides).
+    #[must_use]
+    pub fn executions_per_sec(&self) -> f64 {
+        self.executions_run as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
     /// A human summary, listing replay commands for any violating seed.
     #[must_use]
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
-            "swept {} seeds in {:.2?} ({:.0} seeds/s): {} entries, {:.0}s virtual time, {} failing\n",
+            "swept {} seeds in {:.2?} ({:.0} seeds/s, {:.0} executions/s over {} executions): \
+             {} entries, {:.0}s virtual time, {} failing\n",
             self.seeds_run,
             self.wall,
-            self.seeds_run as f64 / self.wall.as_secs_f64().max(1e-9),
+            self.seeds_per_sec(),
+            self.executions_per_sec(),
+            self.executions_run,
             self.trace_entries,
             self.virtual_secs,
             self.failures.len(),
@@ -126,11 +213,25 @@ impl SweepReport {
 /// oracle — executing twice and comparing traces when `check_replay`.
 #[must_use]
 pub fn run_seed(seed: u64, scenario: &ScenarioConfig, check_replay_too: bool) -> SeedResult {
+    run_seed_with_capacity(seed, scenario, check_replay_too, 0)
+}
+
+/// [`run_seed`] with a trace-buffer preallocation hint (entries). Sweep
+/// workers pass the largest trace they have seen so far, so steady-state
+/// seeds record without reallocating; the replay execution reuses the
+/// primary run's exact entry count.
+#[must_use]
+pub fn run_seed_with_capacity(
+    seed: u64,
+    scenario: &ScenarioConfig,
+    check_replay_too: bool,
+    trace_capacity: usize,
+) -> SeedResult {
     let plan = ScenarioPlan::generate(seed, scenario);
-    let artifacts = execute(&plan);
+    let artifacts = execute_with_capacity(&plan, trace_capacity);
     let mut violations = check_run(&artifacts);
     if check_replay_too {
-        let replayed = execute(&plan);
+        let replayed = execute_with_capacity(&plan, artifacts.trace.len());
         if let Some(v) = check_replay(&artifacts.trace, &replayed.trace) {
             violations.push(v);
         }
@@ -139,6 +240,7 @@ pub fn run_seed(seed: u64, scenario: &ScenarioConfig, check_replay_too: bool) ->
         seed,
         violations,
         artifacts,
+        corpus: None,
     }
 }
 
@@ -158,20 +260,31 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
 
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= config.seeds {
-                    return;
-                }
-                let seed = config.start_seed + i;
-                let result = run_seed(seed, &config.scenario, config.check_replay);
-                entries.fetch_add(result.artifacts.trace.len() as u64, Ordering::Relaxed);
-                virtual_ns.fetch_add(
-                    result.artifacts.report.elapsed.as_nanos(),
-                    Ordering::Relaxed,
-                );
-                if !result.passed() {
-                    failures.lock().expect("sweep collector").push(result);
+            scope.spawn(|| {
+                // Per-worker running maximum, so steady-state trace
+                // recording never reallocates mid-run.
+                let mut capacity_hint = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.seeds {
+                        return;
+                    }
+                    let seed = config.start_seed + i;
+                    let result = run_seed_with_capacity(
+                        seed,
+                        &config.scenario,
+                        config.check_replay,
+                        capacity_hint,
+                    );
+                    capacity_hint = capacity_hint.max(result.artifacts.trace.len());
+                    entries.fetch_add(result.artifacts.trace.len() as u64, Ordering::Relaxed);
+                    virtual_ns.fetch_add(
+                        result.artifacts.report.elapsed.as_nanos(),
+                        Ordering::Relaxed,
+                    );
+                    if !result.passed() {
+                        failures.lock().expect("sweep collector").push(result);
+                    }
                 }
             });
         }
@@ -179,8 +292,17 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
 
     let mut failures = failures.into_inner().expect("sweep collector");
     failures.sort_by_key(|f| f.seed);
+    if let Some(dir) = &config.corpus_dir {
+        for failure in &mut failures {
+            match dump_corpus(dir, &config.scenario, failure) {
+                Ok(entry) => failure.corpus = Some(entry),
+                Err(e) => eprintln!("corpus dump for seed {} failed: {e}", failure.seed),
+            }
+        }
+    }
     SweepReport {
         seeds_run: config.seeds,
+        executions_run: config.seeds * if config.check_replay { 2 } else { 1 },
         failures,
         trace_entries: entries.into_inner(),
         virtual_secs: virtual_ns.into_inner() as f64 / 1e9,
@@ -210,5 +332,75 @@ mod tests {
     fn run_seed_exposes_replay_command() {
         let result = run_seed(3, &ScenarioConfig::default(), false);
         assert!(result.replay_command().contains("-- 3"));
+    }
+
+    #[test]
+    fn summary_reports_both_seed_and_execution_throughput() {
+        let report = sweep(&SweepConfig {
+            seeds: 8,
+            workers: 2,
+            check_replay: true,
+            ..SweepConfig::default()
+        });
+        // With check_replay every seed executes twice.
+        assert_eq!(report.executions_run, 16);
+        assert!(report.executions_per_sec() > report.seeds_per_sec());
+        assert!(report.summary().contains("over 16 executions"));
+    }
+
+    #[test]
+    fn violating_seeds_persist_a_loadable_corpus_entry() {
+        let dir = std::env::temp_dir().join(format!("caa-corpus-test-{}", std::process::id()));
+        let scenario = ScenarioConfig::object_heavy();
+        // Fabricate a violation on a clean seed: corpus persistence is
+        // about faithfully dumping whatever failed, not about how.
+        let mut result = run_seed(5, &scenario, false);
+        result.violations.push(Violation::ThreadFailure {
+            thread: "T0".into(),
+            error: "injected for the corpus test".into(),
+        });
+        let entry = dump_corpus(&dir, &scenario, &result).expect("corpus dump");
+        assert_eq!(entry, dir.join("5"));
+
+        // The config round-trips through its persisted form...
+        let kv = std::fs::read_to_string(entry.join("config.txt")).unwrap();
+        let loaded = ScenarioConfig::from_kv(&kv).expect("parse persisted config");
+        assert_eq!(format!("{loaded:?}"), format!("{scenario:?}"));
+        // ...and the recorded trace bytes reproduce exactly under it.
+        let recorded = std::fs::read_to_string(entry.join("trace.txt")).unwrap();
+        let replayed = run_seed(5, &loaded, false);
+        assert_eq!(
+            replayed.artifacts.trace.render(),
+            recorded,
+            "corpus trace must reproduce byte-exactly from the persisted config"
+        );
+        let verdicts = std::fs::read_to_string(entry.join("violations.txt")).unwrap();
+        assert!(verdicts.contains("injected for the corpus test"));
+
+        result.corpus = Some(entry);
+        assert!(result.replay_command().contains("--corpus"));
+
+        // A different config failing on the same seed must not clobber
+        // the recorded repro: it lands in a discriminated sibling entry.
+        let other = ScenarioConfig::default();
+        let mut other_result = run_seed(5, &other, false);
+        other_result.violations.push(Violation::ThreadFailure {
+            thread: "T0".into(),
+            error: "second config".into(),
+        });
+        let other_entry = dump_corpus(&dir, &other, &other_result).expect("corpus dump");
+        assert_ne!(other_entry, dir.join("5"), "must not overwrite seed 5");
+        assert!(other_entry
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("5-"));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("5").join("config.txt")).unwrap(),
+            scenario.to_kv(),
+            "original entry untouched"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -241,6 +241,19 @@ impl TraceRecorder {
         Arc::new(TraceRecorder::default())
     }
 
+    /// A fresh recorder with `entries` preallocated — sweep drivers pass
+    /// the previous run's trace size so steady-state recording never
+    /// reallocates mid-run.
+    #[must_use]
+    pub fn with_capacity(entries: usize) -> Arc<TraceRecorder> {
+        Arc::new(TraceRecorder {
+            state: Mutex::new(RecorderState {
+                entries: Vec::with_capacity(entries),
+                next_seq: HashMap::new(),
+            }),
+        })
+    }
+
     fn push(&self, at_ns: u64, thread: u32, kind: EntryKind) {
         let mut state = self.state.lock();
         let seq = state.next_seq.entry(thread).or_insert(0);
@@ -258,6 +271,16 @@ impl TraceRecorder {
     #[must_use]
     pub fn finish(&self) -> Trace {
         let mut entries = self.state.lock().entries.clone();
+        entries.sort_by_key(|e| (e.at_ns, e.thread, e.seq));
+        Trace { entries }
+    }
+
+    /// Like [`TraceRecorder::finish`], but *takes* the recorded entries
+    /// instead of cloning them — the cheap path for run drivers that are
+    /// done with the recorder.
+    #[must_use]
+    pub fn take_trace(&self) -> Trace {
+        let mut entries = std::mem::take(&mut self.state.lock().entries);
         entries.sort_by_key(|e| (e.at_ns, e.thread, e.seq));
         Trace { entries }
     }

@@ -45,6 +45,7 @@ fn crash_and_object_sweep_10k_passes_every_oracle() {
         workers: 0,
         scenario,
         check_replay: true,
+        ..SweepConfig::default()
     });
     assert!(
         report.all_passed(),

@@ -23,11 +23,11 @@ use caa_core::ids::{ActionId, PartitionId, RoleId, ThreadId};
 use caa_core::message::{AppPayload, Message, SignalRound};
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
 use caa_core::time::{VirtualDuration, VirtualInstant};
-use caa_simnet::{Endpoint, Received};
+use caa_simnet::{Endpoint, Parked, Received};
 
 use crate::action::{make_action_id, ActionDef, DefInner};
 use crate::error::{Flow, RuntimeError, Step, Unwind};
-use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl};
+use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl, Wake};
 use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
 use crate::system::SystemShared;
@@ -411,11 +411,18 @@ impl Ctx {
         })
     }
 
-    /// Arbitration quantum: waiters retry on ticks of this virtual
-    /// duration, so every access costs at least one quantum and all grant
-    /// decisions happen at scheduler-visible instants (see
-    /// [`crate::objects`] for the determinism argument).
-    const OBJECT_QUANTUM: VirtualDuration = VirtualDuration::from_millis(1);
+    /// Forwards an arbitration-computed wake-up to the network as a
+    /// scheduled doorbell: the wake-on-release half of the object
+    /// scheduler (see [`crate::objects`] — every grant, release and
+    /// cancellation computes the next eligible waiter and its on-grid
+    /// attempt instant; this delivers it).
+    fn forward_wake(&self, wake: Wake) {
+        if let Some((thread, at, epoch)) = wake {
+            self.endpoint
+                .network()
+                .schedule_wake(PartitionId::new(thread.as_u32()), at, epoch);
+        }
+    }
 
     fn access<T: Clone + Send + 'static, R>(
         &mut self,
@@ -428,18 +435,47 @@ impl Ctx {
         }
         let chain: Vec<ActionId> = self.stack.iter().map(|fr| fr.action).collect();
         let action = *chain.last().expect("stack nonempty");
-        // Register the request, then retry on quantum ticks. The wait is a
-        // poll point: recovery can interrupt it (the request is withdrawn).
-        obj.enqueue_waiter(self.me, self.now(), &chain);
+        // Open a fresh parked wait (discarding any stale doorbell; the
+        // returned epoch tags every wake computed for this request), then
+        // register and park until the arbitration schedules this thread's
+        // next on-grid attempt (wake-on-release: the enabling event — a
+        // release, grant or cancellation elsewhere — computes and
+        // schedules it; `enqueue_waiter` seeds the first attempt when the
+        // requester is already the eligible minimum). The wait is a poll
+        // point: messages still arrive, and recovery can interrupt it (the
+        // request is then withdrawn).
+        let epoch = self.endpoint.begin_wait();
+        self.forward_wake(obj.enqueue_waiter(self.me, self.now(), &chain, epoch));
         let mut f = Some(f);
         let (value, opened) = loop {
-            if let Err(flow) = self.work(Self::OBJECT_QUANTUM) {
-                obj.cancel_waiter(self.me, self.now());
-                return Err(flow);
-            }
-            match obj.try_access(self.me, self.now(), &chain, &mut f) {
-                AccessOutcome::Done { value, opened } => break (value, opened),
-                AccessOutcome::NotYet => {}
+            match self.endpoint.park_wait() {
+                Ok(Parked::Doorbell) => {
+                    // A scheduled attempt instant arrived. `try_access` is
+                    // authoritative: a stale doorbell (the arbitration
+                    // moved on) simply fails and the thread re-parks until
+                    // the next event re-schedules it.
+                    match obj.try_access(self.me, self.now(), &chain, &mut f) {
+                        AccessOutcome::Done {
+                            value,
+                            opened,
+                            wake,
+                        } => {
+                            self.forward_wake(wake);
+                            break (value, opened);
+                        }
+                        AccessOutcome::NotYet => {}
+                    }
+                }
+                Ok(Parked::Msg(received)) => {
+                    if let Err(flow) = self.absorb_or_unwind(received) {
+                        self.forward_wake(obj.cancel_waiter(self.me, self.now()));
+                        return Err(flow);
+                    }
+                }
+                Err(e) => {
+                    self.forward_wake(obj.cancel_waiter(self.me, self.now()));
+                    return Err(e.into());
+                }
             }
         };
         // Register the object with every frame on the stack: acquisition
@@ -710,9 +746,7 @@ impl Ctx {
         let frame = self.stack.last_mut().expect("frame still present");
         let objects = std::mem::take(&mut frame.objects);
         for obj in &objects {
-            if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action, now) {
-                let _ = obj.commit_tainted(action, now);
-            }
+            self.release_rollback_or_taint(obj.as_ref(), action, now);
         }
         self.observe(action, || EventKind::Abort {
             eab: eab.as_ref().map(|e| e.id().clone()),
@@ -725,6 +759,26 @@ impl Ctx {
         Ok(eab)
     }
 
+    /// Rolls `action`'s layer back on `obj` — tainting instead when the
+    /// object is irreversible (ƒ semantics) — and forwards the release's
+    /// wake-up to the next waiter.
+    fn release_rollback_or_taint(
+        &self,
+        obj: &dyn TxControl,
+        action: ActionId,
+        now: VirtualInstant,
+    ) {
+        match obj.rollback(action, now) {
+            Ok(wake) => self.forward_wake(wake),
+            Err(ObjectError::UndoImpossible { .. }) => {
+                if let Ok(wake) = obj.commit_tainted(action, now) {
+                    self.forward_wake(wake);
+                }
+            }
+            Err(ObjectError::NotAcquired { .. }) => {}
+        }
+    }
+
     /// Pops the top frame without ceremony (fatal-error path).
     fn discard_current_frame(&mut self) {
         if let Some(frame) = self.stack.last_mut() {
@@ -732,7 +786,9 @@ impl Ctx {
             let now = self.endpoint.now();
             let objects = std::mem::take(&mut frame.objects);
             for obj in &objects {
-                let _ = obj.rollback(action, now);
+                if let Ok(wake) = obj.rollback(action, now) {
+                    self.forward_wake(wake);
+                }
             }
             self.observe(action, || EventKind::Abort { eab: None });
             self.pop_frame();
@@ -750,9 +806,7 @@ impl Ctx {
             let now = self.endpoint.now();
             let objects = std::mem::take(&mut frame.objects);
             for obj in &objects {
-                if let Err(ObjectError::UndoImpossible { .. }) = obj.rollback(action, now) {
-                    let _ = obj.commit_tainted(action, now);
-                }
+                self.release_rollback_or_taint(obj.as_ref(), action, now);
             }
             self.observe(action, || EventKind::Crash);
             self.pop_frame();
@@ -826,21 +880,27 @@ impl Ctx {
             ActionOutcome::Success | ActionOutcome::Signalled(_) => {
                 // Forward recovery leaves objects in (new) valid states.
                 for obj in &objects {
-                    let _ = obj.commit(action, now);
+                    if let Ok(wake) = obj.commit(action, now) {
+                        self.forward_wake(wake);
+                    }
                 }
             }
             ActionOutcome::Undone => {
                 // Rollback already happened during the undo round; any
                 // layer still open (acquired after undo) is discarded.
                 for obj in &objects {
-                    let _ = obj.rollback(action, now);
+                    if let Ok(wake) = obj.rollback(action, now) {
+                        self.forward_wake(wake);
+                    }
                 }
             }
             ActionOutcome::Failed => {
                 // ƒ: effects may not have been undone; leave them visible
                 // and taint the objects.
                 for obj in &objects {
-                    let _ = obj.commit_tainted(action, now);
+                    if let Ok(wake) = obj.commit_tainted(action, now) {
+                        self.forward_wake(wake);
+                    }
                 }
             }
         }
@@ -1077,9 +1137,11 @@ impl Ctx {
         let objects = std::mem::take(&mut frame.objects);
         for obj in &objects {
             match obj.rollback(action, now) {
-                Ok(()) => {}
+                Ok(wake) => self.forward_wake(wake),
                 Err(ObjectError::UndoImpossible { .. }) => {
-                    let _ = obj.commit_tainted(action, now);
+                    if let Ok(wake) = obj.commit_tainted(action, now) {
+                        self.forward_wake(wake);
+                    }
                     ok = false;
                 }
                 Err(ObjectError::NotAcquired { .. }) => {}

@@ -28,7 +28,14 @@
 //! through the simulation** — requests queue per object and grants follow
 //! a deterministic `(registration virtual time, thread id)` order at
 //! scheduler-visible quantum ticks (see [`objects`]), costing each access
-//! one quantum of virtual time. Fault tolerance is bounded, not hung on:
+//! one quantum of virtual time. Scheduling is **wake-on-release**: a
+//! blocked waiter parks until the arbitration event that can actually
+//! enable it (a release, grant or cancellation) schedules its next
+//! on-grid attempt as a targeted doorbell
+//! ([`caa_simnet::Network::schedule_wake`]) — grant order and grant
+//! instants are identical to the historical per-quantum polling design,
+//! but the per-tick retry wake-ups are gone. Fault tolerance is bounded,
+//! not hung on:
 //! the §3.4 signalling timeout treats missing announcements as ƒ, and the
 //! same timeout generalised to the exit protocol
 //! ([`ActionDefBuilder::exit_timeout`]) resolves a crash-stopped peer's
@@ -87,6 +94,7 @@ pub mod context;
 mod error;
 pub mod objects;
 pub mod observe;
+mod pool;
 pub mod protocol;
 mod system;
 

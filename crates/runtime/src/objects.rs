@@ -24,13 +24,16 @@
 //!
 //! Access arbitration is mediated through the virtual-time simulation.
 //! Every access first *registers* the requesting thread in the object's
-//! waiter queue, then retries on scheduler-visible quantum ticks; a request
+//! waiter queue; attempts happen on the requester's **quantum grid** —
+//! the scheduler-visible instants `registration + k·OBJECT_QUANTUM`
+//! (one millisecond of virtual time per tick), `k ≥ 1` — and a request
 //! is granted only when
 //!
 //! 1. every open transaction layer belongs to the requester's action chain
 //!    (no competing holder),
 //! 2. the requester is the **minimum** waiter by
-//!    `(registration virtual time, thread id)`, and
+//!    `(registration virtual time, thread id)` among the waiters
+//!    compatible with the open layers, and
 //! 3. no grant, release or cancellation has already happened on this object
 //!    at the *current* virtual instant (strict `<` gating).
 //!
@@ -45,6 +48,24 @@
 //! access itself (the closure over the working state) executes under the
 //! same lock as the grant, so no competing operation can interleave.
 //!
+//! ## Wake-on-release scheduling
+//!
+//! Conditions 1–3 only change at *arbitration events* — a grant, a layer
+//! pop (release), a cancellation, or a registration. Waiters therefore do
+//! **not** poll their quantum grid: they park on the simulation
+//! ([`caa_simnet::Endpoint::park_wait`]) and every event recomputes the
+//! one waiter that can now win — the minimum compatible waiter — and
+//! schedules a doorbell ([`caa_simnet::Network::schedule_wake`]) at the
+//! first tick of **that waiter's own grid** strictly after the event.
+//! Every granted access is thereby granted at exactly the instant the
+//! original polling design would have granted it (the winner's first
+//! on-grid attempt that post-dates the enabling event), so traces are
+//! byte-identical — while the per-tick retry wake-ups of every blocked
+//! waiter disappear. A scheduled attempt that a later same-instant event
+//! invalidates simply fails its (authoritative) `try_access` re-check and
+//! re-parks; failed attempts set no gate and are invisible to traces,
+//! exactly as under polling.
+//!
 //! Layer pops are commutative under same-instant cross-thread races: a
 //! commit splices the owning action's layer out of the stack wherever it
 //! sits and merges downward, and a rollback truncates the layer **and every
@@ -58,8 +79,38 @@ use std::fmt;
 use std::sync::Arc;
 
 use caa_core::ids::{ActionId, ThreadId};
-use caa_core::time::VirtualInstant;
+use caa_core::time::{VirtualDuration, VirtualInstant};
 use parking_lot::Mutex;
+
+/// Arbitration quantum: every access is granted on a tick of the
+/// requester's quantum grid (`registration + k·OBJECT_QUANTUM`, `k ≥ 1`),
+/// so every access costs at least one quantum of virtual time and all
+/// grant decisions happen at scheduler-visible instants.
+pub(crate) const OBJECT_QUANTUM: VirtualDuration = VirtualDuration::from_millis(1);
+
+/// A wake-up the arbitration computed for the next eligible waiter:
+/// `(thread, instant, wait epoch)`, forwarded by the caller to
+/// [`caa_simnet::Network::schedule_wake`]. The epoch is the one the
+/// waiter registered with ([`caa_simnet::Endpoint::begin_wait`]), so a
+/// wake computed just before the waiter abandoned its request cannot
+/// ring into a later, unrelated wait. `None` when no waiter can
+/// currently win (the next arbitration event will recompute).
+pub(crate) type Wake = Option<(ThreadId, VirtualInstant, u64)>;
+
+/// First tick of the grid anchored at `registered_at` strictly after
+/// `after` — the earliest instant the old per-quantum polling loop would
+/// have attempted (and, conditions holding, been granted) an access.
+fn next_attempt_tick(registered_at: VirtualInstant, after: VirtualInstant) -> VirtualInstant {
+    let quantum = OBJECT_QUANTUM.as_nanos();
+    let anchor = registered_at.as_nanos();
+    let after = after.as_nanos();
+    let k = if after <= anchor {
+        1
+    } else {
+        (after - anchor) / quantum + 1
+    };
+    VirtualInstant::from_nanos(anchor.saturating_add(k.saturating_mul(quantum)))
+}
 
 /// Errors reported by object transaction control.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +164,10 @@ struct Waiter {
     /// ones (otherwise a competing queue-head would deadlock against the
     /// current holder's own re-accesses).
     chain: Vec<ActionId>,
+    /// The wait epoch the requester parks under
+    /// ([`caa_simnet::Endpoint::begin_wait`]); carried in every [`Wake`]
+    /// computed for this waiter so stale wakes cannot target a later wait.
+    epoch: u64,
 }
 
 impl Waiter {
@@ -151,7 +206,8 @@ struct ObjectShared<T> {
 
 /// Outcome of one arbitration attempt (see [`SharedObject`] internals).
 pub(crate) enum AccessOutcome<R> {
-    /// Conditions not met; retry on the next quantum tick.
+    /// Conditions not met; park until an arbitration event schedules the
+    /// next attempt.
     NotYet,
     /// Granted and executed. `opened` is the number of transaction layers
     /// newly opened for the requesting chain (> 0 exactly on acquisition).
@@ -160,7 +216,42 @@ pub(crate) enum AccessOutcome<R> {
         value: R,
         /// Newly opened layers.
         opened: usize,
+        /// Follow-up wake-up for the next eligible waiter, if any (a
+        /// grant is an arbitration event).
+        wake: Wake,
     },
+}
+
+/// The next waiter that can win under the minimum-compatible-waiter rule
+/// given the current layers, and the first tick of its grid strictly
+/// after every grant gate — the wake every arbitration event schedules.
+///
+/// The gates are folded in (not just `now`) because an object can outlive
+/// the [`System`](crate::System) that last touched it: a fresh system's
+/// clock restarts at the epoch while the object still carries the old
+/// run's gate stamps, and the polling design this reproduces kept
+/// attempting every quantum until the grid marched past them.
+fn winner_wake<T>(inner: &ObjectInner<T>, now: VirtualInstant) -> Wake {
+    let now = [
+        inner.last_grant_at,
+        inner.last_release_at,
+        inner.last_cancel_at,
+    ]
+    .iter()
+    .flatten()
+    .copied()
+    .fold(now, VirtualInstant::max);
+    let mut best: Option<&Waiter> = None;
+    for waiter in &inner.waiters {
+        let compatible = inner
+            .layers
+            .iter()
+            .all(|layer| waiter.chain.contains(&layer.owner));
+        if compatible && best.is_none_or(|b| waiter.key() < b.key()) {
+            best = Some(waiter);
+        }
+    }
+    best.map(|w| (w.thread, next_attempt_tick(w.registered_at, now), w.epoch))
 }
 
 /// An atomic object shared between CA actions.
@@ -287,28 +378,53 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
     }
 
     /// Registers `thread` in the waiter queue at virtual time `now` with
-    /// its action chain (idempotent while the request is outstanding).
-    pub(crate) fn enqueue_waiter(&self, thread: ThreadId, now: VirtualInstant, chain: &[ActionId]) {
+    /// its action chain and park epoch (idempotent while the request is
+    /// outstanding, refreshing the epoch).
+    ///
+    /// Returns the requester's **own** first attempt tick (as a [`Wake`])
+    /// when the requester is currently the next eligible waiter, `None`
+    /// otherwise (it then parks until an arbitration event schedules it).
+    /// A registration never reschedules *other* waiters: it cannot
+    /// improve their eligibility (its key is ≥ every present key), and an
+    /// already scheduled winner keeps its pending — still correct —
+    /// doorbell.
+    pub(crate) fn enqueue_waiter(
+        &self,
+        thread: ThreadId,
+        now: VirtualInstant,
+        chain: &[ActionId],
+        epoch: u64,
+    ) -> Wake {
         let mut inner = self.shared.state.lock();
-        if inner.waiters.iter().any(|w| w.thread == thread) {
-            return;
+        match inner.waiters.iter_mut().find(|w| w.thread == thread) {
+            Some(waiter) => waiter.epoch = epoch,
+            None => inner.waiters.push(Waiter {
+                registered_at: now,
+                thread,
+                chain: chain.to_vec(),
+                epoch,
+            }),
         }
-        inner.waiters.push(Waiter {
-            registered_at: now,
-            thread,
-            chain: chain.to_vec(),
-        });
+        match winner_wake(&inner, now) {
+            wake @ Some((winner, _, _)) if winner == thread => wake,
+            _ => None,
+        }
     }
 
     /// Withdraws `thread`'s pending request (coordinated recovery
-    /// interrupted its wait). Gates same-instant grants like a release.
-    pub(crate) fn cancel_waiter(&self, thread: ThreadId, now: VirtualInstant) {
+    /// interrupted its wait). Gates same-instant grants like a release,
+    /// and — as an arbitration event — returns the wake-up for the next
+    /// eligible waiter (the cancelled thread may have been the scheduled
+    /// winner).
+    pub(crate) fn cancel_waiter(&self, thread: ThreadId, now: VirtualInstant) -> Wake {
         let mut inner = self.shared.state.lock();
         let before = inner.waiters.len();
         inner.waiters.retain(|w| w.thread != thread);
-        if inner.waiters.len() != before {
-            inner.last_cancel_at = Some(now);
+        if inner.waiters.len() == before {
+            return None; // no pending request: not an event
         }
+        inner.last_cancel_at = Some(now);
+        winner_wake(&inner, now)
     }
 
     /// One arbitration attempt by `thread` at virtual time `now`, on
@@ -382,7 +498,14 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
         let f = f.take().expect("closure consumed only on grant");
         let value = f(&mut top.working, &mut dirty);
         top.dirty = dirty;
-        AccessOutcome::Done { value, opened }
+        // The grant is an arbitration event: a chain-compatible waiter
+        // (e.g. a sibling role of the same action) may now be eligible.
+        let wake = winner_wake(&inner, now);
+        AccessOutcome::Done {
+            value,
+            opened,
+            wake,
+        }
     }
 
     /// Directly opens transaction layers for `action` (and any enclosing
@@ -452,22 +575,27 @@ fn open_missing_layers<T: Clone>(inner: &mut ObjectInner<T>, chain: &[ActionId])
 
 /// Action-facing transaction control, object-type erased so an action frame
 /// can track heterogeneous objects.
+///
+/// Layer pops are *releases* — arbitration events — so the mutating
+/// operations return the [`Wake`] for the next eligible waiter; the
+/// calling [`Ctx`](crate::Ctx) forwards it to the network as a scheduled
+/// doorbell (wake-on-release).
 pub(crate) trait TxControl: Send {
     /// Stable identity of the underlying object (names need not be
     /// unique): the shared allocation's address.
     fn object_id(&self) -> usize;
     /// Commits the layer owned by `action` into the layer below it (or the
     /// committed state). Stamps the release instant for grant gating.
-    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
+    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError>;
     /// Discards the layer owned by `action`, restoring the prior state.
     /// Fails for irreversible objects whose layer was modified.
-    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
+    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError>;
     /// Records that recovery started in the owning action (§3.3.2 "inform
     /// external objects of the exception").
     fn inform_exception(&self, action: ActionId, exception: &str);
     /// Commits the layer but marks the object tainted: a failure exception
     /// ƒ left effects that "may have not been undone completely".
-    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError>;
+    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError>;
 }
 
 impl<T: Clone + Send + 'static> SharedObject<T> {
@@ -482,7 +610,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         Arc::as_ptr(&self.shared) as *const () as usize
     }
 
-    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
+    fn commit(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError> {
         let mut inner = self.shared.state.lock();
         let Some(index) = Self::layer_index(&inner, action) else {
             return Err(ObjectError::NotAcquired {
@@ -514,10 +642,10 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
             }
         }
         inner.last_release_at = Some(now);
-        Ok(())
+        Ok(winner_wake(&inner, now))
     }
 
-    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
+    fn rollback(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError> {
         let mut inner = self.shared.state.lock();
         let Some(index) = Self::layer_index(&inner, action) else {
             return Err(ObjectError::NotAcquired {
@@ -546,7 +674,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         // the rolled-back state) never reaches `committed`.
         inner.layers.truncate(index);
         inner.last_release_at = Some(now);
-        Ok(())
+        Ok(winner_wake(&inner, now))
     }
 
     fn inform_exception(&self, action: ActionId, exception: &str) {
@@ -556,7 +684,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         }
     }
 
-    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<(), ObjectError> {
+    fn commit_tainted(&self, action: ActionId, now: VirtualInstant) -> Result<Wake, ObjectError> {
         {
             let mut inner = self.shared.state.lock();
             inner.tainted = true;
@@ -859,8 +987,8 @@ mod tests {
         let obj = SharedObject::new("o", 0u32);
         // Both register at the same instant; the smaller thread id must win
         // even when the larger one attempts first.
-        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
-        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 0);
         assert!(!grant(&obj, tid(2), at(1), aid(2)), "t2 is not min");
         assert!(grant(&obj, tid(1), at(1), aid(1)), "t1 is min");
     }
@@ -868,8 +996,8 @@ mod tests {
     #[test]
     fn earlier_registration_outranks_smaller_thread_id() {
         let obj = SharedObject::new("o", 0u32);
-        obj.enqueue_waiter(tid(5), at(0), &[aid(5)]);
-        obj.enqueue_waiter(tid(1), at(10), &[aid(1)]);
+        obj.enqueue_waiter(tid(5), at(0), &[aid(5)], 0);
+        obj.enqueue_waiter(tid(1), at(10), &[aid(1)], 0);
         assert!(!grant(&obj, tid(1), at(20), aid(1)));
         assert!(grant(&obj, tid(5), at(20), aid(5)));
     }
@@ -878,8 +1006,8 @@ mod tests {
     fn at_most_one_grant_per_instant() {
         let obj = SharedObject::new("o", 0u32);
         let (a, b) = (aid(1), ActionId::nested(2, &aid(1))); // same chain
-        obj.enqueue_waiter(tid(1), at(0), &[a]);
-        obj.enqueue_waiter(tid(2), at(0), &[a, b]);
+        obj.enqueue_waiter(tid(1), at(0), &[a], 0);
+        obj.enqueue_waiter(tid(2), at(0), &[a, b], 0);
         assert!(grant(&obj, tid(1), at(5), a));
         // Same chain, so layers do not block t2 — but the instant does.
         let mut f = Some(|_: &mut u32, _: &mut bool| ());
@@ -902,7 +1030,7 @@ mod tests {
         let obj = SharedObject::new("o", 0u32);
         let holder = aid(1);
         obj.try_acquire(holder, &[]);
-        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0);
         obj.commit(holder, at(5)).unwrap();
         assert!(
             !grant(&obj, tid(2), at(5), aid(2)),
@@ -914,8 +1042,8 @@ mod tests {
     #[test]
     fn cancellation_gates_same_instant_grants() {
         let obj = SharedObject::new("o", 0u32);
-        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
-        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 0);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0);
         obj.cancel_waiter(tid(1), at(5));
         assert!(!grant(&obj, tid(2), at(5), aid(2)));
         assert!(grant(&obj, tid(2), at(6), aid(2)));
@@ -929,8 +1057,8 @@ mod tests {
         let obj = SharedObject::new("o", 0u32);
         let holder = aid(1);
         obj.try_acquire(holder, &[]);
-        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]); // competing, earlier
-        obj.enqueue_waiter(tid(1), at(10), &[holder]); // holder re-access
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0); // competing, earlier
+        obj.enqueue_waiter(tid(1), at(10), &[holder], 0); // holder re-access
         assert!(grant(&obj, tid(1), at(11), holder));
         obj.commit(holder, at(12)).unwrap();
         assert!(grant(&obj, tid(2), at(13), aid(2)));
@@ -940,7 +1068,7 @@ mod tests {
     fn competing_holder_denies_grant() {
         let obj = SharedObject::new("o", 0u32);
         obj.try_acquire(aid(1), &[]);
-        obj.enqueue_waiter(tid(2), at(0), &[aid(2)]);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0);
         assert!(!grant(&obj, tid(2), at(3), aid(2)));
         obj.commit(aid(1), at(4)).unwrap();
         assert!(grant(&obj, tid(2), at(9), aid(2)));
@@ -949,28 +1077,141 @@ mod tests {
     #[test]
     fn access_runs_atomically_with_grant_and_reports_opened_layers() {
         let obj = SharedObject::new("o", 0u32);
-        obj.enqueue_waiter(tid(1), at(0), &[aid(1)]);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 0);
         let mut f = Some(|v: &mut u32, d: &mut bool| {
             *v = 42;
             *d = true;
             *v
         });
         match obj.try_access(tid(1), at(1), &[aid(1)], &mut f) {
-            AccessOutcome::Done { value, opened } => {
+            AccessOutcome::Done { value, opened, .. } => {
                 assert_eq!(value, 42);
                 assert_eq!(opened, 1, "first access opens the layer");
             }
             AccessOutcome::NotYet => panic!("grant expected"),
         }
         // Re-access by the holder: no new layers.
-        obj.enqueue_waiter(tid(1), at(2), &[aid(1)]);
+        obj.enqueue_waiter(tid(1), at(2), &[aid(1)], 0);
         let mut f = Some(|v: &mut u32, _: &mut bool| *v);
         match obj.try_access(tid(1), at(3), &[aid(1)], &mut f) {
-            AccessOutcome::Done { value, opened } => {
+            AccessOutcome::Done { value, opened, .. } => {
                 assert_eq!(value, 42);
                 assert_eq!(opened, 0);
             }
             AccessOutcome::NotYet => panic!("holder re-access must be granted"),
+        }
+    }
+
+    // ---------------- wake-on-release scheduling ----------------
+
+    const Q: u64 = OBJECT_QUANTUM.as_nanos();
+
+    #[test]
+    fn next_attempt_tick_lands_on_the_registration_grid() {
+        let r = at(500);
+        // First attempt: one quantum after registration.
+        assert_eq!(next_attempt_tick(r, at(500)), at(500 + Q));
+        // An event inside the first quantum does not delay the attempt.
+        assert_eq!(next_attempt_tick(r, at(500 + Q - 1)), at(500 + Q));
+        // An event exactly on a grid tick pushes to the next tick
+        // (strictly-after semantics, matching the `>= now` gate).
+        assert_eq!(next_attempt_tick(r, at(500 + Q)), at(500 + 2 * Q));
+        // Later events land on the first grid tick after them.
+        assert_eq!(next_attempt_tick(r, at(500 + 2 * Q + 7)), at(500 + 3 * Q));
+    }
+
+    #[test]
+    fn enqueue_schedules_only_the_eligible_minimum_waiter() {
+        let obj = SharedObject::new("o", 0u32);
+        assert_eq!(
+            obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 7),
+            Some((tid(2), at(Q), 7)),
+            "first waiter on a free object schedules its first tick"
+        );
+        assert_eq!(
+            obj.enqueue_waiter(tid(5), at(0), &[aid(5)], 0),
+            None,
+            "outranked same-instant waiter parks unscheduled"
+        );
+        assert_eq!(
+            obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 9),
+            Some((tid(1), at(Q), 9)),
+            "a smaller same-instant thread id displaces the winner"
+        );
+    }
+
+    #[test]
+    fn enqueue_against_a_competing_holder_parks_unscheduled() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.try_acquire(aid(1), &[]);
+        assert_eq!(
+            obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0),
+            None,
+            "incompatible waiter must wait for the release event"
+        );
+        // The release schedules the parked waiter on its own grid.
+        let wake = obj.commit(aid(1), at(5)).unwrap();
+        assert_eq!(
+            wake,
+            Some((tid(2), at(Q), 0)),
+            "woken at its first grid tick after the release"
+        );
+    }
+
+    #[test]
+    fn release_after_the_first_tick_schedules_the_next_grid_tick() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.try_acquire(aid(1), &[]);
+        obj.enqueue_waiter(tid(2), at(100), &[aid(2)], 0);
+        // Holder releases two-and-a-bit quanta later: the waiter's next
+        // on-grid attempt is strictly after the release instant.
+        let wake = obj.commit(aid(1), at(100 + 2 * Q + 3)).unwrap();
+        assert_eq!(wake, Some((tid(2), at(100 + 3 * Q), 0)));
+    }
+
+    #[test]
+    fn cancel_of_the_scheduled_winner_promotes_the_next_waiter() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 0);
+        obj.enqueue_waiter(tid(2), at(10), &[aid(2)], 0);
+        let wake = obj.cancel_waiter(tid(1), at(20));
+        assert_eq!(wake, Some((tid(2), at(10 + Q), 0)));
+        assert_eq!(
+            obj.cancel_waiter(tid(1), at(21)),
+            None,
+            "cancelling an absent waiter is not an arbitration event"
+        );
+    }
+
+    #[test]
+    fn grant_schedules_a_chain_compatible_follower() {
+        let obj = SharedObject::new("o", 0u32);
+        let a = aid(1);
+        let nested = ActionId::nested(2, &a);
+        obj.enqueue_waiter(tid(1), at(0), &[a], 0);
+        obj.enqueue_waiter(tid(2), at(0), &[a, nested], 0);
+        let mut f = Some(|_: &mut u32, _: &mut bool| ());
+        match obj.try_access(tid(1), at(Q), &[a], &mut f) {
+            AccessOutcome::Done { wake, .. } => {
+                // t2 shares the chain, so the grant event schedules it for
+                // the next tick (the same-instant gate forbids this one).
+                assert_eq!(wake, Some((tid(2), at(2 * Q), 0)));
+            }
+            AccessOutcome::NotYet => panic!("grant expected"),
+        }
+    }
+
+    #[test]
+    fn grant_does_not_schedule_incompatible_waiters() {
+        let obj = SharedObject::new("o", 0u32);
+        obj.enqueue_waiter(tid(1), at(0), &[aid(1)], 0);
+        obj.enqueue_waiter(tid(2), at(0), &[aid(2)], 0);
+        let mut f = Some(|_: &mut u32, _: &mut bool| ());
+        match obj.try_access(tid(1), at(Q), &[aid(1)], &mut f) {
+            AccessOutcome::Done { wake, .. } => {
+                assert_eq!(wake, None, "competing waiter stays parked until release");
+            }
+            AccessOutcome::NotYet => panic!("grant expected"),
         }
     }
 }

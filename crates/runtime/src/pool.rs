@@ -1,0 +1,167 @@
+//! A process-wide pool of reusable participant threads.
+//!
+//! [`System::spawn`](crate::System::spawn) binds every participant to an
+//! OS thread. Sweep drivers build and tear down thousands of short-lived
+//! systems per second, so spawning fresh OS threads per run is a
+//! measurable per-seed cost; this pool hands finished participants'
+//! threads to the next system instead. Pooling is invisible to the
+//! simulation: thread identity plays no role anywhere (participants are
+//! identified by their registration-order [`ThreadId`]s), and a pooled
+//! worker carries no state between jobs.
+//!
+//! Workers park on a private channel and exit after a short idle period,
+//! so the pool's footprint tracks the peak concurrency of recent runs
+//! rather than growing without bound.
+//!
+//! Trade-off: pooled OS threads carry the generic name
+//! `caa-participant` instead of the participant's name. Participant
+//! attribution is preserved where it matters — panics are captured per
+//! task and re-paired with the participant name by
+//! [`System::run`](crate::System::run)'s join loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Idle workers: `(worker id, sender of its private channel)`. Dispatch
+/// pops an entry and sends the job; retirement is race-free because a
+/// worker only exits after removing its own entry *under this lock* — if
+/// the entry is already gone, a dispatcher has claimed the worker and a
+/// job is in flight, so the worker waits for it instead of exiting (an
+/// exit in that window would strand the job and hang its `TaskHandle`).
+static IDLE: Mutex<Vec<(u64, Sender<Job>)>> = Mutex::new(Vec::new());
+
+/// Worker-id source for the retirement handshake above.
+static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// How long an idle worker parks before exiting.
+const IDLE_TTL: Duration = Duration::from_secs(5);
+
+/// A join handle for a pooled task, mirroring
+/// [`std::thread::JoinHandle::join`]'s panic-capturing contract.
+pub(crate) struct TaskHandle<T> {
+    result: Arc<(Mutex<Option<std::thread::Result<T>>>, Condvar)>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Waits for the task and returns its result — `Err(payload)` if the
+    /// task panicked, exactly like joining a dedicated thread.
+    pub(crate) fn join(self) -> std::thread::Result<T> {
+        let (lock, cv) = &*self.result;
+        let mut slot = lock.lock();
+        while slot.is_none() {
+            cv.wait(&mut slot);
+        }
+        slot.take().expect("checked above")
+    }
+}
+
+/// Runs `f` on a pooled worker thread (spawning a fresh one only when no
+/// worker is idle) and returns a handle to its result.
+pub(crate) fn spawn_pooled<T: Send + 'static>(
+    f: impl FnOnce() -> T + Send + 'static,
+) -> TaskHandle<T> {
+    let result = Arc::new((Mutex::new(None), Condvar::new()));
+    let published = Arc::clone(&result);
+    let mut job: Job = Box::new(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let (lock, cv) = &*published;
+        *lock.lock() = Some(outcome);
+        cv.notify_all();
+    });
+    loop {
+        let idle = IDLE.lock().pop();
+        match idle {
+            Some((_, worker)) => match worker.send(job) {
+                Ok(()) => return TaskHandle { result },
+                // Unreachable under the retirement handshake (a worker
+                // only exits after removing its entry under the lock), but
+                // handled defensively: reclaim the job, try the next one.
+                Err(send_error) => job = send_error.0,
+            },
+            None => break,
+        }
+    }
+    spawn_worker(job);
+    TaskHandle { result }
+}
+
+fn spawn_worker(first: Job) {
+    let id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = channel::<Job>();
+    std::thread::Builder::new()
+        .name("caa-participant".into())
+        .spawn(move || {
+            let mut job = Some(first);
+            loop {
+                let run = match job.take() {
+                    Some(run) => run,
+                    None => match rx.recv_timeout(IDLE_TTL) {
+                        Ok(run) => run,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Retire only while still listed as idle: with
+                            // our entry removed under the lock, no
+                            // dispatcher can hand us a job anymore. If the
+                            // entry is gone, a dispatcher popped it and
+                            // its job is (or is about to be) in flight —
+                            // receive it instead of stranding it.
+                            let mut idle = IDLE.lock();
+                            match idle.iter().position(|(wid, _)| *wid == id) {
+                                Some(pos) => {
+                                    idle.remove(pos);
+                                    return;
+                                }
+                                None => {
+                                    drop(idle);
+                                    match rx.recv() {
+                                        Ok(run) => run,
+                                        Err(_) => return,
+                                    }
+                                }
+                            }
+                        }
+                    },
+                };
+                run();
+                // Park: become claimable for the next system's spawn.
+                IDLE.lock().push((id, tx.clone()));
+            }
+        })
+        .expect("spawning a pooled participant thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_round_trips() {
+        let handle = spawn_pooled(|| 21 * 2);
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn panic_is_captured_like_a_joined_thread() {
+        let handle = spawn_pooled(|| panic!("boom"));
+        let payload = handle.join().unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The worker survives the panic (or a fresh one spawns): the pool
+        // stays usable.
+        assert_eq!(spawn_pooled(|| 7).join().unwrap(), 7);
+    }
+
+    #[test]
+    fn workers_are_reused_across_tasks() {
+        // Run a task, let its worker park, run another: the pool should
+        // not be empty in between (timing-tolerant: we only assert the
+        // second task completes).
+        spawn_pooled(|| ()).join().unwrap();
+        spawn_pooled(|| ()).join().unwrap();
+    }
+}

@@ -10,7 +10,6 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use caa_core::ids::ThreadId;
 use caa_core::message::Message;
@@ -21,6 +20,7 @@ use parking_lot::Mutex;
 use crate::context::Ctx;
 use crate::error::{RuntimeError, Step, Unwind};
 use crate::observe::Observer;
+use crate::pool::{spawn_pooled, TaskHandle};
 use crate::protocol::{ResolutionProtocol, XrrResolution};
 
 /// Run-wide counters maintained by the recovery driver.
@@ -112,7 +112,7 @@ pub struct System {
     net: Network<Message>,
     shared: Arc<SystemShared>,
     gate: Arc<StartGate>,
-    threads: Vec<(String, JoinHandle<Result<(), RuntimeError>>)>,
+    threads: Vec<(String, TaskHandle<Result<(), RuntimeError>>)>,
 }
 
 impl fmt::Debug for System {
@@ -146,9 +146,11 @@ impl System {
     /// Spawns a participating thread. Thread ids are assigned in spawn
     /// order starting from 0 — bind action roles accordingly.
     ///
-    /// The body runs on its own OS thread with a dedicated network
-    /// partition; it typically enters one or more CA actions and propagates
-    /// [`Flow`](crate::Flow) with `?`.
+    /// The body runs on its own OS thread (drawn from a process-wide pool
+    /// of finished participants, so short-lived systems — e.g. sweep
+    /// seeds — do not pay a fresh thread spawn per participant) with a
+    /// dedicated network partition; it typically enters one or more CA
+    /// actions and propagates [`Flow`](crate::Flow) with `?`.
     pub fn spawn(
         &mut self,
         name: impl Into<String>,
@@ -160,28 +162,25 @@ impl System {
         let shared = Arc::clone(&self.shared);
         let gate = Arc::clone(&self.gate);
         let thread_name = name.clone();
-        let handle = std::thread::Builder::new()
-            .name(name.clone())
-            .spawn(move || {
-                // Hold the body until every participant is registered, so
-                // virtual time cannot advance past a partition that does
-                // not exist yet.
-                gate.wait();
-                let mut ctx = Ctx::new(me, thread_name, endpoint, shared);
-                let result = body(&mut ctx);
-                ctx.shutdown();
-                match result {
-                    Ok(()) => Ok(()),
-                    Err(flow) => match flow.unwind {
-                        Unwind::Fatal(e) => Err(e),
-                        Unwind::Crash => Err(RuntimeError::Crashed),
-                        other => Err(RuntimeError::Protocol(format!(
-                            "control flow unwound to the thread top level: {other:?}"
-                        ))),
-                    },
-                }
-            })
-            .expect("spawning an OS thread");
+        let handle = spawn_pooled(move || {
+            // Hold the body until every participant is registered, so
+            // virtual time cannot advance past a partition that does
+            // not exist yet.
+            gate.wait();
+            let mut ctx = Ctx::new(me, thread_name, endpoint, shared);
+            let result = body(&mut ctx);
+            ctx.shutdown();
+            match result {
+                Ok(()) => Ok(()),
+                Err(flow) => match flow.unwind {
+                    Unwind::Fatal(e) => Err(e),
+                    Unwind::Crash => Err(RuntimeError::Crashed),
+                    other => Err(RuntimeError::Protocol(format!(
+                        "control flow unwound to the thread top level: {other:?}"
+                    ))),
+                },
+            }
+        });
         self.threads.push((name, handle));
         me
     }

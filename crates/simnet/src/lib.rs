@@ -34,6 +34,21 @@
 //! introduce is *wall-clock* interleaving of same-instant events, which
 //! never feeds back into virtual time.
 //!
+//! # Targeted wake-ups
+//!
+//! Scheduling is wake-targeted, not broadcast: every endpoint parks on
+//! its own slot, a delivery wakes only its (already-deliverable)
+//! receiver, and a time advance wakes only the endpoints whose wake-up
+//! point was reached — the unique next runners instead of the herd. For
+//! wait conditions the network cannot see (e.g. the runtime's
+//! shared-object arbitration), [`Endpoint::park_wait`] parks a thread
+//! with no polling timer at all and [`Network::schedule_wake`] lets
+//! whoever *enables* the condition ring that thread's doorbell at a
+//! chosen virtual instant — wake-on-release rather than
+//! wake-every-quantum. Wake-up routing is pure wall-clock optimisation:
+//! it decides how threads sleep, never what they observe, so traces are
+//! byte-identical to the broadcast design's.
+//!
 //! # Examples
 //!
 //! ```
@@ -74,6 +89,6 @@ mod tap;
 
 pub use fault::{FaultPlan, FaultSpec};
 pub use latency::{effective_latency, LatencyModel};
-pub use net::{ClockMode, DeadlockInfo, Endpoint, NetConfig, Network, Received, SimError};
+pub use net::{ClockMode, DeadlockInfo, Endpoint, NetConfig, Network, Parked, Received, SimError};
 pub use stats::{Classify, NetStats};
 pub use tap::{NetTap, TapEvent};

@@ -139,10 +139,26 @@ impl<M> Received<M> {
     }
 }
 
+/// What ended an [`Endpoint::park_wait`].
+#[derive(Debug)]
+pub enum Parked<M> {
+    /// A message became deliverable (always reported before a same-instant
+    /// doorbell, so parked waiters drain their inbox first).
+    Msg(Received<M>),
+    /// The endpoint's doorbell rang: virtual time reached the instant a
+    /// peer (or the endpoint itself) scheduled with
+    /// [`Network::schedule_wake`] for the current wait epoch
+    /// ([`Endpoint::begin_wait`]). The doorbell is consumed.
+    Doorbell,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BlockKind {
     Recv,
     Sleep,
+    /// [`Endpoint::park_wait`]: blocked until a message is deliverable or
+    /// the endpoint's doorbell rings (see [`Network::schedule_wake`]).
+    Park,
 }
 
 impl BlockKind {
@@ -150,7 +166,14 @@ impl BlockKind {
         match self {
             BlockKind::Recv => "recv",
             BlockKind::Sleep => "sleep",
+            BlockKind::Park => "park",
         }
+    }
+
+    /// Whether an endpoint blocked this way re-evaluates its predicate
+    /// when a message becomes deliverable.
+    fn receives_messages(self) -> bool {
+        matches!(self, BlockKind::Recv | BlockKind::Park)
     }
 }
 
@@ -160,6 +183,22 @@ struct ActorSlot {
     running: bool,
     blocked_on: BlockKind,
     wake_at: Option<VirtualInstant>,
+    /// This endpoint's private parking slot. Every blocking wait parks
+    /// here, and wake-ups are *targeted*: a delivery notifies only the
+    /// receiver, a time advance only the endpoints whose wake-up point was
+    /// reached, a doorbell only its owner — never the whole herd.
+    cv: Arc<Condvar>,
+    /// Pending explicit wake-up, if any ([`Network::schedule_wake`]):
+    /// consumed by [`Endpoint::park_wait`] when virtual time reaches it.
+    doorbell: Option<VirtualInstant>,
+    /// Monotonic counter identifying the endpoint's *current* parked wait
+    /// ([`Endpoint::begin_wait`]). [`Network::schedule_wake`] carries the
+    /// epoch its computation was based on and is ignored when it does not
+    /// match — a scheduler that raced against the end of an earlier wait
+    /// (e.g. an object releaser whose winner was cancelled and has since
+    /// started waiting elsewhere) cannot plant a stale doorbell into the
+    /// new wait.
+    wait_epoch: u64,
 }
 
 struct Envelope<M> {
@@ -211,7 +250,6 @@ struct Inner<M> {
 
 struct Shared<M> {
     state: Mutex<Inner<M>>,
-    cv: Condvar,
     mode: ClockMode,
     latency: LatencyModel,
     seed: u64,
@@ -288,7 +326,6 @@ impl<M: Send + Classify> Network<M> {
                     faults: config.faults,
                     deadlocked: None,
                 }),
-                cv: Condvar::new(),
                 mode: config.mode,
                 latency: config.latency,
                 seed: config.seed,
@@ -314,6 +351,9 @@ impl<M: Send + Classify> Network<M> {
             running: true,
             blocked_on: BlockKind::Recv,
             wake_at: None,
+            cv: Arc::new(Condvar::new()),
+            doorbell: None,
+            wait_epoch: 0,
         });
         inner.queues.push(BinaryHeap::new());
         Endpoint {
@@ -431,13 +471,27 @@ impl<M: Send + Classify> Network<M> {
             msg: (!corrupted).then_some(msg),
         }));
         // If the destination is blocked waiting for messages, ensure the
-        // scheduler knows when it becomes wakeable.
+        // scheduler knows when it becomes wakeable — and wake it (alone)
+        // if the message is already deliverable. A message still in
+        // flight needs no wake-up: only a time advance can make it
+        // deliverable, and the advance arbiter wakes exactly the
+        // endpoints whose wake-up point was reached.
+        let mut wake_dst = None;
         let slot = &mut inner.actors[di];
-        if !slot.running && slot.blocked_on == BlockKind::Recv {
+        if !slot.running && slot.blocked_on.receives_messages() {
             slot.wake_at = Some(match slot.wake_at {
                 Some(existing) => existing.min(deliver_at),
                 None => deliver_at,
             });
+            let deliverable = match self.shared.mode {
+                ClockMode::Virtual => deliver_at <= now,
+                // Real mode has no advance arbiter: the receiver must wake
+                // to rearm its wall-clock wait for the new delivery time.
+                ClockMode::Real => true,
+            };
+            if deliverable {
+                wake_dst = Some(Arc::clone(&slot.cv));
+            }
         }
         drop(inner);
         if let Some(tap) = &self.shared.tap {
@@ -447,7 +501,9 @@ impl<M: Send + Classify> Network<M> {
                 tap.on_corrupted(&event);
             }
         }
-        self.shared.cv.notify_all();
+        if let Some(cv) = wake_dst {
+            cv.notify_one();
+        }
     }
 
     /// Core blocking primitive.
@@ -463,6 +519,9 @@ impl<M: Send + Classify> Network<M> {
         mut wake_hint: impl FnMut(&Inner<M>, VirtualInstant) -> Option<VirtualInstant>,
     ) -> Result<T, SimError> {
         let mut inner = self.shared.state.lock();
+        // Each endpoint parks on its own slot; wake-ups are targeted at
+        // exactly the endpoints whose predicate may now hold.
+        let cv = Arc::clone(&inner.actors[id.index()].cv);
         loop {
             if let Some(info) = &inner.deadlocked {
                 return Err(SimError::Deadlock(info.clone()));
@@ -486,15 +545,15 @@ impl<M: Send + Classify> Network<M> {
                     // wait — re-evaluate instead of waiting for it.
                     let changed = self.maybe_advance(&mut inner);
                     if !changed && inner.deadlocked.is_none() {
-                        self.shared.cv.wait(&mut inner);
+                        cv.wait(&mut inner);
                     }
                 }
                 ClockMode::Real => match hint {
                     Some(t) => {
                         let dur: std::time::Duration = t.duration_since(self.real_now()).into();
-                        let _ = self.shared.cv.wait_for(&mut inner, dur);
+                        let _ = cv.wait_for(&mut inner, dur);
                     }
-                    None => self.shared.cv.wait(&mut inner),
+                    None => cv.wait(&mut inner),
                 },
             }
         }
@@ -506,50 +565,7 @@ impl<M: Send + Classify> Network<M> {
     /// calling blocker can re-evaluate instead of missing its own wake-up.
     fn maybe_advance(&self, inner: &mut Inner<M>) -> bool {
         debug_assert_eq!(self.shared.mode, ClockMode::Virtual);
-        if inner.deadlocked.is_some() {
-            return false;
-        }
-        let live = inner.actors.iter().filter(|a| a.alive);
-        let mut min_wake: Option<VirtualInstant> = None;
-        for actor in live {
-            if actor.running {
-                return false; // someone can still make progress right now
-            }
-            if let Some(w) = actor.wake_at {
-                if w <= inner.now {
-                    return false; // already wakeable; it was notified
-                }
-                min_wake = Some(match min_wake {
-                    Some(m) => m.min(w),
-                    None => w,
-                });
-            }
-        }
-        match min_wake {
-            Some(t) => {
-                inner.now = t;
-                self.shared.cv.notify_all();
-                true
-            }
-            None => {
-                let any_live = inner.actors.iter().any(|a| a.alive);
-                if !any_live {
-                    return false; // everyone retired: nothing to schedule
-                }
-                let info = DeadlockInfo {
-                    at: inner.now,
-                    blocked: inner
-                        .actors
-                        .iter()
-                        .filter(|a| a.alive)
-                        .map(|a| (a.name.clone(), a.blocked_on.label()))
-                        .collect(),
-                };
-                inner.deadlocked = Some(info);
-                self.shared.cv.notify_all();
-                true
-            }
-        }
+        advance_if_blocked(inner)
     }
 
     fn retire_actor(&self, id: PartitionId) {
@@ -563,8 +579,63 @@ impl<M: Send + Classify> Network<M> {
         if self.shared.mode == ClockMode::Virtual {
             self.maybe_advance(&mut inner);
         }
+    }
+
+    /// Rings endpoint `id`'s doorbell at virtual instant `at`, replacing
+    /// any pending doorbell: the endpoint's next (or current)
+    /// [`Endpoint::park_wait`] returns [`Parked::Doorbell`] once virtual
+    /// time reaches `at`.
+    ///
+    /// This is the targeted-wake hook for *wait-condition* scheduling
+    /// above the network (the runtime's wake-on-release object
+    /// arbitration): the component that knows when a parked thread's wait
+    /// condition can next hold schedules exactly that thread, instead of
+    /// every waiter polling on a timer. Overwrite semantics are
+    /// deliberate — the scheduler recomputes the wake-up on every state
+    /// change, and the latest computation supersedes earlier ones.
+    ///
+    /// `epoch` must be the wait epoch the computation was based on (the
+    /// value of [`Endpoint::begin_wait`] that the target published to the
+    /// scheduler, e.g. in an object's waiter entry). A mismatch means the
+    /// targeted wait has since ended — the doorbell would be stale, and
+    /// is dropped. Unknown or retired endpoints are ignored too.
+    pub fn schedule_wake(&self, id: PartitionId, at: VirtualInstant, epoch: u64) {
+        let mut inner = self.shared.state.lock();
+        let i = id.index();
+        if i >= inner.actors.len() || !inner.actors[i].alive {
+            return;
+        }
+        let now = self.now_locked(&inner);
+        let head = head_deliver_at(&inner, id);
+        let slot = &mut inner.actors[i];
+        if slot.wait_epoch != epoch {
+            return; // stale: computed against an earlier, finished wait
+        }
+        slot.doorbell = Some(at);
+        let mut wake = None;
+        if !slot.running && slot.blocked_on == BlockKind::Park {
+            // Re-derive the park's wake hint (min of next delivery and the
+            // new doorbell).
+            slot.wake_at = Some(match head {
+                Some(h) => h.min(at),
+                None => at,
+            });
+            let due = match self.shared.mode {
+                // Wake the owner only if the bell is already due — the
+                // advance arbiter will deliver future bells at `at`.
+                ClockMode::Virtual => at <= now,
+                // Real mode has no advance arbiter: the owner must wake to
+                // re-arm its wall-clock wait for the new bell.
+                ClockMode::Real => true,
+            };
+            if due {
+                wake = Some(Arc::clone(&slot.cv));
+            }
+        }
         drop(inner);
-        self.shared.cv.notify_all();
+        if let Some(cv) = wake {
+            cv.notify_one();
+        }
     }
 }
 
@@ -673,6 +744,62 @@ impl<M: Send + Classify> Endpoint<M> {
         )
     }
 
+    /// Parks until a message becomes deliverable or this endpoint's
+    /// doorbell rings — the wait-condition-driven counterpart of polling
+    /// with [`Endpoint::recv_timeout`]. While parked, the endpoint
+    /// contributes no wake-up point beyond its doorbell (if set) and its
+    /// next delivery (if any): a waiter whose condition can only be
+    /// enabled by *another* thread parks unboundedly and is woken by a
+    /// targeted [`Network::schedule_wake`] from whoever enables it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the whole simulation can no longer make
+    /// progress. With doorbell-less parked waiters this now also covers
+    /// waits nobody will ever enable — a wait-for cycle that the old
+    /// polling design would spin on forever.
+    pub fn park_wait(&mut self) -> Result<Parked<M>, SimError> {
+        let id = self.id;
+        self.net.block_until(
+            id,
+            BlockKind::Park,
+            |inner, now| {
+                if let Some(received) = pop_ready(inner, id, now) {
+                    return Some(Parked::Msg(received));
+                }
+                let slot = &mut inner.actors[id.index()];
+                if slot.doorbell.is_some_and(|at| at <= now) {
+                    slot.doorbell = None;
+                    return Some(Parked::Doorbell);
+                }
+                None
+            },
+            |inner, _| {
+                let head = head_deliver_at(inner, id);
+                let bell = inner.actors[id.index()].doorbell;
+                match (head, bell) {
+                    (Some(h), Some(b)) => Some(h.min(b)),
+                    (head, bell) => head.or(bell),
+                }
+            },
+        )
+    }
+
+    /// Opens a new parked wait: discards any doorbell left over from an
+    /// earlier wait and returns the wait's fresh epoch. Publish the epoch
+    /// to whichever scheduler will compute this wait's wake-ups (e.g. an
+    /// object's waiter queue); [`Network::schedule_wake`] calls carrying
+    /// an older epoch are ignored from this point on, so a scheduler that
+    /// raced against the end of the previous wait cannot ring a stale
+    /// bell into this one.
+    pub fn begin_wait(&self) -> u64 {
+        let mut inner = self.net.shared.state.lock();
+        let slot = &mut inner.actors[self.id.index()];
+        slot.doorbell = None;
+        slot.wait_epoch += 1;
+        slot.wait_epoch
+    }
+
     /// Sleeps for `dur` — models local computation taking virtual time.
     ///
     /// # Errors
@@ -711,29 +838,33 @@ impl<M> Drop for Endpoint<M> {
                 slot.alive = false;
                 slot.running = false;
                 if net.shared.mode == ClockMode::Virtual {
-                    // Inline maybe_advance without the Classify bound.
-                    advance_unbounded(net, &mut inner);
+                    advance_if_blocked(&mut inner);
                 }
             }
-            drop(inner);
-            net.shared.cv.notify_all();
         }
     }
 }
 
-/// `maybe_advance` logic callable without `M: Classify` (for Drop).
-fn advance_unbounded<M>(net: &Network<M>, inner: &mut Inner<M>) {
+/// The virtual-time advance arbiter (callable without `M: Classify`, for
+/// `Drop`): if every live endpoint is blocked, advances time to the
+/// earliest wake-up point and notifies **only** the endpoints whose
+/// wake-up point was reached — the unique next runner(s), not the herd —
+/// or, with no wake-up point anywhere, declares deadlock and wakes
+/// everyone to report it. Returns whether it changed the world, so the
+/// calling blocker re-evaluates instead of missing its own wake-up.
+fn advance_if_blocked<M>(inner: &mut Inner<M>) -> bool {
     if inner.deadlocked.is_some() {
-        return;
+        return false;
     }
+    let live = inner.actors.iter().filter(|a| a.alive);
     let mut min_wake: Option<VirtualInstant> = None;
-    for actor in inner.actors.iter().filter(|a| a.alive) {
+    for actor in live {
         if actor.running {
-            return;
+            return false; // someone can still make progress right now
         }
         if let Some(w) = actor.wake_at {
             if w <= inner.now {
-                return;
+                return false; // already wakeable; it was notified
             }
             min_wake = Some(match min_wake {
                 Some(m) => m.min(w),
@@ -742,22 +873,40 @@ fn advance_unbounded<M>(net: &Network<M>, inner: &mut Inner<M>) {
         }
     }
     match min_wake {
-        Some(t) => inner.now = t,
-        None => {
-            if inner.actors.iter().any(|a| a.alive) {
-                inner.deadlocked = Some(DeadlockInfo {
-                    at: inner.now,
-                    blocked: inner
-                        .actors
-                        .iter()
-                        .filter(|a| a.alive)
-                        .map(|a| (a.name.clone(), a.blocked_on.label()))
-                        .collect(),
-                });
+        Some(t) => {
+            inner.now = t;
+            for actor in &inner.actors {
+                if actor.alive && !actor.running && actor.wake_at.is_some_and(|w| w <= t) {
+                    actor.cv.notify_one();
+                }
             }
+            true
+        }
+        None => {
+            let any_live = inner.actors.iter().any(|a| a.alive);
+            if !any_live {
+                return false; // everyone retired: nothing to schedule
+            }
+            let info = DeadlockInfo {
+                at: inner.now,
+                blocked: inner
+                    .actors
+                    .iter()
+                    .filter(|a| a.alive)
+                    .map(|a| (a.name.clone(), a.blocked_on.label()))
+                    .collect(),
+            };
+            inner.deadlocked = Some(info);
+            // Everyone must observe the deadlock: this is the one
+            // remaining broadcast wake-up, and the simulation is over.
+            for actor in &inner.actors {
+                if actor.alive && !actor.running {
+                    actor.cv.notify_one();
+                }
+            }
+            true
         }
     }
-    net.shared.cv.notify_all();
 }
 
 fn pop_ready<M>(inner: &mut Inner<M>, id: PartitionId, now: VirtualInstant) -> Option<Received<M>> {
@@ -1048,6 +1197,58 @@ mod tests {
         );
         a.retire();
         b.retire();
+    }
+
+    #[test]
+    fn park_wait_consumes_a_scheduled_doorbell_at_its_instant() {
+        let net = virtual_net(LatencyModel::default());
+        let mut a = net.endpoint("a");
+        let epoch = a.begin_wait();
+        net.schedule_wake(a.id(), VirtualInstant::EPOCH + secs(0.005), epoch);
+        match a.park_wait().unwrap() {
+            Parked::Doorbell => {}
+            Parked::Msg(_) => panic!("no message was sent"),
+        }
+        assert_eq!(net.now(), VirtualInstant::EPOCH + secs(0.005));
+        // The bell is consumed: a further park has no wake-up point and,
+        // with no peers, is a detected deadlock (not a hang).
+        assert!(matches!(a.park_wait(), Err(SimError::Deadlock(_))));
+    }
+
+    #[test]
+    fn doorbell_with_a_stale_epoch_is_ignored() {
+        let net = virtual_net(LatencyModel::default());
+        let mut a = net.endpoint("a");
+        let old = a.begin_wait();
+        let _current = a.begin_wait();
+        net.schedule_wake(a.id(), VirtualInstant::EPOCH + secs(0.001), old);
+        assert!(
+            matches!(a.park_wait(), Err(SimError::Deadlock(_))),
+            "a doorbell computed for a finished wait must not wake the new one"
+        );
+    }
+
+    #[test]
+    fn deliverable_message_beats_a_same_instant_doorbell() {
+        let net = virtual_net(LatencyModel::Fixed(secs(0.001)));
+        let mut a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let a_id = a.id();
+        let epoch = a.begin_wait();
+        // Bell and delivery land at the same virtual instant (1 ms): the
+        // park must drain the message first, then report the bell.
+        net.schedule_wake(a_id, VirtualInstant::EPOCH + secs(0.001), epoch);
+        b.send(a_id, Msg(1));
+        b.retire();
+        match a.park_wait().unwrap() {
+            Parked::Msg(m) => assert_eq!(m.msg.unwrap(), Msg(1)),
+            Parked::Doorbell => panic!("message must be reported before the bell"),
+        }
+        match a.park_wait().unwrap() {
+            Parked::Doorbell => {}
+            Parked::Msg(_) => panic!("only one message was sent"),
+        }
+        a.retire();
     }
 
     #[test]
