@@ -13,8 +13,12 @@
 //!
 //! ```text
 //! cargo run -p caa-bench --release --bin sweep_bench -- \
-//!     [--seeds N] [--workers N] [--out BENCH_sweep.json]
+//!     [--seeds N] [--workers N] [--shard k/n] [--out BENCH_sweep.json]
 //! ```
+//!
+//! `--shard k/n` restricts the run to one deterministic shard of the seed
+//! range (see `caa_harness::sweep::Shard`), so CI matrices or multiple
+//! machines can split one big sweep without coordination.
 //!
 //! The JSON is a flat, diff-friendly document uploaded as a CI artifact
 //! (the per-commit measurement). The `BENCH_sweep.json` committed at the
@@ -26,7 +30,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use caa_harness::plan::ScenarioConfig;
-use caa_harness::sweep::{sweep, SweepConfig, SweepReport};
+use caa_harness::sweep::{sweep, Shard, SweepConfig, SweepReport};
 
 struct BenchCase {
     name: &'static str,
@@ -39,7 +43,7 @@ struct BenchResult {
     report: SweepReport,
 }
 
-fn run_case(case: &BenchCase, seeds: u64, workers: usize) -> BenchResult {
+fn run_case(case: &BenchCase, seeds: u64, workers: usize, shard: Option<Shard>) -> BenchResult {
     let report = sweep(&SweepConfig {
         start_seed: 0,
         seeds,
@@ -47,6 +51,7 @@ fn run_case(case: &BenchCase, seeds: u64, workers: usize) -> BenchResult {
         scenario: case.scenario.clone(),
         check_replay: case.check_replay,
         corpus_dir: None,
+        shard,
     });
     assert!(
         report.all_passed(),
@@ -108,6 +113,7 @@ fn json(results: &[BenchResult], seeds: u64, workers: usize) -> String {
 fn main() {
     let mut seeds: u64 = 2000;
     let mut workers: usize = 0;
+    let mut shard: Option<Shard> = None;
     let mut out_path = String::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -120,9 +126,15 @@ fn main() {
         match arg.as_str() {
             "--seeds" => seeds = value("--seeds").parse().expect("--seeds N"),
             "--workers" => workers = value("--workers").parse().expect("--workers N"),
+            "--shard" => {
+                shard = Some(Shard::parse(&value("--shard")).unwrap_or_else(|e| {
+                    eprintln!("bad --shard value: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--out" => out_path = value("--out"),
             other => {
-                eprintln!("unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] [--out PATH]");
+                eprintln!("unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] [--shard k/n] [--out PATH]");
                 std::process::exit(2);
             }
         }
@@ -149,7 +161,7 @@ fn main() {
     let started = Instant::now();
     let mut results = Vec::new();
     for case in &cases {
-        let result = run_case(case, seeds, workers);
+        let result = run_case(case, seeds, workers, shard);
         eprintln!("{}: {}", result.name, result.report.summary());
         results.push(result);
     }

@@ -1,0 +1,89 @@
+//! `trace_hashes` — per-seed trace fingerprints for pre/post refactor
+//! comparison.
+//!
+//! Prints one line per seed: the seed, whether the generated plan contains
+//! a crash-stop participant (`crashfree` / `crash`), and the FNV-1a hash of
+//! the canonical rendered trace. Protocol refactors that must keep
+//! crash-free behaviour byte-identical run this tool before and after the
+//! change and diff the `crashfree` lines (crash seeds are allowed to move
+//! when the crash model itself changes). A trailing section hashes
+//! production-cell runs the same way.
+//!
+//! ```text
+//! cargo run --release -p caa-bench --bin trace_hashes -- \
+//!     [--seeds N] [--prodcell N] [--workers N] > hashes.txt
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use caa_harness::exec::execute;
+use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::trace::fnv1a64 as fnv1a;
+
+fn main() {
+    let mut seeds: u64 = 12_000;
+    let mut prodcell: u64 = 32;
+    let mut workers: usize = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds").parse().expect("--seeds: u64"),
+            "--prodcell" => prodcell = value("--prodcell").parse().expect("--prodcell: u64"),
+            "--workers" => workers = value("--workers").parse().expect("--workers: usize"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    };
+
+    let config = ScenarioConfig::default();
+    let next = AtomicU64::new(0);
+    let lines: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::with_capacity(seeds as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= seeds {
+                    return;
+                }
+                let plan = ScenarioPlan::generate(seed, &config);
+                let tag = if plan.crash.is_some() {
+                    "crash"
+                } else {
+                    "crashfree"
+                };
+                let artifacts = execute(&plan);
+                let hash = fnv1a(artifacts.trace.render().as_bytes());
+                lines
+                    .lock()
+                    .expect("collector")
+                    .push((seed, format!("seed {seed} {tag} {hash:016x}")));
+            });
+        }
+    });
+    let mut lines = lines.into_inner().expect("collector");
+    lines.sort_by_key(|(seed, _)| *seed);
+    for (_, line) in &lines {
+        println!("{line}");
+    }
+    for seed in 0..prodcell {
+        let run = caa_harness::prodcell::run_seed(seed, 2, false);
+        println!(
+            "prodcell {seed} {:016x}",
+            fnv1a(run.trace.render().as_bytes())
+        );
+    }
+}

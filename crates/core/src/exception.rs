@@ -25,6 +25,11 @@ pub const UNIVERSAL_NAME: &str = "__universal";
 /// Reserved name of the abortion exception raised inside a nested action when
 /// its enclosing action aborts it (§3.3.1).
 pub const ABORTION_NAME: &str = "__abortion";
+/// Reserved name of the crash exception synthesized on behalf of a
+/// presumed-crashed participant when a bounded resolution wait expires (the
+/// membership extension's presume-ƒ rule: a participant crash is "just
+/// another exception" to be resolved concurrently).
+pub const CRASH_NAME: &str = "__crash";
 
 /// An interned exception name.
 ///
@@ -80,6 +85,14 @@ impl ExceptionId {
         ExceptionId::new(ABORTION_NAME)
     }
 
+    /// The crash exception synthesized for a presumed-crashed participant
+    /// by the membership extension's bounded resolution wait. Exception
+    /// graphs that do not declare it resolve it through the universal root.
+    #[must_use]
+    pub fn crash() -> Self {
+        ExceptionId::new(CRASH_NAME)
+    }
+
     /// The exception's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -110,11 +123,21 @@ impl ExceptionId {
         self.name() == ABORTION_NAME
     }
 
-    /// Whether this is one of the pre-defined exceptions (µ, ƒ, universal or
-    /// abortion).
+    /// Whether this is the synthesized crash exception.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        self.name() == CRASH_NAME
+    }
+
+    /// Whether this is one of the pre-defined exceptions (µ, ƒ, universal,
+    /// abortion or crash).
     #[must_use]
     pub fn is_special(&self) -> bool {
-        self.is_undo() || self.is_failure() || self.is_universal() || self.is_abortion()
+        self.is_undo()
+            || self.is_failure()
+            || self.is_universal()
+            || self.is_abortion()
+            || self.is_crash()
     }
 }
 
@@ -125,6 +148,7 @@ impl fmt::Display for ExceptionId {
             FAILURE_NAME => f.write_str("ƒ"),
             UNIVERSAL_NAME => f.write_str("universal"),
             ABORTION_NAME => f.write_str("abortion"),
+            CRASH_NAME => f.write_str("crash"),
             other => f.write_str(other),
         }
     }

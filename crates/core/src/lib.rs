@@ -11,8 +11,11 @@
 //!   (undo), `ƒ` (failure), universal and abortion, and the [`Signal`]s of
 //!   the signalling algorithm;
 //! * [`state`] — the N/X/S participant states of the resolution algorithm;
+//! * [`membership`] — per-action-instance membership views (epoch + live
+//!   member set) for the crash-aware resolution extension;
 //! * [`message`] — the protocol messages (`Exception`, `Suspended`,
-//!   `Commit`, `toBeSignalled`, exit votes, application payloads);
+//!   `Commit`, `ViewChange`, `toBeSignalled`, exit votes, application
+//!   payloads);
 //! * [`outcome`] — action outcomes and handler verdicts under the
 //!   termination model;
 //! * [`time`] — virtual-time instants and durations used by the simulated
@@ -52,6 +55,7 @@
 
 pub mod exception;
 pub mod ids;
+pub mod membership;
 pub mod message;
 pub mod outcome;
 pub mod state;
@@ -59,6 +63,7 @@ pub mod time;
 
 pub use exception::{Exception, ExceptionId, Signal};
 pub use ids::{ActionId, PartitionId, RoleId, ThreadId};
+pub use membership::{MembershipView, ViewChangeOutcome};
 pub use message::{AppPayload, Message, MessageKind, SignalRound};
 pub use outcome::{ActionOutcome, HandlerVerdict};
 pub use state::ParticipantState;

@@ -1,0 +1,367 @@
+//! Per-action-instance membership views of the crash-aware resolution
+//! extension.
+//!
+//! §3.4 of the paper bounds waits for the signalling algorithm; the
+//! membership extension generalises the same presume-crash rule to the
+//! *resolution* algorithm (§3.3.2). Every participant of an action instance
+//! carries a [`MembershipView`]: the set of threads it still believes live,
+//! tagged with an **epoch** that increments on every view change. When a
+//! bounded resolution wait expires, the silent peers are removed from the
+//! view, a crash exception is synthesized on their behalf (presume-ƒ in the
+//! coordinated-atomic-action tradition: a participant crash is just another
+//! exception to be resolved concurrently), and a
+//! [`ViewChange`](crate::message::Message::ViewChange) message carries the
+//! `(epoch, removed)` pair to the survivors so all of them agree on the
+//! same view — and therefore elect the same resolver and commit to the same
+//! resolving exception — before any handler starts.
+//!
+//! This module is pure data: the failure detector that *drives* view
+//! changes (deadlines, suspect computation, message exchange) lives in the
+//! runtime; the type here only captures the view arithmetic so it can be
+//! tested without a simulation.
+
+use std::fmt;
+
+use crate::ids::ThreadId;
+
+/// Outcome of applying a view change to a [`MembershipView`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewChangeOutcome {
+    /// The change advanced the view to the new epoch; the listed threads
+    /// were removed (in ascending order).
+    Applied {
+        /// Threads actually removed from the view.
+        removed: Vec<ThreadId>,
+    },
+    /// The change carried an epoch at or below the current one and the
+    /// removed set is consistent with what this view already applied:
+    /// a duplicate announcement from a peer that detected the same crash
+    /// concurrently. Nothing changed.
+    Duplicate,
+    /// The change conflicts with the view's history: same epoch but a
+    /// different removed set, or an epoch that skips ahead of the next
+    /// expected one. Survivors of the same instance must derive identical
+    /// view sequences, so a conflict indicates a protocol bug (or a
+    /// misconfigured timeout that suspected a live peer).
+    Conflict {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+/// The membership view one participant holds of one action instance.
+///
+/// The initial view (epoch 0) contains the action's full group. Views only
+/// ever shrink: epoch `n+1` removes at least one member from epoch `n`.
+///
+/// # Examples
+///
+/// ```
+/// use caa_core::ids::ThreadId;
+/// use caa_core::membership::{MembershipView, ViewChangeOutcome};
+///
+/// let t = |n| ThreadId::new(n);
+/// let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+/// assert_eq!(view.epoch(), 0);
+/// assert!(view.contains(t(1)));
+///
+/// // Thread 1 is presumed crashed.
+/// let outcome = view.apply(1, &[t(1)]);
+/// assert!(matches!(outcome, ViewChangeOutcome::Applied { .. }));
+/// assert_eq!(view.epoch(), 1);
+/// assert_eq!(view.members(), &[t(0), t(2)]);
+///
+/// // A peer that detected the same crash concurrently is a duplicate.
+/// assert_eq!(view.apply(1, &[t(1)]), ViewChangeOutcome::Duplicate);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    members: Vec<ThreadId>,
+    removed: Vec<ThreadId>,
+    epoch: u32,
+}
+
+impl MembershipView {
+    /// The initial (epoch 0) view over the action's full group. Members
+    /// are kept sorted ascending, matching the runtime's ordered group
+    /// `GA`.
+    #[must_use]
+    pub fn new(mut members: Vec<ThreadId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        MembershipView {
+            members,
+            removed: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The current epoch (0 = the initial full view).
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The live members, sorted ascending.
+    #[must_use]
+    pub fn members(&self) -> &[ThreadId] {
+        &self.members
+    }
+
+    /// Every thread removed so far, sorted ascending.
+    #[must_use]
+    pub fn removed(&self) -> &[ThreadId] {
+        &self.removed
+    }
+
+    /// Number of live members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty (cannot happen while this participant is
+    /// itself live, since it never removes itself).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `thread` is a live member of the current view.
+    #[must_use]
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        self.members.binary_search(&thread).is_ok()
+    }
+
+    /// Whether the view ever shrank (epoch > 0).
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        self.epoch > 0
+    }
+
+    /// Applies a view change: advance to `epoch`, removing `removed`.
+    ///
+    /// Accepts exactly the next epoch (`self.epoch() + 1`) with a non-empty
+    /// removed set of current members; re-announcements of an already
+    /// applied epoch with a consistent removed set are reported as
+    /// [`ViewChangeOutcome::Duplicate`]; anything else is a
+    /// [`ViewChangeOutcome::Conflict`].
+    pub fn apply(&mut self, epoch: u32, removed: &[ThreadId]) -> ViewChangeOutcome {
+        if epoch <= self.epoch {
+            // Already at (or past) this epoch: consistent iff everything
+            // the announcement removes is gone from the view.
+            return if removed.iter().all(|t| !self.contains(*t)) {
+                ViewChangeOutcome::Duplicate
+            } else {
+                ViewChangeOutcome::Conflict {
+                    reason: format!(
+                        "stale epoch {epoch} (current {}) removes live members {removed:?}",
+                        self.epoch
+                    ),
+                }
+            };
+        }
+        if epoch != self.epoch + 1 {
+            return ViewChangeOutcome::Conflict {
+                reason: format!("epoch {epoch} skips ahead of current epoch {}", self.epoch),
+            };
+        }
+        if removed.is_empty() {
+            return ViewChangeOutcome::Conflict {
+                reason: format!("epoch {epoch} removes nobody"),
+            };
+        }
+        let mut actually: Vec<ThreadId> = Vec::with_capacity(removed.len());
+        for &t in removed {
+            if !self.contains(t) {
+                return ViewChangeOutcome::Conflict {
+                    reason: format!("epoch {epoch} removes {t}, not a live member"),
+                };
+            }
+            actually.push(t);
+        }
+        actually.sort_unstable();
+        actually.dedup();
+        self.members.retain(|t| !actually.contains(t));
+        self.removed.extend(actually.iter().copied());
+        self.removed.sort_unstable();
+        self.epoch = epoch;
+        ViewChangeOutcome::Applied { removed: actually }
+    }
+
+    /// Fast-forwards the view to an announcer's `(epoch,
+    /// cumulative_removed)` pair — the membership data a resolver
+    /// piggybacks on its `Commit` message. Unlike [`MembershipView::apply`]
+    /// (which takes one epoch's *step*), `cumulative_removed` is everything
+    /// the announcer's view has removed since epoch 0, so this can jump
+    /// over view changes this participant never saw individually.
+    pub fn sync_to(&mut self, epoch: u32, cumulative_removed: &[ThreadId]) -> ViewChangeOutcome {
+        if epoch <= self.epoch {
+            return if cumulative_removed.iter().all(|t| !self.contains(*t)) {
+                ViewChangeOutcome::Duplicate
+            } else {
+                ViewChangeOutcome::Conflict {
+                    reason: format!(
+                        "stale epoch {epoch} (current {}) still lists live members {cumulative_removed:?}",
+                        self.epoch
+                    ),
+                }
+            };
+        }
+        let consistent = cumulative_removed
+            .iter()
+            .all(|t| self.contains(*t) || self.removed.contains(t))
+            && self.removed.iter().all(|t| cumulative_removed.contains(t));
+        let fresh: Vec<ThreadId> = cumulative_removed
+            .iter()
+            .copied()
+            .filter(|t| self.contains(*t))
+            .collect();
+        if consistent && fresh.is_empty() {
+            // The announcer is ahead on epoch numbering but its member set
+            // equals ours (it applied in several steps what we applied in
+            // fewer, or vice versa). Nothing to remove; keep our epoch —
+            // step announcements for epochs we collapsed are recognised as
+            // duplicates by their removed sets.
+            return ViewChangeOutcome::Duplicate;
+        }
+        if !consistent {
+            return ViewChangeOutcome::Conflict {
+                reason: format!(
+                    "epoch {epoch} with cumulative removals {cumulative_removed:?} \
+                     is inconsistent with local view {self}"
+                ),
+            };
+        }
+        let mut fresh = fresh;
+        fresh.sort_unstable();
+        fresh.dedup();
+        self.members.retain(|t| !fresh.contains(t));
+        self.removed.extend(fresh.iter().copied());
+        self.removed.sort_unstable();
+        self.epoch = epoch;
+        ViewChangeOutcome::Applied { removed: fresh }
+    }
+}
+
+impl fmt::Display for MembershipView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}{{", self.epoch)?;
+        for (i, t) in self.members.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+
+    #[test]
+    fn initial_view_is_sorted_full_group_at_epoch_zero() {
+        let view = MembershipView::new(vec![t(3), t(1), t(2), t(1)]);
+        assert_eq!(view.members(), &[t(1), t(2), t(3)]);
+        assert_eq!(view.epoch(), 0);
+        assert!(!view.changed());
+        assert!(view.removed().is_empty());
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn apply_removes_members_and_bumps_epoch() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2), t(3)]);
+        let outcome = view.apply(1, &[t(2)]);
+        assert_eq!(
+            outcome,
+            ViewChangeOutcome::Applied {
+                removed: vec![t(2)]
+            }
+        );
+        assert_eq!(view.members(), &[t(0), t(1), t(3)]);
+        assert_eq!(view.removed(), &[t(2)]);
+        assert!(view.changed());
+        // A second change removes another member.
+        let outcome = view.apply(2, &[t(0)]);
+        assert!(matches!(outcome, ViewChangeOutcome::Applied { .. }));
+        assert_eq!(view.members(), &[t(1), t(3)]);
+        assert_eq!(view.removed(), &[t(0), t(2)]);
+        assert_eq!(view.epoch(), 2);
+    }
+
+    #[test]
+    fn duplicate_announcements_are_idempotent() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        view.apply(1, &[t(1)]);
+        assert_eq!(view.apply(1, &[t(1)]), ViewChangeOutcome::Duplicate);
+        assert_eq!(view.members(), &[t(0), t(2)]);
+        assert_eq!(view.epoch(), 1);
+    }
+
+    #[test]
+    fn conflicts_are_detected() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        view.apply(1, &[t(1)]);
+        // Same epoch, different removed set: the announcer suspects a
+        // member this view still believes live.
+        assert!(matches!(
+            view.apply(1, &[t(2)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // Skipping an epoch.
+        assert!(matches!(
+            view.apply(3, &[t(2)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // Removing a non-member.
+        assert!(matches!(
+            view.apply(2, &[t(5)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // Removing nobody.
+        assert!(matches!(
+            view.apply(2, &[]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        assert_eq!(view.epoch(), 1, "conflicts leave the view untouched");
+    }
+
+    #[test]
+    fn sync_to_jumps_and_tolerates_equal_sets_with_skewed_epochs() {
+        // Jump: a commit's cumulative view lands exactly.
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2), t(3)]);
+        let outcome = view.sync_to(2, &[t(1), t(2)]);
+        assert!(matches!(outcome, ViewChangeOutcome::Applied { .. }));
+        assert_eq!(view.members(), &[t(0), t(3)]);
+        assert_eq!(view.epoch(), 2);
+        // Equal member sets under different epoch numbering (the announcer
+        // applied in more steps): nothing fresh, not a conflict.
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        view.apply(1, &[t(1), t(2)]);
+        assert_eq!(view.sync_to(2, &[t(1), t(2)]), ViewChangeOutcome::Duplicate);
+        assert_eq!(view.epoch(), 1, "our numbering is kept");
+        // Genuinely inconsistent histories still conflict.
+        let mut view = MembershipView::new(vec![t(0), t(1)]);
+        view.apply(1, &[t(1)]);
+        assert!(matches!(
+            view.sync_to(2, &[t(0)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        assert_eq!(view.to_string(), "v0{T0,T1,T2}");
+        view.apply(1, &[t(1)]);
+        assert_eq!(view.to_string(), "v1{T0,T2}");
+    }
+}

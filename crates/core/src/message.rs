@@ -114,6 +114,14 @@ pub enum Message {
     },
     /// `Commit(A, E)`: sent by the resolving thread to all other threads once
     /// it completes resolution; `E` is the resolving exception (§3.3.1).
+    ///
+    /// The crash-aware extension piggybacks the resolver's membership view
+    /// on the commit: `view_epoch` and the *cumulative* `view_removed` set
+    /// (both trivial — epoch 0, empty — for crash-free recoveries). A
+    /// receiver that learns the resolving exception before a racing
+    /// [`ViewChange`](Message::ViewChange) announcement reaches it still
+    /// adopts the shrunken view, so its signalling and exit rounds do not
+    /// wait on presumed-crashed peers.
     Commit {
         /// The action being recovered.
         action: ActionId,
@@ -121,6 +129,10 @@ pub enum Message {
         from: ThreadId,
         /// The resolving exception every participant must handle.
         resolved: ExceptionId,
+        /// The resolver's membership epoch at commit time.
+        view_epoch: u32,
+        /// Every thread the resolver's view removed since epoch 0.
+        view_removed: Vec<ThreadId>,
     },
     /// Auxiliary agreement message used by *baseline* resolution protocols
     /// (e.g. the propose/confirm rounds of Romanovsky et al. 1996). The
@@ -147,6 +159,23 @@ pub enum Message {
         round: SignalRound,
         /// The intended signal (`φ`, `ε`, `µ` or `ƒ`).
         signal: Signal,
+    },
+    /// Membership view change of the crash-aware resolution extension: the
+    /// sender's bounded resolution wait expired, it presumes the `removed`
+    /// threads crashed, and it re-runs resolution over the shrunken view.
+    /// Receivers apply the same removal (synthesizing the crash exception
+    /// for each removed thread) so every survivor agrees on the membership
+    /// `epoch` — and therefore on the resolving exception — before any
+    /// handler starts.
+    ViewChange {
+        /// The action whose membership shrinks.
+        action: ActionId,
+        /// The thread announcing the view change.
+        from: ThreadId,
+        /// The new membership epoch (the initial full view is epoch 0).
+        epoch: u32,
+        /// The threads presumed crashed and removed by this view change.
+        removed: Vec<ThreadId>,
     },
     /// Vote of the synchronous exit protocol (§5.1): a participant is ready
     /// to leave the action; all must be ready before any leaves.
@@ -182,6 +211,7 @@ impl Message {
             Message::Suspended { .. } => MessageKind::Suspended,
             Message::Commit { .. } => MessageKind::Commit,
             Message::Resolve { .. } => MessageKind::Resolve,
+            Message::ViewChange { .. } => MessageKind::ViewChange,
             Message::ToBeSignalled { .. } => MessageKind::ToBeSignalled,
             Message::ExitVote { .. } => MessageKind::ExitVote,
             Message::App { .. } => MessageKind::App,
@@ -196,6 +226,7 @@ impl Message {
             | Message::Suspended { action, .. }
             | Message::Commit { action, .. }
             | Message::Resolve { action, .. }
+            | Message::ViewChange { action, .. }
             | Message::ToBeSignalled { action, .. }
             | Message::ExitVote { action, .. }
             | Message::App { action, .. } => *action,
@@ -210,6 +241,7 @@ impl Message {
             | Message::Suspended { from, .. }
             | Message::Commit { from, .. }
             | Message::Resolve { from, .. }
+            | Message::ViewChange { from, .. }
             | Message::ToBeSignalled { from, .. }
             | Message::ExitVote { from, .. }
             | Message::App { from, .. } => *from,
@@ -236,6 +268,9 @@ pub enum MessageKind {
     Commit,
     /// Baseline resolution protocols: auxiliary agreement stages.
     Resolve,
+    /// Membership: a bounded resolution wait expired and the sender removed
+    /// the presumed-crashed threads from its view.
+    ViewChange,
     /// Signalling algorithm: an intended signal is broadcast.
     ToBeSignalled,
     /// Synchronous exit protocol vote.
@@ -246,18 +281,21 @@ pub enum MessageKind {
 
 impl MessageKind {
     /// All message kinds, in a stable order (useful for reports).
-    pub const ALL: [MessageKind; 7] = [
+    pub const ALL: [MessageKind; 8] = [
         MessageKind::Exception,
         MessageKind::Suspended,
         MessageKind::Commit,
         MessageKind::Resolve,
+        MessageKind::ViewChange,
         MessageKind::ToBeSignalled,
         MessageKind::ExitVote,
         MessageKind::App,
     ];
 
     /// Whether messages of this kind count toward the resolution-algorithm
-    /// complexity results of §3.3.3.
+    /// complexity results of §3.3.3. `ViewChange` is excluded: the §3.3.3
+    /// bounds assume crash-free resolution, and view changes only occur on
+    /// the presumed-crash path.
     #[must_use]
     pub fn counts_for_resolution(self) -> bool {
         matches!(
@@ -277,6 +315,7 @@ impl fmt::Display for MessageKind {
             MessageKind::Suspended => "Suspended",
             MessageKind::Commit => "Commit",
             MessageKind::Resolve => "Resolve",
+            MessageKind::ViewChange => "ViewChange",
             MessageKind::ToBeSignalled => "toBeSignalled",
             MessageKind::ExitVote => "ExitVote",
             MessageKind::App => "App",
@@ -308,12 +347,20 @@ mod tests {
                 action: a,
                 from: t,
                 resolved: ExceptionId::new("e1"),
+                view_epoch: 0,
+                view_removed: Vec::new(),
             },
             Message::Resolve {
                 action: a,
                 from: t,
                 stage: "propose",
                 exception: ExceptionId::new("e1"),
+            },
+            Message::ViewChange {
+                action: a,
+                from: t,
+                epoch: 1,
+                removed: vec![ThreadId::new(2)],
             },
             Message::ToBeSignalled {
                 action: a,
@@ -364,6 +411,7 @@ mod tests {
         assert!(MessageKind::Suspended.counts_for_resolution());
         assert!(MessageKind::Commit.counts_for_resolution());
         assert!(MessageKind::Resolve.counts_for_resolution());
+        assert!(!MessageKind::ViewChange.counts_for_resolution());
         assert!(!MessageKind::ToBeSignalled.counts_for_resolution());
         assert!(!MessageKind::ExitVote.counts_for_resolution());
         assert!(!MessageKind::App.counts_for_resolution());

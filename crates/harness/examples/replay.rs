@@ -1,7 +1,9 @@
-//! One-command seed replay: re-run a violating (or any) seed, print the
-//! oracle verdicts and the full canonical trace.
+//! One-command seed replay and sharded sweeping: re-run a violating (or
+//! any) seed, print the oracle verdicts and the full canonical trace — or
+//! drive a whole seed range, optionally as one deterministic shard of a
+//! multi-process split.
 //!
-//! Two forms:
+//! Three forms:
 //!
 //! ```text
 //! # Regenerate the seed under the default ScenarioConfig:
@@ -11,13 +13,17 @@
 //! # custom — config, plus a byte-exact check against the recorded
 //! # trace):
 //! cargo run -p caa-harness --example replay -- --corpus target/caa-corpus/42
+//!
+//! # Sweep a seed range; several processes/CI jobs split it with --shard:
+//! cargo run -p caa-harness --example replay -- --sweep 10000 \
+//!     [--start 0] [--shard 2/8]
 //! ```
 
 use std::path::Path;
 use std::process::exit;
 
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
-use caa_harness::sweep::run_seed;
+use caa_harness::sweep::{run_seed, sweep, Shard, SweepConfig};
 
 fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>) -> bool {
     let plan = ScenarioPlan::generate(seed, config);
@@ -70,6 +76,63 @@ fn replay_corpus(entry: &Path) -> bool {
     replay(seed, &config, recorded.as_deref())
 }
 
+fn run_sweep(args: &[String]) -> bool {
+    let mut seeds: u64 = 1000;
+    let mut start: u64 = 0;
+    let mut shard: Option<Shard> = None;
+    let mut it = args.iter();
+    let usage = "usage: replay -- --sweep <seeds> [--start <seed>] [--shard k/n]";
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{usage}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--sweep" => {
+                seeds = value().parse().unwrap_or_else(|e| {
+                    eprintln!("bad --sweep value: {e}");
+                    exit(2);
+                });
+            }
+            "--start" => {
+                start = value().parse().unwrap_or_else(|e| {
+                    eprintln!("bad --start value: {e}");
+                    exit(2);
+                });
+            }
+            "--shard" => {
+                shard = Some(Shard::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("bad --shard value: {e}");
+                    exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{usage}");
+                exit(2);
+            }
+        }
+    }
+    let report = sweep(&SweepConfig {
+        start_seed: start,
+        seeds,
+        shard,
+        check_replay: true,
+        ..SweepConfig::default()
+    });
+    print!("{}", report.summary());
+    if let Some(shard) = shard {
+        println!(
+            "(shard {}/{} of seeds {start}..{})",
+            shard.index,
+            shard.count,
+            start + seeds
+        );
+    }
+    report.all_passed()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ok = match args.first().map(String::as_str) {
@@ -80,9 +143,10 @@ fn main() {
             });
             replay_corpus(Path::new(entry))
         }
+        Some("--sweep") => run_sweep(&args),
         Some(seed) => {
             let seed: u64 = seed.parse().unwrap_or_else(|_| {
-                eprintln!("usage: replay -- <seed> | --corpus <dir>/<seed>");
+                eprintln!("usage: replay -- <seed> | --corpus <dir>/<seed> | --sweep <seeds>");
                 exit(2);
             });
             replay(seed, &ScenarioConfig::default(), None)

@@ -55,6 +55,23 @@ fn role_name(thread: u32) -> String {
     format!("r{thread}")
 }
 
+/// Per-level separation factor for the crash-detecting bounded waits.
+///
+/// A live participant of an action at depth `d` can lawfully lag behind
+/// its peers by the *sum of every bounded wait below `d`*: a sibling
+/// subtree can burn a signalling timeout, an exit timeout and a resolution
+/// timeout per nested level before its member resurfaces at depth `d`'s
+/// protocol. If all levels shared one bound, a deep cascade would outrun a
+/// shallow wait and a live peer would be presumed crashed (survivors then
+/// diverge — found by the first crash-schedule sweep). Scaling each
+/// level's exit and resolution timeouts by `SEPARATION^(levels below)`
+/// keeps every wait two orders of magnitude above its sublevels' total
+/// budget; virtual time makes the headroom free. The §3.4 *signalling*
+/// timeout is deliberately left unscaled: it fires in crash-free runs too
+/// (lost announcements are treated as ƒ), so rescaling it would change
+/// crash-free traces.
+pub const TIMEOUT_SEPARATION: f64 = 100.0;
+
 fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
     let prims: Vec<ExceptionId> = plan
         .group
@@ -64,10 +81,13 @@ fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
     let graph = conjunction_lattice(&prims, 2.min(prims.len()))
         .expect("per-action raise exceptions are nonempty and distinct");
 
+    let levels_below = scenario.max_depth().saturating_sub(plan.depth) as i32;
+    let scale = TIMEOUT_SEPARATION.powi(levels_below);
     let mut builder = ActionDef::builder(plan.name.clone())
         .graph(graph)
         .signal_timeout(secs(scenario.signal_timeout))
-        .exit_timeout(secs(scenario.exit_timeout));
+        .exit_timeout(secs(scenario.exit_timeout * scale))
+        .resolution_timeout(secs(scenario.resolution_timeout * scale));
     for &t in &plan.group {
         builder = builder.role(role_name(t), t);
     }
@@ -260,22 +280,34 @@ pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunA
         let nodes = nodes.clone();
         let objects = objects.clone();
         sys.spawn(format!("T{t}"), move |ctx| {
-            let last = nodes.len() - 1;
             for (i, node) in nodes.iter().enumerate() {
                 let def = node.def.clone();
-                match crash.filter(|c| c.thread == t && i == last) {
+                let node = Arc::clone(node);
+                let objects = objects.clone();
+                match crash.filter(|c| c.thread == t && i == c.top_action as usize) {
                     Some(c) => {
-                        // The designated participant dies mid-action; the
-                        // `?` below unwinds the crash to the thread top.
+                        // The designated participant runs its real
+                        // workload — raises, messages and object traffic
+                        // included — with the crash scheduled at its
+                        // plan-determined instant: it dies at the first
+                        // poll point at or after it, wherever the
+                        // protocol then has it (body, collection,
+                        // signalling or exit). The `?` below unwinds the
+                        // crash to the thread top.
                         ctx.enter(&def, &role_name(t), move |rc| {
-                            rc.work(VirtualDuration::from_nanos(c.delay_ns))?;
-                            rc.crash_stop()
+                            rc.schedule_crash(VirtualDuration::from_nanos(c.delay_ns));
+                            body_phases(rc, &node, t, &objects)
                         })
                         .map(|_| ())?;
+                        // The action concluded before the crash instant
+                        // (short workload, or a recovery absorbed the
+                        // body): the process is still doomed — idle until
+                        // the schedule fires. The thread never enters a
+                        // later top action.
+                        ctx.work(secs(3600.0))?;
+                        return ctx.crash_stop();
                     }
                     None => {
-                        let node = Arc::clone(node);
-                        let objects = objects.clone();
                         ctx.enter(&def, &role_name(t), move |rc| {
                             body_phases(rc, &node, t, &objects)
                         })

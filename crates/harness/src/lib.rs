@@ -72,5 +72,8 @@ pub mod trace;
 pub use exec::{execute, execute_with_capacity, RunArtifacts};
 pub use oracle::{check_invariants, check_replay, check_replay_protocol, check_run, Violation};
 pub use plan::{ScenarioConfig, ScenarioPlan};
-pub use sweep::{run_seed, run_seed_with_capacity, sweep, SeedResult, SweepConfig, SweepReport};
+pub use sweep::{
+    run_seed, run_seed_with_capacity, sweep, PathCoverage, SeedResult, Shard, SweepConfig,
+    SweepReport,
+};
 pub use trace::{Trace, TraceRecorder};

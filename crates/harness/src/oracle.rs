@@ -18,14 +18,23 @@
 //! * **Exit-timeout bound** (the §3.4 timeout generalised to the exit
 //!   protocol): every exit phase — including one abandoned because a peer
 //!   crash-stopped — terminates within the plan's exit timeout.
+//! * **Membership agreement** (the crash-aware resolution extension):
+//!   every thread that observed a view epoch removed the identical member
+//!   set, and no thread removed as presumed-crashed went on to complete
+//!   the action (no false suspicion).
+//! * **Bounded resolution** (same extension): every started recovery
+//!   concludes in a resolution, an enclosing abort or the thread's own
+//!   crash — the collection loop never hangs on a dead peer.
 //! * **Deterministic replay** (§5.1's repeatability requirement): the same
 //!   seed renders the byte-identical trace, object acquisitions included.
 //!
 //! Plans with shared-object traffic skip the Lemma 1 bound: acquisition
 //! waits stretch compute phases, so the aligned-entry premise the bound
-//! relies on no longer holds (see [`ScenarioPlan::has_objects`]).
+//! relies on no longer holds (see [`ScenarioPlan::has_objects`]). Plans
+//! with a crash-stop skip it too: the bounded resolution and exit waits
+//! stretch recoveries far past the crash-free bound by design.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use caa_runtime::observe::EventKind;
@@ -114,6 +123,35 @@ pub enum Violation {
         /// First line (0-based) at which the renderings differ.
         first_diff_line: usize,
     },
+    /// Participants of one instance disagreed about a membership epoch's
+    /// removed set: the view-change agreement the membership extension
+    /// must establish before handling begins was violated.
+    ViewDisagreement {
+        /// Canonical action label.
+        action: u64,
+        /// The membership epoch with conflicting removals.
+        epoch: u32,
+        /// The distinct removed sets observed across threads.
+        removed_sets: Vec<Vec<u32>>,
+    },
+    /// A thread removed from an instance's membership view as presumed
+    /// crashed nevertheless completed the action: the failure detector
+    /// suspected a live participant.
+    FalseSuspicion {
+        /// Canonical action label.
+        action: u64,
+        /// The falsely suspected thread.
+        thread: u32,
+    },
+    /// A recovery started on some thread but never reached resolution,
+    /// abortion or a crash-stop: the collection loop hung instead of
+    /// being bounded.
+    ResolutionUnterminated {
+        /// Canonical action label.
+        action: u64,
+        /// The thread whose recovery never concluded.
+        thread: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -184,6 +222,28 @@ impl fmt::Display for Violation {
                     "replay diverged from the original trace at line {first_diff_line}"
                 )
             }
+            Violation::ViewDisagreement {
+                action,
+                epoch,
+                removed_sets,
+            } => {
+                write!(
+                    f,
+                    "action {action}: view epoch {epoch} removed different members on different threads: {removed_sets:?}"
+                )
+            }
+            Violation::FalseSuspicion { action, thread } => {
+                write!(
+                    f,
+                    "action {action}: thread {thread} was presumed crashed but completed the action"
+                )
+            }
+            Violation::ResolutionUnterminated { action, thread } => {
+                write!(
+                    f,
+                    "action {action}: thread {thread} started recovery but never resolved, aborted or crashed"
+                )
+            }
         }
     }
 }
@@ -210,17 +270,23 @@ struct PerThread {
     exits: usize,
     aborts: usize,
     crashes: usize,
+    recovery_starts: usize,
+    resolved: usize,
 }
 
 #[derive(Default)]
 struct InstanceView {
     name: Option<String>,
+    /// The instance's nesting depth (0 = top level), from its action id.
+    depth: u32,
     resolved: Vec<(u32, String)>,
     invocations: u64,
     first_raise_ns: Option<u64>,
     last_handler_end_ns: Option<u64>,
     resolution_msgs: u64,
     per_thread: BTreeMap<u32, PerThread>,
+    /// Observed view changes: `(thread, epoch, removed)`.
+    view_changes: Vec<(u32, u32, Vec<u32>)>,
     /// Completed exit phases: `(thread, duration_ns)` from an `ExitStart`
     /// to the thread's next protocol step for the instance (exit, abort,
     /// timeout or recovery trigger) — the window the exit-timeout oracle
@@ -236,6 +302,7 @@ fn collect_views(trace: &Trace) -> BTreeMap<u64, InstanceView> {
     for event in trace.runtime_events() {
         let serial = event.action.serial();
         let view = instances.entry(serial).or_default();
+        view.depth = event.action.depth();
         let thread = event.thread.as_u32();
         // Any later step of the same thread on the same instance closes an
         // open exit phase (exits wait on votes only; nothing else is
@@ -265,8 +332,19 @@ fn collect_views(trace: &Trace) -> BTreeMap<u64, InstanceView> {
                 let at = event.at.as_nanos();
                 view.first_raise_ns = Some(view.first_raise_ns.map_or(at, |v| v.min(at)));
             }
+            EventKind::RecoveryStart { .. } => {
+                view.per_thread.entry(thread).or_default().recovery_starts += 1;
+            }
             EventKind::Resolved { exception } => {
                 view.resolved.push((thread, exception.name().to_owned()));
+                view.per_thread.entry(thread).or_default().resolved += 1;
+            }
+            EventKind::ViewChange { epoch, removed } => {
+                view.view_changes.push((
+                    thread,
+                    *epoch,
+                    removed.iter().map(|t| t.as_u32()).collect(),
+                ));
             }
             EventKind::ResolutionInvoked { invocations } => {
                 view.invocations += u64::from(*invocations);
@@ -356,6 +434,50 @@ fn invariant_violations(
                     crashes: counts.crashes,
                 });
             }
+
+            // Bounded-resolution liveness: a started recovery concludes in
+            // resolution, an enclosing abort, or the thread's own crash.
+            if counts.recovery_starts > 0 && counts.resolved + counts.aborts + counts.crashes == 0 {
+                violations.push(Violation::ResolutionUnterminated { action, thread });
+            }
+        }
+
+        // Membership agreement: every thread that observed a given view
+        // epoch must have removed the identical member set, and nobody
+        // removed as presumed-crashed may have completed the action.
+        let mut epochs: BTreeMap<u32, Vec<Vec<u32>>> = BTreeMap::new();
+        for (_, epoch, removed) in &view.view_changes {
+            let sets = epochs.entry(*epoch).or_default();
+            if !sets.contains(removed) {
+                sets.push(removed.clone());
+            }
+        }
+        for (&epoch, sets) in &epochs {
+            if sets.len() > 1 {
+                violations.push(Violation::ViewDisagreement {
+                    action,
+                    epoch,
+                    removed_sets: sets.clone(),
+                });
+            }
+        }
+        let removed_union: BTreeSet<u32> = view
+            .view_changes
+            .iter()
+            .flat_map(|(_, _, removed)| removed.iter().copied())
+            .collect();
+        for &thread in &removed_union {
+            // A genuinely crashed thread closes its entry (if any) with a
+            // Crash event; an Exit *or* an Abort proves the thread was
+            // alive past the point it was presumed dead (an abort runs
+            // the abortion handler — dead processes run nothing).
+            if view
+                .per_thread
+                .get(&thread)
+                .is_some_and(|counts| counts.exits + counts.aborts > 0)
+            {
+                violations.push(Violation::FalseSuspicion { action, thread });
+            }
         }
     }
     violations
@@ -380,11 +502,12 @@ pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
         .collect();
 
     let bound_secs = lemma1_bound(plan);
-    // Object waits stretch compute phases by contention, breaking the
-    // aligned-entry premise of the Lemma 1 bound — skip it for such plans
-    // (every other oracle still applies).
-    let check_lemma1 = !plan.has_objects();
-    let exit_bound = plan.exit_timeout + 1e-6;
+    // Object waits stretch compute phases by contention, and a crash-stop
+    // stretches recoveries by the bounded resolution wait — either breaks
+    // the premises of the Lemma 1 bound, so skip it for such plans (every
+    // other oracle still applies).
+    let check_lemma1 = !plan.has_objects() && plan.crash.is_none();
+    let plan_depth = plan.max_depth() as u32;
     for (&serial, view) in &views {
         let action = labels.get(&serial).copied().unwrap_or(usize::MAX) as u64;
 
@@ -404,6 +527,16 @@ pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
 
         // Exit-timeout bound: no exit phase outlives the bounded wait —
         // crashed peers are resolved to abortion, not waited on forever.
+        // The executor separates the bounds hierarchically (each level's
+        // wait exceeds its sublevels' total bounded-wait budget, see
+        // [`crate::exec::TIMEOUT_SEPARATION`]), so the bound grows with
+        // the levels below this instance. One `Tabort` of slack: an exit
+        // interrupted by an enclosing-level trigger closes on the `Abort`
+        // event, which is only emitted after the abortion handler's work.
+        let levels_below = plan_depth.saturating_sub(view.depth) as i32;
+        let exit_bound = plan.exit_timeout * crate::exec::TIMEOUT_SEPARATION.powi(levels_below)
+            + plan.t_abort
+            + 1e-6;
         for &(thread, dur_ns) in &view.exit_phases {
             let measured = dur_ns as f64 / 1e9;
             if measured > exit_bound {

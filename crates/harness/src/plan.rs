@@ -55,15 +55,23 @@
 //!
 //! ## Crash-stop participants
 //!
-//! A plan may designate one thread to **crash-stop** partway into the
-//! *last* top-level action. That action's subtree is stripped of raise and
-//! nested phases (a recovery or nested exit would wait forever for the
-//! dead participant — resolution has no crash extension; only signalling
-//! and exit do), corruption faults are dropped for the same reason, and
-//! the crashing thread performs no object operations there (its layers
-//! would be broken mid-flight). Survivors run their workload, reach the
-//! exit protocol, time out on the missing vote, and resolve the action to
-//! abortion (ƒ) — which the exit-timeout oracle then bounds.
+//! A plan may designate one thread to **crash-stop** partway into *any*
+//! top-level action — including the first of several. The crashing thread
+//! runs its real workload (messages, object operations, raises included)
+//! with a scheduled crash instant
+//! ([`Ctx::schedule_crash`](caa_runtime::Ctx::schedule_crash)): it dies at
+//! the first poll point at or after the instant, wherever the protocol
+//! then has it. Nothing is stripped from the crash action's subtree
+//! anymore: raises inside it (and in every later action, which the dead
+//! thread never enters) are resolved by the membership extension — the
+//! survivors' bounded resolution wait presumes the silent peer crashed,
+//! removes it from the view, synthesizes the crash exception and re-runs
+//! resolution among the live members, who then signal and exit over the
+//! shrunken view. Quiet actions (no raise) still conclude through the
+//! bounded exit wait's ƒ. Historically the crash action had to be
+//! flattened to compute-only phases because the resolution collection
+//! loop had no crash extension; the `resolution_timeout` lifted that
+//! restriction.
 
 use caa_core::ids::PartitionId;
 use caa_simnet::{FaultPlan, FaultSpec};
@@ -263,12 +271,17 @@ pub struct RaisePhase {
     pub raisers: Vec<(u32, u64)>,
 }
 
-/// The designated crash-stop participant of a plan.
+/// The designated crash-stop participant of a plan: the plan-level crash
+/// schedule (who dies, in which top-level action, how far in).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashChoice {
     /// The thread that crash-stops.
     pub thread: u32,
-    /// How far into the last top-level action it crashes.
+    /// Index into [`ScenarioPlan::top`]: the action during which the
+    /// thread dies. Earlier-than-last indices leave whole top actions
+    /// that the dead thread never enters.
+    pub top_action: u32,
+    /// How far into that action the crash instant lies.
     pub delay_ns: u64,
 }
 
@@ -369,6 +382,10 @@ pub struct ScenarioPlan {
     /// Exit-protocol timeout (seconds); a missing vote is then a presumed
     /// crash and the action resolves to abortion.
     pub exit_timeout: f64,
+    /// Resolution timeout (seconds): the membership extension's bounded
+    /// collection wait — a silent peer is then presumed crashed, removed
+    /// from the view and resolved as a synthesized crash exception.
+    pub resolution_timeout: f64,
     /// The network fault schedule.
     pub faults: Vec<FaultChoice>,
     /// Shared-object names ([`ObjectOp::object`] indexes this).
@@ -428,29 +445,19 @@ impl ScenarioPlan {
             ));
         }
 
+        // The crash schedule: any thread, any top action, any instant.
+        // The membership extension's bounded resolution wait lets raises
+        // (and nesting, and the dead thread's own object traffic) coexist
+        // with the crash, so nothing is stripped from the subtree.
         let crash = if config.allow_crashes && rng.chance(0.15) {
             Some(CrashChoice {
                 thread: rng.below(u64::from(threads)) as u32,
+                top_action: rng.below(top_n) as u32,
                 delay_ns: rng.below(1_500_000_000),
             })
         } else {
             None
         };
-        if let Some(crash) = crash {
-            // The crashed participant cannot take part in a recovery or a
-            // nested exit (resolution has no crash extension), so the last
-            // top-level action — where the crash happens — is flattened to
-            // compute phases only, and the crashing thread performs no
-            // object operations there.
-            let last = top.last_mut().expect("at least one top action");
-            last.phases.retain(|p| matches!(p, Phase::Compute { .. }));
-            last.raise = None;
-            for phase in &mut last.phases {
-                if let Phase::Compute { object_ops, .. } = phase {
-                    object_ops.retain(|op| op.thread != crash.thread);
-                }
-            }
-        }
 
         let mut faults = Vec::new();
         if config.allow_faults {
@@ -462,10 +469,11 @@ impl ScenarioPlan {
                         } else {
                             "App"
                         },
-                        // Corrupted deliveries raise the corruption
-                        // exception, which a crash-stop scenario cannot
-                        // resolve (the dead peer never answers): lose only.
-                        lose: crash.is_some() || rng.chance(0.5),
+                        // Corruption faults coexist with crash-stops now:
+                        // the corruption exception's recovery resolves the
+                        // dead peer's silence through the membership
+                        // extension's bounded wait.
+                        lose: rng.chance(0.5),
                         src: if rng.chance(0.7) {
                             Some(rng.below(u64::from(threads)) as u32)
                         } else {
@@ -503,6 +511,11 @@ impl ScenarioPlan {
             // announcements are lost), so only genuine crash-stops trip
             // the bounded wait. Virtual time makes the headroom free.
             exit_timeout: 600.0,
+            // Same reasoning for the resolution collection wait: a live
+            // peer answers within a handful of latencies (plus the entry
+            // skew of the retain-till-entry rule), so only a genuinely
+            // dead peer is ever suspected.
+            resolution_timeout: 600.0,
             faults,
             objects,
             crash,
@@ -570,7 +583,12 @@ impl ScenarioPlan {
             self.faults.len(),
             if self.has_objects() { "yes" } else { "no" },
             match self.crash {
-                Some(c) => format!("T{} @{:.3}s", c.thread, c.delay_ns as f64 / 1e9),
+                Some(c) => format!(
+                    "T{} in a{} @{:.3}s",
+                    c.thread,
+                    c.top_action,
+                    c.delay_ns as f64 / 1e9
+                ),
                 None => "no".into(),
             },
         )
@@ -806,33 +824,50 @@ mod tests {
     }
 
     #[test]
-    fn crash_scenarios_are_flat_and_lose_only() {
+    fn crash_schedules_are_well_formed_and_unrestricted() {
         let cfg = ScenarioConfig::default();
         let mut crashes = 0;
+        let (mut earlier, mut raise_in_crash_action, mut corrupt_with_crash) = (0, 0, 0);
         for seed in 0..400 {
             let plan = ScenarioPlan::generate(seed, &cfg);
             let Some(crash) = plan.crash else { continue };
             crashes += 1;
             assert!(crash.thread < plan.threads, "seed {seed}");
-            let last = plan.top.last().unwrap();
-            assert!(last.raise.is_none(), "seed {seed}: raise in crash action");
-            for phase in &last.phases {
-                match phase {
-                    Phase::Nested { .. } => panic!("seed {seed}: nesting in crash action"),
-                    Phase::Compute { object_ops, .. } => {
-                        assert!(
-                            object_ops.iter().all(|op| op.thread != crash.thread),
-                            "seed {seed}: crashing thread holds objects"
-                        );
-                    }
-                }
-            }
             assert!(
-                plan.faults.iter().all(|f| f.lose),
-                "seed {seed}: corruption faults with a crash-stop participant"
+                (crash.top_action as usize) < plan.top.len(),
+                "seed {seed}: crash action index out of range"
             );
+            if (crash.top_action as usize) + 1 < plan.top.len() {
+                earlier += 1;
+            }
+            let action = &plan.top[crash.top_action as usize];
+            if action
+                .walk()
+                .iter()
+                .any(|a| a.raise.as_ref().is_some_and(|r| !r.raisers.is_empty()))
+            {
+                raise_in_crash_action += 1;
+            }
+            if plan.faults.iter().any(|f| !f.lose) {
+                corrupt_with_crash += 1;
+            }
         }
         assert!(crashes > 30, "crashes too rare: {crashes}/400");
+        // The membership extension lifted the historical restrictions:
+        // crashes land in earlier top actions, crash subtrees keep their
+        // raise phases, and corruption faults coexist with crash-stops.
+        assert!(
+            earlier > 5,
+            "crashes in earlier top actions too rare: {earlier}/{crashes}"
+        );
+        assert!(
+            raise_in_crash_action > 10,
+            "raises inside crash actions too rare: {raise_in_crash_action}/{crashes}"
+        );
+        assert!(
+            corrupt_with_crash > 3,
+            "corruption faults with crash-stops too rare: {corrupt_with_crash}/{crashes}"
+        );
     }
 
     #[test]

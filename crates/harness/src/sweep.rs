@@ -6,22 +6,75 @@
 //! is embarrassingly parallel and scales with the host's cores while the
 //! simulated time stays virtual. A violating seed reproduces exactly with
 //! [`run_seed`] (or `cargo run -p caa-harness --example replay -- <seed>`).
+//! Beyond one host, a seed range splits across processes or machines with
+//! [`SweepConfig::shard`] (`--shard k/n` on the sweep CLIs): shards are
+//! disjoint, deterministic and together cover the range exactly. Every
+//! sweep also aggregates a [`PathCoverage`] report counting which protocol
+//! paths (undo rounds, ƒ cascades, exit races, exit/resolution timeouts,
+//! view changes, …) the explored traces actually hit, so untested paths
+//! are visible instead of silently assumed covered.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use caa_runtime::observe::EventKind;
+
 use crate::exec::{execute_with_capacity, RunArtifacts};
 use crate::oracle::{check_replay, check_run, Violation};
 use crate::plan::{ScenarioConfig, ScenarioPlan};
+use crate::trace::Trace;
+
+/// One shard of a deterministically split seed range: this process
+/// explores the seeds whose offset into the range satisfies
+/// `offset % count == index`. Every shard of the same range is disjoint,
+/// and the union over `index = 0..count` covers the range exactly — so CI
+/// jobs or multiple machines can split one sweep without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard number (`< count`).
+    pub index: u64,
+    /// Total number of shards the range is split into (≥ 1).
+    pub count: u64,
+}
+
+impl Shard {
+    /// Parses the `k/n` form used by the CLI flags (e.g. `--shard 2/8`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed value.
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected k/n, got {text:?}"))?;
+        let shard = Shard {
+            index: index
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad index: {e}"))?,
+            count: count
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad count: {e}"))?,
+        };
+        if shard.count == 0 || shard.index >= shard.count {
+            return Err(format!(
+                "shard index {} out of range for {} shard(s)",
+                shard.index, shard.count
+            ));
+        }
+        Ok(shard)
+    }
+}
 
 /// Configuration of one sweep.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// First seed (inclusive).
     pub start_seed: u64,
-    /// Number of seeds to explore.
+    /// Number of seeds in the (unsharded) range.
     pub seeds: u64,
     /// Worker OS threads; 0 = one per available core.
     pub workers: usize,
@@ -37,6 +90,11 @@ pub struct SweepConfig {
     /// `cargo run -p caa-harness --example replay -- --corpus <entry>`,
     /// custom [`ScenarioConfig`]s included.
     pub corpus_dir: Option<PathBuf>,
+    /// Restrict this process to one shard of the seed range (`None` runs
+    /// the whole range). Sharding is deterministic: the same
+    /// `(start_seed, seeds, shard)` triple explores the same seeds on any
+    /// machine.
+    pub shard: Option<Shard>,
 }
 
 impl Default for SweepConfig {
@@ -48,6 +106,7 @@ impl Default for SweepConfig {
             scenario: ScenarioConfig::default(),
             check_replay: true,
             corpus_dir: Some(PathBuf::from("target/caa-corpus")),
+            shard: None,
         }
     }
 }
@@ -136,10 +195,126 @@ fn dump_corpus(
     Ok(entry)
 }
 
+/// Which protocol paths a sweep actually exercised, counted from the
+/// recorded traces. Untested paths are visible as zeros: a sweep whose
+/// scenario space claims to cover crashes but whose coverage shows
+/// `resolution_timeouts == 0` never drove the membership extension at
+/// all.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PathCoverage {
+    /// Coordinated recoveries started (RecoveryStart events).
+    pub recoveries: u64,
+    /// Undo rounds: µ-coordinated `SignalOutcome` conclusions.
+    pub undo_outcomes: u64,
+    /// ƒ conclusions (coordinated failure outcomes), the ƒ-cascade fuel:
+    /// each non-top failure re-raises in the enclosing action.
+    pub failure_outcomes: u64,
+    /// ƒ outcomes at nesting depth > 1 — actual cascade steps.
+    pub failure_cascades: u64,
+    /// Exit races: an exit phase interrupted by a recovery trigger
+    /// (ExitStart followed by RecoveryStart on the same thread and
+    /// instance).
+    pub exit_races: u64,
+    /// Bounded exit waits that expired (ExitTimeout events).
+    pub exit_timeouts: u64,
+    /// Bounded resolution waits that expired (ResolutionTimeout events).
+    pub resolution_timeouts: u64,
+    /// Membership view changes observed (ViewChange events).
+    pub view_changes: u64,
+    /// Crash-stops observed (Crash events).
+    pub crash_stops: u64,
+    /// Nested-action abortions (Abort events).
+    pub aborts: u64,
+    /// Shared-object acquisitions (ObjectAcquired events).
+    pub object_acquisitions: u64,
+}
+
+impl PathCoverage {
+    /// Counts one run's protocol-path hits from its canonical trace.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> PathCoverage {
+        use std::collections::HashSet;
+        let mut coverage = PathCoverage::default();
+        // Threads currently inside an exit phase of an instance.
+        let mut exiting: HashSet<(u64, u32)> = HashSet::new();
+        for event in trace.runtime_events() {
+            let key = (event.action.serial(), event.thread.as_u32());
+            match &event.kind {
+                EventKind::RecoveryStart { .. } => {
+                    coverage.recoveries += 1;
+                    if exiting.remove(&key) {
+                        coverage.exit_races += 1;
+                    }
+                }
+                EventKind::ExitStart { .. } => {
+                    exiting.insert(key);
+                }
+                EventKind::SignalOutcome { signal } => match signal {
+                    caa_core::Signal::Undo => coverage.undo_outcomes += 1,
+                    caa_core::Signal::Failure => {
+                        coverage.failure_outcomes += 1;
+                        // A ƒ below the top level re-raises in the
+                        // enclosing action: a cascade step.
+                        if event.action.depth() >= 1 {
+                            coverage.failure_cascades += 1;
+                        }
+                    }
+                    _ => {}
+                },
+                EventKind::ExitTimeout { .. } => coverage.exit_timeouts += 1,
+                EventKind::ResolutionTimeout { .. } => coverage.resolution_timeouts += 1,
+                EventKind::ViewChange { .. } => coverage.view_changes += 1,
+                EventKind::Crash => coverage.crash_stops += 1,
+                EventKind::Abort { .. } => coverage.aborts += 1,
+                EventKind::ObjectAcquired { .. } => coverage.object_acquisitions += 1,
+                _ => {}
+            }
+        }
+        coverage
+    }
+
+    /// Accumulates another run's counts into this one.
+    pub fn merge(&mut self, other: &PathCoverage) {
+        self.recoveries += other.recoveries;
+        self.undo_outcomes += other.undo_outcomes;
+        self.failure_outcomes += other.failure_outcomes;
+        self.failure_cascades += other.failure_cascades;
+        self.exit_races += other.exit_races;
+        self.exit_timeouts += other.exit_timeouts;
+        self.resolution_timeouts += other.resolution_timeouts;
+        self.view_changes += other.view_changes;
+        self.crash_stops += other.crash_stops;
+        self.aborts += other.aborts;
+        self.object_acquisitions += other.object_acquisitions;
+    }
+
+    /// One-line report, in a stable order.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "recoveries {} | undo {} | failure {} (cascaded {}) | exit races {} | \
+             exit timeouts {} | resolution timeouts {} | view changes {} | \
+             crashes {} | aborts {} | object acquisitions {}",
+            self.recoveries,
+            self.undo_outcomes,
+            self.failure_outcomes,
+            self.failure_cascades,
+            self.exit_races,
+            self.exit_timeouts,
+            self.resolution_timeouts,
+            self.view_changes,
+            self.crash_stops,
+            self.aborts,
+            self.object_acquisitions,
+        )
+    }
+}
+
 /// Aggregated outcome of a sweep.
 #[derive(Debug)]
 pub struct SweepReport {
-    /// Seeds explored.
+    /// Seeds explored (after shard filtering).
     pub seeds_run: u64,
     /// Full scenario executions performed: with
     /// [`SweepConfig::check_replay`] every seed executes **twice** (run +
@@ -153,6 +328,9 @@ pub struct SweepReport {
     pub trace_entries: u64,
     /// Total virtual time simulated across all seeds (seconds).
     pub virtual_secs: f64,
+    /// Which protocol paths the sweep hit, aggregated over every explored
+    /// seed's trace.
+    pub coverage: PathCoverage,
     /// Wall-clock duration of the sweep.
     pub wall: Duration,
 }
@@ -193,6 +371,7 @@ impl SweepReport {
             self.virtual_secs,
             self.failures.len(),
         );
+        let _ = writeln!(out, "paths hit: {}", self.coverage.summary());
         for failure in &self.failures {
             let _ = writeln!(
                 out,
@@ -255,8 +434,10 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     };
     let next = AtomicU64::new(0);
     let failures: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
+    let coverage: Mutex<PathCoverage> = Mutex::new(PathCoverage::default());
     let entries = AtomicU64::new(0);
     let virtual_ns = AtomicU64::new(0);
+    let seeds_run = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
@@ -264,10 +445,20 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                 // Per-worker running maximum, so steady-state trace
                 // recording never reallocates mid-run.
                 let mut capacity_hint = 0usize;
+                let mut local_coverage = PathCoverage::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= config.seeds {
+                        coverage
+                            .lock()
+                            .expect("coverage collector")
+                            .merge(&local_coverage);
                         return;
+                    }
+                    if let Some(shard) = config.shard {
+                        if i % shard.count != shard.index {
+                            continue;
+                        }
                     }
                     let seed = config.start_seed + i;
                     let result = run_seed_with_capacity(
@@ -276,12 +467,14 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                         config.check_replay,
                         capacity_hint,
                     );
+                    seeds_run.fetch_add(1, Ordering::Relaxed);
                     capacity_hint = capacity_hint.max(result.artifacts.trace.len());
                     entries.fetch_add(result.artifacts.trace.len() as u64, Ordering::Relaxed);
                     virtual_ns.fetch_add(
                         result.artifacts.report.elapsed.as_nanos(),
                         Ordering::Relaxed,
                     );
+                    local_coverage.merge(&PathCoverage::from_trace(&result.artifacts.trace));
                     if !result.passed() {
                         failures.lock().expect("sweep collector").push(result);
                     }
@@ -300,12 +493,14 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
             }
         }
     }
+    let seeds_run = seeds_run.into_inner();
     SweepReport {
-        seeds_run: config.seeds,
-        executions_run: config.seeds * if config.check_replay { 2 } else { 1 },
+        seeds_run,
+        executions_run: seeds_run * if config.check_replay { 2 } else { 1 },
         failures,
         trace_entries: entries.into_inner(),
         virtual_secs: virtual_ns.into_inner() as f64 / 1e9,
+        coverage: coverage.into_inner().expect("coverage collector"),
         wall: started.elapsed(),
     }
 }
@@ -326,6 +521,66 @@ mod tests {
         assert_eq!(report.seeds_run, 16);
         assert!(report.trace_entries > 0);
         assert!(report.summary().contains("swept 16 seeds"));
+    }
+
+    #[test]
+    fn shards_partition_the_range_deterministically() {
+        let base = SweepConfig {
+            seeds: 30,
+            workers: 2,
+            check_replay: false,
+            corpus_dir: None,
+            ..SweepConfig::default()
+        };
+        let full = sweep(&base);
+        assert_eq!(full.seeds_run, 30);
+        let mut sharded_seeds = 0;
+        let mut sharded_coverage = PathCoverage::default();
+        for index in 0..3 {
+            let report = sweep(&SweepConfig {
+                shard: Some(Shard { index, count: 3 }),
+                ..base.clone()
+            });
+            assert_eq!(report.seeds_run, 10, "shard {index} must cover a third");
+            sharded_seeds += report.seeds_run;
+            sharded_coverage.merge(&report.coverage);
+        }
+        // The union of the shards is exactly the full sweep.
+        assert_eq!(sharded_seeds, full.seeds_run);
+        assert_eq!(
+            sharded_coverage, full.coverage,
+            "sharded coverage must add up to the full sweep's"
+        );
+    }
+
+    #[test]
+    fn shard_parses_the_cli_form() {
+        assert_eq!(Shard::parse("2/8"), Ok(Shard { index: 2, count: 8 }));
+        assert!(Shard::parse("8/8").is_err(), "index must be < count");
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("nope").is_err());
+        assert!(Shard::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn coverage_reports_protocol_paths() {
+        let report = sweep(&SweepConfig {
+            seeds: 64,
+            workers: 2,
+            check_replay: false,
+            corpus_dir: None,
+            ..SweepConfig::default()
+        });
+        assert!(report.all_passed(), "{}", report.summary());
+        let coverage = report.coverage;
+        assert!(coverage.recoveries > 0);
+        assert!(coverage.aborts > 0);
+        assert!(
+            report.summary().contains("paths hit:"),
+            "{}",
+            report.summary()
+        );
+        assert!(report.summary().contains(&coverage.summary()));
     }
 
     #[test]

@@ -199,6 +199,21 @@ impl Trace {
     }
 }
 
+/// FNV-1a 64-bit over arbitrary bytes: the canonical, dependency-free
+/// fingerprint for rendered traces. The golden-trace regression test and
+/// the `trace_hashes` pre/post comparison tool both hash
+/// [`Trace::render`] output through this exact function — fingerprints
+/// from different tools stay comparable.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[derive(Default)]
 struct RecorderState {
     entries: Vec<Entry>,

@@ -18,17 +18,7 @@ use std::fmt::Write as _;
 
 use caa_harness::exec::execute;
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
-use caa_harness::trace::Trace;
-
-/// FNV-1a 64-bit: a stable, dependency-free content hash for trace bytes.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use caa_harness::trace::{fnv1a64 as fnv1a, Trace};
 
 fn acquired_lines(trace: &Trace) -> Vec<String> {
     let canonical = trace.canonical_labels();

@@ -1,10 +1,12 @@
 //! The crash/object acceptance sweep: ≥10k seeds whose scenario space
 //! includes shared-object workloads (arbitrated deterministically through
-//! the simulation) and crash-stop participants (resolved by the bounded
-//! exit wait), checked against every oracle — resolution agreement,
+//! the simulation) and crash-stop participants (resolved by the membership
+//! extension's bounded resolution wait and the bounded exit wait), checked
+//! against every oracle — resolution agreement, membership agreement,
 //! message complexity, nesting/abortion/crash consistency, the
 //! exit-timeout bound, and **byte-exact** replay (object acquisitions
-//! included).
+//! included). See `sweep_crash_resolution.rs` for the sweep focused on
+//! the lifted crash restrictions over a disjoint seed range.
 
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
 use caa_harness::sweep::{sweep, SweepConfig};

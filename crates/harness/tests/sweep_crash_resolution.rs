@@ -1,0 +1,96 @@
+//! The crash-resolution acceptance sweep: ≥10k fresh seeds under the
+//! *lifted* crash restrictions — crash-stops land in any top action
+//! (earlier ones included), crash subtrees keep their raise and nested
+//! phases, the dead thread runs a real workload (object traffic included)
+//! up to its scheduled instant, and corruption faults coexist with
+//! crashes. Every oracle must hold: resolution agreement among survivors,
+//! membership view agreement with no false suspicion, bounded resolution
+//! (every started recovery concludes), nesting/crash consistency, the
+//! hierarchically separated exit-timeout bound, and **byte-exact** replay
+//! of the crash paths — view changes, synthesized crash exceptions and
+//! survivor-only exits replay identically.
+
+use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::sweep::{sweep, SweepConfig};
+
+const START: u64 = 30_000;
+const SEEDS: u64 = 10_000;
+
+#[test]
+fn crash_resolution_sweep_10k_passes_every_oracle() {
+    let scenario = ScenarioConfig::default();
+    assert!(scenario.allow_crashes);
+
+    // The lifted restrictions must actually show up in the scenario space.
+    let (mut crashes, mut crash_with_raise_in_subtree, mut crash_in_earlier_action) =
+        (0u64, 0u64, 0u64);
+    for seed in START..START + SEEDS {
+        let plan = ScenarioPlan::generate(seed, &scenario);
+        let Some(crash) = plan.crash else { continue };
+        crashes += 1;
+        let action = &plan.top[crash.top_action as usize];
+        if action
+            .walk()
+            .iter()
+            .any(|a| a.raise.as_ref().is_some_and(|r| !r.raisers.is_empty()))
+        {
+            crash_with_raise_in_subtree += 1;
+        }
+        if (crash.top_action as usize) + 1 < plan.top.len() {
+            crash_in_earlier_action += 1;
+        }
+    }
+    assert!(crashes > 1000, "crash plans too rare: {crashes}/{SEEDS}");
+    assert!(
+        crash_with_raise_in_subtree > 400,
+        "raises inside crash subtrees too rare: {crash_with_raise_in_subtree}/{crashes}"
+    );
+    assert!(
+        crash_in_earlier_action > 200,
+        "crashes in earlier top actions too rare: {crash_in_earlier_action}/{crashes}"
+    );
+
+    let report = sweep(&SweepConfig {
+        start_seed: START,
+        seeds: SEEDS,
+        workers: 0,
+        scenario,
+        check_replay: true,
+        ..SweepConfig::default()
+    });
+    assert!(
+        report.all_passed(),
+        "violating seeds found:\n{}",
+        report.summary()
+    );
+    assert_eq!(report.seeds_run, SEEDS);
+
+    // The sweep must have driven the membership machinery, not just
+    // generated crash plans that died quietly.
+    let coverage = report.coverage;
+    assert!(
+        coverage.resolution_timeouts > 100,
+        "bounded resolution waits barely exercised: {}",
+        coverage.summary()
+    );
+    assert!(
+        coverage.view_changes >= coverage.resolution_timeouts,
+        "every timeout initiates a view change (plus adopters): {}",
+        coverage.summary()
+    );
+    assert!(
+        coverage.crash_stops > 1000,
+        "crash events missing from traces: {}",
+        coverage.summary()
+    );
+    assert!(
+        coverage.exit_timeouts > 100,
+        "quiet crash actions must still conclude through the exit bound: {}",
+        coverage.summary()
+    );
+    assert!(
+        coverage.failure_cascades > 0 && coverage.exit_races > 0 && coverage.undo_outcomes > 0,
+        "expected the classic paths alongside the new ones: {}",
+        coverage.summary()
+    );
+}

@@ -86,6 +86,7 @@ pub(crate) struct DefInner {
     pub(crate) undo_hooks: HashMap<RoleId, UndoHook>,
     pub(crate) signal_timeout: Option<VirtualDuration>,
     pub(crate) exit_timeout: Option<VirtualDuration>,
+    pub(crate) resolution_timeout: Option<VirtualDuration>,
     pub(crate) corruption_exception: ExceptionId,
 }
 
@@ -120,10 +121,14 @@ impl DefInner {
 
     /// The default verdict when no handler exists: the universal exception
     /// "usually leads to the signalling of a undo or failure exception"
-    /// (§3.2), and an unhandled exception "will be propagated" (§2.1).
+    /// (§3.2), and an unhandled exception "will be propagated" (§2.1). An
+    /// unhandled crash exception is presume-ƒ: the action failed and the
+    /// dead participant's effects cannot be assumed undone.
     pub(crate) fn default_verdict(exception: &ExceptionId) -> HandlerVerdict {
         if exception.is_universal() {
             HandlerVerdict::Undo
+        } else if exception.is_crash() {
+            HandlerVerdict::Fail
         } else {
             HandlerVerdict::Signal(exception.clone())
         }
@@ -188,6 +193,7 @@ impl ActionDef {
             undos: Vec::new(),
             signal_timeout: None,
             exit_timeout: None,
+            resolution_timeout: None,
             corruption_exception: ExceptionId::new("l_mes"),
         }
     }
@@ -243,6 +249,7 @@ pub struct ActionDefBuilder {
     undos: Vec<(String, UndoHook)>,
     signal_timeout: Option<VirtualDuration>,
     exit_timeout: Option<VirtualDuration>,
+    resolution_timeout: Option<VirtualDuration>,
     corruption_exception: ExceptionId,
 }
 
@@ -358,6 +365,25 @@ impl ActionDefBuilder {
         self
     }
 
+    /// Bounds how long the resolution algorithm's collection loop waits
+    /// for a peer's `Exception`/`Suspended`/`Commit` before presuming the
+    /// silent peer crashed — the membership extension (see
+    /// [`crate::membership`]). When the per-round bound expires, the
+    /// threads this participant is blocked on are removed from the
+    /// action's membership view, a crash exception is synthesized on their
+    /// behalf, a `ViewChange` is broadcast so all survivors agree on the
+    /// new view, and resolution re-runs over the live members.
+    ///
+    /// Like [`ActionDefBuilder::exit_timeout`], the bound must exceed any
+    /// live participant's response skew (latency plus scheduling plus
+    /// resolution delay) or slow peers are misclassified as crashed.
+    /// Without it (the default) the collection wait is unbounded and a
+    /// crashed peer deadlocks the recovery — the pre-membership behaviour.
+    pub fn resolution_timeout(mut self, timeout: VirtualDuration) -> Self {
+        self.resolution_timeout = Some(timeout);
+        self
+    }
+
     /// The internal exception raised when a corrupted message is delivered
     /// while this action runs (defaults to `l_mes`, as in the production
     /// cell's Figure 7).
@@ -438,6 +464,7 @@ impl ActionDefBuilder {
                 undo_hooks,
                 signal_timeout: self.signal_timeout,
                 exit_timeout: self.exit_timeout,
+                resolution_timeout: self.resolution_timeout,
                 corruption_exception: self.corruption_exception,
             }),
         })

@@ -9,17 +9,25 @@
 //! realises, per action frame:
 //!
 //! * the resolution algorithm of §3.3.2 (delegated to the system's
-//!   [`ResolutionProtocol`](crate::protocol::ResolutionProtocol));
+//!   [`ResolutionProtocol`](crate::protocol::ResolutionProtocol)), with
+//!   the crash-aware bounded wait of the membership extension
+//!   ([`crate::membership`]): a silent peer is presumed crashed, removed
+//!   from the frame's membership view and resolved as a synthesized crash
+//!   exception;
 //! * the abortion cascade over nested actions (§3.3.1);
 //! * exception handling under the termination model (§3.1);
 //! * the signalling algorithm of §3.4 with its µ/ƒ coordination;
 //! * the synchronous exit protocol (§5.1).
+//!
+//! Signalling and exit rounds range over the frame's *current view*, so a
+//! recovery that shrank the membership completes among the survivors.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use caa_core::exception::{Exception, ExceptionId, Signal};
 use caa_core::ids::{ActionId, PartitionId, RoleId, ThreadId};
+use caa_core::membership::ViewChangeOutcome;
 use caa_core::message::{AppPayload, Message, SignalRound};
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
 use caa_core::time::{VirtualDuration, VirtualInstant};
@@ -27,6 +35,7 @@ use caa_simnet::{Endpoint, Parked, Received};
 
 use crate::action::{make_action_id, ActionDef, DefInner};
 use crate::error::{Flow, RuntimeError, Step, Unwind};
+use crate::membership::{synthesize_crashes, FrameMembership};
 use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl, Wake};
 use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
@@ -81,6 +90,12 @@ struct Frame {
     objects: Vec<Box<dyn TxControl>>,
     /// Protocol state for this frame's recovery.
     resolver: Box<dyn ResolverState>,
+    /// This participant's membership view of the instance: the threads it
+    /// still believes live, plus the view epoch (see
+    /// [`crate::membership`]). Starts as the full group; shrinks when the
+    /// bounded resolution wait presumes a peer crashed. Signalling and
+    /// exit rounds range over this view.
+    membership: FrameMembership,
     /// Set while this frame's exception handler runs.
     in_handler: Option<ExceptionId>,
     /// A corrupted message arrived during the signalling collection; §3.4
@@ -89,8 +104,9 @@ struct Frame {
 }
 
 impl Frame {
-    fn group(&self) -> &[ThreadId] {
-        &self.def.group
+    /// The live members of this frame's current view.
+    fn view(&self) -> &[ThreadId] {
+        self.membership.members()
     }
 }
 
@@ -105,6 +121,10 @@ pub struct Ctx {
     endpoint: Endpoint<Message>,
     system: Arc<SystemShared>,
     stack: Vec<Frame>,
+    /// A scheduled crash-stop instant ([`Ctx::schedule_crash`]): the
+    /// thread dies at the first poll point at or after it — mid-body,
+    /// mid-collection, mid-signalling or mid-exit alike.
+    crash_at: Option<VirtualInstant>,
     /// Messages for action instances not yet entered (§3.3.2 "retain the
     /// Exception or Suspended message till Ti enters A*").
     retained: Vec<Message>,
@@ -172,6 +192,7 @@ impl Ctx {
             endpoint,
             system,
             stack: Vec::new(),
+            crash_at: None,
             retained: Vec::new(),
             entry_counts: BTreeMap::new(),
             finished: std::collections::HashSet::new(),
@@ -254,7 +275,7 @@ impl Ctx {
             if remaining.is_zero() {
                 return Ok(());
             }
-            match self.endpoint.recv_timeout(remaining)? {
+            match self.recv_until(Some(deadline))? {
                 None => return self.poll(),
                 Some(received) => self.absorb_or_unwind(received)?,
             }
@@ -265,9 +286,12 @@ impl Ctx {
     /// frame is discarded without running handlers or sending messages
     /// (the process simply dies), transaction layers this thread had
     /// registered are broken, and the thread terminates with
-    /// [`RuntimeError::Crashed`]. Peers observe only silence: their exit
-    /// protocol resolves the missing vote to abortion once the action's
-    /// [`exit timeout`](crate::ActionDefBuilder::exit_timeout) expires.
+    /// [`RuntimeError::Crashed`]. Peers observe only silence: their
+    /// bounded waits — the [`resolution
+    /// timeout`](crate::ActionDefBuilder::resolution_timeout)'s membership
+    /// view change, the §3.4 signalling timeout, and the [`exit
+    /// timeout`](crate::ActionDefBuilder::exit_timeout) — resolve the
+    /// silence instead of deadlocking on it.
     ///
     /// # Errors
     ///
@@ -275,6 +299,59 @@ impl Ctx {
     /// thread's top level.
     pub fn crash_stop(&mut self) -> Step<()> {
         Err(Flow::new(Unwind::Crash))
+    }
+
+    /// Schedules a crash-stop `after` from now: the process dies at the
+    /// first poll point at or after that virtual instant, *wherever* it
+    /// then is — computing, collecting resolution messages, exchanging
+    /// signals or exit votes. This is how fault-injection harnesses model
+    /// "the node dies at instant T" without structuring the role body
+    /// around the death (contrast [`Ctx::crash_stop`], which dies exactly
+    /// where it is called). A thread parked on a shared-object
+    /// acquisition wakes at the instant and dies there too.
+    ///
+    /// The schedule is a property of the thread, not of the active action:
+    /// it survives action exits and recoveries until it fires.
+    pub fn schedule_crash(&mut self, after: VirtualDuration) {
+        self.crash_at = Some(self.now().saturating_add(after));
+    }
+
+    /// Dies if a scheduled crash instant has been reached.
+    fn crash_check(&self) -> Step {
+        match self.crash_at {
+            Some(at) if self.now() >= at => Err(Flow::new(Unwind::Crash)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Receives the next message, waiting at most until `deadline` (when
+    /// given). All protocol waits funnel through here so a scheduled
+    /// crash-stop bounds every one of them: reaching the crash instant
+    /// kills the thread, reaching the caller's deadline returns
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Flow`] on a scheduled crash or a simulation error.
+    fn recv_until(&mut self, deadline: Option<VirtualInstant>) -> Step<Option<Received<Message>>> {
+        self.crash_check()?;
+        let effective = match (deadline, self.crash_at) {
+            (Some(d), Some(c)) => Some(d.min(c)),
+            (d, c) => d.or(c),
+        };
+        let received = match effective {
+            Some(at) => self.endpoint.recv_deadline(at)?,
+            None => Some(self.endpoint.recv()?),
+        };
+        match received {
+            Some(r) => Ok(Some(r)),
+            None => {
+                // Woke at the effective deadline: the crash instant takes
+                // precedence over the caller's timeout.
+                self.crash_check()?;
+                Ok(None)
+            }
+        }
     }
 
     /// Raises exception `e` in the active action (§3.1 *raise*). The
@@ -347,8 +424,9 @@ impl Ctx {
             if let Some(msg) = self.stack.last_mut().and_then(|f| f.app_inbox.pop_front()) {
                 return Ok(msg);
             }
-            let received = self.endpoint.recv()?;
-            self.absorb_or_unwind(received)?;
+            if let Some(received) = self.recv_until(None)? {
+                self.absorb_or_unwind(received)?;
+            }
         }
     }
 
@@ -372,7 +450,7 @@ impl Ctx {
             if remaining.is_zero() {
                 return Ok(None);
             }
-            match self.endpoint.recv_timeout(remaining)? {
+            match self.recv_until(Some(deadline))? {
                 Some(received) => self.absorb_or_unwind(received)?,
                 None => return Ok(None),
             }
@@ -448,7 +526,13 @@ impl Ctx {
         self.forward_wake(obj.enqueue_waiter(self.me, self.now(), &chain, epoch));
         let mut f = Some(f);
         let (value, opened) = loop {
-            match self.endpoint.park_wait() {
+            match self.endpoint.park_wait_until(self.crash_at) {
+                Ok(Parked::Deadline) => {
+                    // The scheduled crash instant arrived while parked:
+                    // withdraw the request and die.
+                    self.forward_wake(obj.cancel_waiter(self.me, self.now()));
+                    return Err(Flow::new(Unwind::Crash));
+                }
                 Ok(Parked::Doorbell) => {
                     // A scheduled attempt instant arrived. `try_access` is
                     // authoritative: a stale doorbell (the arbitration
@@ -560,6 +644,7 @@ impl Ctx {
             aborting: false,
             objects: Vec::new(),
             resolver: self.system.protocol.new_state(),
+            membership: FrameMembership::new(&inner.group),
             in_handler: None,
             corrupted_during_signalling: false,
         });
@@ -571,7 +656,9 @@ impl Ctx {
         for msg in retained {
             if msg.action() == action {
                 match msg {
-                    Message::Exception { .. } | Message::Suspended { .. } => {
+                    Message::Exception { .. }
+                    | Message::Suspended { .. }
+                    | Message::ViewChange { .. } => {
                         self.stack
                             .last_mut()
                             .expect("frame just pushed")
@@ -930,7 +1017,7 @@ impl Ctx {
         };
         let mut resolved: Option<ExceptionId> = None;
         for msg in pending {
-            if let Some(r) = self.feed_resolver(ProtoEventKind::Control(msg))? {
+            if let Some(r) = self.absorb_active_control(msg)? {
                 resolved = Some(r);
             }
         }
@@ -957,9 +1044,30 @@ impl Ctx {
                 }
             }
         }
-        // Collect control messages until agreement.
+        // Collect control messages until agreement. With a configured
+        // resolution timeout the wait is bounded per round (the membership
+        // extension): expiry presumes the silent peers crashed, shrinks the
+        // view and re-runs resolution; an applied view change — local or
+        // remote — opens a fresh round for the shrunken view.
+        let timeout = self
+            .stack
+            .last()
+            .expect("frame active")
+            .def
+            .resolution_timeout;
+        let mut deadline = timeout.map(|t| self.now().saturating_add(t));
         while resolved.is_none() {
-            let received = self.endpoint.recv()?;
+            let received = match self.recv_until(deadline)? {
+                Some(r) => r,
+                None => {
+                    trace!(self, "bounded resolution wait expired");
+                    if let Some(r) = self.presume_crashed()? {
+                        resolved = Some(r);
+                    }
+                    deadline = timeout.map(|t| self.now().saturating_add(t));
+                    continue;
+                }
+            };
             match self.route(received)? {
                 Routed::Done => {}
                 Routed::Corrupted => {
@@ -970,8 +1078,12 @@ impl Ctx {
                     self.system.stats.lock().corrupted_ignored += 1;
                 }
                 Routed::ActiveControl(msg) => {
-                    if let Some(r) = self.feed_resolver(ProtoEventKind::Control(msg))? {
+                    let view_change = matches!(msg, Message::ViewChange { .. });
+                    if let Some(r) = self.absorb_active_control(msg)? {
                         resolved = Some(r);
+                    }
+                    if view_change {
+                        deadline = timeout.map(|t| self.now().saturating_add(t));
                     }
                 }
             }
@@ -988,12 +1100,12 @@ impl Ctx {
     }
 
     fn feed_resolver(&mut self, event: ProtoEventKind) -> Step<Option<ExceptionId>> {
-        let (me, action, group, graph) = {
+        let (me, action, view, graph) = {
             let frame = self.stack.last().expect("frame active");
             (
                 self.me,
                 frame.action,
-                frame.def.group.clone(),
+                frame.membership.members().to_vec(),
                 Arc::clone(&frame.def.graph),
             )
         };
@@ -1002,7 +1114,7 @@ impl Ctx {
             let ctx = ProtoCtx {
                 me,
                 action,
-                group: &group,
+                group: &view,
                 graph: &graph,
             };
             match &event {
@@ -1013,6 +1125,32 @@ impl Ctx {
                 ProtoEventKind::Control(m) => frame.resolver.on_event(&ctx, ProtoEvent::Control(m)),
             }
         };
+        self.dispatch_proto_actions(action, actions)
+    }
+
+    /// Sends a resolver's outbound messages (stamping the frame's
+    /// membership view into outgoing `Commit`s), charges `Treso` per
+    /// resolution invocation and reports the resolved exception, if any.
+    fn dispatch_proto_actions(
+        &mut self,
+        action: ActionId,
+        mut actions: ProtoActions,
+    ) -> Step<Option<ExceptionId>> {
+        {
+            let frame = self.stack.last().expect("frame active");
+            let epoch = frame.membership.epoch();
+            for (_, msg) in &mut actions.outbound {
+                if let Message::Commit {
+                    view_epoch,
+                    view_removed,
+                    ..
+                } = msg
+                {
+                    *view_epoch = epoch;
+                    *view_removed = frame.membership.removed().to_vec();
+                }
+            }
+        }
         for (to, msg) in actions.outbound {
             self.endpoint.send(PartitionId::new(to.as_u32()), msg);
         }
@@ -1027,6 +1165,183 @@ impl Ctx {
             }
         }
         Ok(actions.resolved)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery: membership (crash-aware resolution, see crate::membership)
+    // ------------------------------------------------------------------
+
+    /// Feeds one resolution-control message for the active frame to the
+    /// right machine: a `ViewChange` announcement goes to the membership
+    /// layer, everything else to the resolver — a `Commit` first adopts
+    /// the membership view piggybacked on it, so a commit racing ahead of
+    /// its `ViewChange` announcement still shrinks this frame's view.
+    fn absorb_active_control(&mut self, msg: Message) -> Step<Option<ExceptionId>> {
+        match msg {
+            Message::ViewChange { epoch, removed, .. } => {
+                self.apply_remote_view_change(epoch, &removed)
+            }
+            msg => {
+                if let Message::Commit {
+                    view_epoch,
+                    view_removed,
+                    ..
+                } = &msg
+                {
+                    self.sync_commit_view(*view_epoch, view_removed)?;
+                }
+                self.feed_resolver(ProtoEventKind::Control(msg))
+            }
+        }
+    }
+
+    /// The bounded resolution wait expired: suspect the threads this
+    /// participant is blocked on, remove them from the frame's view,
+    /// announce the change to the survivors and re-run resolution with a
+    /// crash exception synthesized on each silent suspect's behalf
+    /// (presume-ƒ).
+    fn presume_crashed(&mut self) -> Step<Option<ExceptionId>> {
+        let (action, suspects) = {
+            let frame = self.stack.last().expect("frame active");
+            let view = frame.membership.members().to_vec();
+            let graph = Arc::clone(&frame.def.graph);
+            let ctx = ProtoCtx {
+                me: self.me,
+                action: frame.action,
+                group: &view,
+                graph: &graph,
+            };
+            (frame.action, frame.resolver.waiting_on(&ctx))
+        };
+        if suspects.is_empty() {
+            return Err(RuntimeError::Protocol(
+                "bounded resolution wait expired but the protocol reports no suspects \
+                 (resolution protocol without membership support?)"
+                    .into(),
+            )
+            .into());
+        }
+        trace!(self, "presume crashed: {suspects:?}");
+        self.system.stats.lock().resolution_timeouts += 1;
+        {
+            let suspects = suspects.clone();
+            self.observe(action, || EventKind::ResolutionTimeout { suspects });
+        }
+        let epoch = {
+            let frame = self.stack.last_mut().expect("frame active");
+            frame.membership.initiate(&suspects).map_err(|reason| {
+                Flow::from(RuntimeError::Protocol(format!(
+                    "membership view change rejected: {reason}"
+                )))
+            })?
+        };
+        self.system.stats.lock().view_changes += 1;
+        {
+            let removed = suspects.clone();
+            self.observe(action, || EventKind::ViewChange { epoch, removed });
+        }
+        // Announce before re-running resolution: per-link FIFO then
+        // guarantees every survivor sees the view change before any Commit
+        // this participant derives from it.
+        let view = {
+            let frame = self.stack.last().expect("frame active");
+            frame.membership.members().to_vec()
+        };
+        for &peer in view.iter().filter(|&&t| t != self.me) {
+            self.endpoint.send(
+                PartitionId::new(peer.as_u32()),
+                Message::ViewChange {
+                    action,
+                    from: self.me,
+                    epoch,
+                    removed: suspects.clone(),
+                },
+            );
+        }
+        self.feed_view_change(&suspects)
+    }
+
+    /// Applies a peer's `ViewChange` announcement to the active frame.
+    /// Duplicates (several survivors detected the same crash concurrently)
+    /// are ignored; inconsistent announcements are protocol errors —
+    /// deterministic deadlines over the same protocol state make every
+    /// survivor compute the same suspect set.
+    fn apply_remote_view_change(
+        &mut self,
+        epoch: u32,
+        removed: &[ThreadId],
+    ) -> Step<Option<ExceptionId>> {
+        let (action, outcome) = {
+            let frame = self.stack.last_mut().expect("frame active");
+            (frame.action, frame.membership.apply_remote(epoch, removed))
+        };
+        match outcome {
+            ViewChangeOutcome::Duplicate => Ok(None),
+            ViewChangeOutcome::Conflict { reason } => Err(RuntimeError::Protocol(format!(
+                "inconsistent membership view change: {reason}"
+            ))
+            .into()),
+            ViewChangeOutcome::Applied { removed } => {
+                trace!(self, "adopt view change v{epoch}: -{removed:?}");
+                self.system.stats.lock().view_changes += 1;
+                {
+                    let removed = removed.clone();
+                    self.observe(action, || EventKind::ViewChange { epoch, removed });
+                }
+                self.feed_view_change(&removed)
+            }
+        }
+    }
+
+    /// Adopts the membership view piggybacked on a received `Commit`. No
+    /// crash synthesis or re-election is needed — the commit itself
+    /// concludes the resolution — but the shrunken view must be in place
+    /// before the signalling and exit rounds start.
+    fn sync_commit_view(&mut self, epoch: u32, removed: &[ThreadId]) -> Step {
+        let (action, outcome) = {
+            let frame = self.stack.last_mut().expect("frame active");
+            (frame.action, frame.membership.sync_commit(epoch, removed))
+        };
+        match outcome {
+            ViewChangeOutcome::Duplicate => Ok(()),
+            ViewChangeOutcome::Conflict { reason } => {
+                Err(RuntimeError::Protocol(format!("inconsistent commit view: {reason}")).into())
+            }
+            ViewChangeOutcome::Applied { removed } => {
+                trace!(self, "adopt commit view v{epoch}: -{removed:?}");
+                self.system.stats.lock().view_changes += 1;
+                self.observe(action, || EventKind::ViewChange { epoch, removed });
+                Ok(())
+            }
+        }
+    }
+
+    /// Notifies the resolver of an applied view change: `removed` threads
+    /// are gone, and a synthesized crash exception stands in for each one
+    /// that never announced anything. May conclude the resolution (this
+    /// participant may now hold the quorum and the election).
+    fn feed_view_change(&mut self, removed: &[ThreadId]) -> Step<Option<ExceptionId>> {
+        let synthesized = synthesize_crashes(removed);
+        let (me, action, view, graph) = {
+            let frame = self.stack.last().expect("frame active");
+            (
+                self.me,
+                frame.action,
+                frame.membership.members().to_vec(),
+                Arc::clone(&frame.def.graph),
+            )
+        };
+        let actions: ProtoActions = {
+            let frame = self.stack.last_mut().expect("frame active");
+            let ctx = ProtoCtx {
+                me,
+                action,
+                group: &view,
+                graph: &graph,
+            };
+            frame.resolver.on_view_change(&ctx, removed, &synthesized)
+        };
+        self.dispatch_proto_actions(action, actions)
     }
 
     // ------------------------------------------------------------------
@@ -1074,7 +1389,10 @@ impl Ctx {
 
     fn run_signalling(&mut self, verdict: HandlerVerdict) -> Step<Signal> {
         let my_signal = verdict.to_signal();
-        let group_len = self.stack.last().expect("frame active").group().len();
+        // Coordinate over the current view: presumed-crashed members are
+        // not waited on (their silence would otherwise force ƒ through
+        // the signalling timeout even after recovery handled the crash).
+        let group_len = self.stack.last().expect("frame active").view().len();
         if group_len == 1 {
             // No coordination needed; µ still requires the local undo.
             return match my_signal {
@@ -1162,7 +1480,7 @@ impl Ctx {
             frame.signals.insert((round, self.me), mine.clone());
             (
                 frame.action,
-                frame.def.group.clone(),
+                frame.membership.members().to_vec(),
                 frame.def.signal_timeout,
             )
         };
@@ -1196,25 +1514,19 @@ impl Ctx {
                     return Ok(collected);
                 }
             }
-            let received = match deadline {
-                Some(deadline) => {
-                    let remaining = deadline.duration_since(self.now());
-                    match self.endpoint.recv_timeout(remaining)? {
-                        Some(r) => r,
-                        None => {
-                            // §3.4 extension: a missing announcement (lost
-                            // message or crashed peer) is treated as ƒ; all
-                            // fault-free threads still signal coordinated
-                            // exceptions.
-                            let frame = self.stack.last_mut().expect("frame active");
-                            for &t in &group {
-                                frame.signals.entry((round, t)).or_insert(Signal::Failure);
-                            }
-                            continue;
-                        }
+            let received = match self.recv_until(deadline)? {
+                Some(r) => r,
+                None => {
+                    // §3.4 extension: a missing announcement (lost
+                    // message or crashed peer) is treated as ƒ; all
+                    // fault-free threads still signal coordinated
+                    // exceptions. (Only reachable with a deadline.)
+                    let frame = self.stack.last_mut().expect("frame active");
+                    for &t in &group {
+                        frame.signals.entry((round, t)).or_insert(Signal::Failure);
                     }
+                    continue;
                 }
-                None => self.endpoint.recv()?,
             };
             match self.route(received)? {
                 Routed::Done => {}
@@ -1236,13 +1548,16 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     fn run_exit(&mut self) -> Step<ExitResult> {
+        // Vote and collect over the current view: a recovery that removed
+        // a presumed-crashed member must not wait for the dead thread's
+        // vote (it would only ever leave through the exit timeout's ƒ).
         let (action, group, epoch, timeout) = {
             let frame = self.stack.last_mut().expect("frame active");
             let epoch = frame.exit_epoch;
             frame.exit_votes.entry(epoch).or_default().insert(self.me);
             (
                 frame.action,
-                frame.def.group.clone(),
+                frame.membership.members().to_vec(),
                 epoch,
                 frame.def.exit_timeout,
             )
@@ -1265,29 +1580,23 @@ impl Ctx {
                 if frame
                     .exit_votes
                     .get(&epoch)
-                    .is_some_and(|votes| votes.len() == group.len())
+                    .is_some_and(|votes| group.iter().all(|t| votes.contains(t)))
                 {
                     return Ok(ExitResult::Done);
                 }
             }
-            let received = match deadline {
-                Some(deadline) => {
-                    let remaining = deadline.duration_since(self.now());
-                    match self.endpoint.recv_timeout(remaining)? {
-                        Some(r) => r,
-                        None => {
-                            // §3.4-style crash/loss extension generalised
-                            // to the exit protocol: a missing vote is
-                            // treated as a crashed participant and the
-                            // action resolves to abortion (ƒ) instead of
-                            // waiting forever.
-                            self.system.stats.lock().exit_timeouts += 1;
-                            self.observe(action, || EventKind::ExitTimeout { epoch });
-                            return Ok(ExitResult::TimedOut);
-                        }
-                    }
+            let received = match self.recv_until(deadline)? {
+                Some(r) => r,
+                None => {
+                    // §3.4-style crash/loss extension generalised
+                    // to the exit protocol: a missing vote is
+                    // treated as a crashed participant and the
+                    // action resolves to abortion (ƒ) instead of
+                    // waiting forever. (Only reachable with a deadline.)
+                    self.system.stats.lock().exit_timeouts += 1;
+                    self.observe(action, || EventKind::ExitTimeout { epoch });
+                    return Ok(ExitResult::TimedOut);
                 }
-                None => self.endpoint.recv()?,
             };
             match self.route(received)? {
                 Routed::Done => {}
@@ -1295,7 +1604,9 @@ impl Ctx {
                     self.system.stats.lock().corrupted_ignored += 1;
                 }
                 Routed::ActiveControl(msg) => match msg {
-                    Message::Exception { .. } | Message::Suspended { .. } => {
+                    Message::Exception { .. }
+                    | Message::Suspended { .. }
+                    | Message::ViewChange { .. } => {
                         // A peer started recovery while we were leaving:
                         // stash the trigger and join it.
                         let frame = self.stack.last_mut().expect("frame active");
@@ -1319,8 +1630,9 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     /// Non-blocking poll point: absorbs everything deliverable now; unwinds
-    /// if recovery must take over.
+    /// if recovery must take over (or a scheduled crash instant passed).
     fn poll(&mut self) -> Step {
+        self.crash_check()?;
         while let Some(received) = self.endpoint.try_recv()? {
             self.absorb_or_unwind(received)?;
         }
@@ -1349,7 +1661,9 @@ impl Ctx {
                 }
             }
             Routed::ActiveControl(msg) => match msg {
-                Message::Exception { .. } | Message::Suspended { .. } => {
+                Message::Exception { .. }
+                | Message::Suspended { .. }
+                | Message::ViewChange { .. } => {
                     let frame = self.stack.last_mut().expect("active control implies frame");
                     frame.pending_control.push_back(msg);
                     Err(Flow::new(Unwind::Suspend))
@@ -1398,9 +1712,13 @@ impl Ctx {
     fn route_to_frame(&mut self, index: usize, msg: Message, is_top: bool) -> Result<Routed, Flow> {
         let target = self.stack[index].action;
         match msg {
-            Message::Exception { .. } | Message::Suspended { .. } => {
+            Message::Exception { .. } | Message::Suspended { .. } | Message::ViewChange { .. } => {
                 if self.stack[index].recovered || self.stack[index].aborting {
-                    return Ok(Routed::Done); // straggler after commit/abort
+                    // Straggler after commit/abort. A late ViewChange from
+                    // a survivor that timed out concurrently lands here
+                    // too: this frame already adopted the view from the
+                    // commit it resolved on.
+                    return Ok(Routed::Done);
                 }
                 if is_top {
                     Ok(Routed::ActiveControl(msg))

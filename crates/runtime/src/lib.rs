@@ -10,10 +10,15 @@
 //! * the **resolution algorithm** of §3.3.2 (default
 //!   [`XrrResolution`], pluggable via [`protocol::ResolutionProtocol`] for
 //!   the baseline comparisons of §5.3),
+//! * the **membership extension** ([`membership`]): a bounded resolution
+//!   wait whose expiry presumes silent peers crashed, shrinks the
+//!   per-instance membership view and resolves a synthesized crash
+//!   exception among the survivors,
 //! * the **abortion cascade** over nested actions (§3.3.1),
 //! * exception **handlers** under the termination model (§3.1),
 //! * the **signalling algorithm** of §3.4 coordinating `ε`/µ/ƒ, and
-//! * a synchronous **exit protocol** (§5.1).
+//! * a synchronous **exit protocol** (§5.1) — signalling and exit range
+//!   over the current membership view.
 //!
 //! Rust has no asynchronous exceptions, so the Ada 95 ATC of the paper's
 //! prototype becomes a `Result`-based design: all role operations return
@@ -92,6 +97,7 @@
 pub mod action;
 pub mod context;
 mod error;
+pub mod membership;
 pub mod objects;
 pub mod observe;
 mod pool;

@@ -1,0 +1,199 @@
+//! The crash-aware membership subsystem: a deterministic,
+//! simulation-driven failure detector for coordinated resolution.
+//!
+//! §3.4 of the paper bounds waits for the signalling algorithm, and the
+//! exit protocol reuses the same rule; this module extends it to the one
+//! loop that could still block forever on a crashed peer — the resolution
+//! collection of §3.3.2. Each action frame carries a `FrameMembership`
+//! (crate-internal): the [`MembershipView`] (live members + epoch) this
+//! participant holds of the instance. The recovery driver (see
+//! [`crate::context`]) runs the detector:
+//!
+//! 1. **Bounded wait.** When the action declares a
+//!    [`resolution timeout`](crate::ActionDefBuilder::resolution_timeout),
+//!    the collection loop waits on a per-round virtual-time deadline (the
+//!    same [`recv_deadline`](caa_simnet::Endpoint::recv_deadline) machinery
+//!    the exit protocol uses) instead of blocking unboundedly.
+//! 2. **Suspect computation.** On expiry, the resolver state names the
+//!    threads this participant is blocked on
+//!    ([`ResolverState::waiting_on`](crate::protocol::ResolverState::waiting_on)):
+//!    view members with no recorded entry, or an elected resolver whose
+//!    `Commit` never came. Because every live participant answers within a
+//!    latency bound ≪ the timeout, expiry means those threads are crashed.
+//! 3. **Presume-ƒ.** The suspects are removed from the view (epoch + 1), a
+//!    crash exception ([`ExceptionId::crash`]) is synthesized on behalf of
+//!    each silent one — a participant crash is *just another exception* to
+//!    be resolved concurrently — and resolution re-runs over the shrunken
+//!    view.
+//! 4. **View agreement.** The initiator broadcasts
+//!    [`Message::ViewChange`](caa_core::message::Message::ViewChange) with
+//!    the `(epoch, removed)` pair; survivors apply the identical change
+//!    (or detect that they already did, when several timed out
+//!    concurrently — the deterministic deadlines make their suspect sets
+//!    equal), so all survivors share one view before any handler starts
+//!    and therefore elect the same resolver and commit to the same
+//!    resolving exception. A `Commit` also carries the resolver's
+//!    `(epoch, removed)` pair, so a survivor that receives the commit
+//!    before a racing `ViewChange` announcement still adopts the shrunken
+//!    view — its signalling and exit rounds must not wait on the dead.
+//!
+//! After recovery, the frame's signalling and exit protocols range over
+//! the current view: survivors coordinate among themselves and the action
+//! can still conclude with any outcome its handlers produce — a crash no
+//! longer forces ƒ the way a bare exit timeout does.
+//!
+//! Everything is deterministic: deadlines are virtual-time instants, the
+//! suspect set is a pure function of protocol state, and view changes are
+//! totally ordered by epoch — the same seed replays the same crashes, the
+//! same view sequence and the same byte-identical trace.
+
+use caa_core::exception::{Exception, ExceptionId};
+use caa_core::ids::ThreadId;
+use caa_core::membership::{MembershipView, ViewChangeOutcome};
+
+/// Per-frame membership state driven by the recovery driver's failure
+/// detector.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameMembership {
+    view: MembershipView,
+}
+
+impl FrameMembership {
+    /// The initial full view over the action's group.
+    pub(crate) fn new(group: &[ThreadId]) -> Self {
+        FrameMembership {
+            view: MembershipView::new(group.to_vec()),
+        }
+    }
+
+    /// The live members, sorted ascending.
+    pub(crate) fn members(&self) -> &[ThreadId] {
+        self.view.members()
+    }
+
+    /// The current membership epoch.
+    pub(crate) fn epoch(&self) -> u32 {
+        self.view.epoch()
+    }
+
+    /// Every thread removed so far, ascending.
+    pub(crate) fn removed(&self) -> &[ThreadId] {
+        self.view.removed()
+    }
+
+    /// Initiates a local view change after a bounded wait expired:
+    /// removes `suspects` and bumps the epoch. Returns the new epoch.
+    pub(crate) fn initiate(&mut self, suspects: &[ThreadId]) -> Result<u32, String> {
+        let epoch = self.view.epoch() + 1;
+        match self.view.apply(epoch, suspects) {
+            ViewChangeOutcome::Applied { .. } => Ok(epoch),
+            ViewChangeOutcome::Duplicate => Err("local view change applied nothing".into()),
+            ViewChangeOutcome::Conflict { reason } => Err(reason),
+        }
+    }
+
+    /// Applies a peer's `ViewChange` announcement: one epoch's step of
+    /// removals.
+    pub(crate) fn apply_remote(&mut self, epoch: u32, removed: &[ThreadId]) -> ViewChangeOutcome {
+        self.view.apply(epoch, removed)
+    }
+
+    /// Adopts the membership data piggybacked on a resolver's `Commit`:
+    /// the resolver's epoch and *cumulative* removed set. This can jump
+    /// over announcements still in flight, so a survivor that learns the
+    /// resolving exception first still stops waiting on the dead in its
+    /// signalling and exit rounds.
+    pub(crate) fn sync_commit(&mut self, epoch: u32, removed: &[ThreadId]) -> ViewChangeOutcome {
+        self.view.sync_to(epoch, removed)
+    }
+}
+
+/// The crash exception synthesized on behalf of each presumed-crashed
+/// thread (presume-ƒ): it enters the resolver's entry list as if the dead
+/// peer had raised it, so the crash is resolved — and handled — like any
+/// other concurrent exception.
+pub(crate) fn synthesize_crashes(removed: &[ThreadId]) -> Vec<Exception> {
+    removed
+        .iter()
+        .map(|&t| {
+            Exception::new(ExceptionId::crash())
+                .with_origin(t)
+                .with_detail("presumed crashed: bounded resolution wait expired")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+
+    #[test]
+    fn initiate_bumps_epoch_and_removes_suspects() {
+        let mut m = FrameMembership::new(&[t(0), t(1), t(2)]);
+        assert_eq!(m.epoch(), 0);
+        let epoch = m.initiate(&[t(1)]).expect("valid suspects");
+        assert_eq!(epoch, 1);
+        assert_eq!(m.members(), &[t(0), t(2)]);
+        assert_eq!(m.removed(), &[t(1)]);
+        // Removing a thread that is already gone is a local logic error.
+        assert!(m.initiate(&[t(1)]).is_err());
+    }
+
+    #[test]
+    fn apply_remote_accepts_next_epoch_and_duplicates() {
+        let mut m = FrameMembership::new(&[t(0), t(1), t(2)]);
+        assert!(matches!(
+            m.apply_remote(1, &[t(2)]),
+            ViewChangeOutcome::Applied { .. }
+        ));
+        assert!(matches!(
+            m.apply_remote(1, &[t(2)]),
+            ViewChangeOutcome::Duplicate
+        ));
+        assert!(matches!(
+            m.apply_remote(1, &[t(0)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn sync_commit_jumps_to_a_commits_cumulative_view() {
+        // A commit carrying (epoch 2, removed {1, 2}) reaches a survivor
+        // still at epoch 0: it lands on the resolver's exact view.
+        let mut m = FrameMembership::new(&[t(0), t(1), t(2), t(3)]);
+        let outcome = m.sync_commit(2, &[t(1), t(2)]);
+        assert!(
+            matches!(outcome, ViewChangeOutcome::Applied { .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(m.members(), &[t(0), t(3)]);
+        assert_eq!(m.epoch(), 2);
+        // A crash-free commit (epoch 0, nothing removed) is a no-op.
+        let mut m = FrameMembership::new(&[t(0), t(1)]);
+        assert!(matches!(
+            m.sync_commit(0, &[]),
+            ViewChangeOutcome::Duplicate
+        ));
+        // A jump that contradicts local history conflicts.
+        let mut m = FrameMembership::new(&[t(0), t(1), t(2)]);
+        m.initiate(&[t(1)]).unwrap();
+        assert!(matches!(
+            m.sync_commit(3, &[t(0)]),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn synthesized_crashes_carry_origin_and_crash_id() {
+        let crashes = synthesize_crashes(&[t(4), t(7)]);
+        assert_eq!(crashes.len(), 2);
+        for (e, expect) in crashes.iter().zip([t(4), t(7)]) {
+            assert!(e.id().is_crash());
+            assert_eq!(e.origin(), Some(expect));
+        }
+    }
+}

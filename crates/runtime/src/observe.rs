@@ -124,6 +124,23 @@ pub enum EventKind {
         /// The frame's exit epoch.
         epoch: u32,
     },
+    /// The bounded resolution wait expired: the thread suspects the listed
+    /// peers crashed and initiates a membership view change (presume-ƒ —
+    /// see `caa-runtime`'s `membership` module).
+    ResolutionTimeout {
+        /// The silent peers this thread's resolution was blocked on.
+        suspects: Vec<ThreadId>,
+    },
+    /// The thread's membership view of this action advanced to `epoch`,
+    /// removing `removed` — either by its own failure detector, by a
+    /// peer's `ViewChange` announcement, or by the membership data
+    /// piggybacked on a resolver's `Commit`.
+    ViewChange {
+        /// The new membership epoch.
+        epoch: u32,
+        /// The threads this change removed from the view.
+        removed: Vec<ThreadId>,
+    },
     /// The thread crash-stopped inside this action: the frame was
     /// discarded without handlers, messages or an exit.
     Crash,
@@ -152,6 +169,20 @@ impl fmt::Display for EventKind {
             EventKind::ObjectAcquired { object } => write!(f, "object acquire {object}"),
             EventKind::ExitStart { epoch } => write!(f, "exit start e{epoch}"),
             EventKind::ExitTimeout { epoch } => write!(f, "exit timeout e{epoch}"),
+            EventKind::ResolutionTimeout { suspects } => {
+                f.write_str("resolution timeout suspects")?;
+                for t in suspects {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+            EventKind::ViewChange { epoch, removed } => {
+                write!(f, "view change v{epoch} -")?;
+                for t in removed {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
             EventKind::Crash => f.write_str("crash-stop"),
         }
     }

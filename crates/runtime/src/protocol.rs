@@ -24,7 +24,15 @@ pub struct ProtoCtx<'a> {
     pub me: ThreadId,
     /// The action instance being recovered.
     pub action: ActionId,
-    /// All participating threads of the action, sorted ascending.
+    /// The threads participating in this recovery, sorted ascending.
+    ///
+    /// This is the *current membership view*, not necessarily the action's
+    /// full group: when the crash-aware extension removes a
+    /// presumed-crashed participant (see [`crate::membership`]), subsequent
+    /// events see the shrunken view here — quorum and resolver election
+    /// range over live members only, while entries recorded for removed
+    /// members (their real raises, or synthesized crash exceptions) still
+    /// feed the resolution function.
     pub group: &'a [ThreadId],
     /// The action's exception graph.
     pub graph: &'a ExceptionGraph,
@@ -73,6 +81,43 @@ pub trait ResolverState: Send {
 
     /// Current N/X/S state of this participant, for diagnostics.
     fn participant_state(&self) -> ParticipantState;
+
+    /// The threads whose next protocol message this participant's progress
+    /// is currently blocked on: group members with no recorded entry, or —
+    /// once every entry is in — the elected resolver whose `Commit` has not
+    /// arrived. The membership extension's failure detector turns exactly
+    /// this set into crash suspects when the bounded resolution wait
+    /// expires.
+    ///
+    /// The default (for protocols without membership support) reports
+    /// nothing, which makes a configured
+    /// [`resolution timeout`](crate::ActionDefBuilder::resolution_timeout)
+    /// a fatal protocol error on expiry rather than a silent misdiagnosis.
+    fn waiting_on(&self, ctx: &ProtoCtx<'_>) -> Vec<ThreadId> {
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Applies a membership view change: `ctx.group` is already the
+    /// shrunken view, `removed` lists the threads this change removed, and
+    /// `synthesized` carries the crash exception synthesized on behalf of
+    /// each removed thread that never announced anything (presume-ƒ). The
+    /// resolver records the synthesized entries, re-elects over the new
+    /// view and — if this participant now holds the quorum and the
+    /// election — resolves and commits.
+    ///
+    /// The default is a no-op: baseline protocols without membership
+    /// support ignore view changes (and must not be paired with a
+    /// resolution timeout).
+    fn on_view_change(
+        &mut self,
+        ctx: &ProtoCtx<'_>,
+        removed: &[ThreadId],
+        synthesized: &[Exception],
+    ) -> ProtoActions {
+        let _ = (ctx, removed, synthesized);
+        ProtoActions::default()
+    }
 }
 
 /// Factory for [`ResolverState`]s — one strategy per system.
@@ -129,23 +174,42 @@ enum Entry {
 }
 
 impl XrrState {
+    /// The thread elected to perform resolution over the current view:
+    /// the biggest identifying number among *live* threads in the
+    /// exceptional state (§3.3.2). When a view change left no live
+    /// exceptional thread (the only raisers crashed after broadcasting,
+    /// so every survivor is merely suspended), the biggest live thread
+    /// resolves instead — the crash entries guarantee the raised set is
+    /// non-empty, and the rule is a pure function of the shared view, so
+    /// every survivor elects the same thread. Crash-free recoveries never
+    /// reach the fallback: the group always contains a live raiser.
+    fn elected(&self, ctx: &ProtoCtx<'_>) -> Option<ThreadId> {
+        let max_exceptional = self
+            .entries
+            .iter()
+            .filter(|(t, e)| ctx.group.contains(t) && matches!(e, Entry::Exception(_)))
+            .map(|(&t, _)| t)
+            .max();
+        max_exceptional.or_else(|| ctx.group.last().copied())
+    }
+
     /// "if Ti has all exceptions, or state S, of other threads within A and
     /// Ti has the biggest identifying number among threads with the state X
     /// then resolve exceptions in LEi; Commit(A, E) ⇒ all Tj in GA".
+    ///
+    /// Quorum and election range over `ctx.group` — the current membership
+    /// view — while the raised set also includes entries recorded for
+    /// removed members (their pre-crash raises and synthesized crash
+    /// exceptions): a participant crash is just another exception to be
+    /// resolved concurrently.
     fn try_resolve(&mut self, ctx: &ProtoCtx<'_>, actions: &mut ProtoActions) {
         if self.resolved.is_some() || actions.resolved.is_some() {
             return;
         }
-        if self.entries.len() < ctx.group.len() {
+        if !ctx.group.iter().all(|t| self.entries.contains_key(t)) {
             return;
         }
-        let max_exceptional = self
-            .entries
-            .iter()
-            .filter(|(_, e)| matches!(e, Entry::Exception(_)))
-            .map(|(&t, _)| t)
-            .max();
-        if max_exceptional != Some(ctx.me) || self.state != ParticipantState::Exceptional {
+        if self.elected(ctx) != Some(ctx.me) {
             return;
         }
         let raised: Vec<ExceptionId> = self
@@ -156,15 +220,23 @@ impl XrrState {
                 Entry::Suspended => None,
             })
             .collect();
+        if raised.is_empty() {
+            return;
+        }
         let resolved = ctx.graph.resolve(&raised);
         actions.resolve_invocations += 1;
         for peer in ctx.peers() {
+            // The recovery driver fills `view_epoch`/`view_removed` in
+            // from the frame's membership before the message leaves —
+            // resolver states only know the live group, not its history.
             actions.outbound.push((
                 peer,
                 Message::Commit {
                     action: ctx.action,
                     from: ctx.me,
                     resolved: resolved.clone(),
+                    view_epoch: 0,
+                    view_removed: Vec::new(),
                 },
             ));
         }
@@ -231,6 +303,48 @@ impl ResolverState for XrrState {
 
     fn participant_state(&self) -> ParticipantState {
         self.state
+    }
+
+    fn waiting_on(&self, ctx: &ProtoCtx<'_>) -> Vec<ThreadId> {
+        if self.resolved.is_some() {
+            return Vec::new();
+        }
+        let missing: Vec<ThreadId> = ctx
+            .group
+            .iter()
+            .copied()
+            .filter(|t| !self.entries.contains_key(t))
+            .collect();
+        if !missing.is_empty() {
+            return missing;
+        }
+        // Full quorum: the stall can only be the elected resolver's
+        // missing Commit.
+        match self.elected(ctx) {
+            Some(t) if t != ctx.me => vec![t],
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_view_change(
+        &mut self,
+        ctx: &ProtoCtx<'_>,
+        removed: &[ThreadId],
+        synthesized: &[Exception],
+    ) -> ProtoActions {
+        let mut actions = ProtoActions::default();
+        let _ = removed;
+        for e in synthesized {
+            // A silent peer becomes its synthesized crash exception; a
+            // peer that raised before crashing keeps its real exception
+            // (never demote a recorded raise).
+            let origin = e.origin().expect("synthesized crashes carry their origin");
+            self.entries
+                .entry(origin)
+                .or_insert_with(|| Entry::Exception(e.id().clone()));
+        }
+        self.try_resolve(ctx, &mut actions);
+        actions
     }
 }
 
@@ -430,6 +544,8 @@ mod tests {
                 action: c0.action,
                 from: tid(1),
                 resolved: ExceptionId::new("e1∩e2"),
+                view_epoch: 0,
+                view_removed: Vec::new(),
             }),
         );
         assert_eq!(a.resolved, Some(ExceptionId::new("e1∩e2")));

@@ -45,6 +45,12 @@ pub struct RuntimeStats {
     /// Exit-protocol waits that expired with votes missing (presumed
     /// crashed peers; the action resolved to abortion).
     pub exit_timeouts: u64,
+    /// Bounded resolution waits that expired with a peer silent (the
+    /// membership extension then presumes the peer crashed).
+    pub resolution_timeouts: u64,
+    /// Membership view changes applied (initiated locally or adopted from
+    /// a peer's announcement; each participant counts its own).
+    pub view_changes: u64,
 }
 
 /// State shared between all participants of one [`System`].

@@ -150,6 +150,11 @@ pub enum Parked<M> {
     /// [`Network::schedule_wake`] for the current wait epoch
     /// ([`Endpoint::begin_wait`]). The doorbell is consumed.
     Doorbell,
+    /// The caller-supplied deadline of [`Endpoint::park_wait_until`] was
+    /// reached (with no message and no doorbell due at the same instant).
+    /// The doorbell — which belongs to the wait's scheduler, e.g. an
+    /// object arbitration — is left untouched.
+    Deadline,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -727,8 +732,29 @@ impl<M: Send + Classify> Endpoint<M> {
         &mut self,
         timeout: VirtualDuration,
     ) -> Result<Option<Received<M>>, SimError> {
-        let id = self.id;
         let deadline = self.net.now().saturating_add(timeout);
+        self.recv_deadline(deadline)
+    }
+
+    /// Receives the next message, waiting until `deadline` at the latest —
+    /// [`Endpoint::recv_timeout`] with an absolute instant instead of a
+    /// duration, so per-round protocol waits (the §3.4 signalling timeout,
+    /// the bounded exit wait, the membership extension's bounded resolution
+    /// wait) can share one deadline across many receive calls without the
+    /// caller re-deriving a remaining duration each time.
+    ///
+    /// Returns `Ok(None)` once virtual time reaches `deadline` with nothing
+    /// deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the whole simulation can no longer make
+    /// progress.
+    pub fn recv_deadline(
+        &mut self,
+        deadline: VirtualInstant,
+    ) -> Result<Option<Received<M>>, SimError> {
+        let id = self.id;
         self.net.block_until(
             id,
             BlockKind::Recv,
@@ -759,6 +785,26 @@ impl<M: Send + Classify> Endpoint<M> {
     /// waits nobody will ever enable — a wait-for cycle that the old
     /// polling design would spin on forever.
     pub fn park_wait(&mut self) -> Result<Parked<M>, SimError> {
+        self.park_wait_until(None)
+    }
+
+    /// Like [`Endpoint::park_wait`], but additionally wakes with
+    /// [`Parked::Deadline`] once virtual time reaches `deadline` (when one
+    /// is given). The deadline is independent of the doorbell: it belongs
+    /// to the *caller* (e.g. a scheduled crash-stop instant bounding an
+    /// object-acquisition wait), while the doorbell belongs to whatever
+    /// scheduler the wait's epoch was published to — a deadline wake-up
+    /// neither consumes nor reorders pending doorbells, and a message or
+    /// doorbell due at the same instant is reported first.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the whole simulation can no longer make
+    /// progress.
+    pub fn park_wait_until(
+        &mut self,
+        deadline: Option<VirtualInstant>,
+    ) -> Result<Parked<M>, SimError> {
         let id = self.id;
         self.net.block_until(
             id,
@@ -772,14 +818,21 @@ impl<M: Send + Classify> Endpoint<M> {
                     slot.doorbell = None;
                     return Some(Parked::Doorbell);
                 }
+                if deadline.is_some_and(|at| at <= now) {
+                    return Some(Parked::Deadline);
+                }
                 None
             },
             |inner, _| {
                 let head = head_deliver_at(inner, id);
                 let bell = inner.actors[id.index()].doorbell;
-                match (head, bell) {
+                let hint = match (head, bell) {
                     (Some(h), Some(b)) => Some(h.min(b)),
                     (head, bell) => head.or(bell),
+                };
+                match (hint, deadline) {
+                    (Some(h), Some(d)) => Some(h.min(d)),
+                    (hint, deadline) => hint.or(deadline),
                 }
             },
         )
@@ -1207,7 +1260,7 @@ mod tests {
         net.schedule_wake(a.id(), VirtualInstant::EPOCH + secs(0.005), epoch);
         match a.park_wait().unwrap() {
             Parked::Doorbell => {}
-            Parked::Msg(_) => panic!("no message was sent"),
+            other => panic!("expected the doorbell, got {other:?}"),
         }
         assert_eq!(net.now(), VirtualInstant::EPOCH + secs(0.005));
         // The bell is consumed: a further park has no wake-up point and,
@@ -1242,11 +1295,11 @@ mod tests {
         b.retire();
         match a.park_wait().unwrap() {
             Parked::Msg(m) => assert_eq!(m.msg.unwrap(), Msg(1)),
-            Parked::Doorbell => panic!("message must be reported before the bell"),
+            other => panic!("message must be reported before the bell, got {other:?}"),
         }
         match a.park_wait().unwrap() {
             Parked::Doorbell => {}
-            Parked::Msg(_) => panic!("only one message was sent"),
+            other => panic!("only one message was sent, got {other:?}"),
         }
         a.retire();
     }

@@ -36,6 +36,7 @@ impl Classify for caa_core::Message {
             caa_core::MessageKind::Suspended => "Suspended",
             caa_core::MessageKind::Commit => "Commit",
             caa_core::MessageKind::Resolve => "Resolve",
+            caa_core::MessageKind::ViewChange => "ViewChange",
             caa_core::MessageKind::ToBeSignalled => "toBeSignalled",
             caa_core::MessageKind::ExitVote => "ExitVote",
             caa_core::MessageKind::App => "App",
