@@ -13,12 +13,20 @@
 //!
 //! ```text
 //! cargo run -p caa-bench --release --bin sweep_bench -- \
-//!     [--seeds N] [--workers N] [--shard k/n] [--out BENCH_sweep.json]
+//!     [--seeds N] [--workers N] [--shard k/n] [--out BENCH_sweep.json] \
+//!     [--min-seeds-per-sec N]
 //! ```
 //!
 //! `--shard k/n` restricts the run to one deterministic shard of the seed
 //! range (see `caa_harness::sweep::Shard`), so CI matrices or multiple
 //! machines can split one big sweep without coordination.
+//!
+//! `--min-seeds-per-sec N` turns the run into a perf smoke gate: the
+//! process exits nonzero if any case explores fewer than `N` seeds/s.
+//! CI passes a deliberately generous floor — an order of magnitude below
+//! the trajectory in `BENCH_sweep.json` — so hardware jitter never trips
+//! it but a structural collapse (an accidental O(n²), a lost wake-up
+//! path, a per-seed allocation storm) cannot slip through unnoticed.
 //!
 //! The JSON is a flat, diff-friendly document uploaded as a CI artifact
 //! (the per-commit measurement). The `BENCH_sweep.json` committed at the
@@ -115,6 +123,7 @@ fn main() {
     let mut workers: usize = 0;
     let mut shard: Option<Shard> = None;
     let mut out_path = String::from("BENCH_sweep.json");
+    let mut min_seeds_per_sec: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -133,8 +142,18 @@ fn main() {
                 }));
             }
             "--out" => out_path = value("--out"),
+            "--min-seeds-per-sec" => {
+                min_seeds_per_sec = Some(
+                    value("--min-seeds-per-sec")
+                        .parse()
+                        .expect("--min-seeds-per-sec N"),
+                );
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] [--shard k/n] [--out PATH]");
+                eprintln!(
+                    "unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] \
+                     [--shard k/n] [--out PATH] [--min-seeds-per-sec N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -169,4 +188,23 @@ fn main() {
     std::fs::write(&out_path, &doc).expect("write bench JSON");
     print!("{doc}");
     eprintln!("wrote {out_path} in {:.2?}", started.elapsed());
+
+    if let Some(floor) = min_seeds_per_sec {
+        let mut collapsed = false;
+        for result in &results {
+            let rate = result.report.seeds_per_sec();
+            if rate < floor {
+                eprintln!(
+                    "PERF FLOOR VIOLATED: case '{}' explored {rate:.0} seeds/s, \
+                     below the --min-seeds-per-sec floor of {floor:.0}",
+                    result.name
+                );
+                collapsed = true;
+            }
+        }
+        if collapsed {
+            std::process::exit(3);
+        }
+        eprintln!("perf floor ok: every case ≥ {floor:.0} seeds/s");
+    }
 }

@@ -9,22 +9,38 @@
 //! when the crash model itself changes). A trailing section hashes
 //! production-cell runs the same way.
 //!
+//! Fingerprints are computed by streaming
+//! ([`Trace::render_fingerprint`](caa_harness::trace::Trace::render_fingerprint)):
+//! each entry renders into one reusable line buffer and folds into the
+//! running hash, so a hash-gate sweep never materialises a full rendered
+//! trace — by construction the value equals `fnv1a64(render())`, keeping
+//! old and new hash files comparable.
+//!
 //! ```text
 //! cargo run --release -p caa-bench --bin trace_hashes -- \
-//!     [--seeds N] [--prodcell N] [--workers N] > hashes.txt
+//!     [--seeds N] [--prodcell N] [--workers N] [--shard k/n] > hashes.txt
 //! ```
+//!
+//! `--shard k/n` restricts the run to one deterministic shard of the seed
+//! range (same split as `sweep_bench` and the replay example — see
+//! `caa_harness::sweep::Shard`), so a 12k-seed gate can be split across CI
+//! jobs and the sorted union of the shard outputs equals the unsharded
+//! output. The prodcell section is emitted by shard 0 only (it is not
+//! seed-range work).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use caa_harness::exec::execute;
+use caa_harness::arena::ExecutionArena;
+use caa_harness::exec::execute_in;
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
-use caa_harness::trace::fnv1a64 as fnv1a;
+use caa_harness::sweep::Shard;
 
 fn main() {
     let mut seeds: u64 = 12_000;
     let mut prodcell: u64 = 32;
     let mut workers: usize = 0;
+    let mut shard: Option<Shard> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -37,6 +53,12 @@ fn main() {
             "--seeds" => seeds = value("--seeds").parse().expect("--seeds: u64"),
             "--prodcell" => prodcell = value("--prodcell").parse().expect("--prodcell: u64"),
             "--workers" => workers = value("--workers").parse().expect("--workers: usize"),
+            "--shard" => {
+                shard = Some(Shard::parse(&value("--shard")).unwrap_or_else(|e| {
+                    eprintln!("bad --shard value: {e}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -54,23 +76,32 @@ fn main() {
     let lines: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::with_capacity(seeds as usize));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let seed = next.fetch_add(1, Ordering::Relaxed);
-                if seed >= seeds {
-                    return;
+            scope.spawn(|| {
+                let mut arena = ExecutionArena::new();
+                loop {
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= seeds {
+                        return;
+                    }
+                    if let Some(shard) = shard {
+                        if seed % shard.count != shard.index {
+                            continue;
+                        }
+                    }
+                    let plan = ScenarioPlan::generate(seed, &config);
+                    let tag = if plan.crash.is_some() {
+                        "crash"
+                    } else {
+                        "crashfree"
+                    };
+                    let artifacts = execute_in(&plan, &mut arena);
+                    let hash = artifacts.trace.render_fingerprint();
+                    arena.recycle_trace(artifacts.trace);
+                    lines
+                        .lock()
+                        .expect("collector")
+                        .push((seed, format!("seed {seed} {tag} {hash:016x}")));
                 }
-                let plan = ScenarioPlan::generate(seed, &config);
-                let tag = if plan.crash.is_some() {
-                    "crash"
-                } else {
-                    "crashfree"
-                };
-                let artifacts = execute(&plan);
-                let hash = fnv1a(artifacts.trace.render().as_bytes());
-                lines
-                    .lock()
-                    .expect("collector")
-                    .push((seed, format!("seed {seed} {tag} {hash:016x}")));
             });
         }
     });
@@ -79,11 +110,10 @@ fn main() {
     for (_, line) in &lines {
         println!("{line}");
     }
-    for seed in 0..prodcell {
-        let run = caa_harness::prodcell::run_seed(seed, 2, false);
-        println!(
-            "prodcell {seed} {:016x}",
-            fnv1a(run.trace.render().as_bytes())
-        );
+    if shard.is_none_or(|s| s.index == 0) {
+        for seed in 0..prodcell {
+            let run = caa_harness::prodcell::run_seed(seed, 2, false);
+            println!("prodcell {seed} {:016x}", run.trace.render_fingerprint());
+        }
     }
 }

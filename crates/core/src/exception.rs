@@ -199,7 +199,9 @@ impl AsRef<str> for ExceptionId {
 pub struct Exception {
     id: ExceptionId,
     origin: Option<ThreadId>,
-    detail: Option<String>,
+    /// Interned so cloning an exception — which the resolution algorithm
+    /// does once per broadcast recipient — never copies the text.
+    detail: Option<Arc<str>>,
 }
 
 impl Exception {
@@ -222,8 +224,8 @@ impl Exception {
 
     /// Attaches a human-readable explanation.
     #[must_use]
-    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
-        self.detail = Some(detail.into());
+    pub fn with_detail(mut self, detail: impl AsRef<str>) -> Self {
+        self.detail = Some(Arc::from(detail.as_ref()));
         self
     }
 

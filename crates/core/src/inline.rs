@@ -1,0 +1,304 @@
+//! Small-vector storage for the hot-path sets of the coordination
+//! protocols.
+//!
+//! Recovery rounds snapshot an action's *live member set* (membership
+//! view, signalling group, exit group) once per protocol round; with
+//! `Vec<ThreadId>` every snapshot is a heap allocation on the execute hot
+//! path. Group sizes are tiny — the scenario model tops out well below a
+//! dozen participants — so [`InlineVec`] keeps up to `N` elements inline
+//! on the stack and only spills to a heap `Vec` beyond that. The spill
+//! path keeps full `Vec` semantics, so correctness never depends on the
+//! inline capacity; `N` is purely a performance knob.
+//!
+//! The type is deliberately minimal: `Copy` elements, the handful of
+//! mutators the membership arithmetic needs (`push`, `retain`,
+//! `sort_unstable`, `dedup`, `extend_from_slice`, `clear`), and `Deref`
+//! to a slice for everything else. It is **not** a general-purpose
+//! `smallvec` replacement.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector of `Copy` elements that stores up to `N` of them inline.
+///
+/// # Examples
+///
+/// ```
+/// use caa_core::inline::InlineVec;
+///
+/// let mut v: InlineVec<u32, 4> = InlineVec::new();
+/// v.push(3);
+/// v.extend_from_slice(&[1, 2]);
+/// v.sort_unstable();
+/// assert_eq!(&v[..], &[1, 2, 3]);
+///
+/// // Exceeding the inline capacity spills to the heap transparently.
+/// v.extend_from_slice(&[4, 5, 6]);
+/// assert_eq!(v.len(), 6);
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    /// Number of live elements. When `heap` is empty they live in
+    /// `inline[..len]`; once spilled, `heap.len() == len` and `inline` is
+    /// dead storage.
+    len: usize,
+    inline: [T; N],
+    heap: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [T::default(); N],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Copies `slice` into a fresh vector (inline when it fits).
+    #[must_use]
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut v = InlineVec::new();
+        v.extend_from_slice(slice);
+        v
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the elements have spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        !self.heap.is_empty()
+    }
+
+    /// The elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        if self.heap.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.heap
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.heap.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.heap
+        }
+    }
+
+    /// Removes every element (keeps any heap capacity for reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.heap.clear();
+    }
+
+    /// Appends one element, spilling to the heap at `N + 1` elements.
+    pub fn push(&mut self, value: T) {
+        if self.heap.is_empty() && self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            self.spill();
+            self.heap.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Appends every element of `slice`.
+    pub fn extend_from_slice(&mut self, slice: &[T]) {
+        if self.heap.is_empty() && self.len + slice.len() <= N {
+            self.inline[self.len..self.len + slice.len()].copy_from_slice(slice);
+        } else {
+            self.spill();
+            self.heap.extend_from_slice(slice);
+        }
+        self.len += slice.len();
+    }
+
+    /// Keeps only the elements for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        if self.heap.is_empty() {
+            let mut write = 0;
+            for read in 0..self.len {
+                let v = self.inline[read];
+                if keep(&v) {
+                    self.inline[write] = v;
+                    write += 1;
+                }
+            }
+            self.len = write;
+        } else {
+            self.heap.retain(|v| keep(v));
+            self.len = self.heap.len();
+        }
+    }
+
+    /// Removes consecutive duplicates (call after `sort_unstable` for a
+    /// set-like dedup).
+    pub fn dedup(&mut self)
+    where
+        T: PartialEq,
+    {
+        if self.heap.is_empty() {
+            let mut write = 0;
+            for read in 0..self.len {
+                if write == 0 || self.inline[write - 1] != self.inline[read] {
+                    self.inline[write] = self.inline[read];
+                    write += 1;
+                }
+            }
+            self.len = write;
+        } else {
+            self.heap.dedup();
+            self.len = self.heap.len();
+        }
+    }
+
+    /// Moves the inline elements into the heap `Vec` (no-op once spilled).
+    fn spill(&mut self) {
+        if self.heap.is_empty() && self.len > 0 {
+            self.heap.reserve(self.len + 1);
+            self.heap.extend_from_slice(&self.inline[..self.len]);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(&v[..], &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_slice_and_extend() {
+        let mut v: InlineVec<u32, 3> = InlineVec::from_slice(&[5, 6]);
+        assert!(!v.spilled());
+        v.extend_from_slice(&[7, 8]);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[5, 6, 7, 8]);
+        // Extending an already-spilled vector appends on the heap.
+        v.extend_from_slice(&[9]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn retain_inline_and_spilled() {
+        let mut v: InlineVec<u32, 8> = InlineVec::from_slice(&[1, 2, 3, 4, 5]);
+        v.retain(|&x| x % 2 == 1);
+        assert_eq!(&v[..], &[1, 3, 5]);
+        let mut big: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3, 4, 5]);
+        assert!(big.spilled());
+        big.retain(|&x| x > 2);
+        assert_eq!(&big[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn sort_and_dedup_like_a_set() {
+        let mut v: InlineVec<u32, 8> = InlineVec::from_slice(&[3, 1, 3, 2, 1]);
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(&v[..], &[1, 2, 3]);
+        let mut big: InlineVec<u32, 2> = InlineVec::from_slice(&[3, 1, 3, 2, 1]);
+        big.sort_unstable();
+        big.dedup();
+        assert_eq!(&big[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_empties_without_losing_heap_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3]);
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(&v[..], &[9]);
+    }
+
+    #[test]
+    fn equality_and_iteration() {
+        let a: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2]);
+        let b: InlineVec<u32, 1> = InlineVec::from_slice(&[1, 2]);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c: InlineVec<u32, 4> = [2u32, 1].into_iter().collect();
+        assert_eq!(c.len(), 2);
+    }
+}

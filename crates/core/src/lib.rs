@@ -10,6 +10,8 @@
 //! * [`exception`] — exception identities, the pre-defined exceptions `µ`
 //!   (undo), `ƒ` (failure), universal and abortion, and the [`Signal`]s of
 //!   the signalling algorithm;
+//! * [`inline`] — small-vector storage keeping the protocols' tiny live
+//!   sets off the heap on the execute hot path;
 //! * [`state`] — the N/X/S participant states of the resolution algorithm;
 //! * [`membership`] — per-action-instance membership views (epoch + live
 //!   member set) for the crash-aware resolution extension;
@@ -55,6 +57,7 @@
 
 pub mod exception;
 pub mod ids;
+pub mod inline;
 pub mod membership;
 pub mod message;
 pub mod outcome;
@@ -63,6 +66,7 @@ pub mod time;
 
 pub use exception::{Exception, ExceptionId, Signal};
 pub use ids::{ActionId, PartitionId, RoleId, ThreadId};
+pub use inline::InlineVec;
 pub use membership::{MembershipView, ViewChangeOutcome};
 pub use message::{AppPayload, Message, MessageKind, SignalRound};
 pub use outcome::{ActionOutcome, HandlerVerdict};

@@ -23,6 +23,12 @@
 use std::fmt;
 
 use crate::ids::ThreadId;
+use crate::inline::InlineVec;
+
+/// Inline capacity of the membership sets: groups beyond this spill to the
+/// heap transparently ([`InlineVec`]), so it is purely a performance knob
+/// sized for the scenario spaces the harness actually generates.
+const VIEW_INLINE: usize = 8;
 
 /// Outcome of applying a view change to a [`MembershipView`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,8 +82,11 @@ pub enum ViewChangeOutcome {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MembershipView {
-    members: Vec<ThreadId>,
-    removed: Vec<ThreadId>,
+    /// Live members, sorted ascending, stored inline for the group sizes
+    /// the protocols actually see (the view is snapshotted once per
+    /// protocol round on the execute hot path).
+    members: InlineVec<ThreadId, VIEW_INLINE>,
+    removed: InlineVec<ThreadId, VIEW_INLINE>,
     epoch: u32,
 }
 
@@ -86,12 +95,13 @@ impl MembershipView {
     /// are kept sorted ascending, matching the runtime's ordered group
     /// `GA`.
     #[must_use]
-    pub fn new(mut members: Vec<ThreadId>) -> Self {
+    pub fn new(members: impl AsRef<[ThreadId]>) -> Self {
+        let mut members = InlineVec::from_slice(members.as_ref());
         members.sort_unstable();
         members.dedup();
         MembershipView {
             members,
-            removed: Vec::new(),
+            removed: InlineVec::new(),
             epoch: 0,
         }
     }
@@ -183,7 +193,7 @@ impl MembershipView {
         actually.sort_unstable();
         actually.dedup();
         self.members.retain(|t| !actually.contains(t));
-        self.removed.extend(actually.iter().copied());
+        self.removed.extend_from_slice(&actually);
         self.removed.sort_unstable();
         self.epoch = epoch;
         ViewChangeOutcome::Applied { removed: actually }
@@ -237,7 +247,7 @@ impl MembershipView {
         fresh.sort_unstable();
         fresh.dedup();
         self.members.retain(|t| !fresh.contains(t));
-        self.removed.extend(fresh.iter().copied());
+        self.removed.extend_from_slice(&fresh);
         self.removed.sort_unstable();
         self.epoch = epoch;
         ViewChangeOutcome::Applied { removed: fresh }

@@ -11,9 +11,20 @@
 
 use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::exception::{Exception, ExceptionId, Signal};
 use crate::ids::{ActionId, ThreadId};
+
+/// A shared, empty removed-thread set — the `view_removed` payload of
+/// every crash-free [`Message::Commit`]. Cloning the returned `Arc` is
+/// allocation-free, so the common case (no view changes) costs nothing
+/// per recipient *or* per message.
+#[must_use]
+pub fn no_removals() -> Arc<[ThreadId]> {
+    static EMPTY: std::sync::OnceLock<Arc<[ThreadId]>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new())))
+}
 
 /// Round number of the signalling algorithm: the first exchange, or the
 /// second exchange forced by a failed undo (§3.4, case 2).
@@ -131,8 +142,11 @@ pub enum Message {
         resolved: ExceptionId,
         /// The resolver's membership epoch at commit time.
         view_epoch: u32,
-        /// Every thread the resolver's view removed since epoch 0.
-        view_removed: Vec<ThreadId>,
+        /// Every thread the resolver's view removed since epoch 0. Shared
+        /// (`Arc`) so a commit broadcast to `N − 1` peers clones one
+        /// reference per recipient instead of deep-copying the set; use
+        /// [`no_removals`] for the crash-free (empty) case.
+        view_removed: Arc<[ThreadId]>,
     },
     /// Auxiliary agreement message used by *baseline* resolution protocols
     /// (e.g. the propose/confirm rounds of Romanovsky et al. 1996). The
@@ -175,7 +189,9 @@ pub enum Message {
         /// The new membership epoch (the initial full view is epoch 0).
         epoch: u32,
         /// The threads presumed crashed and removed by this view change.
-        removed: Vec<ThreadId>,
+        /// Shared (`Arc`) so the announcement broadcast clones a reference
+        /// per survivor instead of deep-copying the set.
+        removed: Arc<[ThreadId]>,
     },
     /// Vote of the synchronous exit protocol (§5.1): a participant is ready
     /// to leave the action; all must be ready before any leaves.
@@ -348,7 +364,7 @@ mod tests {
                 from: t,
                 resolved: ExceptionId::new("e1"),
                 view_epoch: 0,
-                view_removed: Vec::new(),
+                view_removed: no_removals(),
             },
             Message::Resolve {
                 action: a,
@@ -360,7 +376,7 @@ mod tests {
                 action: a,
                 from: t,
                 epoch: 1,
-                removed: vec![ThreadId::new(2)],
+                removed: Arc::from(vec![ThreadId::new(2)]),
             },
             Message::ToBeSignalled {
                 action: a,

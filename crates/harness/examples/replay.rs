@@ -6,8 +6,10 @@
 //! Three forms:
 //!
 //! ```text
-//! # Regenerate the seed under the default ScenarioConfig:
-//! cargo run -p caa-harness --example replay -- 42
+//! # Regenerate the seed under the default ScenarioConfig (`--bisect`
+//! # additionally shrinks a violating seed's fault/crash schedule to a
+//! # minimal still-violating subset and persists it to the corpus dir):
+//! cargo run -p caa-harness --example replay -- 42 [--bisect]
 //!
 //! # Replay a persisted corpus entry (the sweep's exact — possibly
 //! # custom — config, plus a byte-exact check against the recorded
@@ -22,10 +24,12 @@
 use std::path::Path;
 use std::process::exit;
 
+use caa_harness::arena::ExecutionArena;
+use caa_harness::bisect::{bisect_schedule, plan_violates, write_corpus_entry};
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
 use caa_harness::sweep::{run_seed, sweep, Shard, SweepConfig};
 
-fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>) -> bool {
+fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>, bisect: bool) -> bool {
     let plan = ScenarioPlan::generate(seed, config);
     println!("{}", plan.describe());
     let result = run_seed(seed, config, true);
@@ -41,14 +45,54 @@ fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>) -> b
     }
     if result.passed() {
         println!("seed {seed}: every oracle passed");
+        if bisect {
+            println!("--bisect: nothing to bisect (no oracle violation)");
+        }
     } else {
         println!("seed {seed}: {} violation(s)", result.violations.len());
         for v in &result.violations {
             println!("  - {v}");
         }
         ok = false;
+        if bisect {
+            run_bisection(&plan);
+        }
     }
     ok
+}
+
+/// Shrinks the violating seed's fault/crash schedule to a minimal
+/// still-violating subset and persists it next to the seed's corpus
+/// entry.
+fn run_bisection(plan: &ScenarioPlan) {
+    let mut arena = ExecutionArena::new();
+    let full = plan.faults.len() + usize::from(plan.crash.is_some());
+    match bisect_schedule(plan, |candidate| plan_violates(candidate, &mut arena)) {
+        None => println!(
+            "--bisect: the violation does not reproduce deterministically \
+             under the run oracles; nothing minimised"
+        ),
+        Some(outcome) => {
+            println!(
+                "--bisect: schedule minimised from {} to {} element(s) in {} execution(s)",
+                full,
+                outcome.schedule.len(),
+                outcome.attempts,
+            );
+            for (i, fault) in outcome.plan.faults.iter().enumerate() {
+                println!("  kept fault {i}: {fault:?}");
+            }
+            match outcome.plan.crash {
+                Some(c) => println!("  kept crash: {c:?}"),
+                None => println!("  crash dropped (or none scheduled)"),
+            }
+            let dir = Path::new("target/caa-corpus");
+            match write_corpus_entry(dir, &outcome) {
+                Ok(entry) => println!("  minimised schedule written to {}", entry.display()),
+                Err(e) => eprintln!("  could not persist bisection: {e}"),
+            }
+        }
+    }
 }
 
 fn replay_corpus(entry: &Path) -> bool {
@@ -73,7 +117,7 @@ fn replay_corpus(entry: &Path) -> bool {
     });
     let recorded = std::fs::read_to_string(entry.join("trace.txt")).ok();
     println!("replaying corpus entry {} (seed {seed})", entry.display());
-    replay(seed, &config, recorded.as_deref())
+    replay(seed, &config, recorded.as_deref(), false)
 }
 
 fn run_sweep(args: &[String]) -> bool {
@@ -146,12 +190,15 @@ fn main() {
         Some("--sweep") => run_sweep(&args),
         Some(seed) => {
             let seed: u64 = seed.parse().unwrap_or_else(|_| {
-                eprintln!("usage: replay -- <seed> | --corpus <dir>/<seed> | --sweep <seeds>");
+                eprintln!(
+                    "usage: replay -- <seed> [--bisect] | --corpus <dir>/<seed> | --sweep <seeds>"
+                );
                 exit(2);
             });
-            replay(seed, &ScenarioConfig::default(), None)
+            let bisect = args.iter().any(|a| a == "--bisect");
+            replay(seed, &ScenarioConfig::default(), None, bisect)
         }
-        None => replay(0, &ScenarioConfig::default(), None),
+        None => replay(0, &ScenarioConfig::default(), None, false),
     };
     if !ok {
         exit(1);

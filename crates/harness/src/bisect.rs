@@ -1,0 +1,328 @@
+//! Automatic fault-schedule bisection for a violating seed.
+//!
+//! A violating seed's plan typically carries more chaos than the bug
+//! needs: several loss/corruption rules plus a crash-stop, of which only
+//! one or two actually matter. This module shrinks the plan's **fault and
+//! crash schedule** to a minimal still-violating subset by greedy delta
+//! debugging: repeatedly drop one fault rule (or the crash-stop) and keep
+//! the removal whenever the violation survives, until the schedule is
+//! 1-minimal — removing any single remaining element makes the violation
+//! disappear. Everything else about the plan (topology, workload, timing)
+//! is untouched, so the minimized plan replays deterministically.
+//!
+//! The result persists next to the seed's corpus entry
+//! ([`write_corpus_entry`]) as a parseable [`Schedule`], so a minimized
+//! repro survives the session that found it:
+//!
+//! ```text
+//! cargo run -p caa-harness --example replay -- 42 --bisect
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::arena::ExecutionArena;
+use crate::exec::execute_in;
+use crate::oracle::check_run;
+use crate::plan::ScenarioPlan;
+
+/// Which parts of a plan's chaos schedule are kept: indices into the
+/// original [`ScenarioPlan::faults`] list plus whether the crash-stop
+/// (if any) is retained. Serialises to a line-oriented text form that
+/// round-trips through [`Schedule::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Indices (into the *original* plan's fault list) of the rules kept.
+    pub fault_indices: Vec<usize>,
+    /// Whether the plan's crash-stop participant is kept.
+    pub keep_crash: bool,
+}
+
+impl Schedule {
+    /// The full schedule of `plan` (nothing dropped).
+    #[must_use]
+    pub fn full(plan: &ScenarioPlan) -> Schedule {
+        Schedule {
+            fault_indices: (0..plan.faults.len()).collect(),
+            keep_crash: plan.crash.is_some(),
+        }
+    }
+
+    /// Number of schedule elements (fault rules + crash).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fault_indices.len() + usize::from(self.keep_crash)
+    }
+
+    /// Whether the schedule keeps nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies the schedule to `plan`: drops every fault rule not listed
+    /// and the crash-stop when `keep_crash` is false.
+    #[must_use]
+    pub fn apply(&self, plan: &ScenarioPlan) -> ScenarioPlan {
+        let mut out = plan.clone();
+        out.faults = self
+            .fault_indices
+            .iter()
+            .filter_map(|&i| plan.faults.get(i).cloned())
+            .collect();
+        if !self.keep_crash {
+            out.crash = None;
+        }
+        out
+    }
+
+    /// The persisted line-oriented form (`fault <i>` per kept rule, then
+    /// `crash` or `no-crash`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &i in &self.fault_indices {
+            let _ = writeln!(out, "fault {i}");
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if self.keep_crash { "crash" } else { "no-crash" }
+        );
+        out
+    }
+
+    /// Parses the form written by [`Schedule::render`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending line.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut schedule = Schedule {
+            fault_indices: Vec::new(),
+            keep_crash: false,
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            match line {
+                "" => {}
+                "crash" => schedule.keep_crash = true,
+                "no-crash" => schedule.keep_crash = false,
+                other => match other.strip_prefix("fault ") {
+                    Some(i) => schedule.fault_indices.push(
+                        i.trim()
+                            .parse()
+                            .map_err(|e| format!("bad fault index: {e}"))?,
+                    ),
+                    None => return Err(format!("unrecognised schedule line: {other:?}")),
+                },
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+/// Outcome of one bisection run.
+#[derive(Debug)]
+pub struct BisectOutcome {
+    /// The minimal still-violating schedule (indices into the original
+    /// plan's fault list).
+    pub schedule: Schedule,
+    /// The minimized plan ([`Schedule::apply`] of `schedule`).
+    pub plan: ScenarioPlan,
+    /// How many candidate executions the bisection performed.
+    pub attempts: u64,
+}
+
+/// Shrinks `plan`'s fault/crash schedule to a minimal subset for which
+/// `still_violates` holds. Returns `None` when the *full* plan does not
+/// violate (nothing to bisect). The predicate is called once per
+/// candidate; the greedy loop is `O(n²)` in the schedule size, which is
+/// single digits for generated plans.
+#[must_use]
+pub fn bisect_schedule(
+    plan: &ScenarioPlan,
+    mut still_violates: impl FnMut(&ScenarioPlan) -> bool,
+) -> Option<BisectOutcome> {
+    let mut attempts = 1;
+    if !still_violates(plan) {
+        return None;
+    }
+    let mut schedule = Schedule::full(plan);
+    loop {
+        let mut progressed = false;
+        for drop_at in 0..schedule.fault_indices.len() {
+            let mut candidate = schedule.clone();
+            candidate.fault_indices.remove(drop_at);
+            attempts += 1;
+            if still_violates(&candidate.apply(plan)) {
+                schedule = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed && schedule.keep_crash {
+            let mut candidate = schedule.clone();
+            candidate.keep_crash = false;
+            attempts += 1;
+            if still_violates(&candidate.apply(plan)) {
+                schedule = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let plan = schedule.apply(plan);
+    Some(BisectOutcome {
+        schedule,
+        plan,
+        attempts,
+    })
+}
+
+/// The default violation predicate: execute the plan and check every
+/// run oracle (the same verdicts a sweep applies, minus the replay
+/// check — bisection re-executes candidates constantly, so the replay
+/// oracle would double every probe for no extra signal).
+#[must_use]
+pub fn plan_violates(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> bool {
+    let artifacts = execute_in(plan, arena);
+    let violating = !check_run(&artifacts).is_empty();
+    arena.recycle_trace(artifacts.trace);
+    violating
+}
+
+/// Persists a bisection outcome under `<dir>/<seed>-bisect/`: the
+/// parseable minimized [`Schedule`], the minimized plan's description and
+/// the minimized plan's kept fault rules (debug form). Returns the entry
+/// path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_corpus_entry(dir: &Path, outcome: &BisectOutcome) -> std::io::Result<PathBuf> {
+    use std::fmt::Write as _;
+    let entry = dir.join(format!("{}-bisect", outcome.plan.seed));
+    std::fs::create_dir_all(&entry)?;
+    std::fs::write(entry.join("schedule.txt"), outcome.schedule.render())?;
+    let mut plan = outcome.plan.describe();
+    plan.push('\n');
+    let _ = writeln!(plan, "bisection attempts: {}", outcome.attempts);
+    for (i, fault) in outcome.plan.faults.iter().enumerate() {
+        let _ = writeln!(plan, "kept fault {i}: {fault:?}");
+    }
+    match outcome.plan.crash {
+        Some(c) => {
+            let _ = writeln!(plan, "kept crash: {c:?}");
+        }
+        None => {
+            let _ = writeln!(plan, "crash dropped");
+        }
+    }
+    std::fs::write(entry.join("plan.txt"), plan)?;
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioConfig;
+
+    /// A seed whose generated plan has at least 2 fault rules and a crash.
+    fn rich_plan() -> ScenarioPlan {
+        let cfg = ScenarioConfig::default();
+        for seed in 0..4000 {
+            let plan = ScenarioPlan::generate(seed, &cfg);
+            if plan.faults.len() >= 2 && plan.crash.is_some() {
+                return plan;
+            }
+        }
+        panic!("no seed with a rich chaos schedule in range");
+    }
+
+    #[test]
+    fn bisection_minimises_against_a_synthetic_predicate() {
+        let plan = rich_plan();
+        // The "bug" needs exactly fault rule 1 and the crash.
+        let needs = |p: &ScenarioPlan| {
+            p.crash.is_some()
+                && p.faults
+                    .iter()
+                    .any(|f| plan.faults.get(1).is_some_and(|orig| f == orig))
+        };
+        let outcome = bisect_schedule(&plan, needs).expect("full plan violates");
+        assert_eq!(outcome.schedule.fault_indices, vec![1]);
+        assert!(outcome.schedule.keep_crash);
+        assert_eq!(outcome.plan.faults.len(), 1);
+        assert!(outcome.plan.crash.is_some());
+        // 1-minimality: dropping either remaining element stops the
+        // violation.
+        assert!(!needs(
+            &Schedule {
+                fault_indices: vec![],
+                keep_crash: true
+            }
+            .apply(&plan)
+        ));
+        assert!(!needs(
+            &Schedule {
+                fault_indices: vec![1],
+                keep_crash: false
+            }
+            .apply(&plan)
+        ));
+    }
+
+    #[test]
+    fn bisection_reports_nothing_for_a_passing_plan() {
+        let plan = rich_plan();
+        assert!(bisect_schedule(&plan, |_| false).is_none());
+    }
+
+    #[test]
+    fn bisection_can_drop_everything_for_schedule_independent_bugs() {
+        let plan = rich_plan();
+        let outcome = bisect_schedule(&plan, |_| true).expect("always violating");
+        assert!(outcome.schedule.is_empty(), "{:?}", outcome.schedule);
+        assert!(outcome.plan.faults.is_empty());
+        assert!(outcome.plan.crash.is_none());
+    }
+
+    #[test]
+    fn schedule_round_trips_through_text() {
+        let schedule = Schedule {
+            fault_indices: vec![0, 2],
+            keep_crash: true,
+        };
+        assert_eq!(Schedule::parse(&schedule.render()), Ok(schedule));
+        let none = Schedule {
+            fault_indices: vec![],
+            keep_crash: false,
+        };
+        assert_eq!(Schedule::parse(&none.render()), Ok(none));
+        assert!(Schedule::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn corpus_entry_persists_the_minimized_schedule() {
+        let plan = rich_plan();
+        let outcome = bisect_schedule(&plan, |p| p.crash.is_some()).expect("violates");
+        let dir = std::env::temp_dir().join(format!("caa-bisect-test-{}", std::process::id()));
+        let entry = write_corpus_entry(&dir, &outcome).expect("persist");
+        let text = std::fs::read_to_string(entry.join("schedule.txt")).unwrap();
+        assert_eq!(Schedule::parse(&text), Ok(outcome.schedule.clone()));
+        assert!(std::fs::read_to_string(entry.join("plan.txt"))
+            .unwrap()
+            .contains("bisection attempts"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_predicate_accepts_clean_seeds() {
+        let mut arena = ExecutionArena::new();
+        let plan = ScenarioPlan::generate(3, &ScenarioConfig::default());
+        assert!(!plan_violates(&plan, &mut arena), "seed 3 is clean");
+    }
+}

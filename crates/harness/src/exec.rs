@@ -1,7 +1,7 @@
 //! Scenario execution: materialises a [`ScenarioPlan`] into real
 //! [`ActionDef`]s, shared objects and participant bodies, runs them on the
-//! virtual-time network with a [`TraceRecorder`] attached, and returns the
-//! run's artifacts.
+//! virtual-time network with a [`TraceRecorder`](crate::trace::TraceRecorder)
+//! attached, and returns the run's artifacts.
 //!
 //! Execution is deterministic end to end: message timing comes from the
 //! seeded latency model, object acquisition from the runtime's arbitrated
@@ -9,17 +9,17 @@
 //! crash-stop participant dies at its plan-determined virtual instant — so
 //! the same plan renders a byte-identical [`Trace`] on every run.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use caa_core::exception::{Exception, ExceptionId};
 use caa_core::outcome::HandlerVerdict;
 use caa_core::time::{secs, VirtualDuration};
-use caa_exgraph::generate::conjunction_lattice;
 use caa_runtime::{ActionDef, Ctx, SharedObject, Step, System, SystemReport};
 use caa_simnet::LatencyModel;
 
+use crate::arena::ExecutionArena;
 use crate::plan::{ActionPlan, ObjectOp, Phase, ScenarioPlan, VerdictChoice};
-use crate::trace::{Trace, TraceRecorder};
+use crate::trace::Trace;
 
 /// Everything produced by one scenario execution.
 #[derive(Debug)]
@@ -51,8 +51,49 @@ enum ExecPhase {
     },
 }
 
-fn role_name(thread: u32) -> String {
-    format!("r{thread}")
+/// Pre-interned name caches: role and thread names are `r<t>` / `T<t>`
+/// for small `t`, and the execute hot path asks for them on every send,
+/// entry and spawn — a per-call `format!` was measurable sweep churn.
+const NAME_CACHE: usize = 64;
+
+fn role_name(thread: u32) -> &'static str {
+    static NAMES: OnceLock<Vec<&'static str>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        (0..NAME_CACHE as u32)
+            .map(|t| &*format!("r{t}").leak())
+            .collect()
+    });
+    match names.get(thread as usize) {
+        Some(name) => name,
+        None => oversized_role_name(thread),
+    }
+}
+
+/// Cold path for thread ids beyond the inline cache (unreachable for
+/// generated scenarios): memoized, so the leaked storage stays bounded by
+/// the number of *distinct* oversized ids, not by call count.
+fn oversized_role_name(thread: u32) -> &'static str {
+    use std::collections::HashMap;
+    static OVERSIZED: OnceLock<parking_lot::Mutex<HashMap<u32, &'static str>>> = OnceLock::new();
+    let mut names = OVERSIZED
+        .get_or_init(|| parking_lot::Mutex::new(HashMap::new()))
+        .lock();
+    names
+        .entry(thread)
+        .or_insert_with(|| &*format!("r{thread}").leak())
+}
+
+fn thread_name(thread: u32) -> Arc<str> {
+    static NAMES: OnceLock<Vec<Arc<str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        (0..NAME_CACHE as u32)
+            .map(|t| Arc::from(format!("T{t}").as_str()))
+            .collect()
+    });
+    match names.get(thread as usize) {
+        Some(name) => Arc::clone(name),
+        None => Arc::from(format!("T{thread}").as_str()),
+    }
 }
 
 /// Per-level separation factor for the crash-detecting bounded waits.
@@ -72,19 +113,25 @@ fn role_name(thread: u32) -> String {
 /// crash-free traces.
 pub const TIMEOUT_SEPARATION: f64 = 100.0;
 
-fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
-    let prims: Vec<ExceptionId> = plan
-        .group
-        .iter()
-        .map(|&t| ExceptionId::new(plan.raise_exception(t)))
-        .collect();
-    let graph = conjunction_lattice(&prims, 2.min(prims.len()))
-        .expect("per-action raise exceptions are nonempty and distinct");
+fn build_node(
+    plan: &ActionPlan,
+    scenario: &ScenarioPlan,
+    arena: &mut ExecutionArena,
+) -> Arc<ExecNode> {
+    // The lattice is a pure function of (action name, group); the arena
+    // caches it across seeds, turning per-seed graph construction into a
+    // lookup for the recurring shapes the generator emits.
+    let graph = arena.graph_for(&plan.name, &plan.group, || {
+        plan.group
+            .iter()
+            .map(|&t| ExceptionId::new(plan.raise_exception(t)))
+            .collect()
+    });
 
     let levels_below = scenario.max_depth().saturating_sub(plan.depth) as i32;
     let scale = TIMEOUT_SEPARATION.powi(levels_below);
-    let mut builder = ActionDef::builder(plan.name.clone())
-        .graph(graph)
+    let mut builder = ActionDef::builder(plan.name.as_str())
+        .graph_shared(graph)
         .signal_timeout(secs(scenario.signal_timeout))
         .exit_timeout(secs(scenario.exit_timeout * scale))
         .resolution_timeout(secs(scenario.resolution_timeout * scale));
@@ -137,7 +184,10 @@ fn build_node(plan: &ActionPlan, scenario: &ScenarioPlan) -> Arc<ExecNode> {
                 object_ops: object_ops.clone(),
             },
             Phase::Nested { children } => ExecPhase::Nested {
-                children: children.iter().map(|c| build_node(c, scenario)).collect(),
+                children: children
+                    .iter()
+                    .map(|c| build_node(c, scenario, arena))
+                    .collect(),
             },
         })
         .collect();
@@ -205,7 +255,7 @@ fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32, objects: &[SharedObject<u
             } => {
                 for &(from, to) in sends {
                     if from == me {
-                        rc.send_to_role(&role_name(to), "app", u64::from(to))?;
+                        rc.send_to_role(role_name(to), "app", u64::from(to))?;
                     }
                 }
                 if listeners.contains(&me) {
@@ -222,7 +272,7 @@ fn body_phases(rc: &mut Ctx, node: &ExecNode, me: u32, objects: &[SharedObject<u
                     let def = child.def.clone();
                     let child = Arc::clone(child);
                     let objects = objects.to_vec();
-                    rc.enter(&def, &role_name(me), move |cc| {
+                    rc.enter(&def, role_name(me), move |cc| {
                         body_phases(cc, &child, me, &objects)
                     })
                     .map(|_| ())?;
@@ -254,32 +304,74 @@ pub fn execute(plan: &ScenarioPlan) -> RunArtifacts {
 }
 
 /// [`execute`] with a trace-buffer preallocation hint (in entries) —
-/// sweep workers pass the previous seed's trace size so recording does
-/// not reallocate on the hot path. The hint has no observable effect on
-/// the run: traces stay byte-identical whatever its value.
+/// kept for callers without a long-lived arena. The hint has no
+/// observable effect on the run: traces stay byte-identical whatever its
+/// value.
 #[must_use]
 pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunArtifacts {
-    let recorder = TraceRecorder::with_capacity(trace_capacity);
-    let mut sys = System::builder()
+    let mut arena = ExecutionArena::with_trace_capacity(trace_capacity);
+    execute_in(plan, &mut arena)
+}
+
+/// [`execute`] through a per-worker [`ExecutionArena`]: network storage,
+/// trace buffers and resolution lattices are recycled across calls, so a
+/// sweep worker stops paying per-seed setup/teardown allocation. Arena
+/// reuse is a pure allocation cache — traces stay byte-identical to a
+/// fresh execution's.
+#[must_use]
+pub fn execute_in(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> RunArtifacts {
+    let (trace, report) = run_plan(plan, arena);
+    RunArtifacts {
+        plan: plan.clone(),
+        trace,
+        report,
+    }
+}
+
+/// [`execute_in`] taking the plan by value, so the artifacts reuse it
+/// instead of deep-cloning it per execution (the sweep driver's path).
+#[must_use]
+pub(crate) fn execute_owned(plan: ScenarioPlan, arena: &mut ExecutionArena) -> RunArtifacts {
+    let (trace, report) = run_plan(&plan, arena);
+    RunArtifacts {
+        plan,
+        trace,
+        report,
+    }
+}
+
+/// Runs `plan` and returns only the recorded trace and report — the
+/// replay-check path, which needs neither a plan clone nor fresh
+/// allocations.
+pub(crate) fn run_plan(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> (Trace, SystemReport) {
+    let recorder = arena.recorder();
+    let mut builder = System::builder()
         .latency(LatencyModel::UniformUpTo(secs(plan.t_mmax)))
         .seed(plan.seed)
         .resolution_delay(secs(plan.t_reso))
         .faults(plan.fault_plan())
         .observer(Arc::clone(&recorder) as _)
-        .tap(Arc::clone(&recorder) as _)
-        .build();
+        .tap(Arc::clone(&recorder) as _);
+    if let Some(net) = arena.take_net() {
+        builder = builder.net_arena(net);
+    }
+    let mut sys = builder.build();
 
     let objects: Vec<SharedObject<u64>> = plan
         .objects
         .iter()
-        .map(|name| SharedObject::new(name.clone(), 0u64))
+        .map(|name| SharedObject::new(name.as_str(), 0u64))
         .collect();
-    let nodes: Vec<Arc<ExecNode>> = plan.top.iter().map(|a| build_node(a, plan)).collect();
+    let nodes: Vec<Arc<ExecNode>> = plan
+        .top
+        .iter()
+        .map(|a| build_node(a, plan, arena))
+        .collect();
     let crash = plan.crash;
     for t in 0..plan.threads {
         let nodes = nodes.clone();
         let objects = objects.clone();
-        sys.spawn(format!("T{t}"), move |ctx| {
+        sys.spawn(thread_name(t), move |ctx| {
             for (i, node) in nodes.iter().enumerate() {
                 let def = node.def.clone();
                 let node = Arc::clone(node);
@@ -294,7 +386,7 @@ pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunA
                         // protocol then has it (body, collection,
                         // signalling or exit). The `?` below unwinds the
                         // crash to the thread top.
-                        ctx.enter(&def, &role_name(t), move |rc| {
+                        ctx.enter(&def, role_name(t), move |rc| {
                             rc.schedule_crash(VirtualDuration::from_nanos(c.delay_ns));
                             body_phases(rc, &node, t, &objects)
                         })
@@ -308,7 +400,7 @@ pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunA
                         return ctx.crash_stop();
                     }
                     None => {
-                        ctx.enter(&def, &role_name(t), move |rc| {
+                        ctx.enter(&def, role_name(t), move |rc| {
                             body_phases(rc, &node, t, &objects)
                         })
                         .map(|_| ())?;
@@ -318,12 +410,11 @@ pub fn execute_with_capacity(plan: &ScenarioPlan, trace_capacity: usize) -> RunA
             Ok(())
         });
     }
-    let report = sys.run();
-    RunArtifacts {
-        plan: plan.clone(),
-        trace: recorder.take_trace(),
-        report,
+    let (report, net) = sys.run_reclaiming();
+    if let Some(net) = net {
+        arena.put_net(net);
     }
+    (recorder.take_trace(), report)
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@
 //! * [`exec`] — materialises a plan into real [`caa_runtime`] actions,
 //!   shared objects and crash injections, and runs it on the virtual-time
 //!   network;
+//! * [`arena`] — per-worker execution arenas recycling network storage,
+//!   trace buffers and resolution lattices across seeds, so the sweep hot
+//!   path stops paying per-seed setup/teardown allocation;
 //! * [`trace`] — the structured event log captured through
 //!   [`caa_runtime::observe`] and [`caa_simnet::NetTap`] hooks, with a
 //!   canonical byte-stable rendering (object acquisitions included);
@@ -61,6 +64,8 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
+pub mod bisect;
 pub mod exec;
 pub mod oracle;
 pub mod plan;
@@ -69,11 +74,12 @@ pub mod rng;
 pub mod sweep;
 pub mod trace;
 
-pub use exec::{execute, execute_with_capacity, RunArtifacts};
+pub use arena::ExecutionArena;
+pub use exec::{execute, execute_in, execute_with_capacity, RunArtifacts};
 pub use oracle::{check_invariants, check_replay, check_replay_protocol, check_run, Violation};
 pub use plan::{ScenarioConfig, ScenarioPlan};
 pub use sweep::{
-    run_seed, run_seed_with_capacity, sweep, PathCoverage, SeedResult, Shard, SweepConfig,
-    SweepReport,
+    run_seed, run_seed_in, run_seed_with_capacity, sweep, PathCoverage, SeedResult, Shard,
+    SweepConfig, SweepReport,
 };
 pub use trace::{Trace, TraceRecorder};

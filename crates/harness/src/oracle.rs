@@ -276,7 +276,7 @@ struct PerThread {
 
 #[derive(Default)]
 struct InstanceView {
-    name: Option<String>,
+    name: Option<std::sync::Arc<str>>,
     /// The instance's nesting depth (0 = top level), from its action id.
     depth: u32,
     resolved: Vec<(u32, String)>,
@@ -571,10 +571,14 @@ pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
 }
 
 /// Compares two renderings of the same seed's trace (deterministic-replay
-/// oracle).
+/// oracle). The comparison streams line by line
+/// ([`Trace::first_divergence`]) — byte-for-byte equivalent to comparing
+/// [`Trace::render`] outputs, without materialising either string.
 #[must_use]
 pub fn check_replay(original: &Trace, replay: &Trace) -> Option<Violation> {
-    diff_renderings(&original.render(), &replay.render())
+    original
+        .first_divergence(replay)
+        .map(|first_diff_line| Violation::ReplayDiverged { first_diff_line })
 }
 
 /// Compares the timestamp-free protocol projections of two traces (see

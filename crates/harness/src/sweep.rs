@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use caa_runtime::observe::EventKind;
 
-use crate::exec::{execute_with_capacity, RunArtifacts};
+use crate::arena::ExecutionArena;
+use crate::exec::{execute_owned, run_plan, RunArtifacts};
 use crate::oracle::{check_replay, check_run, Violation};
 use crate::plan::{ScenarioConfig, ScenarioPlan};
 use crate::trace::Trace;
@@ -392,13 +393,12 @@ impl SweepReport {
 /// oracle — executing twice and comparing traces when `check_replay`.
 #[must_use]
 pub fn run_seed(seed: u64, scenario: &ScenarioConfig, check_replay_too: bool) -> SeedResult {
-    run_seed_with_capacity(seed, scenario, check_replay_too, 0)
+    run_seed_in(seed, scenario, check_replay_too, &mut ExecutionArena::new())
 }
 
-/// [`run_seed`] with a trace-buffer preallocation hint (entries). Sweep
-/// workers pass the largest trace they have seen so far, so steady-state
-/// seeds record without reallocating; the replay execution reuses the
-/// primary run's exact entry count.
+/// [`run_seed`] with a trace-buffer preallocation hint (entries). Kept
+/// for callers without a long-lived arena — [`run_seed_in`] is the sweep
+/// path.
 #[must_use]
 pub fn run_seed_with_capacity(
     seed: u64,
@@ -406,14 +406,31 @@ pub fn run_seed_with_capacity(
     check_replay_too: bool,
     trace_capacity: usize,
 ) -> SeedResult {
+    let mut arena = ExecutionArena::with_trace_capacity(trace_capacity);
+    run_seed_in(seed, scenario, check_replay_too, &mut arena)
+}
+
+/// [`run_seed`] through a per-worker [`ExecutionArena`]: both executions
+/// (run and replay check) recycle network storage, trace buffers and
+/// resolution lattices, and the replay comparison streams line by line
+/// instead of rendering two full trace strings. Allocation reuse is
+/// observably free: traces stay byte-identical to arena-less runs.
+#[must_use]
+pub fn run_seed_in(
+    seed: u64,
+    scenario: &ScenarioConfig,
+    check_replay_too: bool,
+    arena: &mut ExecutionArena,
+) -> SeedResult {
     let plan = ScenarioPlan::generate(seed, scenario);
-    let artifacts = execute_with_capacity(&plan, trace_capacity);
+    let artifacts = execute_owned(plan, arena);
     let mut violations = check_run(&artifacts);
     if check_replay_too {
-        let replayed = execute_with_capacity(&plan, artifacts.trace.len());
-        if let Some(v) = check_replay(&artifacts.trace, &replayed.trace) {
+        let (replayed, _report) = run_plan(&artifacts.plan, arena);
+        if let Some(v) = check_replay(&artifacts.trace, &replayed) {
             violations.push(v);
         }
+        arena.recycle_trace(replayed);
     }
     SeedResult {
         seed,
@@ -428,7 +445,12 @@ pub fn run_seed_with_capacity(
 pub fn sweep(config: &SweepConfig) -> SweepReport {
     let started = Instant::now();
     let workers = if config.workers == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        // Oversubscribe the cores 2×: a virtual-time seed serialises its
+        // participant threads through futex handoffs, so a worker spends
+        // a sizeable slice of its wall time blocked in wake-up latency —
+        // a second worker per core overlaps those gaps. (Worker count
+        // never affects traces; it only schedules which seed runs where.)
+        std::thread::available_parallelism().map_or(1, |n| usize::from(n) * 2)
     } else {
         config.workers
     };
@@ -442,9 +464,10 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
             scope.spawn(|| {
-                // Per-worker running maximum, so steady-state trace
-                // recording never reallocates mid-run.
-                let mut capacity_hint = 0usize;
+                // Per-worker arena: network storage, trace buffers and
+                // resolution lattices recycle across this worker's seeds,
+                // so steady-state exploration allocates almost nothing.
+                let mut arena = ExecutionArena::new();
                 let mut local_coverage = PathCoverage::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -461,21 +484,19 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                         }
                     }
                     let seed = config.start_seed + i;
-                    let result = run_seed_with_capacity(
-                        seed,
-                        &config.scenario,
-                        config.check_replay,
-                        capacity_hint,
-                    );
+                    let result =
+                        run_seed_in(seed, &config.scenario, config.check_replay, &mut arena);
                     seeds_run.fetch_add(1, Ordering::Relaxed);
-                    capacity_hint = capacity_hint.max(result.artifacts.trace.len());
                     entries.fetch_add(result.artifacts.trace.len() as u64, Ordering::Relaxed);
                     virtual_ns.fetch_add(
                         result.artifacts.report.elapsed.as_nanos(),
                         Ordering::Relaxed,
                     );
                     local_coverage.merge(&PathCoverage::from_trace(&result.artifacts.trace));
-                    if !result.passed() {
+                    if result.passed() {
+                        // Done with this trace: hand its buffer back.
+                        arena.recycle_trace(result.artifacts.trace);
+                    } else {
                         failures.lock().expect("sweep collector").push(result);
                     }
                 }

@@ -107,6 +107,14 @@ impl Trace {
         &self.entries
     }
 
+    /// Consumes the trace, returning its entry buffer — the recycling hook
+    /// for [`crate::arena::ExecutionArena`]: a sweep worker that is done
+    /// with a trace hands the allocation back instead of dropping it.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<Entry> {
+        self.entries
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -163,6 +171,78 @@ impl Trace {
         out
     }
 
+    /// Streams the FNV-1a 64-bit fingerprint of [`Trace::render`] without
+    /// materialising the rendered `String`: each entry renders into one
+    /// reusable line buffer and folds into the running hash. By
+    /// construction `trace.render_fingerprint() ==
+    /// fnv1a64(trace.render().as_bytes())`, so fingerprints from hash-only
+    /// sweeps (`trace_hashes`, the golden-trace test, pre/post refactor
+    /// gates) stay comparable with fingerprints of rendered traces — at a
+    /// fraction of the allocation cost for large traces.
+    #[must_use]
+    pub fn render_fingerprint(&self) -> u64 {
+        let canonical = self.canonical_labels();
+        let mut hash: u64 = FNV_OFFSET;
+        let mut line = String::with_capacity(96);
+        for entry in &self.entries {
+            line.clear();
+            entry.render(&mut line, canonical[&entry.action_serial()]);
+            hash = fnv1a64_fold(hash, line.as_bytes());
+        }
+        hash
+    }
+
+    /// Streaming byte-exact comparison of two traces' renderings: returns
+    /// the first (0-based) rendered line at which they differ, or `None`
+    /// when the renderings are byte-identical. Equivalent to comparing
+    /// [`Trace::render`] outputs line by line — but almost never formats
+    /// anything: a structural fast path decides equality field-by-field
+    /// (ignoring exactly the fields rendering ignores — raw action
+    /// serials and tap correlations, which legitimately differ between
+    /// two executions of one seed), and only a structurally-unequal pair
+    /// falls back to rendering that single line pair to let
+    /// display-equal-but-structurally-different entries through. The
+    /// replay oracle's hot path thus stops materialising two full trace
+    /// strings per seed.
+    #[must_use]
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        // Canonical labels are assigned in first-appearance order, so they
+        // can be built incrementally while walking the entries.
+        let mut labels_a: HashMap<u64, usize> = HashMap::new();
+        let mut labels_b: HashMap<u64, usize> = HashMap::new();
+        let mut line_a = String::new();
+        let mut line_b = String::new();
+        let common = self.entries.len().min(other.entries.len());
+        for i in 0..common {
+            let (ea, eb) = (&self.entries[i], &other.entries[i]);
+            let next = labels_a.len();
+            let act_a = *labels_a.entry(ea.action_serial()).or_insert(next);
+            let next = labels_b.len();
+            let act_b = *labels_b.entry(eb.action_serial()).or_insert(next);
+            // A differing label prints as a differing `A<n>` no matter
+            // what else the line contains.
+            if act_a != act_b {
+                return Some(i);
+            }
+            if (ea.at_ns, ea.thread, ea.seq) == (eb.at_ns, eb.thread, eb.seq)
+                && kinds_render_equal(&ea.kind, &eb.kind)
+            {
+                continue;
+            }
+            // Structurally unequal: confirm by rendering this line pair
+            // (exact, and cold — replays of one seed are structurally
+            // identical in practice).
+            line_a.clear();
+            line_b.clear();
+            ea.render(&mut line_a, act_a);
+            eb.render(&mut line_b, act_b);
+            if line_a != line_b {
+                return Some(i);
+            }
+        }
+        (self.entries.len() != other.entries.len()).then_some(common)
+    }
+
     /// Renders the timestamp-free, per-thread *protocol projection*: each
     /// thread's sequence of runtime protocol steps, with canonical action
     /// labels, no virtual times and no network events.
@@ -199,6 +279,28 @@ impl Trace {
     }
 }
 
+/// Whether two entry kinds render to identical text, decided structurally
+/// (the sufficient direction: structural equality over every *rendered*
+/// field implies display equality). Rendering ignores the runtime event's
+/// raw `action` id and the tap event's `correlation` — both are
+/// process-global serials that legitimately differ between two executions
+/// of the same seed (the canonical `A<n>` labels compare them instead) —
+/// so those fields are ignored here too.
+fn kinds_render_equal(a: &EntryKind, b: &EntryKind) -> bool {
+    let tap_eq = |x: &TapEvent, y: &TapEvent| {
+        (x.class, x.src, x.dst, x.seq, x.deliver_at) == (y.class, y.src, y.dst, y.seq, y.deliver_at)
+    };
+    match (a, b) {
+        (EntryKind::Runtime(x), EntryKind::Runtime(y)) => x.kind == y.kind,
+        (EntryKind::NetSent(x), EntryKind::NetSent(y)) => tap_eq(x, y),
+        (EntryKind::NetDropped(x), EntryKind::NetDropped(y))
+        | (EntryKind::NetCorrupted(x), EntryKind::NetCorrupted(y)) => {
+            (x.class, x.src, x.dst) == (y.class, y.src, y.dst)
+        }
+        _ => false,
+    }
+}
+
 /// FNV-1a 64-bit over arbitrary bytes: the canonical, dependency-free
 /// fingerprint for rendered traces. The golden-trace regression test and
 /// the `trace_hashes` pre/post comparison tool both hash
@@ -206,7 +308,16 @@ impl Trace {
 /// from different tools stay comparable.
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_fold(FNV_OFFSET, bytes)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a 64-bit hash — the incremental form
+/// behind [`fnv1a64`] and [`Trace::render_fingerprint`]: feeding chunks in
+/// sequence yields exactly the hash of their concatenation.
+#[must_use]
+pub fn fnv1a64_fold(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -214,8 +325,24 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// How many per-thread shards a recorder keeps; thread ids beyond this
+/// fall back to a shared overflow shard with explicit per-thread
+/// counters (correct, just not contention-free — unreachable for the
+/// scenario spaces the harness generates).
+const RECORD_SHARDS: usize = 64;
+
+/// One thread's recording shard. Events from one thread arrive in that
+/// thread's program order, so the per-thread sequence number is simply the
+/// shard's length at push time — no shared counter map needed.
 #[derive(Default)]
-struct RecorderState {
+struct RecorderShard {
+    entries: Vec<Entry>,
+}
+
+/// Fallback shard for thread ids ≥ [`RECORD_SHARDS`]: a shared buffer
+/// with the pre-shard per-thread counter map.
+#[derive(Default)]
+struct OverflowShard {
     entries: Vec<Entry>,
     next_seq: HashMap<u32, u64>,
 }
@@ -236,15 +363,35 @@ struct RecorderState {
 ///     .build();
 /// # drop(sys);
 /// ```
-#[derive(Default)]
 pub struct TraceRecorder {
-    state: Mutex<RecorderState>,
+    /// Sharded by originating thread id: each participant records into
+    /// its own slot, so pushes from different threads never contend, the
+    /// critical section is one `Vec::push`, and the per-thread sequence
+    /// number is the shard length — no shared counter map. The canonical
+    /// order is reconstructed by the merge sort in
+    /// [`TraceRecorder::take_trace`], exactly as before sharding.
+    shards: Vec<Mutex<RecorderShard>>,
+    /// Thread ids ≥ [`RECORD_SHARDS`] (unreachable for generated
+    /// scenarios) share this shard, which keeps explicit counters.
+    overflow: Mutex<OverflowShard>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            shards: (0..RECORD_SHARDS)
+                .map(|_| Mutex::new(RecorderShard::default()))
+                .collect(),
+            overflow: Mutex::new(OverflowShard::default()),
+        }
+    }
 }
 
 impl std::fmt::Debug for TraceRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries: usize = self.shards.iter().map(|s| s.lock().entries.len()).sum();
         f.debug_struct("TraceRecorder")
-            .field("entries", &self.state.lock().entries.len())
+            .field("entries", &entries)
             .finish()
     }
 }
@@ -256,36 +403,70 @@ impl TraceRecorder {
         Arc::new(TraceRecorder::default())
     }
 
-    /// A fresh recorder with `entries` preallocated — sweep drivers pass
-    /// the previous run's trace size so steady-state recording never
+    /// A fresh recorder with roughly `entries` preallocated across the
+    /// shards low thread ids actually use — sweep drivers pass the
+    /// previous run's trace size so steady-state recording rarely
     /// reallocates mid-run.
     #[must_use]
     pub fn with_capacity(entries: usize) -> Arc<TraceRecorder> {
-        Arc::new(TraceRecorder {
-            state: Mutex::new(RecorderState {
-                entries: Vec::with_capacity(entries),
-                next_seq: HashMap::new(),
-            }),
-        })
+        let recorder = TraceRecorder::default();
+        if entries > 0 {
+            // Low thread ids dominate generated scenarios: split the hint
+            // over the first shards so the reserved total equals the hint
+            // (not a multiple of it) while the common case stays
+            // reallocation-free.
+            let per_shard = (entries / 8).max(16);
+            for shard in recorder.shards.iter().take(8) {
+                shard.lock().entries.reserve(per_shard);
+            }
+        }
+        Arc::new(recorder)
+    }
+
+    /// A fresh recorder recording into a recycled entry buffer (cleared,
+    /// capacity kept, assigned to thread 0's shard; other shards warm up
+    /// over the worker's first seeds) — the arena counterpart of
+    /// [`TraceRecorder::with_capacity`].
+    #[must_use]
+    pub fn with_buffer(mut entries: Vec<Entry>) -> Arc<TraceRecorder> {
+        entries.clear();
+        let recorder = TraceRecorder::default();
+        *recorder.shards[0].lock() = RecorderShard { entries };
+        Arc::new(recorder)
     }
 
     fn push(&self, at_ns: u64, thread: u32, kind: EntryKind) {
-        let mut state = self.state.lock();
-        let seq = state.next_seq.entry(thread).or_insert(0);
-        let seq_now = *seq;
-        *seq += 1;
-        state.entries.push(Entry {
-            at_ns,
-            thread,
-            seq: seq_now,
-            kind,
-        });
+        if let Some(shard) = self.shards.get(thread as usize) {
+            let mut shard = shard.lock();
+            let seq = shard.entries.len() as u64;
+            shard.entries.push(Entry {
+                at_ns,
+                thread,
+                seq,
+                kind,
+            });
+        } else {
+            let mut overflow = self.overflow.lock();
+            let seq = overflow.next_seq.entry(thread).or_insert(0);
+            let seq_now = *seq;
+            *seq += 1;
+            overflow.entries.push(Entry {
+                at_ns,
+                thread,
+                seq: seq_now,
+                kind,
+            });
+        }
     }
 
     /// Extracts the canonical trace recorded so far.
     #[must_use]
     pub fn finish(&self) -> Trace {
-        let mut entries = self.state.lock().entries.clone();
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            entries.extend(shard.lock().entries.iter().cloned());
+        }
+        entries.extend(self.overflow.lock().entries.iter().cloned());
         entries.sort_by_key(|e| (e.at_ns, e.thread, e.seq));
         Trace { entries }
     }
@@ -295,7 +476,12 @@ impl TraceRecorder {
     /// done with the recorder.
     #[must_use]
     pub fn take_trace(&self) -> Trace {
-        let mut entries = std::mem::take(&mut self.state.lock().entries);
+        let total: usize = self.shards.iter().map(|s| s.lock().entries.len()).sum();
+        let mut entries = Vec::with_capacity(total + self.overflow.lock().entries.len());
+        for shard in &self.shards {
+            entries.append(&mut shard.lock().entries);
+        }
+        entries.append(&mut self.overflow.lock().entries);
         entries.sort_by_key(|e| (e.at_ns, e.thread, e.seq));
         Trace { entries }
     }

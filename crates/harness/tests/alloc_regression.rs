@@ -1,0 +1,128 @@
+//! Allocation-regression gate for the execute hot path.
+//!
+//! The arena / Arc-fan-out work (execution arenas, recycled trace
+//! buffers, shared resolution lattices, `Arc`'d broadcast bodies,
+//! interned names) exists to keep steady-state seed execution nearly
+//! allocation-free. Nothing in the type system stops a future change
+//! from quietly re-introducing per-seed churn, so this test pins the
+//! allocation count of a fixed seed per benchmark configuration under a
+//! counting global allocator: execute the seed once through a warmed
+//! per-worker arena and assert the count stays under a generous ceiling
+//! (~3× the measured steady state — loose enough to survive compiler and
+//! library drift, tight enough that reverting any one of the arena
+//! mechanisms blows through it).
+//!
+//! The test measures end to end (plan generation, execution, oracles, the
+//! replay re-execution where the config checks it), exactly like a sweep
+//! worker's per-seed loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use caa_harness::arena::ExecutionArena;
+use caa_harness::plan::ScenarioConfig;
+use caa_harness::sweep::run_seed_in;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// Counting wrapper over the system allocator: `alloc`/`realloc` bump one
+// relaxed counter. Deallocations are not tracked (the gate pins churn,
+// not leaks).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Executes `seed` once through a warmed arena and returns the
+/// allocation count of that execution (including plan generation and
+/// oracle checks — the sweep worker's whole per-seed loop).
+fn allocs_for_seed(seed: u64, scenario: &ScenarioConfig, check_replay: bool) -> u64 {
+    let mut arena = ExecutionArena::new();
+    // Warm-up: populate the network arena, trace buffers and graph cache
+    // with this exact seed's shapes.
+    for _ in 0..3 {
+        let result = run_seed_in(seed, scenario, check_replay, &mut arena);
+        assert!(result.passed(), "gate seed must be violation-free");
+        arena.recycle_trace(result.artifacts.trace);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = run_seed_in(seed, scenario, check_replay, &mut arena);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(result.passed());
+    arena.recycle_trace(result.artifacts.trace);
+    after - before
+}
+
+/// One pinned case: a fixed seed per bench configuration, with a ceiling
+/// ~3× the steady-state count measured when the gate was introduced
+/// (recorded in the assertion message for recalibration).
+#[test]
+fn steady_state_seed_allocation_stays_bounded() {
+    let cases = [
+        ("default", ScenarioConfig::default(), false, 7u64, 1_500u64),
+        ("default+replay", ScenarioConfig::default(), true, 7, 2_500),
+        (
+            "object-heavy",
+            ScenarioConfig::object_heavy(),
+            false,
+            7,
+            2_500,
+        ),
+    ];
+    for (name, scenario, check_replay, seed, ceiling) in cases {
+        let allocs = allocs_for_seed(seed, &scenario, check_replay);
+        assert!(
+            allocs <= ceiling,
+            "config {name}, seed {seed}: {allocs} allocations in one warmed \
+             execution exceed the pinned ceiling {ceiling} — the arena / \
+             Arc-fan-out machinery regressed (or a legitimate change needs \
+             this gate recalibrated; ceilings are ~3× the steady state \
+             measured at introduction)"
+        );
+        // The gate must also stay meaningful: a ceiling orders of
+        // magnitude above reality would never catch anything.
+        assert!(
+            allocs * 20 >= ceiling,
+            "config {name}: measured {allocs} allocations are far below the \
+             ceiling {ceiling}; tighten the gate so regressions stay visible"
+        );
+    }
+}
+
+/// Arena reuse must not change behaviour: the warmed execution renders
+/// the byte-identical trace a cold one renders. (The cheap companion of
+/// the 12k-seed pre/post hash gate, kept next to the allocation pin so
+/// both halves of the arena contract are asserted together.)
+#[test]
+fn warmed_arena_renders_identical_traces() {
+    let scenario = ScenarioConfig::default();
+    let mut arena = ExecutionArena::new();
+    let cold = run_seed_in(7, &scenario, false, &mut arena);
+    let cold_render = cold.artifacts.trace.render();
+    arena.recycle_trace(cold.artifacts.trace);
+    for _ in 0..2 {
+        let warm = run_seed_in(7, &scenario, false, &mut arena);
+        assert_eq!(
+            warm.artifacts.trace.render(),
+            cold_render,
+            "arena reuse changed a trace"
+        );
+        arena.recycle_trace(warm.artifacts.trace);
+    }
+}

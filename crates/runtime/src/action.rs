@@ -72,9 +72,11 @@ impl fmt::Display for DefError {
 impl std::error::Error for DefError {}
 
 pub(crate) struct DefInner {
-    pub(crate) name: String,
+    /// Interned: shared with every `Enter` event the runtime emits.
+    pub(crate) name: Arc<str>,
     pub(crate) def_id: u32,
-    pub(crate) role_names: Vec<String>,
+    /// Interned: shared with every `Enter` event the runtime emits.
+    pub(crate) role_names: Vec<Arc<str>>,
     pub(crate) role_threads: Vec<ThreadId>,
     /// All participating threads, sorted ascending (the ordered group `GA`).
     pub(crate) group: Vec<ThreadId>,
@@ -94,7 +96,7 @@ impl DefInner {
     pub(crate) fn role_id(&self, name: &str) -> Option<RoleId> {
         self.role_names
             .iter()
-            .position(|r| r == name)
+            .position(|r| &**r == name)
             .map(|i| RoleId::new(u32::try_from(i).expect("role count bounded")))
     }
 
@@ -181,7 +183,7 @@ pub struct ActionDef {
 
 impl ActionDef {
     /// Starts building an action definition.
-    pub fn builder(name: impl Into<String>) -> ActionDefBuilder {
+    pub fn builder(name: impl Into<Arc<str>>) -> ActionDefBuilder {
         ActionDefBuilder {
             name: name.into(),
             roles: Vec::new(),
@@ -206,7 +208,7 @@ impl ActionDef {
 
     /// The declared role names, in declaration order.
     #[must_use]
-    pub fn roles(&self) -> &[String] {
+    pub fn roles(&self) -> &[Arc<str>] {
         &self.inner.role_names
     }
 
@@ -239,9 +241,9 @@ impl fmt::Debug for ActionDef {
 /// Builder for [`ActionDef`] ([C-BUILDER]).
 #[must_use = "builders do nothing until .build() is called"]
 pub struct ActionDefBuilder {
-    name: String,
-    roles: Vec<(String, ThreadId)>,
-    graph: Option<ExceptionGraph>,
+    name: Arc<str>,
+    roles: Vec<(Arc<str>, ThreadId)>,
+    graph: Option<Arc<ExceptionGraph>>,
     interface: Vec<ExceptionId>,
     handlers: Vec<(String, ExceptionId, Handler)>,
     fallbacks: Vec<(String, Handler)>,
@@ -264,7 +266,7 @@ impl fmt::Debug for ActionDefBuilder {
 
 impl ActionDefBuilder {
     /// Declares a role and binds it to the thread that will perform it.
-    pub fn role(mut self, name: impl Into<String>, thread: impl Into<ThreadId>) -> Self {
+    pub fn role(mut self, name: impl Into<Arc<str>>, thread: impl Into<ThreadId>) -> Self {
         self.roles.push((name.into(), thread.into()));
         self
     }
@@ -272,6 +274,15 @@ impl ActionDefBuilder {
     /// Sets the exception graph. Without one, every exception resolves
     /// through a minimal graph containing only the universal exception.
     pub fn graph(mut self, graph: ExceptionGraph) -> Self {
+        self.graph = Some(Arc::new(graph));
+        self
+    }
+
+    /// [`ActionDefBuilder::graph`] with an already-shared graph: action
+    /// definitions built from the same graph share one allocation.
+    /// Scenario executors cache resolution lattices across seeds this way
+    /// (the lattice is a pure function of the declared exceptions).
+    pub fn graph_shared(mut self, graph: Arc<ExceptionGraph>) -> Self {
         self.graph = Some(graph);
         self
     }
@@ -401,16 +412,16 @@ impl ActionDefBuilder {
         if self.roles.is_empty() {
             return Err(DefError::NoRoles);
         }
-        let mut role_names = Vec::with_capacity(self.roles.len());
+        let mut role_names: Vec<Arc<str>> = Vec::with_capacity(self.roles.len());
         let mut role_threads = Vec::with_capacity(self.roles.len());
         for (name, thread) in &self.roles {
             if role_names.contains(name) {
-                return Err(DefError::DuplicateRole(name.clone()));
+                return Err(DefError::DuplicateRole(name.to_string()));
             }
             if role_threads.contains(thread) {
                 return Err(DefError::DuplicateThread(*thread));
             }
-            role_names.push(name.clone());
+            role_names.push(Arc::clone(name));
             role_threads.push(*thread);
         }
         let mut group = role_threads.clone();
@@ -418,16 +429,18 @@ impl ActionDefBuilder {
 
         let graph = match self.graph {
             Some(g) => g,
-            None => ExceptionGraphBuilder::new()
-                .exception(ExceptionId::universal())
-                .build()
-                .expect("singleton universal graph is valid"),
+            None => Arc::new(
+                ExceptionGraphBuilder::new()
+                    .exception(ExceptionId::universal())
+                    .build()
+                    .expect("singleton universal graph is valid"),
+            ),
         };
 
         let role_id_of = |name: &str| -> Result<RoleId, DefError> {
             role_names
                 .iter()
-                .position(|r| r == name)
+                .position(|r| &**r == name)
                 .map(|i| RoleId::new(u32::try_from(i).expect("bounded")))
                 .ok_or_else(|| DefError::UnknownRole(name.to_owned()))
         };
@@ -456,7 +469,7 @@ impl ActionDefBuilder {
                 role_names,
                 role_threads,
                 group,
-                graph: Arc::new(graph),
+                graph,
                 interface: self.interface,
                 handlers,
                 fallback_handlers,
@@ -534,7 +547,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(def.group(), &[ThreadId::new(2), ThreadId::new(5)]);
-        assert_eq!(def.roles(), &["b".to_owned(), "a".to_owned()]);
+        assert_eq!(def.roles(), &[Arc::from("b"), Arc::from("a")]);
     }
 
     #[test]

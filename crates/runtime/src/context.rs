@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use caa_core::exception::{Exception, ExceptionId, Signal};
 use caa_core::ids::{ActionId, PartitionId, RoleId, ThreadId};
+use caa_core::inline::InlineVec;
 use caa_core::membership::ViewChangeOutcome;
 use caa_core::message::{AppPayload, Message, SignalRound};
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
@@ -40,6 +41,12 @@ use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl, Wake};
 use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
 use crate::system::SystemShared;
+
+/// A per-round snapshot of an action's live member set, kept on the stack
+/// (see [`caa_core::inline`]): protocol rounds snapshot the view once per
+/// round on the execute hot path, and groups beyond the inline capacity
+/// spill to the heap transparently.
+type ViewSnapshot = InlineVec<ThreadId, 8>;
 
 /// An application message delivered to a role.
 #[derive(Debug)]
@@ -117,7 +124,7 @@ impl Frame {
 /// coordinated recovery takes over — propagate it with `?`.
 pub struct Ctx {
     me: ThreadId,
-    name: String,
+    name: Arc<str>,
     endpoint: Endpoint<Message>,
     system: Arc<SystemShared>,
     stack: Vec<Frame>,
@@ -182,7 +189,7 @@ enum Routed {
 impl Ctx {
     pub(crate) fn new(
         me: ThreadId,
-        name: String,
+        name: Arc<str>,
         endpoint: Endpoint<Message>,
         system: Arc<SystemShared>,
     ) -> Self {
@@ -242,7 +249,7 @@ impl Ctx {
     /// The name of the active action, if any.
     #[must_use]
     pub fn action_name(&self) -> Option<&str> {
-        self.stack.last().map(|f| f.def.name.as_str())
+        self.stack.last().map(|f| &*f.def.name)
     }
 
     /// The resolving exception currently being handled, if this thread is
@@ -394,7 +401,7 @@ impl Ctx {
             .ok_or_else(|| Flow::from(RuntimeError::NoActiveAction("send_to_role")))?;
         let role_id = frame.def.role_id(role).ok_or_else(|| {
             Flow::from(RuntimeError::UnknownRole {
-                action: frame.def.name.clone(),
+                action: frame.def.name.to_string(),
                 role: role.to_owned(),
             })
         })?;
@@ -573,7 +580,7 @@ impl Ctx {
             }
         }
         if opened > 0 {
-            let object = obj.name().to_owned();
+            let object = obj.name_shared();
             self.observe(action, || EventKind::ObjectAcquired { object });
         }
         Ok(value)
@@ -606,13 +613,13 @@ impl Ctx {
         let inner = Arc::clone(&def.inner);
         let role_id = inner.role_id(role).ok_or_else(|| {
             Flow::from(RuntimeError::UnknownRole {
-                action: inner.name.clone(),
+                action: inner.name.to_string(),
                 role: role.to_owned(),
             })
         })?;
         if inner.thread_of(role_id) != self.me {
             return Err(RuntimeError::RoleMismatch {
-                action: inner.name.clone(),
+                action: inner.name.to_string(),
                 role: role.to_owned(),
             }
             .into());
@@ -684,8 +691,8 @@ impl Ctx {
 
         trace!(self, "enter {} as {} ({})", inner.name, role, action);
         self.observe(action, || EventKind::Enter {
-            name: inner.name.clone(),
-            role: role.to_owned(),
+            name: Arc::clone(&inner.name),
+            role: Arc::clone(&inner.role_names[role_id.index()]),
             depth: self.stack.len(),
         });
         let outcome = self.drive(initial, body);
@@ -1105,7 +1112,7 @@ impl Ctx {
             (
                 self.me,
                 frame.action,
-                frame.membership.members().to_vec(),
+                ViewSnapshot::from_slice(frame.membership.members()),
                 Arc::clone(&frame.def.graph),
             )
         };
@@ -1137,17 +1144,22 @@ impl Ctx {
         mut actions: ProtoActions,
     ) -> Step<Option<ExceptionId>> {
         {
-            let frame = self.stack.last().expect("frame active");
+            let frame = self.stack.last_mut().expect("frame active");
             let epoch = frame.membership.epoch();
-            for (_, msg) in &mut actions.outbound {
-                if let Message::Commit {
-                    view_epoch,
-                    view_removed,
-                    ..
-                } = msg
-                {
-                    *view_epoch = epoch;
-                    *view_removed = frame.membership.removed().to_vec();
+            if epoch > 0 {
+                // Crash-free recoveries (epoch 0, nothing removed) keep
+                // the resolver's pre-stamped empty set — no work at all.
+                let removed = frame.membership.removed_shared();
+                for (_, msg) in &mut actions.outbound {
+                    if let Message::Commit {
+                        view_epoch,
+                        view_removed,
+                        ..
+                    } = msg
+                    {
+                        *view_epoch = epoch;
+                        *view_removed = Arc::clone(&removed);
+                    }
                 }
             }
         }
@@ -1203,7 +1215,7 @@ impl Ctx {
     fn presume_crashed(&mut self) -> Step<Option<ExceptionId>> {
         let (action, suspects) = {
             let frame = self.stack.last().expect("frame active");
-            let view = frame.membership.members().to_vec();
+            let view = ViewSnapshot::from_slice(frame.membership.members());
             let graph = Arc::clone(&frame.def.graph);
             let ctx = ProtoCtx {
                 me: self.me,
@@ -1245,8 +1257,9 @@ impl Ctx {
         // this participant derives from it.
         let view = {
             let frame = self.stack.last().expect("frame active");
-            frame.membership.members().to_vec()
+            ViewSnapshot::from_slice(frame.membership.members())
         };
+        let removed: Arc<[ThreadId]> = Arc::from(suspects.as_slice());
         for &peer in view.iter().filter(|&&t| t != self.me) {
             self.endpoint.send(
                 PartitionId::new(peer.as_u32()),
@@ -1254,7 +1267,7 @@ impl Ctx {
                     action,
                     from: self.me,
                     epoch,
-                    removed: suspects.clone(),
+                    removed: Arc::clone(&removed),
                 },
             );
         }
@@ -1327,7 +1340,7 @@ impl Ctx {
             (
                 self.me,
                 frame.action,
-                frame.membership.members().to_vec(),
+                ViewSnapshot::from_slice(frame.membership.members()),
                 Arc::clone(&frame.def.graph),
             )
         };
@@ -1480,7 +1493,7 @@ impl Ctx {
             frame.signals.insert((round, self.me), mine.clone());
             (
                 frame.action,
-                frame.membership.members().to_vec(),
+                ViewSnapshot::from_slice(frame.membership.members()),
                 frame.def.signal_timeout,
             )
         };
@@ -1557,7 +1570,7 @@ impl Ctx {
             frame.exit_votes.entry(epoch).or_default().insert(self.me);
             (
                 frame.action,
-                frame.membership.members().to_vec(),
+                ViewSnapshot::from_slice(frame.membership.members()),
                 epoch,
                 frame.def.exit_timeout,
             )

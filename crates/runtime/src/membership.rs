@@ -47,22 +47,31 @@
 //! totally ordered by epoch — the same seed replays the same crashes, the
 //! same view sequence and the same byte-identical trace.
 
+use std::sync::Arc;
+
 use caa_core::exception::{Exception, ExceptionId};
 use caa_core::ids::ThreadId;
 use caa_core::membership::{MembershipView, ViewChangeOutcome};
+use caa_core::message::no_removals;
 
 /// Per-frame membership state driven by the recovery driver's failure
 /// detector.
 #[derive(Debug, Clone)]
 pub(crate) struct FrameMembership {
     view: MembershipView,
+    /// The cumulative removed set as a shared slice, cached per epoch:
+    /// stamping `N − 1` outgoing `Commit`s clones one `Arc` per recipient
+    /// instead of materialising the set per message (and the crash-free
+    /// case reuses the global empty set, allocating nothing at all).
+    removed_cache: Option<(u32, Arc<[ThreadId]>)>,
 }
 
 impl FrameMembership {
     /// The initial full view over the action's group.
     pub(crate) fn new(group: &[ThreadId]) -> Self {
         FrameMembership {
-            view: MembershipView::new(group.to_vec()),
+            view: MembershipView::new(group),
+            removed_cache: None,
         }
     }
 
@@ -77,8 +86,27 @@ impl FrameMembership {
     }
 
     /// Every thread removed so far, ascending.
+    #[cfg(test)]
     pub(crate) fn removed(&self) -> &[ThreadId] {
         self.view.removed()
+    }
+
+    /// [`FrameMembership::removed`] as a shared slice for message
+    /// stamping — cached per epoch, so broadcast fan-out clones an `Arc`
+    /// instead of copying the set per recipient.
+    pub(crate) fn removed_shared(&mut self) -> Arc<[ThreadId]> {
+        match &self.removed_cache {
+            Some((epoch, set)) if *epoch == self.view.epoch() => Arc::clone(set),
+            _ => {
+                let set: Arc<[ThreadId]> = if self.view.removed().is_empty() {
+                    no_removals()
+                } else {
+                    Arc::from(self.view.removed())
+                };
+                self.removed_cache = Some((self.view.epoch(), Arc::clone(&set)));
+                set
+            }
+        }
     }
 
     /// Initiates a local view change after a bounded wait expired:

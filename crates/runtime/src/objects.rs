@@ -199,7 +199,8 @@ struct ObjectInner<T> {
 }
 
 struct ObjectShared<T> {
-    name: String,
+    /// Interned: shared with every `ObjectAcquired` event.
+    name: Arc<str>,
     undoable: bool,
     state: Mutex<ObjectInner<T>>,
 }
@@ -313,7 +314,7 @@ fn new_inner<T>(initial: T) -> ObjectInner<T> {
 impl<T: Clone + Send + 'static> SharedObject<T> {
     /// Creates an undoable object with the given committed state.
     #[must_use]
-    pub fn new(name: impl Into<String>, initial: T) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, initial: T) -> Self {
         SharedObject {
             shared: Arc::new(ObjectShared {
                 name: name.into(),
@@ -327,6 +328,13 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.shared.name
+    }
+
+    /// The object's name as a shared reference (cheap to clone into
+    /// events).
+    #[must_use]
+    pub(crate) fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.shared.name)
     }
 
     /// Whether rollback of this object can succeed.
@@ -358,7 +366,7 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
         let mut inner = self.shared.state.lock();
         if !inner.layers.is_empty() {
             return Err(ObjectError::NotAcquired {
-                object: self.shared.name.clone(),
+                object: self.shared.name.to_string(),
             });
         }
         Ok(f(&mut inner.committed))
@@ -545,7 +553,7 @@ impl<T: Clone + Send + 'static> SharedObject<T> {
                 Ok(r)
             }
             _ => Err(ObjectError::NotAcquired {
-                object: self.shared.name.clone(),
+                object: self.shared.name.to_string(),
             }),
         }
     }
@@ -614,7 +622,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         let mut inner = self.shared.state.lock();
         let Some(index) = Self::layer_index(&inner, action) else {
             return Err(ObjectError::NotAcquired {
-                object: self.shared.name.clone(),
+                object: self.shared.name.to_string(),
             });
         };
         if std::env::var_os("CAA_TRACE").is_some() {
@@ -649,7 +657,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         let mut inner = self.shared.state.lock();
         let Some(index) = Self::layer_index(&inner, action) else {
             return Err(ObjectError::NotAcquired {
-                object: self.shared.name.clone(),
+                object: self.shared.name.to_string(),
             });
         };
         if std::env::var_os("CAA_TRACE").is_some() {
@@ -661,7 +669,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
         }
         if !self.shared.undoable && inner.layers[index..].iter().any(|l| l.dirty) {
             return Err(ObjectError::UndoImpossible {
-                object: self.shared.name.clone(),
+                object: self.shared.name.to_string(),
             });
         }
         // Discard the layer AND everything above it. Any layer above was
@@ -707,7 +715,7 @@ impl<T: Clone + Send + 'static> TxControl for SharedObject<T> {
 /// ```
 #[must_use]
 pub fn irreversible<T: Clone + Send + 'static>(
-    name: impl Into<String>,
+    name: impl Into<Arc<str>>,
     initial: T,
 ) -> SharedObject<T> {
     SharedObject {

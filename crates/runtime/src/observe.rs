@@ -20,6 +20,7 @@
 //! the harness's trace recorder does.
 
 use std::fmt;
+use std::sync::Arc;
 
 use caa_core::exception::{ExceptionId, Signal};
 use caa_core::ids::{ActionId, ThreadId};
@@ -46,10 +47,11 @@ pub enum EventKind {
     /// The thread entered an action, playing `role` at nesting `depth`
     /// (1 = top level).
     Enter {
-        /// Action (definition) name.
-        name: String,
-        /// Role the thread performs.
-        role: String,
+        /// Action (definition) name (shared with the definition — building
+        /// the event clones a reference, not the text).
+        name: Arc<str>,
+        /// Role the thread performs (shared with the definition).
+        role: Arc<str>,
         /// Nesting depth after entry; top-level actions are depth 1.
         depth: usize,
     },
@@ -109,8 +111,9 @@ pub enum EventKind {
     /// at least one transaction layer). Grant order is deterministic — see
     /// the `caa-runtime` objects module — so these events byte-replay.
     ObjectAcquired {
-        /// The object's name.
-        object: String,
+        /// The object's name (shared with the object — building the event
+        /// clones a reference, not the text).
+        object: Arc<str>,
     },
     /// The thread started the exit protocol (vote broadcast) for epoch
     /// `epoch` of the action.

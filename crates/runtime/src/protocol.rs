@@ -13,7 +13,7 @@ use std::fmt;
 
 use caa_core::exception::{Exception, ExceptionId};
 use caa_core::ids::{ActionId, ThreadId};
-use caa_core::message::Message;
+use caa_core::message::{no_removals, Message};
 use caa_core::state::ParticipantState;
 use caa_exgraph::ExceptionGraph;
 
@@ -236,7 +236,7 @@ impl XrrState {
                     from: ctx.me,
                     resolved: resolved.clone(),
                     view_epoch: 0,
-                    view_removed: Vec::new(),
+                    view_removed: no_removals(),
                 },
             ));
         }
@@ -545,7 +545,7 @@ mod tests {
                 from: tid(1),
                 resolved: ExceptionId::new("e1∩e2"),
                 view_epoch: 0,
-                view_removed: Vec::new(),
+                view_removed: no_removals(),
             }),
         );
         assert_eq!(a.resolved, Some(ExceptionId::new("e1∩e2")));

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use caa_core::ids::ThreadId;
 use caa_core::message::Message;
 use caa_core::time::{VirtualDuration, VirtualInstant};
-use caa_simnet::{ClockMode, FaultPlan, LatencyModel, NetConfig, NetStats, Network};
+use caa_simnet::{ClockMode, FaultPlan, LatencyModel, NetArena, NetConfig, NetStats, Network};
 use parking_lot::Mutex;
 
 use crate::context::Ctx;
@@ -63,31 +63,20 @@ pub(crate) struct SystemShared {
     pub(crate) observer: Option<Arc<dyn Observer>>,
 }
 
-/// Holds participant bodies back until every participant is registered.
+/// A registered-but-not-yet-dispatched participant body.
 ///
-/// A spawned OS thread may otherwise run ahead — advancing virtual time,
-/// sending messages to not-yet-registered partitions, or even declaring a
-/// deadlock — before the caller has spawned its peers. [`System::run`]
-/// opens the gate once spawning is complete.
-#[derive(Default)]
-struct StartGate {
-    open: Mutex<bool>,
-    cv: parking_lot::Condvar,
-}
+/// [`System::spawn`] registers the participant's network partition
+/// immediately (ids are assigned in spawn order, and a registered
+/// endpoint holds virtual time back), but hands the body to a pool
+/// thread only when [`System::run`] is called — by which point every
+/// participant is registered, so no start gate is needed and each worker
+/// begins executing its body directly instead of parking on a gate
+/// first. (The former gate cost one extra park/wake per participant per
+/// run — measurable at sweep rates.)
+type PendingBody = Box<dyn FnOnce() -> Result<(), RuntimeError> + Send + 'static>;
 
-impl StartGate {
-    fn wait(&self) {
-        let mut open = self.open.lock();
-        while !*open {
-            self.cv.wait(&mut open);
-        }
-    }
-
-    fn open(&self) {
-        *self.open.lock() = true;
-        self.cv.notify_all();
-    }
-}
+/// A dispatched participant's join handle.
+type ParticipantHandle = TaskHandle<Result<(), RuntimeError>>;
 
 /// A distributed object system hosting CA actions.
 ///
@@ -117,14 +106,13 @@ impl StartGate {
 pub struct System {
     net: Network<Message>,
     shared: Arc<SystemShared>,
-    gate: Arc<StartGate>,
-    threads: Vec<(String, TaskHandle<Result<(), RuntimeError>>)>,
+    pending: Vec<(Arc<str>, PendingBody)>,
 }
 
 impl fmt::Debug for System {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("System")
-            .field("threads", &self.threads.len())
+            .field("threads", &self.pending.len())
             .field("protocol", &self.shared.protocol.name())
             .finish()
     }
@@ -159,20 +147,22 @@ impl System {
     /// actions and propagates [`Flow`](crate::Flow) with `?`.
     pub fn spawn(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         body: impl FnOnce(&mut Ctx) -> Step + Send + 'static,
     ) -> ThreadId {
+        // One interning per participant: the endpoint, the context and the
+        // report label all share the same text (and callers that already
+        // hold an `Arc<str>` — e.g. sweep drivers with cached thread
+        // names — pay no allocation at all).
         let name = name.into();
-        let endpoint = self.net.endpoint(name.clone());
+        let endpoint = self.net.endpoint(Arc::clone(&name));
         let me = ThreadId::new(endpoint.id().as_u32());
         let shared = Arc::clone(&self.shared);
-        let gate = Arc::clone(&self.gate);
-        let thread_name = name.clone();
-        let handle = spawn_pooled(move || {
-            // Hold the body until every participant is registered, so
-            // virtual time cannot advance past a partition that does
-            // not exist yet.
-            gate.wait();
+        let thread_name = Arc::clone(&name);
+        // Registration happens now (the endpoint above holds virtual time
+        // back); the body is dispatched to a pool thread by `run`, once
+        // every participant is registered.
+        let job: PendingBody = Box::new(move || {
             let mut ctx = Ctx::new(me, thread_name, endpoint, shared);
             let result = body(&mut ctx);
             ctx.shutdown();
@@ -187,17 +177,33 @@ impl System {
                 },
             }
         });
-        self.threads.push((name, handle));
+        self.pending.push((name, job));
         me
     }
 
     /// Waits for every participating thread and collects the run's results
     /// and statistics.
     #[must_use]
-    pub fn run(mut self) -> SystemReport {
-        self.gate.open();
-        let mut results = Vec::with_capacity(self.threads.len());
-        for (name, handle) in std::mem::take(&mut self.threads) {
+    pub fn run(self) -> SystemReport {
+        self.run_reclaiming().0
+    }
+
+    /// [`System::run`], additionally reclaiming the network's allocations
+    /// into a [`NetArena`] for the next system (see
+    /// [`SystemBuilder::net_arena`]). Returns `None` for the arena when a
+    /// clone of the network (or a leaked endpoint) is still alive — safe
+    /// to call unconditionally; sweep drivers thread the arena through
+    /// every seed so actor slots, delivery heaps and link rows are
+    /// allocated once per worker instead of once per seed.
+    #[must_use]
+    pub fn run_reclaiming(mut self) -> (SystemReport, Option<NetArena<Message>>) {
+        let threads: Vec<(Arc<str>, ParticipantHandle)> = self
+            .pending
+            .drain(..)
+            .map(|(name, job)| (name, spawn_pooled(job)))
+            .collect();
+        let mut results = Vec::with_capacity(threads.len());
+        for (name, handle) in threads {
             let result = match handle.join() {
                 Ok(r) => r,
                 Err(panic) => {
@@ -209,24 +215,33 @@ impl System {
                     Err(RuntimeError::Protocol(format!("thread panicked: {msg}")))
                 }
             };
-            results.push((name, result));
+            results.push((name.to_string(), result));
         }
-        SystemReport {
+        let report = SystemReport {
             elapsed: self.net.now().duration_since(VirtualInstant::EPOCH),
             net_stats: self.net.stats(),
             runtime_stats: self.shared.stats.lock().clone(),
             results,
-        }
+        };
+        // `System` has a `Drop` impl, so the network cannot be moved out;
+        // clone the (Arc-backed) handle, drop the system, then reclaim
+        // through the now-sole owner.
+        let net = self.net.clone();
+        drop(self);
+        let arena = net.reclaim();
+        (report, arena)
     }
 }
 
 impl Drop for System {
-    /// Opens the start gate so spawned participant threads do not park
-    /// forever when a `System` is dropped without [`System::run`] (their
-    /// bodies then execute and terminate as they did before the gate
-    /// existed).
+    /// Dispatches any never-run participant bodies when a `System` is
+    /// dropped without [`System::run`]: the bodies execute (and their
+    /// endpoints retire) exactly as they did under the former start-gate
+    /// design, where dropping the system opened the gate.
     fn drop(&mut self) {
-        self.gate.open();
+        for (_, job) in self.pending.drain(..) {
+            drop(spawn_pooled(job));
+        }
     }
 }
 
@@ -281,6 +296,7 @@ pub struct SystemBuilder {
     protocol: Arc<dyn ResolutionProtocol>,
     observer: Option<Arc<dyn Observer>>,
     tap: Option<Arc<dyn caa_simnet::NetTap>>,
+    net_arena: Option<NetArena<Message>>,
 }
 
 impl Default for SystemBuilder {
@@ -295,6 +311,7 @@ impl Default for SystemBuilder {
             protocol: Arc::new(XrrResolution),
             observer: None,
             tap: None,
+            net_arena: None,
         }
     }
 }
@@ -380,17 +397,30 @@ impl SystemBuilder {
         self
     }
 
+    /// Recycles the allocations of a previous system's network (see
+    /// [`System::run_reclaiming`] and [`caa_simnet::NetArena`]). Purely an
+    /// allocation cache: a system built from an arena behaves — and
+    /// traces — byte-identically to a fresh one.
+    #[must_use]
+    pub fn net_arena(mut self, arena: NetArena<Message>) -> Self {
+        self.net_arena = Some(arena);
+        self
+    }
+
     /// Builds the system.
     #[must_use]
     pub fn build(self) -> System {
-        let net = Network::new(NetConfig {
-            mode: self.mode,
-            latency: self.latency,
-            seed: self.seed,
-            ack_timeout: self.ack_timeout,
-            faults: self.faults,
-            tap: self.tap,
-        });
+        let net = Network::new_reusing(
+            NetConfig {
+                mode: self.mode,
+                latency: self.latency,
+                seed: self.seed,
+                ack_timeout: self.ack_timeout,
+                faults: self.faults,
+                tap: self.tap,
+            },
+            self.net_arena,
+        );
         System {
             net,
             shared: Arc::new(SystemShared {
@@ -399,8 +429,7 @@ impl SystemBuilder {
                 stats: Mutex::new(RuntimeStats::default()),
                 observer: self.observer,
             }),
-            gate: Arc::new(StartGate::default()),
-            threads: Vec::new(),
+            pending: Vec::new(),
         }
     }
 }

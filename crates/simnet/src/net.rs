@@ -17,15 +17,45 @@
 //!   block with no wake-up point is a genuine deadlock and is reported as
 //!   [`SimError::Deadlock`] to every participant — the property Theorem 1
 //!   says the resolution algorithm never triggers.
+//!
+//! # Locking (the split hot path)
+//!
+//! State is split so that a send mostly touches the **receiver's shard**:
+//!
+//! * each endpoint owns a [`Mailbox`] behind its own mutex — the delivery
+//!   heap plus a *dense* per-source [`LinkState`] row (the per-pair FIFO
+//!   and sequence matrix, distributed across receivers);
+//! * a small scheduler mutex guards the clock, the per-endpoint blocked
+//!   state/wake-up points, the message counters and deadlock detection —
+//!   the only cross-endpoint critical section a send enters;
+//! * the virtual clock is mirrored in an atomic so running threads read
+//!   `now` without any lock: time only advances when **every** live
+//!   endpoint is blocked, so a running sender can never race an advance.
+//!
+//! Lock order: the scheduler mutex may acquire a mailbox mutex (receive
+//! paths evaluate their predicate under both), but no thread ever holds a
+//! mailbox mutex while acquiring the scheduler mutex — senders release the
+//! shard before entering the scheduler section. Delivery order and
+//! time-advance order are byte-identical to the single-lock design: the
+//! heap keys, FIFO clamps and wake-up arbitration are unchanged.
+//!
+//! # Arena reuse
+//!
+//! Sweep drivers execute thousands of sub-millisecond simulations; a
+//! [`NetArena`] recycles the allocation-heavy parts (actor slots with
+//! their condvars, mailbox heaps, link rows) from one finished network
+//! into the next (see [`Network::new_reusing`] / [`Network::reclaim`]).
+//! Reuse is invisible to the simulation: recycled state is fully cleared.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use caa_core::ids::PartitionId;
 use caa_core::time::{VirtualDuration, VirtualInstant};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::fault::FaultPlan;
 use crate::latency::{effective_latency, LatencyModel};
@@ -183,7 +213,7 @@ impl BlockKind {
 }
 
 struct ActorSlot {
-    name: String,
+    name: Arc<str>,
     alive: bool,
     running: bool,
     blocked_on: BlockKind,
@@ -204,6 +234,21 @@ struct ActorSlot {
     /// started waiting elsewhere) cannot plant a stale doorbell into the
     /// new wait.
     wait_epoch: u64,
+}
+
+impl ActorSlot {
+    fn fresh(name: Arc<str>, cv: Arc<Condvar>) -> ActorSlot {
+        ActorSlot {
+            name,
+            alive: true,
+            running: true,
+            blocked_on: BlockKind::Recv,
+            wake_at: None,
+            cv,
+            doorbell: None,
+            wait_epoch: 0,
+        }
+    }
 }
 
 struct Envelope<M> {
@@ -237,30 +282,151 @@ impl<M> Ord for Envelope<M> {
     }
 }
 
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct LinkState {
     seq: u64,
     last_delivery: VirtualInstant,
 }
 
-struct Inner<M> {
+/// One endpoint's receive shard: the delivery heap plus the dense
+/// per-source link row (`links_in[src]` is the `(src → this)` cell of the
+/// network's link matrix). Guarded by its own mutex so a send contends
+/// only with traffic for the *same* receiver.
+struct Mailbox<M> {
+    alive: bool,
+    queue: BinaryHeap<Reverse<Envelope<M>>>,
+    links_in: Vec<LinkState>,
+}
+
+impl<M> Mailbox<M> {
+    fn empty() -> Mailbox<M> {
+        Mailbox {
+            alive: true,
+            queue: BinaryHeap::new(),
+            links_in: Vec::new(),
+        }
+    }
+
+    /// The `(src → this)` link cell, grown on demand (dense by source
+    /// index; sources register before they can send, so the row length is
+    /// bounded by the endpoint count).
+    fn link(&mut self, src: PartitionId) -> &mut LinkState {
+        let i = src.index();
+        if self.links_in.len() <= i {
+            self.links_in.resize(i + 1, LinkState::default());
+        }
+        &mut self.links_in[i]
+    }
+
+    fn pop_ready(&mut self, now: VirtualInstant) -> Option<Received<M>> {
+        if self
+            .queue
+            .peek()
+            .is_some_and(|Reverse(env)| env.deliver_at <= now)
+        {
+            let Reverse(env) = self.queue.pop().expect("peeked");
+            Some(Received {
+                src: env.src,
+                sent_at: env.sent_at,
+                delivered_at: env.deliver_at,
+                msg: env.msg,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn head_deliver_at(&self) -> Option<VirtualInstant> {
+        self.queue.peek().map(|Reverse(env)| env.deliver_at)
+    }
+
+    /// Clears the shard for arena reuse, keeping heap and row capacity.
+    fn recycle(&mut self) {
+        self.alive = true;
+        self.queue.clear();
+        self.links_in.clear();
+    }
+}
+
+/// The scheduler shard: clock, per-endpoint blocked state and wake-up
+/// points, counters, deadlock state — the single small cross-endpoint
+/// critical section of the hot path.
+struct Sched {
     now: VirtualInstant,
     actors: Vec<ActorSlot>,
-    queues: Vec<BinaryHeap<Reverse<Envelope<M>>>>,
-    links: HashMap<(u32, u32), LinkState>,
     stats: NetStats,
-    faults: FaultPlan,
     deadlocked: Option<DeadlockInfo>,
+    /// Recycled actor slots handed out by [`Network::endpoint`] before any
+    /// fresh allocation (see [`NetArena`]).
+    spare_slots: Vec<ActorSlot>,
 }
 
 struct Shared<M> {
-    state: Mutex<Inner<M>>,
+    sched: Mutex<Sched>,
+    /// One shard per endpoint, in registration order. Senders take a brief
+    /// read lock to fetch the receiver's shard handle; endpoints cache
+    /// their own.
+    mailboxes: RwLock<Vec<Arc<Mutex<Mailbox<M>>>>>,
+    /// Recycled mailbox shards handed out before fresh allocation.
+    spare_mailboxes: Mutex<Vec<Arc<Mutex<Mailbox<M>>>>>,
+    /// Fault rules live outside the scheduler lock (budgets are per
+    /// directed link, so decision order across links is free); the flag
+    /// lets the fault-free common case skip the lock entirely.
+    faults: Mutex<FaultPlan>,
+    has_faults: bool,
+    /// Mirror of `Sched::now` in nanoseconds. Running threads read it
+    /// without a lock: virtual time only advances when every live endpoint
+    /// is blocked, so no running reader can race an advance.
+    now_ns: AtomicU64,
     mode: ClockMode,
     latency: LatencyModel,
     seed: u64,
     ack_timeout: Option<VirtualDuration>,
     tap: Option<Arc<dyn NetTap>>,
     start: std::time::Instant,
+}
+
+/// Recycled allocations of a finished [`Network`]: actor slots (with their
+/// condvar allocations) and mailbox shards (with their heap and link-row
+/// capacity). Obtained from [`Network::reclaim`], consumed by
+/// [`Network::new_reusing`]. Purely an allocation cache — a network built
+/// from an arena is observably identical to a fresh one.
+pub struct NetArena<M> {
+    slots: Vec<ActorSlot>,
+    mailboxes: Vec<Arc<Mutex<Mailbox<M>>>>,
+}
+
+impl<M> NetArena<M> {
+    /// An empty arena (equivalent to passing `None` to
+    /// [`Network::new_reusing`]).
+    #[must_use]
+    pub fn new() -> NetArena<M> {
+        NetArena {
+            slots: Vec::new(),
+            mailboxes: Vec::new(),
+        }
+    }
+
+    /// How many endpoint slots the arena currently caches.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len().min(self.mailboxes.len())
+    }
+}
+
+impl<M> Default for NetArena<M> {
+    fn default() -> Self {
+        NetArena::new()
+    }
+}
+
+impl<M> fmt::Debug for NetArena<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetArena")
+            .field("slots", &self.slots.len())
+            .field("mailboxes", &self.mailboxes.len())
+            .finish()
+    }
 }
 
 /// The simulated network (and, in virtual mode, the time scheduler).
@@ -307,11 +473,11 @@ impl<M> Clone for Network<M> {
 
 impl<M> fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.shared.state.lock();
+        let sched = self.shared.sched.lock();
         f.debug_struct("Network")
             .field("mode", &self.shared.mode)
-            .field("now", &inner.now)
-            .field("endpoints", &inner.actors.len())
+            .field("now", &sched.now)
+            .field("endpoints", &sched.actors.len())
             .finish()
     }
 }
@@ -320,17 +486,31 @@ impl<M: Send + Classify> Network<M> {
     /// Creates a network with the given configuration.
     #[must_use]
     pub fn new(config: NetConfig) -> Self {
+        Network::new_reusing(config, None)
+    }
+
+    /// [`Network::new`], recycling the allocations of a previously
+    /// [`reclaim`](Network::reclaim)ed network. The arena is an allocation
+    /// cache only: the new network starts from a fully cleared state and
+    /// behaves byte-identically to a fresh one.
+    #[must_use]
+    pub fn new_reusing(config: NetConfig, arena: Option<NetArena<M>>) -> Self {
+        let arena = arena.unwrap_or_default();
+        let has_faults = !config.faults.is_empty();
         Network {
             shared: Arc::new(Shared {
-                state: Mutex::new(Inner {
+                sched: Mutex::new(Sched {
                     now: VirtualInstant::EPOCH,
                     actors: Vec::new(),
-                    queues: Vec::new(),
-                    links: HashMap::new(),
                     stats: NetStats::default(),
-                    faults: config.faults,
                     deadlocked: None,
+                    spare_slots: arena.slots,
                 }),
+                mailboxes: RwLock::new(Vec::new()),
+                spare_mailboxes: Mutex::new(arena.mailboxes),
+                faults: Mutex::new(config.faults),
+                has_faults,
+                now_ns: AtomicU64::new(VirtualInstant::EPOCH.as_nanos()),
                 mode: config.mode,
                 latency: config.latency,
                 seed: config.seed,
@@ -341,38 +521,83 @@ impl<M: Send + Classify> Network<M> {
         }
     }
 
+    /// Takes the network apart and recycles its allocations into a
+    /// [`NetArena`] for the next [`Network::new_reusing`]. Returns `None`
+    /// when other clones of the network (or live endpoints) still exist —
+    /// reclamation requires sole ownership, so it is safe to call
+    /// opportunistically after every run.
+    #[must_use]
+    pub fn reclaim(self) -> Option<NetArena<M>> {
+        let shared = Arc::try_unwrap(self.shared).ok()?;
+        let sched = shared.sched.into_inner();
+        let mut slots = sched.actors;
+        slots.extend(sched.spare_slots);
+        for slot in &mut slots {
+            slot.doorbell = None;
+            slot.wake_at = None;
+            slot.wait_epoch = 0;
+        }
+        let mut mailboxes = Vec::new();
+        for mut arc in shared
+            .mailboxes
+            .into_inner()
+            .into_iter()
+            .chain(shared.spare_mailboxes.into_inner())
+        {
+            // A leaked endpoint keeps its shard alive; skip that shard
+            // rather than aliasing it into the next network.
+            if let Some(mailbox) = Arc::get_mut(&mut arc) {
+                mailbox.get_mut().recycle();
+                mailboxes.push(arc);
+            }
+        }
+        Some(NetArena { slots, mailboxes })
+    }
+
     /// Registers a new endpoint (one partition / participating thread).
     ///
     /// The endpoint is counted as *running* from this moment, so register it
     /// before handing it to its thread — otherwise virtual time may advance
     /// past events the thread would have handled.
-    pub fn endpoint(&self, name: impl Into<String>) -> Endpoint<M> {
-        let mut inner = self.shared.state.lock();
+    pub fn endpoint(&self, name: impl Into<Arc<str>>) -> Endpoint<M> {
+        let name = name.into();
+        let mailbox = match self.shared.spare_mailboxes.lock().pop() {
+            Some(arc) => arc,
+            None => Arc::new(Mutex::new(Mailbox::empty())),
+        };
+        let mut sched = self.shared.sched.lock();
         let id =
-            PartitionId::new(u32::try_from(inner.actors.len()).expect("fewer than 2^32 endpoints"));
-        inner.actors.push(ActorSlot {
-            name: name.into(),
-            alive: true,
-            running: true,
-            blocked_on: BlockKind::Recv,
-            wake_at: None,
-            cv: Arc::new(Condvar::new()),
-            doorbell: None,
-            wait_epoch: 0,
-        });
-        inner.queues.push(BinaryHeap::new());
+            PartitionId::new(u32::try_from(sched.actors.len()).expect("fewer than 2^32 endpoints"));
+        let slot = match sched.spare_slots.pop() {
+            Some(mut slot) => {
+                let cv = Arc::clone(&slot.cv);
+                slot = ActorSlot::fresh(name, cv);
+                slot
+            }
+            None => ActorSlot::fresh(name, Arc::new(Condvar::new())),
+        };
+        sched.actors.push(slot);
+        drop(sched);
+        self.shared.mailboxes.write().push(Arc::clone(&mailbox));
         Endpoint {
             net: self.clone(),
             id,
+            mailbox,
             retired: false,
         }
     }
 
     /// Current time (virtual, or wall-clock since creation in real mode).
+    ///
+    /// In virtual mode this is a lock-free atomic read: the clock only
+    /// moves while every live endpoint is blocked, so a running caller
+    /// always sees the exact current instant.
     #[must_use]
     pub fn now(&self) -> VirtualInstant {
         match self.shared.mode {
-            ClockMode::Virtual => self.shared.state.lock().now,
+            ClockMode::Virtual => {
+                VirtualInstant::from_nanos(self.shared.now_ns.load(Ordering::Acquire))
+            }
             ClockMode::Real => self.real_now(),
         }
     }
@@ -380,7 +605,7 @@ impl<M: Send + Classify> Network<M> {
     /// Snapshot of the message counters.
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        self.shared.state.lock().stats.clone()
+        self.shared.sched.lock().stats.clone()
     }
 
     fn real_now(&self) -> VirtualInstant {
@@ -388,11 +613,15 @@ impl<M: Send + Classify> Network<M> {
         VirtualInstant::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
     }
 
-    fn now_locked(&self, inner: &Inner<M>) -> VirtualInstant {
+    fn now_locked(&self, sched: &Sched) -> VirtualInstant {
         match self.shared.mode {
-            ClockMode::Virtual => inner.now,
+            ClockMode::Virtual => sched.now,
             ClockMode::Real => self.real_now(),
         }
+    }
+
+    fn mailbox_of(&self, id: PartitionId) -> Option<Arc<Mutex<Mailbox<M>>>> {
+        self.shared.mailboxes.read().get(id.index()).map(Arc::clone)
     }
 
     fn send_from(&self, src: PartitionId, dst: PartitionId, msg: M) {
@@ -407,98 +636,149 @@ impl<M: Send + Classify> Network<M> {
             deliver_at,
             seq,
         };
-        let mut inner = self.shared.state.lock();
-        let now = self.now_locked(&inner);
+        // Stable while we run: the sender's own endpoint is running, so
+        // the advance arbiter cannot move the clock under us.
+        let now = self.now();
 
-        if inner.faults.should_lose(src, dst, class) {
-            inner.stats.record_dropped(class);
-            // A lost message still occupies its slot in the per-link
-            // sequence, so tap consumers see a unique (src, dst, seq) per
-            // message whether it was delivered or lost.
-            let link = inner.links.entry((src.as_u32(), dst.as_u32())).or_default();
-            let seq = link.seq;
-            link.seq += 1;
-            if let Some(tap) = &self.shared.tap {
-                let event = tap_event(now, now, seq);
-                drop(inner);
-                tap.on_dropped(&event);
+        // Fault decisions are pure functions of per-link budgets; the
+        // common fault-free case skips the lock entirely.
+        let (lost, corrupted) = if self.shared.has_faults {
+            let mut faults = self.shared.faults.lock();
+            if faults.should_lose(src, dst, class) {
+                (true, false)
+            } else {
+                (false, faults.should_corrupt(src, dst, class))
             }
-            return;
-        }
-        let corrupted = inner.faults.should_corrupt(src, dst, class);
+        } else {
+            (false, false)
+        };
 
-        let link = inner.links.entry((src.as_u32(), dst.as_u32())).or_default();
-        let seq = link.seq;
-        link.seq += 1;
-
-        let raw = self.shared.latency.sample(self.shared.seed, src, dst, seq);
-        let eff = effective_latency(raw, self.shared.ack_timeout);
-        let mut deliver_at = now.saturating_add(eff);
-        // Per-link FIFO (Assumption 2): never deliver before an earlier
-        // message on the same link.
-        if deliver_at <= link.last_delivery {
-            deliver_at = link
-                .last_delivery
-                .saturating_add(VirtualDuration::from_nanos(1));
-        }
-        link.last_delivery = deliver_at;
-
-        inner.stats.record_sent(class);
-        if corrupted {
-            inner.stats.record_corrupted(class);
-        }
-        if eff > raw && !raw.is_zero() {
-            inner.stats.record_retransmissions(
-                eff.as_nanos().saturating_sub(raw.as_nanos()) / raw.as_nanos().max(1),
-            );
-        }
-
-        let di = dst.index();
-        if di >= inner.queues.len() || !inner.actors[di].alive {
-            // Destination unknown or retired: the message is lost like a
-            // datagram to a dead host — but it was accepted, so the tap
-            // still sees it.
-            if let Some(tap) = &self.shared.tap {
-                let event = tap_event(now, deliver_at, seq);
-                drop(inner);
-                tap.on_sent(&event);
+        let Some(mailbox) = self.mailbox_of(dst) else {
+            // Destination never registered: nothing to deliver to and no
+            // link row to book a per-link sequence on (ids normally only
+            // come from registration, so this needs a hand-built
+            // `PartitionId`). The message was still *accepted* — count it
+            // and surface it to the tap like a datagram to a dead host,
+            // with the link sequence pinned to 0.
+            let mut sched = self.shared.sched.lock();
+            if lost {
+                sched.stats.record_dropped(class);
+            } else {
+                sched.stats.record_sent(class);
                 if corrupted {
-                    tap.on_corrupted(&event);
+                    sched.stats.record_corrupted(class);
+                }
+            }
+            drop(sched);
+            if let Some(tap) = &self.shared.tap {
+                let event = tap_event(now, now, 0);
+                if lost {
+                    tap.on_dropped(&event);
+                } else {
+                    tap.on_sent(&event);
+                    if corrupted {
+                        tap.on_corrupted(&event);
+                    }
                 }
             }
             return;
-        }
-        inner.queues[di].push(Reverse(Envelope {
-            deliver_at,
-            src,
-            seq,
-            sent_at: now,
-            msg: (!corrupted).then_some(msg),
-        }));
-        // If the destination is blocked waiting for messages, ensure the
-        // scheduler knows when it becomes wakeable — and wake it (alone)
-        // if the message is already deliverable. A message still in
-        // flight needs no wake-up: only a time advance can make it
-        // deliverable, and the advance arbiter wakes exactly the
-        // endpoints whose wake-up point was reached.
-        let mut wake_dst = None;
-        let slot = &mut inner.actors[di];
-        if !slot.running && slot.blocked_on.receives_messages() {
-            slot.wake_at = Some(match slot.wake_at {
-                Some(existing) => existing.min(deliver_at),
-                None => deliver_at,
-            });
-            let deliverable = match self.shared.mode {
-                ClockMode::Virtual => deliver_at <= now,
-                // Real mode has no advance arbiter: the receiver must wake
-                // to rearm its wall-clock wait for the new delivery time.
-                ClockMode::Real => true,
+        };
+
+        if lost {
+            // A lost message still occupies its slot in the per-link
+            // sequence, so tap consumers see a unique (src, dst, seq) per
+            // message whether it was delivered or lost.
+            let seq = {
+                let mut mb = mailbox.lock();
+                let link = mb.link(src);
+                let seq = link.seq;
+                link.seq += 1;
+                seq
             };
-            if deliverable {
-                wake_dst = Some(Arc::clone(&slot.cv));
+            self.shared.sched.lock().stats.record_dropped(class);
+            if let Some(tap) = &self.shared.tap {
+                tap.on_dropped(&tap_event(now, now, seq));
+            }
+            return;
+        }
+
+        // Receiver shard: book the link slot, sample the latency, apply
+        // the per-link FIFO clamp and enqueue — all without touching any
+        // other endpoint's traffic.
+        let (seq, deliver_at, raw, eff, delivered) = {
+            let mut mb = mailbox.lock();
+            let alive = mb.alive;
+            let link = mb.link(src);
+            let seq = link.seq;
+            link.seq += 1;
+            let raw = self.shared.latency.sample(self.shared.seed, src, dst, seq);
+            let eff = effective_latency(raw, self.shared.ack_timeout);
+            let mut deliver_at = now.saturating_add(eff);
+            // Per-link FIFO (Assumption 2): never deliver before an
+            // earlier message on the same link.
+            if deliver_at <= link.last_delivery {
+                deliver_at = link
+                    .last_delivery
+                    .saturating_add(VirtualDuration::from_nanos(1));
+            }
+            link.last_delivery = deliver_at;
+            if alive {
+                mb.queue.push(Reverse(Envelope {
+                    deliver_at,
+                    src,
+                    seq,
+                    sent_at: now,
+                    msg: (!corrupted).then_some(msg),
+                }));
+            }
+            // A message to a retired endpoint is lost like a datagram to a
+            // dead host — but it was accepted, so counters and tap still
+            // see it.
+            (seq, deliver_at, raw, eff, alive)
+        };
+
+        // Scheduler shard: counters plus the blocked-receiver check — the
+        // small clock/blocked-state critical section.
+        let mut wake_dst = None;
+        {
+            let mut sched = self.shared.sched.lock();
+            sched.stats.record_sent(class);
+            if corrupted {
+                sched.stats.record_corrupted(class);
+            }
+            if eff > raw && !raw.is_zero() {
+                sched.stats.record_retransmissions(
+                    eff.as_nanos().saturating_sub(raw.as_nanos()) / raw.as_nanos().max(1),
+                );
+            }
+            if delivered {
+                // If the destination is blocked waiting for messages,
+                // ensure the scheduler knows when it becomes wakeable —
+                // and wake it (alone) if the message is already
+                // deliverable. A message still in flight needs no wake-up:
+                // only a time advance can make it deliverable, and the
+                // advance arbiter wakes exactly the endpoints whose
+                // wake-up point was reached.
+                let now = self.now_locked(&sched);
+                let slot = &mut sched.actors[dst.index()];
+                if slot.alive && !slot.running && slot.blocked_on.receives_messages() {
+                    slot.wake_at = Some(match slot.wake_at {
+                        Some(existing) => existing.min(deliver_at),
+                        None => deliver_at,
+                    });
+                    let deliverable = match self.shared.mode {
+                        ClockMode::Virtual => deliver_at <= now,
+                        // Real mode has no advance arbiter: the receiver
+                        // must wake to rearm its wall-clock wait for the
+                        // new delivery time.
+                        ClockMode::Real => true,
+                    };
+                    if deliverable {
+                        wake_dst = Some(Arc::clone(&slot.cv));
+                    }
+                }
             }
         }
-        drop(inner);
         if let Some(tap) = &self.shared.tap {
             let event = tap_event(now, deliver_at, seq);
             tap.on_sent(&event);
@@ -513,32 +793,38 @@ impl<M: Send + Classify> Network<M> {
 
     /// Core blocking primitive.
     ///
-    /// Re-evaluates `pred` under the lock whenever woken; while blocked,
-    /// `wake_hint` tells the scheduler the earliest instant at which `pred`
-    /// could become true (None = only a message or retirement can help).
+    /// Re-evaluates `pred` under the scheduler lock (with the caller's own
+    /// mailbox shard locked beneath it) whenever woken; while blocked,
+    /// `wake_hint` tells the scheduler the earliest instant at which
+    /// `pred` could become true (None = only a message or retirement can
+    /// help).
     fn block_until<T>(
         &self,
         id: PartitionId,
+        mailbox: &Mutex<Mailbox<M>>,
         kind: BlockKind,
-        mut pred: impl FnMut(&mut Inner<M>, VirtualInstant) -> Option<T>,
-        mut wake_hint: impl FnMut(&Inner<M>, VirtualInstant) -> Option<VirtualInstant>,
+        mut pred: impl FnMut(&mut Sched, &mut Mailbox<M>, VirtualInstant) -> Option<T>,
+        mut wake_hint: impl FnMut(&Sched, &Mailbox<M>, VirtualInstant) -> Option<VirtualInstant>,
     ) -> Result<T, SimError> {
-        let mut inner = self.shared.state.lock();
+        let mut sched = self.shared.sched.lock();
         // Each endpoint parks on its own slot; wake-ups are targeted at
         // exactly the endpoints whose predicate may now hold.
-        let cv = Arc::clone(&inner.actors[id.index()].cv);
+        let cv = Arc::clone(&sched.actors[id.index()].cv);
         loop {
-            if let Some(info) = &inner.deadlocked {
+            if let Some(info) = &sched.deadlocked {
                 return Err(SimError::Deadlock(info.clone()));
             }
-            let now = self.now_locked(&inner);
-            if let Some(v) = pred(&mut inner, now) {
-                inner.actors[id.index()].running = true;
-                return Ok(v);
-            }
-            let hint = wake_hint(&inner, now);
+            let now = self.now_locked(&sched);
+            let hint = {
+                let mut mb = mailbox.lock();
+                if let Some(v) = pred(&mut sched, &mut mb, now) {
+                    sched.actors[id.index()].running = true;
+                    return Ok(v);
+                }
+                wake_hint(&sched, &mb, now)
+            };
             {
-                let slot = &mut inner.actors[id.index()];
+                let slot = &mut sched.actors[id.index()];
                 slot.running = false;
                 slot.blocked_on = kind;
                 slot.wake_at = hint;
@@ -548,41 +834,33 @@ impl<M: Send + Classify> Network<M> {
                     // If our own blocking triggered an advance (or deadlock
                     // detection), the notification fired before we could
                     // wait — re-evaluate instead of waiting for it.
-                    let changed = self.maybe_advance(&mut inner);
-                    if !changed && inner.deadlocked.is_none() {
-                        cv.wait(&mut inner);
+                    let changed = advance_if_blocked(&mut sched, &self.shared.now_ns);
+                    if !changed && sched.deadlocked.is_none() {
+                        cv.wait(&mut sched);
                     }
                 }
                 ClockMode::Real => match hint {
                     Some(t) => {
                         let dur: std::time::Duration = t.duration_since(self.real_now()).into();
-                        let _ = cv.wait_for(&mut inner, dur);
+                        let _ = cv.wait_for(&mut sched, dur);
                     }
-                    None => cv.wait(&mut inner),
+                    None => cv.wait(&mut sched),
                 },
             }
         }
     }
 
-    /// Advances virtual time if every live endpoint is blocked; detects
-    /// deadlock if none of them has a wake-up point. Returns whether it
-    /// changed the world (advanced time or declared deadlock), so the
-    /// calling blocker can re-evaluate instead of missing its own wake-up.
-    fn maybe_advance(&self, inner: &mut Inner<M>) -> bool {
-        debug_assert_eq!(self.shared.mode, ClockMode::Virtual);
-        advance_if_blocked(inner)
-    }
-
-    fn retire_actor(&self, id: PartitionId) {
-        let mut inner = self.shared.state.lock();
-        let slot = &mut inner.actors[id.index()];
+    fn retire_actor(&self, id: PartitionId, mailbox: &Mutex<Mailbox<M>>) {
+        mailbox.lock().alive = false;
+        let mut sched = self.shared.sched.lock();
+        let slot = &mut sched.actors[id.index()];
         if !slot.alive {
             return;
         }
         slot.alive = false;
         slot.running = false;
         if self.shared.mode == ClockMode::Virtual {
-            self.maybe_advance(&mut inner);
+            advance_if_blocked(&mut sched, &self.shared.now_ns);
         }
     }
 
@@ -605,14 +883,15 @@ impl<M: Send + Classify> Network<M> {
     /// targeted wait has since ended — the doorbell would be stale, and
     /// is dropped. Unknown or retired endpoints are ignored too.
     pub fn schedule_wake(&self, id: PartitionId, at: VirtualInstant, epoch: u64) {
-        let mut inner = self.shared.state.lock();
+        let mailbox = self.mailbox_of(id);
+        let mut sched = self.shared.sched.lock();
         let i = id.index();
-        if i >= inner.actors.len() || !inner.actors[i].alive {
+        if i >= sched.actors.len() || !sched.actors[i].alive {
             return;
         }
-        let now = self.now_locked(&inner);
-        let head = head_deliver_at(&inner, id);
-        let slot = &mut inner.actors[i];
+        let now = self.now_locked(&sched);
+        let head = mailbox.as_ref().and_then(|mb| mb.lock().head_deliver_at());
+        let slot = &mut sched.actors[i];
         if slot.wait_epoch != epoch {
             return; // stale: computed against an earlier, finished wait
         }
@@ -637,7 +916,7 @@ impl<M: Send + Classify> Network<M> {
                 wake = Some(Arc::clone(&slot.cv));
             }
         }
-        drop(inner);
+        drop(sched);
         if let Some(cv) = wake {
             cv.notify_one();
         }
@@ -651,6 +930,9 @@ impl<M: Send + Classify> Network<M> {
 pub struct Endpoint<M> {
     net: Network<M>,
     id: PartitionId,
+    /// This endpoint's own receive shard (cached so the receive paths
+    /// never touch the shard directory).
+    mailbox: Arc<Mutex<Mailbox<M>>>,
     retired: bool,
 }
 
@@ -696,12 +978,12 @@ impl<M: Send + Classify> Endpoint<M> {
     /// [`SimError::Deadlock`] if the whole simulation can no longer make
     /// progress (virtual mode only).
     pub fn recv(&mut self) -> Result<Received<M>, SimError> {
-        let id = self.id;
         self.net.block_until(
-            id,
+            self.id,
+            &self.mailbox,
             BlockKind::Recv,
-            |inner, now| pop_ready(inner, id, now),
-            |inner, _| head_deliver_at(inner, id),
+            |_, mb, now| mb.pop_ready(now),
+            |_, mb, _| mb.head_deliver_at(),
         )
     }
 
@@ -711,12 +993,12 @@ impl<M: Send + Classify> Endpoint<M> {
     ///
     /// [`SimError::Deadlock`] if the simulation already deadlocked.
     pub fn try_recv(&mut self) -> Result<Option<Received<M>>, SimError> {
-        let mut inner = self.net.shared.state.lock();
-        if let Some(info) = &inner.deadlocked {
+        let sched = self.net.shared.sched.lock();
+        if let Some(info) = &sched.deadlocked {
             return Err(SimError::Deadlock(info.clone()));
         }
-        let now = self.net.now_locked(&inner);
-        Ok(pop_ready(&mut inner, self.id, now))
+        let now = self.net.now_locked(&sched);
+        Ok(self.mailbox.lock().pop_ready(now))
     }
 
     /// Receives the next message, waiting at most `timeout`.
@@ -754,16 +1036,16 @@ impl<M: Send + Classify> Endpoint<M> {
         &mut self,
         deadline: VirtualInstant,
     ) -> Result<Option<Received<M>>, SimError> {
-        let id = self.id;
         self.net.block_until(
-            id,
+            self.id,
+            &self.mailbox,
             BlockKind::Recv,
-            |inner, now| match pop_ready(inner, id, now) {
+            |_, mb, now| match mb.pop_ready(now) {
                 Some(r) => Some(Some(r)),
                 None if now >= deadline => Some(None),
                 None => None,
             },
-            |inner, _| match head_deliver_at(inner, id) {
+            |_, mb, _| match mb.head_deliver_at() {
                 Some(h) => Some(h.min(deadline)),
                 None => Some(deadline),
             },
@@ -808,12 +1090,13 @@ impl<M: Send + Classify> Endpoint<M> {
         let id = self.id;
         self.net.block_until(
             id,
+            &self.mailbox,
             BlockKind::Park,
-            |inner, now| {
-                if let Some(received) = pop_ready(inner, id, now) {
+            |sched, mb, now| {
+                if let Some(received) = mb.pop_ready(now) {
                     return Some(Parked::Msg(received));
                 }
-                let slot = &mut inner.actors[id.index()];
+                let slot = &mut sched.actors[id.index()];
                 if slot.doorbell.is_some_and(|at| at <= now) {
                     slot.doorbell = None;
                     return Some(Parked::Doorbell);
@@ -823,9 +1106,9 @@ impl<M: Send + Classify> Endpoint<M> {
                 }
                 None
             },
-            |inner, _| {
-                let head = head_deliver_at(inner, id);
-                let bell = inner.actors[id.index()].doorbell;
+            |sched, mb, _| {
+                let head = mb.head_deliver_at();
+                let bell = sched.actors[id.index()].doorbell;
                 let hint = match (head, bell) {
                     (Some(h), Some(b)) => Some(h.min(b)),
                     (head, bell) => head.or(bell),
@@ -846,8 +1129,8 @@ impl<M: Send + Classify> Endpoint<M> {
     /// raced against the end of the previous wait cannot ring a stale
     /// bell into this one.
     pub fn begin_wait(&self) -> u64 {
-        let mut inner = self.net.shared.state.lock();
-        let slot = &mut inner.actors[self.id.index()];
+        let mut sched = self.net.shared.sched.lock();
+        let slot = &mut sched.actors[self.id.index()];
         slot.doorbell = None;
         slot.wait_epoch += 1;
         slot.wait_epoch
@@ -862,13 +1145,13 @@ impl<M: Send + Classify> Endpoint<M> {
         if dur.is_zero() {
             return Ok(());
         }
-        let id = self.id;
         let deadline = self.net.now().saturating_add(dur);
         self.net.block_until(
-            id,
+            self.id,
+            &self.mailbox,
             BlockKind::Sleep,
-            |_, now| (now >= deadline).then_some(()),
-            |_, _| Some(deadline),
+            |_, _, now| (now >= deadline).then_some(()),
+            |_, _, _| Some(deadline),
         )
     }
 
@@ -876,7 +1159,7 @@ impl<M: Send + Classify> Endpoint<M> {
     /// participant and undelivered messages to it are discarded.
     pub fn retire(mut self) {
         self.retired = true;
-        self.net.retire_actor(self.id);
+        self.net.retire_actor(self.id, &self.mailbox);
     }
 }
 
@@ -884,14 +1167,15 @@ impl<M> Drop for Endpoint<M> {
     fn drop(&mut self) {
         if !self.retired {
             // Duplicate of retire() without the Classify bound.
+            self.mailbox.lock().alive = false;
             let net = &self.net;
-            let mut inner = net.shared.state.lock();
-            let slot = &mut inner.actors[self.id.index()];
+            let mut sched = net.shared.sched.lock();
+            let slot = &mut sched.actors[self.id.index()];
             if slot.alive {
                 slot.alive = false;
                 slot.running = false;
                 if net.shared.mode == ClockMode::Virtual {
-                    advance_if_blocked(&mut inner);
+                    advance_if_blocked(&mut sched, &net.shared.now_ns);
                 }
             }
         }
@@ -905,18 +1189,18 @@ impl<M> Drop for Endpoint<M> {
 /// or, with no wake-up point anywhere, declares deadlock and wakes
 /// everyone to report it. Returns whether it changed the world, so the
 /// calling blocker re-evaluates instead of missing its own wake-up.
-fn advance_if_blocked<M>(inner: &mut Inner<M>) -> bool {
-    if inner.deadlocked.is_some() {
+fn advance_if_blocked(sched: &mut Sched, now_ns: &AtomicU64) -> bool {
+    if sched.deadlocked.is_some() {
         return false;
     }
-    let live = inner.actors.iter().filter(|a| a.alive);
+    let live = sched.actors.iter().filter(|a| a.alive);
     let mut min_wake: Option<VirtualInstant> = None;
     for actor in live {
         if actor.running {
             return false; // someone can still make progress right now
         }
         if let Some(w) = actor.wake_at {
-            if w <= inner.now {
+            if w <= sched.now {
                 return false; // already wakeable; it was notified
             }
             min_wake = Some(match min_wake {
@@ -927,8 +1211,9 @@ fn advance_if_blocked<M>(inner: &mut Inner<M>) -> bool {
     }
     match min_wake {
         Some(t) => {
-            inner.now = t;
-            for actor in &inner.actors {
+            sched.now = t;
+            now_ns.store(t.as_nanos(), Ordering::Release);
+            for actor in &sched.actors {
                 if actor.alive && !actor.running && actor.wake_at.is_some_and(|w| w <= t) {
                     actor.cv.notify_one();
                 }
@@ -936,23 +1221,23 @@ fn advance_if_blocked<M>(inner: &mut Inner<M>) -> bool {
             true
         }
         None => {
-            let any_live = inner.actors.iter().any(|a| a.alive);
+            let any_live = sched.actors.iter().any(|a| a.alive);
             if !any_live {
                 return false; // everyone retired: nothing to schedule
             }
             let info = DeadlockInfo {
-                at: inner.now,
-                blocked: inner
+                at: sched.now,
+                blocked: sched
                     .actors
                     .iter()
                     .filter(|a| a.alive)
-                    .map(|a| (a.name.clone(), a.blocked_on.label()))
+                    .map(|a| (a.name.to_string(), a.blocked_on.label()))
                     .collect(),
             };
-            inner.deadlocked = Some(info);
+            sched.deadlocked = Some(info);
             // Everyone must observe the deadlock: this is the one
             // remaining broadcast wake-up, and the simulation is over.
-            for actor in &inner.actors {
+            for actor in &sched.actors {
                 if actor.alive && !actor.running {
                     actor.cv.notify_one();
                 }
@@ -960,30 +1245,6 @@ fn advance_if_blocked<M>(inner: &mut Inner<M>) -> bool {
             true
         }
     }
-}
-
-fn pop_ready<M>(inner: &mut Inner<M>, id: PartitionId, now: VirtualInstant) -> Option<Received<M>> {
-    let queue = &mut inner.queues[id.index()];
-    if queue
-        .peek()
-        .is_some_and(|Reverse(env)| env.deliver_at <= now)
-    {
-        let Reverse(env) = queue.pop().expect("peeked");
-        Some(Received {
-            src: env.src,
-            sent_at: env.sent_at,
-            delivered_at: env.deliver_at,
-            msg: env.msg,
-        })
-    } else {
-        None
-    }
-}
-
-fn head_deliver_at<M>(inner: &Inner<M>, id: PartitionId) -> Option<VirtualInstant> {
-    inner.queues[id.index()]
-        .peek()
-        .map(|Reverse(env)| env.deliver_at)
 }
 
 #[cfg(test)]
@@ -1337,5 +1598,54 @@ mod tests {
             (tb.join().unwrap(), tc.join().unwrap())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn arena_reuse_replays_byte_identically() {
+        // The same two-party exchange, fresh vs. recycled: every delivery
+        // instant must match, and the arena must actually be reclaimed.
+        let exchange = |arena: Option<NetArena<Msg>>| {
+            let net = Network::new_reusing(
+                NetConfig {
+                    mode: ClockMode::Virtual,
+                    latency: LatencyModel::UniformUpTo(secs(1.0)),
+                    seed: 7,
+                    ack_timeout: None,
+                    faults: FaultPlan::new(),
+                    tap: None,
+                },
+                arena,
+            );
+            let a = net.endpoint("a");
+            let mut b = net.endpoint("b");
+            let b_id = b.id();
+            for i in 0..20 {
+                a.send(b_id, Msg(i));
+            }
+            a.retire();
+            let tb = thread::spawn(move || {
+                let mut ts = Vec::new();
+                for _ in 0..20 {
+                    ts.push(b.recv().unwrap().delivered_at);
+                }
+                b.retire();
+                ts
+            });
+            let ts = tb.join().unwrap();
+            (ts, net.reclaim().expect("sole owner after join"))
+        };
+        let (fresh, arena) = exchange(None);
+        assert_eq!(arena.capacity(), 2, "both endpoints reclaimed");
+        let (reused, arena2) = exchange(Some(arena));
+        assert_eq!(fresh, reused, "arena reuse must not change delivery");
+        assert_eq!(arena2.capacity(), 2);
+    }
+
+    #[test]
+    fn reclaim_requires_sole_ownership() {
+        let net = virtual_net(LatencyModel::default());
+        let clone = net.clone();
+        assert!(net.reclaim().is_none(), "a live clone blocks reclamation");
+        drop(clone);
     }
 }
