@@ -1,0 +1,76 @@
+//! `metrics_merge` — union sharded sweeps' `metrics.json` documents.
+//!
+//! A sweep split across CI jobs or machines with `--shard k/n` produces
+//! one `metrics.json` per shard. This tool merges them into the document
+//! the unsharded sweep would have produced: histogram buckets sum
+//! exactly, counters sum, seed counts add — so the merged p50/p99 are
+//! identical to the unsharded run's, byte for byte.
+//!
+//! ```text
+//! cargo run -p caa-bench --release --bin metrics_merge -- \
+//!     shard0/metrics.json shard1/metrics.json ... [--out merged.json]
+//! ```
+//!
+//! The merged document carries **only the deterministic section**: the
+//! `wall_clock` counters (scheduler park/wake handoffs) are host facts
+//! that legitimately differ between a sharded and an unsharded run, so
+//! they are dropped rather than misleadingly summed. That normalization
+//! makes merge-equality a byte equality: merging the 4 shard documents
+//! equals merging the single unsharded document.
+
+use caa_harness::metrics::{metrics_json, parse_metrics_json, SweepMetrics};
+
+fn main() {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                }));
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown argument {other}; usage: metrics_merge <metrics.json>... [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+            path => inputs.push(path.to_owned()),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: metrics_merge <metrics.json>... [--out PATH]");
+        std::process::exit(2);
+    }
+
+    let mut merged = SweepMetrics::default();
+    let mut seeds_total: u64 = 0;
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let (seeds, metrics) = parse_metrics_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        seeds_total += seeds;
+        merged.merge(&metrics);
+    }
+
+    let doc = metrics_json(&merged, seeds_total, false);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &doc).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("merged {} document(s) into {path}", inputs.len());
+        }
+        None => print!("{doc}"),
+    }
+    eprint!("{}", merged.summary());
+}

@@ -28,6 +28,18 @@
 //! it but a structural collapse (an accidental O(n²), a lost wake-up
 //! path, a per-seed allocation storm) cannot slip through unnoticed.
 //!
+//! `--max-handoffs-per-seed N` gates the scheduler's park counter the
+//! same way: with `--workers 1` a virtual-time seed costs a fixed number
+//! of futex handoffs (~57/seed at PR 5), and a lost targeted-wakeup
+//! optimisation shows up as that number exploding long before wall-clock
+//! noise would reveal it. The count is wall-clock nondeterministic, so
+//! the gate is a ceiling, not an equality.
+//!
+//! Alongside the bench JSON, the run writes the merged `metrics.json`
+//! (all cases' [`SweepMetrics`] unioned) next to `--out` — protocol
+//! latency distributions in virtual time, mergeable across shards with
+//! the `metrics_merge` bin.
+//!
 //! The JSON is a flat, diff-friendly document uploaded as a CI artifact
 //! (the per-commit measurement). The `BENCH_sweep.json` committed at the
 //! workspace root is the longer-lived perf trajectory: it aggregates
@@ -37,6 +49,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use caa_harness::metrics::{metrics_json, SweepMetrics};
 use caa_harness::plan::ScenarioConfig;
 use caa_harness::sweep::{sweep, Shard, SweepConfig, SweepReport};
 
@@ -124,6 +137,7 @@ fn main() {
     let mut shard: Option<Shard> = None;
     let mut out_path = String::from("BENCH_sweep.json");
     let mut min_seeds_per_sec: Option<f64> = None;
+    let mut max_handoffs_per_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -149,10 +163,18 @@ fn main() {
                         .expect("--min-seeds-per-sec N"),
                 );
             }
+            "--max-handoffs-per-seed" => {
+                max_handoffs_per_seed = Some(
+                    value("--max-handoffs-per-seed")
+                        .parse()
+                        .expect("--max-handoffs-per-seed N"),
+                );
+            }
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: sweep_bench [--seeds N] [--workers N] \
-                     [--shard k/n] [--out PATH] [--min-seeds-per-sec N]"
+                     [--shard k/n] [--out PATH] [--min-seeds-per-sec N] \
+                     [--max-handoffs-per-seed N]"
                 );
                 std::process::exit(2);
             }
@@ -188,6 +210,40 @@ fn main() {
     std::fs::write(&out_path, &doc).expect("write bench JSON");
     print!("{doc}");
     eprintln!("wrote {out_path} in {:.2?}", started.elapsed());
+
+    // Union of every case's metrics, written next to the bench JSON.
+    let mut merged = SweepMetrics::default();
+    let mut seeds_total = 0;
+    for result in &results {
+        merged.merge(&result.report.metrics);
+        seeds_total += result.report.seeds_run;
+    }
+    let metrics_path = match out_path.rfind('/') {
+        Some(slash) => format!("{}/metrics.json", &out_path[..slash]),
+        None => String::from("metrics.json"),
+    };
+    std::fs::write(&metrics_path, metrics_json(&merged, seeds_total, true))
+        .expect("write metrics JSON");
+    eprintln!("wrote {metrics_path}");
+
+    if let Some(ceiling) = max_handoffs_per_seed {
+        let mut exceeded = false;
+        for result in &results {
+            let per_seed = result.report.metrics.parks_per_seed();
+            if per_seed > ceiling {
+                eprintln!(
+                    "HANDOFF CEILING VIOLATED: case '{}' parked ~{per_seed} times per seed, \
+                     above the --max-handoffs-per-seed ceiling of {ceiling}",
+                    result.name
+                );
+                exceeded = true;
+            }
+        }
+        if exceeded {
+            std::process::exit(4);
+        }
+        eprintln!("handoff ceiling ok: every case ≤ {ceiling} parks/seed");
+    }
 
     if let Some(floor) = min_seeds_per_sec {
         let mut collapsed = false;

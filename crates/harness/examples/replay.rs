@@ -18,8 +18,14 @@
 //!
 //! # Sweep a seed range; several processes/CI jobs split it with --shard:
 //! cargo run -p caa-harness --example replay -- --sweep 10000 \
-//!     [--start 0] [--shard 2/8]
+//!     [--start 0] [--shard 2/8] [--metrics-out metrics.json]
 //! ```
+//!
+//! Every form prints the run's metrics summary (virtual-time protocol
+//! latency quantiles, per-class message counts, scheduler handoffs);
+//! `--metrics-out` additionally writes the sweep's machine-readable
+//! `metrics.json` (mergeable across shards with the `metrics_merge`
+//! bench bin).
 
 use std::path::Path;
 use std::process::exit;
@@ -27,13 +33,15 @@ use std::process::exit;
 use caa_harness::arena::ExecutionArena;
 use caa_harness::bisect::{bisect_schedule, plan_violates, write_corpus_entry};
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
-use caa_harness::sweep::{run_seed, sweep, Shard, SweepConfig};
+use caa_harness::sweep::{run_seed_in, sweep, Shard, SweepConfig};
 
 fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>, bisect: bool) -> bool {
     let plan = ScenarioPlan::generate(seed, config);
     println!("{}", plan.describe());
-    let result = run_seed(seed, config, true);
+    let mut arena = ExecutionArena::new();
+    let result = run_seed_in(seed, config, true, &mut arena);
     println!("{}", result.artifacts.trace.render());
+    print!("{}", arena.metrics().summary());
     let mut ok = true;
     if let Some(recorded) = recorded_trace {
         if result.artifacts.trace.render() == recorded {
@@ -124,8 +132,10 @@ fn run_sweep(args: &[String]) -> bool {
     let mut seeds: u64 = 1000;
     let mut start: u64 = 0;
     let mut shard: Option<Shard> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
-    let usage = "usage: replay -- --sweep <seeds> [--start <seed>] [--shard k/n]";
+    let usage =
+        "usage: replay -- --sweep <seeds> [--start <seed>] [--shard k/n] [--metrics-out PATH]";
     while let Some(arg) = it.next() {
         let mut value = || {
             it.next().cloned().unwrap_or_else(|| {
@@ -152,6 +162,7 @@ fn run_sweep(args: &[String]) -> bool {
                     exit(2);
                 }));
             }
+            "--metrics-out" => metrics_out = Some(value()),
             other => {
                 eprintln!("unknown argument {other}\n{usage}");
                 exit(2);
@@ -166,6 +177,15 @@ fn run_sweep(args: &[String]) -> bool {
         ..SweepConfig::default()
     });
     print!("{}", report.summary());
+    if let Some(path) = metrics_out {
+        match std::fs::write(&path, report.metrics_json()) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(2);
+            }
+        }
+    }
     if let Some(shard) = shard {
         println!(
             "(shard {}/{} of seeds {start}..{})",

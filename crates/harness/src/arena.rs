@@ -35,6 +35,7 @@ use caa_exgraph::generate::conjunction_lattice;
 use caa_exgraph::ExceptionGraph;
 use caa_simnet::NetArena;
 
+use crate::metrics::{MetricsRecorder, SweepMetrics};
 use crate::trace::{Entry, Trace, TraceRecorder};
 
 /// How many recycled trace buffers an arena keeps. An execution uses one
@@ -73,6 +74,10 @@ pub struct ExecutionArena {
     graphs: HashMap<String, Arc<ExceptionGraph>>,
     /// Reusable key buffer for graph lookups.
     graph_key: String,
+    /// Per-worker metrics recorder: pre-registered histogram handles plus
+    /// reusable correlation scratch, so per-seed metric extraction is
+    /// allocation-free in steady state (see [`crate::metrics`]).
+    metrics: MetricsRecorder,
 }
 
 impl std::fmt::Debug for ExecutionArena {
@@ -160,6 +165,25 @@ impl ExecutionArena {
         self.graphs
             .insert(self.graph_key.clone(), Arc::clone(&graph));
         graph
+    }
+
+    /// The per-worker metrics recorder (mutable: seed runners record each
+    /// explored seed's artifacts through it).
+    pub fn metrics_recorder(&mut self) -> &mut MetricsRecorder {
+        &mut self.metrics
+    }
+
+    /// The metrics accumulated by every seed run through this arena.
+    #[must_use]
+    pub fn metrics(&self) -> &SweepMetrics {
+        self.metrics.metrics()
+    }
+
+    /// Takes the accumulated metrics for merging into a sweep-wide set,
+    /// leaving the recorder's handles and scratch capacity in place.
+    #[must_use]
+    pub fn take_metrics(&mut self) -> SweepMetrics {
+        self.metrics.take_metrics()
     }
 }
 

@@ -67,6 +67,7 @@
 pub mod arena;
 pub mod bisect;
 pub mod exec;
+pub mod metrics;
 pub mod oracle;
 pub mod plan;
 pub mod prodcell;

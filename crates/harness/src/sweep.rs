@@ -23,6 +23,7 @@ use caa_runtime::observe::EventKind;
 
 use crate::arena::ExecutionArena;
 use crate::exec::{execute_owned, run_plan, RunArtifacts};
+use crate::metrics::{metrics_json, SweepMetrics};
 use crate::oracle::{check_replay, check_run, Violation};
 use crate::plan::{ScenarioConfig, ScenarioPlan};
 use crate::trace::Trace;
@@ -332,6 +333,10 @@ pub struct SweepReport {
     /// Which protocol paths the sweep hit, aggregated over every explored
     /// seed's trace.
     pub coverage: PathCoverage,
+    /// Protocol latency distributions (virtual time) and scheduler
+    /// self-metrics, aggregated over every explored seed (see
+    /// [`crate::metrics`]).
+    pub metrics: SweepMetrics,
     /// Wall-clock duration of the sweep.
     pub wall: Duration,
 }
@@ -373,6 +378,7 @@ impl SweepReport {
             self.failures.len(),
         );
         let _ = writeln!(out, "paths hit: {}", self.coverage.summary());
+        out.push_str(&self.metrics.summary());
         for failure in &self.failures {
             let _ = writeln!(
                 out,
@@ -386,6 +392,16 @@ impl SweepReport {
             }
         }
         out
+    }
+
+    /// The sweep's `metrics.json` document: deterministic (virtual-time)
+    /// metrics plus the wall-clock scheduler section. For the same seed
+    /// range and scenario, the deterministic section is byte-identical on
+    /// any machine; `metrics_merge` over shard documents reproduces the
+    /// unsharded document's deterministic section byte-for-byte.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        metrics_json(&self.metrics, self.seeds_run, true)
     }
 }
 
@@ -425,6 +441,7 @@ pub fn run_seed_in(
     let plan = ScenarioPlan::generate(seed, scenario);
     let artifacts = execute_owned(plan, arena);
     let mut violations = check_run(&artifacts);
+    arena.metrics_recorder().record_run(&artifacts);
     if check_replay_too {
         let (replayed, _report) = run_plan(&artifacts.plan, arena);
         if let Some(v) = check_replay(&artifacts.trace, &replayed) {
@@ -457,6 +474,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     let next = AtomicU64::new(0);
     let failures: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
     let coverage: Mutex<PathCoverage> = Mutex::new(PathCoverage::default());
+    let metrics: Mutex<SweepMetrics> = Mutex::new(SweepMetrics::default());
     let entries = AtomicU64::new(0);
     let virtual_ns = AtomicU64::new(0);
     let seeds_run = AtomicU64::new(0);
@@ -476,6 +494,10 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                             .lock()
                             .expect("coverage collector")
                             .merge(&local_coverage);
+                        metrics
+                            .lock()
+                            .expect("metrics collector")
+                            .merge(&arena.take_metrics());
                         return;
                     }
                     if let Some(shard) = config.shard {
@@ -522,6 +544,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
         trace_entries: entries.into_inner(),
         virtual_secs: virtual_ns.into_inner() as f64 / 1e9,
         coverage: coverage.into_inner().expect("coverage collector"),
+        metrics: metrics.into_inner().expect("metrics collector"),
         wall: started.elapsed(),
     }
 }

@@ -27,7 +27,7 @@ fn acquired_lines(trace: &Trace) -> Vec<String> {
         .iter()
         .filter_map(|entry| match &entry.kind {
             caa_harness::trace::EntryKind::Runtime(e) => match &e.kind {
-                caa_runtime::observe::EventKind::ObjectAcquired { object } => Some(format!(
+                caa_runtime::observe::EventKind::ObjectAcquired { object, .. } => Some(format!(
                     "@{} T{} A{} acquire {object}",
                     entry.at_ns,
                     entry.thread,

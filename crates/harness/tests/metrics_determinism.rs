@@ -1,0 +1,164 @@
+//! Determinism and merge guarantees of the sweep metrics pipeline:
+//!
+//! * the virtual-time (`deterministic`) section of a sweep's
+//!   `metrics.json` is a pure function of the seed set — two runs of the
+//!   same sweep serialize byte-identically, whatever the worker count;
+//! * sharding a sweep and merging the shards' metrics reproduces the
+//!   unsharded document byte for byte (the `metrics_merge` contract);
+//! * with one worker, scheduler handoffs per seed stay under the CI
+//!   ceiling (the ROADMAP's "~57 futex handoffs per seed" as a
+//!   regression guard rather than prose).
+
+use caa_harness::metrics::{metrics_json, parse_metrics_json, SweepMetrics};
+use caa_harness::sweep::{sweep, Shard, SweepConfig, SweepReport};
+
+/// Parks-per-seed ceiling for the default scenario at `--workers 1`.
+/// Measured ~51–57 across PR 5 and PR 6; 120 leaves room for scheduler
+/// jitter while still catching a lost-wakeup regression (which shows up
+/// as a multi-x explosion, not a few extra parks).
+const HANDOFF_CEILING: u64 = 120;
+
+fn run(seeds: u64, workers: usize, check_replay: bool, shard: Option<Shard>) -> SweepReport {
+    let report = sweep(&SweepConfig {
+        start_seed: 0,
+        seeds,
+        workers,
+        check_replay,
+        shard,
+        ..SweepConfig::default()
+    });
+    assert!(
+        report.all_passed(),
+        "sweep found violations:\n{}",
+        report.summary()
+    );
+    report
+}
+
+/// The shard-stable serialization: everything but the wall-clock
+/// scheduler counters, which legitimately vary run to run.
+fn deterministic_json(report: &SweepReport) -> String {
+    metrics_json(&report.metrics, report.seeds_run, false)
+}
+
+#[test]
+fn same_seeds_serialize_byte_identically() {
+    let first = run(150, 2, false, None);
+    let second = run(150, 2, false, None);
+    assert!(
+        !first.metrics.deterministic.is_empty(),
+        "sweep must have recorded virtual-time metrics"
+    );
+    assert_eq!(
+        deterministic_json(&first),
+        deterministic_json(&second),
+        "two runs of the same sweep must serialize identical metrics"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_metrics() {
+    let serial = run(150, 1, false, None);
+    let parallel = run(150, 4, false, None);
+    assert_eq!(
+        deterministic_json(&serial),
+        deterministic_json(&parallel),
+        "metrics must not depend on how seeds are scheduled across workers"
+    );
+}
+
+#[test]
+fn four_shard_merge_equals_unsharded() {
+    const SEEDS: u64 = 600;
+    const SHARDS: u64 = 4;
+    let whole = run(SEEDS, 2, false, None);
+
+    let mut merged = SweepMetrics::default();
+    let mut seeds_total = 0;
+    for index in 0..SHARDS {
+        let shard = run(
+            SEEDS,
+            2,
+            false,
+            Some(Shard {
+                index,
+                count: SHARDS,
+            }),
+        );
+        merged.merge(&shard.metrics);
+        seeds_total += shard.seeds_run;
+    }
+    assert_eq!(
+        seeds_total, whole.seeds_run,
+        "shards must partition the seed range"
+    );
+    assert_eq!(
+        metrics_json(&merged, seeds_total, false),
+        deterministic_json(&whole),
+        "merging the four shard documents must reproduce the unsharded one"
+    );
+}
+
+/// The `metrics_merge` bin's parse→merge→serialize path, in process:
+/// round-tripping shard documents through the JSON interchange form and
+/// merging the parsed metrics still reproduces the unsharded bytes.
+#[test]
+fn merge_survives_json_round_trip() {
+    const SEEDS: u64 = 300;
+    let whole = run(SEEDS, 2, false, None);
+
+    let mut merged = SweepMetrics::default();
+    let mut seeds_total = 0;
+    for index in 0..2 {
+        let shard = run(SEEDS, 2, false, Some(Shard { index, count: 2 }));
+        // Serialize with the wall-clock section included, as the sweep
+        // writes it; the parse side must carry it without disturbing
+        // the deterministic section.
+        let doc = metrics_json(&shard.metrics, shard.seeds_run, true);
+        let (seeds, parsed) = parse_metrics_json(&doc).expect("shard doc must parse");
+        assert_eq!(seeds, shard.seeds_run);
+        merged.merge(&parsed);
+        seeds_total += seeds;
+    }
+    assert_eq!(
+        metrics_json(&merged, seeds_total, false),
+        deterministic_json(&whole),
+    );
+}
+
+#[test]
+fn crash_and_crashfree_latency_quantiles_are_populated() {
+    let report = run(400, 2, false, None);
+    for label in [
+        "resolution_latency_crashfree_ns",
+        "resolution_latency_crash_ns",
+    ] {
+        let hist = report
+            .metrics
+            .deterministic
+            .histogram_named(label)
+            .unwrap_or_else(|| panic!("{label} must be registered"));
+        assert!(hist.count() > 0, "{label} must have samples over 400 seeds");
+        assert!(hist.quantile(50, 100) > 0, "{label} p50 must be nonzero");
+        assert!(
+            hist.quantile(99, 100) >= hist.quantile(50, 100),
+            "{label} quantiles must be ordered"
+        );
+    }
+}
+
+#[test]
+fn single_worker_handoffs_stay_under_ceiling() {
+    let report = run(100, 1, false, None);
+    let parks = report.metrics.wall_clock.counter_value("sched_parks");
+    assert!(
+        parks > 0,
+        "a single-worker sweep must park (virtual time advances)"
+    );
+    let per_seed = report.metrics.parks_per_seed();
+    assert!(
+        per_seed <= HANDOFF_CEILING,
+        "~{per_seed} parks/seed at one worker exceeds the {HANDOFF_CEILING} ceiling \
+         (lost targeted wakeups?)"
+    );
+}

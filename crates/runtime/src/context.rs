@@ -530,7 +530,8 @@ impl Ctx {
         // point: messages still arrive, and recovery can interrupt it (the
         // request is then withdrawn).
         let epoch = self.endpoint.begin_wait();
-        self.forward_wake(obj.enqueue_waiter(self.me, self.now(), &chain, epoch));
+        let wait_start = self.now();
+        self.forward_wake(obj.enqueue_waiter(self.me, wait_start, &chain, epoch));
         let mut f = Some(f);
         let (value, opened) = loop {
             match self.endpoint.park_wait_until(self.crash_at) {
@@ -581,7 +582,8 @@ impl Ctx {
         }
         if opened > 0 {
             let object = obj.name_shared();
-            self.observe(action, || EventKind::ObjectAcquired { object });
+            let waited_ns = self.now().as_nanos().saturating_sub(wait_start.as_nanos());
+            self.observe(action, || EventKind::ObjectAcquired { object, waited_ns });
         }
         Ok(value)
     }

@@ -114,6 +114,12 @@ pub enum EventKind {
         /// The object's name (shared with the object — building the event
         /// clones a reference, not the text).
         object: Arc<str>,
+        /// Virtual nanoseconds the thread waited for the grant, from
+        /// enqueueing the request to acquisition. Deterministic (virtual
+        /// time), but deliberately **not rendered** into the trace text:
+        /// rendered traces and their fingerprints predate this field and
+        /// stay byte-identical.
+        waited_ns: u64,
     },
     /// The thread started the exit protocol (vote broadcast) for epoch
     /// `epoch` of the action.
@@ -169,7 +175,7 @@ impl fmt::Display for EventKind {
             EventKind::HandlerStart { exception } => write!(f, "handler-start {exception}"),
             EventKind::HandlerEnd { verdict } => write!(f, "handler-end {verdict:?}"),
             EventKind::SignalOutcome { signal } => write!(f, "signal {signal:?}"),
-            EventKind::ObjectAcquired { object } => write!(f, "object acquire {object}"),
+            EventKind::ObjectAcquired { object, .. } => write!(f, "object acquire {object}"),
             EventKind::ExitStart { epoch } => write!(f, "exit start e{epoch}"),
             EventKind::ExitTimeout { epoch } => write!(f, "exit timeout e{epoch}"),
             EventKind::ResolutionTimeout { suspects } => {

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use caa_core::ids::ThreadId;
 use caa_core::message::Message;
 use caa_core::time::{VirtualDuration, VirtualInstant};
-use caa_simnet::{ClockMode, FaultPlan, LatencyModel, NetArena, NetConfig, NetStats, Network};
+use caa_simnet::{
+    ClockMode, FaultPlan, LatencyModel, NetArena, NetConfig, NetStats, Network, SchedStats,
+};
 use parking_lot::Mutex;
 
 use crate::context::Ctx;
@@ -220,6 +222,7 @@ impl System {
         let report = SystemReport {
             elapsed: self.net.now().duration_since(VirtualInstant::EPOCH),
             net_stats: self.net.stats(),
+            sched_stats: self.net.sched_stats(),
             runtime_stats: self.shared.stats.lock().clone(),
             results,
         };
@@ -252,6 +255,9 @@ pub struct SystemReport {
     pub results: Vec<(String, Result<(), RuntimeError>)>,
     /// Message counters from the network.
     pub net_stats: NetStats,
+    /// Scheduler park/wake handoff counters (wall-clock facts about the
+    /// host scheduler, not deterministic — see [`SchedStats`]).
+    pub sched_stats: SchedStats,
     /// Runtime counters.
     pub runtime_stats: RuntimeStats,
     /// Total (virtual) execution time.

@@ -384,6 +384,28 @@ struct Shared<M> {
     ack_timeout: Option<VirtualDuration>,
     tap: Option<Arc<dyn NetTap>>,
     start: std::time::Instant,
+    /// Condvar park count across all endpoints (see [`SchedStats`]).
+    /// Atomic, not under `sched`: wake sites run after dropping the
+    /// scheduler lock (senders never hold it while notifying).
+    parks: AtomicU64,
+    /// Condvar notify count across all wake sites (see [`SchedStats`]).
+    wakes: AtomicU64,
+}
+
+/// Scheduler self-metrics: condvar handoffs between the simulated
+/// threads. One `park` is one OS-level condvar wait (a futex sleep on
+/// Linux); one `wake` is one targeted `notify_one` (plus the broadcast on
+/// deadlock). These are **wall-clock facts about the host scheduler**, not
+/// virtual-time facts about the protocol: identical seeds produce
+/// identical traces but may park slightly differently depending on OS
+/// interleaving, so report these separately from deterministic metrics
+/// and gate them with ceilings, not equalities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Number of condvar waits entered by blocked endpoints.
+    pub parks: u64,
+    /// Number of condvar notifies issued by wake sites.
+    pub wakes: u64,
 }
 
 /// Recycled allocations of a finished [`Network`]: actor slots (with their
@@ -517,6 +539,8 @@ impl<M: Send + Classify> Network<M> {
                 ack_timeout: config.ack_timeout,
                 tap: config.tap,
                 start: std::time::Instant::now(),
+                parks: AtomicU64::new(0),
+                wakes: AtomicU64::new(0),
             }),
         }
     }
@@ -606,6 +630,16 @@ impl<M: Send + Classify> Network<M> {
     #[must_use]
     pub fn stats(&self) -> NetStats {
         self.shared.sched.lock().stats.clone()
+    }
+
+    /// Snapshot of the scheduler's park/wake handoff counters (wall-clock
+    /// facts — see [`SchedStats`] for why these are not deterministic).
+    #[must_use]
+    pub fn sched_stats(&self) -> SchedStats {
+        SchedStats {
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            wakes: self.shared.wakes.load(Ordering::Relaxed),
+        }
     }
 
     fn real_now(&self) -> VirtualInstant {
@@ -787,6 +821,7 @@ impl<M: Send + Classify> Network<M> {
             }
         }
         if let Some(cv) = wake_dst {
+            self.shared.wakes.fetch_add(1, Ordering::Relaxed);
             cv.notify_one();
         }
     }
@@ -834,17 +869,23 @@ impl<M: Send + Classify> Network<M> {
                     // If our own blocking triggered an advance (or deadlock
                     // detection), the notification fired before we could
                     // wait — re-evaluate instead of waiting for it.
-                    let changed = advance_if_blocked(&mut sched, &self.shared.now_ns);
+                    let changed =
+                        advance_if_blocked(&mut sched, &self.shared.now_ns, &self.shared.wakes);
                     if !changed && sched.deadlocked.is_none() {
+                        self.shared.parks.fetch_add(1, Ordering::Relaxed);
                         cv.wait(&mut sched);
                     }
                 }
                 ClockMode::Real => match hint {
                     Some(t) => {
                         let dur: std::time::Duration = t.duration_since(self.real_now()).into();
+                        self.shared.parks.fetch_add(1, Ordering::Relaxed);
                         let _ = cv.wait_for(&mut sched, dur);
                     }
-                    None => cv.wait(&mut sched),
+                    None => {
+                        self.shared.parks.fetch_add(1, Ordering::Relaxed);
+                        cv.wait(&mut sched);
+                    }
                 },
             }
         }
@@ -860,7 +901,7 @@ impl<M: Send + Classify> Network<M> {
         slot.alive = false;
         slot.running = false;
         if self.shared.mode == ClockMode::Virtual {
-            advance_if_blocked(&mut sched, &self.shared.now_ns);
+            advance_if_blocked(&mut sched, &self.shared.now_ns, &self.shared.wakes);
         }
     }
 
@@ -918,6 +959,7 @@ impl<M: Send + Classify> Network<M> {
         }
         drop(sched);
         if let Some(cv) = wake {
+            self.shared.wakes.fetch_add(1, Ordering::Relaxed);
             cv.notify_one();
         }
     }
@@ -1175,7 +1217,7 @@ impl<M> Drop for Endpoint<M> {
                 slot.alive = false;
                 slot.running = false;
                 if net.shared.mode == ClockMode::Virtual {
-                    advance_if_blocked(&mut sched, &net.shared.now_ns);
+                    advance_if_blocked(&mut sched, &net.shared.now_ns, &net.shared.wakes);
                 }
             }
         }
@@ -1189,7 +1231,7 @@ impl<M> Drop for Endpoint<M> {
 /// or, with no wake-up point anywhere, declares deadlock and wakes
 /// everyone to report it. Returns whether it changed the world, so the
 /// calling blocker re-evaluates instead of missing its own wake-up.
-fn advance_if_blocked(sched: &mut Sched, now_ns: &AtomicU64) -> bool {
+fn advance_if_blocked(sched: &mut Sched, now_ns: &AtomicU64, wakes: &AtomicU64) -> bool {
     if sched.deadlocked.is_some() {
         return false;
     }
@@ -1215,6 +1257,7 @@ fn advance_if_blocked(sched: &mut Sched, now_ns: &AtomicU64) -> bool {
             now_ns.store(t.as_nanos(), Ordering::Release);
             for actor in &sched.actors {
                 if actor.alive && !actor.running && actor.wake_at.is_some_and(|w| w <= t) {
+                    wakes.fetch_add(1, Ordering::Relaxed);
                     actor.cv.notify_one();
                 }
             }
@@ -1239,6 +1282,7 @@ fn advance_if_blocked(sched: &mut Sched, now_ns: &AtomicU64) -> bool {
             // remaining broadcast wake-up, and the simulation is over.
             for actor in &sched.actors {
                 if actor.alive && !actor.running {
+                    wakes.fetch_add(1, Ordering::Relaxed);
                     actor.cv.notify_one();
                 }
             }

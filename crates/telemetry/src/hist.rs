@@ -1,0 +1,353 @@
+//! Log-bucketed histograms with exact merge.
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error
+/// by `2^-SUB_BITS` (12.5 %).
+const SUB_BITS: u32 = 3;
+
+/// Values below `2^SUB_BITS` get one exact bucket each.
+const EXACT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count for the full `u64` domain. The index function below
+/// maps `u64::MAX` to `((63 - SUB_BITS + 1) << SUB_BITS) + (2^SUB_BITS - 1)
+/// = 495`, so 496 buckets cover every representable value — there is no
+/// saturating overflow bucket that would make `merge` lossy.
+const BUCKETS: usize = (((63 - SUB_BITS + 1) << SUB_BITS) + EXACT as u32) as usize;
+
+/// Maps a value to its bucket index (monotone, total over `u64`).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let group = msb - SUB_BITS + 1;
+        let sub = (v >> (msb - SUB_BITS)) & (EXACT - 1);
+        ((group << SUB_BITS) + sub as u32) as usize
+    }
+}
+
+/// Inclusive `(low, high)` value range of bucket `i` — the inverse of
+/// [`bucket_index`].
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < EXACT {
+        (i, i)
+    } else {
+        let group = (i >> SUB_BITS) as u32;
+        let sub = i & (EXACT - 1);
+        let shift = group - 1;
+        let low = (EXACT + sub) << shift;
+        // `(1 << shift) - 1` before adding: the top bucket's width term
+        // alone would overflow u64.
+        (low, low + ((1u64 << shift) - 1))
+    }
+}
+
+/// A log-bucketed histogram over `u64` samples (typically virtual-time
+/// nanoseconds), built for *exact, order-independent merging*: two
+/// histograms recorded on different shards merge bucket-wise into exactly
+/// the histogram a single process would have recorded, so quantiles read
+/// off the merged form are identical to the unsharded run's.
+///
+/// `count`, `sum`, `min` and `max` are exact; quantiles are
+/// bucket-resolved with ≤ 12.5 % relative error (8 sub-buckets per
+/// octave) and computed with integer math only, so they are
+/// platform-deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use caa_telemetry::Histogram;
+///
+/// let mut a = Histogram::new();
+/// let mut b = Histogram::new();
+/// for v in 1..=700u64 {
+///     if v % 2 == 0 { a.record(v) } else { b.record(v) }
+/// }
+/// let mut merged = a.clone();
+/// merged.merge(&b);
+/// assert_eq!(merged.count(), 700);
+/// assert_eq!(merged.max(), 700);
+/// // p50 lands in the bucket containing 350, within 12.5 %.
+/// let p50 = merged.quantile(50, 100);
+/// assert!((320..=384).contains(&p50), "{p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    /// `u128`: summing virtual-time nanoseconds across thousands of seeds
+    /// overflows `u64` for long-timeout scenarios.
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. Allocates its (fixed-size) bucket table once;
+    /// recording never allocates.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v` (the bulk form used when merging
+    /// parsed bucket lists).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, rounded down (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            u64::try_from(self.sum / u128::from(self.count)).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// The `num/den` quantile (e.g. `quantile(99, 100)` for p99), resolved
+    /// to its bucket's upper bound and clamped to the exact observed
+    /// `[min, max]` range. Integer math only — platform-deterministic.
+    /// Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// When `den` is 0.
+    #[must_use]
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0, "quantile denominator must be positive");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based: ceil(count * num / den),
+        // clamped into [1, count].
+        let rank = (u128::from(self.count) * u128::from(num)).div_ceil(u128::from(den));
+        let rank = rank.clamp(1, u128::from(self.count));
+        let mut cumulative: u128 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += u128::from(n);
+            if cumulative >= rank {
+                let (_, high) = bucket_bounds(i);
+                return high.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Accumulates `other` into `self`. Exact: bucket-wise sums plus
+    /// min/max/count/sum folds, so merging is associative, commutative,
+    /// and yields the histogram a single recorder would have produced.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty, keeping the bucket table allocation.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs in index order —
+    /// the sparse interchange form used by the JSON serialization.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+
+    /// Reconstructs a histogram from its sparse `(index, count)` bucket
+    /// pairs plus the exact `min`/`max`/`sum` the interchange format
+    /// carries alongside them (the JSON parser's path). A serialized
+    /// histogram round-trips exactly: buckets bucket-wise, the three
+    /// exact aggregates verbatim.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a bucket index is out of range.
+    pub fn from_buckets(
+        pairs: impl IntoIterator<Item = (usize, u64)>,
+        min: u64,
+        max: u64,
+        sum: u128,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for (i, n) in pairs {
+            if i >= BUCKETS {
+                return Err(format!("bucket index {i} out of range (< {BUCKETS})"));
+            }
+            h.buckets[i] += n;
+            h.count += n;
+        }
+        if h.count > 0 {
+            h.min = min;
+            h.max = max;
+            h.sum = sum;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..EXACT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_invert_it() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 3].map(|nudge| (1u64 << shift).saturating_add(nudge)))
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must not decrease at {v}");
+            prev = i;
+            let (low, high) = bucket_bounds(i);
+            assert!(
+                (low..=high).contains(&v),
+                "{v} not within bucket {i} bounds [{low}, {high}]"
+            );
+            assert!(i < BUCKETS);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let (_, top) = bucket_bounds(BUCKETS - 1);
+        assert_eq!(top, u64::MAX, "top bucket must close the u64 domain");
+    }
+
+    #[test]
+    fn quantiles_on_tiny_samples_are_exact() {
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.quantile(50, 100), 7);
+        assert_eq!(h.quantile(99, 100), 7);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.mean(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero_everywhere() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(50, 100), 0);
+    }
+
+    #[test]
+    fn huge_values_stay_exact_in_min_max_sum() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), u64::MAX - 1);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX) - 1);
+        assert_eq!(h.quantile(99, 100), u64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0u64, 1, 9, 1_000, 12_345, 1 << 40, u64::MAX] {
+            whole.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn sparse_buckets_round_trip() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 900, 1 << 50] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_buckets(h.nonzero_buckets(), h.min(), h.max(), h.sum()).unwrap();
+        assert_eq!(rebuilt, h);
+        assert!(Histogram::from_buckets([(BUCKETS, 1)], 0, 0, 0).is_err());
+    }
+}

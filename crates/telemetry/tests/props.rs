@@ -1,0 +1,178 @@
+//! Property tests for the telemetry primitives (via the offline
+//! `proptest` shim): exact-merge algebra, quantile error bounds, and
+//! JSON round-tripping — the invariants the sharded-sweep merge story
+//! rests on.
+
+use proptest::prelude::*;
+
+use caa_telemetry::{Histogram, MetricSet};
+
+/// Log-uniform-ish `u64` samples: a uniform draw shifted right by a
+/// uniform amount, so tiny exact-bucket values, mid-range values and
+/// near-`u64::MAX` values all appear with similar frequency.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u32..=63, any::<u64>()).prop_map(|(shift, raw)| raw >> shift)
+}
+
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(sample(), 0..=max_len)
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// A small random `MetricSet`: counters and histograms drawn from a
+/// fixed label pool (overlapping labels across sets exercise the
+/// merge-by-label path; disjoint ones exercise adoption).
+fn metric_set() -> impl Strategy<Value = MetricSet> {
+    let counter_labels = prop::collection::btree_map(
+        prop::sample::select(vec!["alpha", "beta", "gamma", "delta"]),
+        // `>> 2`: three of these must sum without overflowing the u64
+        // counter in the associativity property.
+        any::<u64>().prop_map(|n| n >> 2),
+        0..=4,
+    );
+    let hist_labels = prop::collection::btree_map(
+        prop::sample::select(vec!["lat_a", "lat_b", "lat_c"]),
+        samples(12),
+        0..=3,
+    );
+    (counter_labels, hist_labels).prop_map(|(counters, hists)| {
+        let mut set = MetricSet::new();
+        for (label, n) in counters {
+            let handle = set.counter(label);
+            set.add(handle, n);
+        }
+        for (label, values) in hists {
+            let handle = set.histogram(label);
+            for v in values {
+                set.record(handle, v);
+            }
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn count_sum_min_max_are_exact(values in samples(64)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(h.min(), values.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(a in samples(48), b in samples(48)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(a in samples(32), b in samples(32), c in samples(32)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_recorder(values in samples(64), shards in 1usize..=5) {
+        let whole = hist_of(&values);
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// The documented error contract: `quantile(num, den)` never reads
+    /// below the rank sample and overshoots it by at most 12.5 %
+    /// (values below 2^3 are bucketed exactly).
+    #[test]
+    fn quantile_error_is_bounded(values in samples(64), num in 0u64..=100) {
+        if !values.is_empty() {
+            let h = hist_of(&values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = (u128::from(h.count()) * u128::from(num))
+                .div_ceil(100)
+                .clamp(1, u128::from(h.count()));
+            let truth = sorted[rank as usize - 1];
+            let q = h.quantile(num, 100);
+            prop_assert!(q >= truth, "quantile {q} under rank sample {truth}");
+            prop_assert!(
+                q - truth <= truth / 8,
+                "quantile {q} overshoots rank sample {truth} by more than 12.5 %"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact(v in sample(), num in 0u64..=100) {
+        let mut h = Histogram::new();
+        h.record(v);
+        prop_assert_eq!(h.quantile(num, 100), v);
+    }
+
+    #[test]
+    fn histogram_json_round_trips(values in samples(48)) {
+        let h = hist_of(&values);
+        let rebuilt =
+            Histogram::from_buckets(h.nonzero_buckets(), h.min(), h.max(), h.sum()).unwrap();
+        prop_assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn set_merge_is_commutative_in_bytes(a in metric_set(), b in metric_set()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn set_merge_is_associative_in_bytes(
+        a in metric_set(),
+        b in metric_set(),
+        c in metric_set(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    #[test]
+    fn set_json_round_trips_byte_exactly(set in metric_set()) {
+        let doc = set.to_json();
+        let parsed = MetricSet::from_json(&doc).unwrap();
+        prop_assert_eq!(parsed.to_json(), doc);
+    }
+}
