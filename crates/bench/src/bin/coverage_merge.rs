@@ -1,0 +1,90 @@
+//! `coverage_merge` — union sharded runs' `coverage.json` documents.
+//!
+//! A fuzz run or sweep split across CI jobs with `--shard k/n` produces
+//! one `coverage.json` per shard. This tool merges them into the document
+//! the unsharded run would have produced: executions add, path counters
+//! sum, signature maps union per key — so the merged document of an
+//! evenly sharded sweep equals the unsharded sweep's document byte for
+//! byte. On top of the merged document it can emit the human **triage
+//! report**: saturated paths (highest-hit counters), starved paths (never
+//! hit), the fuzz-vs-fresh signature gain, and every violation with its
+//! replay handle — the artifact the nightly CI job uploads.
+//!
+//! ```text
+//! cargo run -p caa-bench --release --bin coverage_merge -- \
+//!     shard0/coverage.json shard1/coverage.json ... \
+//!     [--out merged.json] [--triage triage.md]
+//! ```
+
+use caa_harness::fuzz::CoverageDoc;
+
+fn main() {
+    let usage = "usage: coverage_merge <coverage.json>... [--out PATH] [--triage PATH]";
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut triage_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(value("--out")),
+            "--triage" => triage_path = Some(value("--triage")),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+            path => inputs.push(path.to_owned()),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+
+    let mut merged: Option<CoverageDoc> = None;
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let doc = CoverageDoc::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        match &mut merged {
+            None => merged = Some(doc),
+            Some(into) => into.merge(&doc),
+        }
+    }
+    let merged = merged.expect("at least one input");
+
+    let doc = merged.render();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &doc).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("merged {} document(s) into {path}", inputs.len());
+        }
+        None => print!("{doc}"),
+    }
+    if let Some(path) = triage_path {
+        std::fs::write(&path, merged.triage()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("triage report written to {path}");
+    }
+    eprintln!(
+        "{} execution(s), {} distinct signature(s), {} violation(s)",
+        merged.executions,
+        merged.signatures.len(),
+        merged.violations.len()
+    );
+}

@@ -1,0 +1,151 @@
+//! `fuzz_sweep` — the coverage-guided exploration driver.
+//!
+//! Runs the harness's fuzz loop ([`caa_harness::fuzz::fuzz`]): generation 0
+//! executes fresh seeds, then every generation mutates energy-weighted
+//! frontier plans toward novel protocol-path signatures. Fully
+//! deterministic for a fixed flag set — worker count only changes wall
+//! clock, and any find replays from its persisted lineage via
+//! `replay --corpus`.
+//!
+//! ```text
+//! # The nightly shape: a budget, a fresh-seed baseline, a shard split,
+//! # and a machine-readable coverage.json per shard (merge the shards
+//! # with the coverage_merge bin):
+//! cargo run -p caa-bench --release --bin fuzz_sweep -- \
+//!     --budget 50000 --baseline [--shard 2/8] [--out coverage.json] \
+//!     [--triage triage.md]
+//!
+//! # The tier-1 shape: a tiny smoke loop proving the feedback loop still
+//! # finds novelty beyond its initial seeds:
+//! cargo run -p caa-bench --release --bin fuzz_sweep -- --fuzz-smoke
+//! ```
+//!
+//! `--shard k/n` gives each shard a disjoint generation-0 seed range and
+//! its own mutation stream (the master fuzz seed is offset by the shard
+//! index), so shards explore without coordination and their
+//! `coverage.json` documents union meaningfully.
+//!
+//! Exit status: `2` for usage errors, `1` when a violation was found or
+//! a `--min-gain-pct` gate failed, `0` otherwise.
+
+use std::path::PathBuf;
+
+use caa_harness::fuzz::{fuzz, CoverageDoc, FuzzConfig};
+use caa_harness::sweep::Shard;
+
+fn main() {
+    let usage = "usage: fuzz_sweep [--budget N] [--initial N] [--start SEED] [--batch N] \
+                 [--fuzz-seed N] [--workers N] [--shard k/n] [--baseline] [--check-replay] \
+                 [--corpus DIR] [--out PATH] [--triage PATH] [--min-gain-pct X] [--fuzz-smoke]";
+    let mut config = FuzzConfig {
+        corpus_dir: Some(PathBuf::from("target/caa-corpus")),
+        ..FuzzConfig::default()
+    };
+    let mut shard: Option<Shard> = None;
+    let mut out_path: Option<String> = None;
+    let mut triage_path: Option<String> = None;
+    let mut min_gain_pct: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        fn parsed<T: std::str::FromStr>(flag: &str, raw: &str) -> T
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().unwrap_or_else(|e| {
+                eprintln!("bad {flag} value: {e}");
+                std::process::exit(2);
+            })
+        }
+        match arg.as_str() {
+            "--budget" => config.executions = parsed("--budget", &value("--budget")),
+            "--initial" => config.initial_seeds = parsed("--initial", &value("--initial")),
+            "--start" => config.start_seed = parsed("--start", &value("--start")),
+            "--batch" => config.batch = parsed("--batch", &value("--batch")),
+            "--fuzz-seed" => config.fuzz_seed = parsed("--fuzz-seed", &value("--fuzz-seed")),
+            "--workers" => config.workers = parsed("--workers", &value("--workers")),
+            "--shard" => {
+                shard = Some(Shard::parse(&value("--shard")).unwrap_or_else(|e| {
+                    eprintln!("bad --shard value: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--baseline" => config.compare_fresh = true,
+            "--check-replay" => config.check_replay = true,
+            "--corpus" => config.corpus_dir = Some(PathBuf::from(value("--corpus"))),
+            "--out" => out_path = Some(value("--out")),
+            "--triage" => triage_path = Some(value("--triage")),
+            "--min-gain-pct" => {
+                min_gain_pct = Some(parsed("--min-gain-pct", &value("--min-gain-pct")));
+            }
+            "--fuzz-smoke" => {
+                // The tier-1 preset: small enough for a debug-profile CI
+                // lane, large enough that the frontier provably schedules
+                // mutations and finds signatures fresh seeds missed.
+                config.executions = 160;
+                config.initial_seeds = 48;
+                config.batch = 32;
+                config.compare_fresh = true;
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(shard) = shard {
+        // Disjoint generation-0 ranges and distinct mutation streams per
+        // shard; the budget is per shard (n shards explore n× the budget).
+        config.start_seed += shard.index * config.initial_seeds;
+        config.fuzz_seed = config.fuzz_seed.wrapping_add(shard.index);
+    }
+    if min_gain_pct.is_some() && !config.compare_fresh {
+        eprintln!("--min-gain-pct needs --baseline (or --fuzz-smoke)");
+        std::process::exit(2);
+    }
+
+    let report = fuzz(&config);
+    eprint!("{}", report.summary());
+
+    let doc = CoverageDoc::from_fuzz(&report);
+    if let Some(path) = &out_path {
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("coverage written to {path}");
+    }
+    if let Some(path) = &triage_path {
+        std::fs::write(path, doc.triage()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("triage report written to {path}");
+    }
+    if out_path.is_none() && triage_path.is_none() {
+        print!("{}", doc.render());
+    }
+
+    let mut failed = false;
+    if let (Some(min), Some(gain)) = (min_gain_pct, report.gain_pct()) {
+        if gain < min {
+            eprintln!("signature gain {gain:+.1}% is below the --min-gain-pct {min} gate");
+            failed = true;
+        } else {
+            eprintln!("signature gain {gain:+.1}% clears the --min-gain-pct {min} gate");
+        }
+    }
+    if !report.violations.is_empty() {
+        eprintln!("{} violating lineage(s) found", report.violations.len());
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

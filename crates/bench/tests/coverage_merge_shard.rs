@@ -1,0 +1,67 @@
+//! `coverage_merge` contract (satellite of the coverage-guided fuzz
+//! subsystem): the merged document of an evenly sharded sweep equals the
+//! unsharded sweep's `coverage.json` **byte for byte** — executions add,
+//! path counters sum, signature maps union per key, violation lines
+//! union — so the nightly CI job can split a 2k-seed run across jobs and
+//! still publish the single-document triage artifact.
+
+use std::process::Command;
+
+use caa_harness::fuzz::CoverageDoc;
+use caa_harness::sweep::{sweep, Shard, SweepConfig};
+
+fn sweep_doc(shard: Option<Shard>) -> CoverageDoc {
+    CoverageDoc::from_sweep(&sweep(&SweepConfig {
+        seeds: 2000,
+        shard,
+        check_replay: false,
+        corpus_dir: None,
+        ..SweepConfig::default()
+    }))
+}
+
+#[test]
+fn sharded_coverage_documents_merge_to_the_unsharded_bytes() {
+    let full = sweep_doc(None).render();
+    let shards: Vec<String> = (0..2)
+        .map(|index| sweep_doc(Some(Shard { index, count: 2 })).render())
+        .collect();
+    assert_ne!(shards[0], shards[1], "shards must cover disjoint seeds");
+
+    let dir = std::env::temp_dir().join(format!("caa-coverage-merge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut paths = Vec::new();
+    for (i, doc) in shards.iter().enumerate() {
+        let path = dir.join(format!("shard{i}.json"));
+        std::fs::write(&path, doc).expect("write shard doc");
+        paths.push(path);
+    }
+    let merged_path = dir.join("merged.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_coverage_merge"))
+        .args(paths.iter().map(|p| p.as_os_str()))
+        .arg("--out")
+        .arg(&merged_path)
+        .arg("--triage")
+        .arg(dir.join("triage.md"))
+        .output()
+        .expect("run coverage_merge");
+    assert!(
+        out.status.success(),
+        "coverage_merge failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let merged = std::fs::read_to_string(&merged_path).expect("read merged doc");
+    assert!(
+        merged == full,
+        "merged shards diverge from the unsharded document:\n--- merged ---\n{merged}\n\
+         --- unsharded ---\n{full}"
+    );
+
+    // The triage artifact renders from the same merged document.
+    let triage = std::fs::read_to_string(dir.join("triage.md")).expect("read triage");
+    assert!(triage.contains("# Coverage triage"), "{triage}");
+    assert!(triage.contains("executions: 2000"), "{triage}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,14 +6,17 @@
 //! Three forms:
 //!
 //! ```text
-//! # Regenerate the seed under the default ScenarioConfig (`--bisect`
+//! # Regenerate the seed under the default ScenarioConfig. `--bisect`
 //! # additionally shrinks a violating seed's fault/crash schedule to a
-//! # minimal still-violating subset and persists it to the corpus dir):
-//! cargo run -p caa-harness --example replay -- 42 [--bisect]
+//! # minimal still-violating subset; `--bisect-workload` shrinks the
+//! # whole plan (top actions, phases, raises, participants) to a
+//! # 1-minimal scenario. Both persist to the corpus dir:
+//! cargo run -p caa-harness --example replay -- 42 [--bisect] [--bisect-workload]
 //!
 //! # Replay a persisted corpus entry (the sweep's exact — possibly
 //! # custom — config, plus a byte-exact check against the recorded
-//! # trace):
+//! # trace). Fuzz entries carry a lineage.txt; the recorded mutation
+//! # seeds re-derive the exact mutated plan before the comparison:
 //! cargo run -p caa-harness --example replay -- --corpus target/caa-corpus/42
 //!
 //! # Sweep a seed range; several processes/CI jobs split it with --shard:
@@ -31,15 +34,31 @@ use std::path::Path;
 use std::process::exit;
 
 use caa_harness::arena::ExecutionArena;
-use caa_harness::bisect::{bisect_schedule, plan_violates, write_corpus_entry};
+use caa_harness::bisect::{
+    bisect_schedule, bisect_workload, plan_violates, write_corpus_entry, write_workload_entry,
+};
+use caa_harness::fuzz::load_corpus_plan;
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
-use caa_harness::sweep::{run_seed_in, sweep, Shard, SweepConfig};
+use caa_harness::sweep::{run_plan_checked, sweep, Shard, SweepConfig};
 
-fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>, bisect: bool) -> bool {
-    let plan = ScenarioPlan::generate(seed, config);
+/// Which minimisations to run on a violating plan.
+#[derive(Clone, Copy, Default)]
+struct BisectFlags {
+    schedule: bool,
+    workload: bool,
+}
+
+fn replay_plan(
+    plan: &ScenarioPlan,
+    config: &ScenarioConfig,
+    lineage: Option<&str>,
+    recorded_trace: Option<&str>,
+    bisect: BisectFlags,
+) -> bool {
+    let seed = plan.seed;
     println!("{}", plan.describe());
     let mut arena = ExecutionArena::new();
-    let result = run_seed_in(seed, config, true, &mut arena);
+    let result = run_plan_checked(plan.clone(), true, &mut arena);
     println!("{}", result.artifacts.trace.render());
     print!("{}", arena.metrics().summary());
     let mut ok = true;
@@ -53,7 +72,7 @@ fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>, bise
     }
     if result.passed() {
         println!("seed {seed}: every oracle passed");
-        if bisect {
+        if bisect.schedule || bisect.workload {
             println!("--bisect: nothing to bisect (no oracle violation)");
         }
     } else {
@@ -62,8 +81,11 @@ fn replay(seed: u64, config: &ScenarioConfig, recorded_trace: Option<&str>, bise
             println!("  - {v}");
         }
         ok = false;
-        if bisect {
-            run_bisection(&plan);
+        if bisect.schedule {
+            run_bisection(plan);
+        }
+        if bisect.workload {
+            run_workload_bisection(plan, config, lineage);
         }
     }
     ok
@@ -103,29 +125,81 @@ fn run_bisection(plan: &ScenarioPlan) {
     }
 }
 
-fn replay_corpus(entry: &Path) -> bool {
-    // Entry dirs are `<seed>` or `<seed>-<config hash>` (the sweep
-    // disambiguates same-seed failures from different configs).
-    let seed: u64 = entry
-        .file_name()
-        .and_then(|n| n.to_str())
-        .map(|n| n.split('-').next().unwrap_or(n))
-        .and_then(|n| n.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("corpus entry directory must be named after its seed: {entry:?}");
-            exit(2);
-        });
-    let config_text = std::fs::read_to_string(entry.join("config.txt")).unwrap_or_else(|e| {
-        eprintln!("cannot read {:?}: {e}", entry.join("config.txt"));
-        exit(2);
-    });
-    let config = ScenarioConfig::from_kv(&config_text).unwrap_or_else(|e| {
-        eprintln!("cannot parse corpus config: {e}");
+/// Shrinks the whole violating plan (workload structure and chaos
+/// schedule) to a 1-minimal still-violating scenario and persists the
+/// reduction steps next to the seed's corpus entry — together with the
+/// scenario config and the minimal plan's trace bytes, so the shrunk
+/// violation rechecks byte-exactly via `replay --corpus <entry>`.
+fn run_workload_bisection(plan: &ScenarioPlan, config: &ScenarioConfig, lineage: Option<&str>) {
+    let mut arena = ExecutionArena::new();
+    match bisect_workload(plan, |candidate| plan_violates(candidate, &mut arena)) {
+        None => println!(
+            "--bisect-workload: the violation does not reproduce deterministically \
+             under the run oracles; nothing minimised"
+        ),
+        Some(outcome) => {
+            println!(
+                "--bisect-workload: plan minimised via {} reduction step(s) in {} execution(s)",
+                outcome.steps.len(),
+                outcome.attempts,
+            );
+            for step in &outcome.steps {
+                println!("  {}", step.render());
+            }
+            println!("minimal plan:\n{}", outcome.plan.describe());
+            let dir = Path::new("target/caa-corpus");
+            match write_workload_entry(dir, &outcome) {
+                Ok(entry) => {
+                    let minimal = run_plan_checked(outcome.plan.clone(), false, &mut arena);
+                    let persisted = std::fs::write(entry.join("config.txt"), config.to_kv())
+                        .and_then(|()| {
+                            // A fuzz find's steps shrink the *mutated* plan,
+                            // so the entry must re-derive it the same way.
+                            match lineage {
+                                Some(text) => std::fs::write(entry.join("lineage.txt"), text),
+                                None => Ok(()),
+                            }
+                        })
+                        .and_then(|()| {
+                            std::fs::write(
+                                entry.join("trace.txt"),
+                                minimal.artifacts.trace.render(),
+                            )
+                        });
+                    match persisted {
+                        Ok(()) => println!("  minimised workload written to {}", entry.display()),
+                        Err(e) => eprintln!("  could not persist minimal trace: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("  could not persist workload bisection: {e}"),
+            }
+        }
+    }
+}
+
+fn replay_corpus(entry: &Path, bisect: BisectFlags) -> bool {
+    // `load_corpus_plan` understands both entry layouts: plain sweep
+    // entries (`<seed>[-<config hash>]`, plan regenerated from the seed)
+    // and fuzz entries (a `lineage.txt` whose recorded mutation seeds
+    // re-derive the exact mutated plan).
+    let (plan, config) = load_corpus_plan(entry).unwrap_or_else(|e| {
+        eprintln!("cannot load corpus entry {entry:?}: {e}");
         exit(2);
     });
     let recorded = std::fs::read_to_string(entry.join("trace.txt")).ok();
-    println!("replaying corpus entry {} (seed {seed})", entry.display());
-    replay(seed, &config, recorded.as_deref(), false)
+    let lineage = std::fs::read_to_string(entry.join("lineage.txt")).ok();
+    println!(
+        "replaying corpus entry {} (seed {})",
+        entry.display(),
+        plan.seed
+    );
+    replay_plan(
+        &plan,
+        &config,
+        lineage.as_deref(),
+        recorded.as_deref(),
+        bisect,
+    )
 }
 
 fn run_sweep(args: &[String]) -> bool {
@@ -202,23 +276,39 @@ fn main() {
     let ok = match args.first().map(String::as_str) {
         Some("--corpus") => {
             let entry = args.get(1).unwrap_or_else(|| {
-                eprintln!("usage: replay -- --corpus <dir>/<seed>");
+                eprintln!("usage: replay -- --corpus <dir>/<seed> [--bisect] [--bisect-workload]");
                 exit(2);
             });
-            replay_corpus(Path::new(entry))
+            let bisect = BisectFlags {
+                schedule: args.iter().any(|a| a == "--bisect"),
+                workload: args.iter().any(|a| a == "--bisect-workload"),
+            };
+            replay_corpus(Path::new(entry), bisect)
         }
         Some("--sweep") => run_sweep(&args),
         Some(seed) => {
             let seed: u64 = seed.parse().unwrap_or_else(|_| {
                 eprintln!(
-                    "usage: replay -- <seed> [--bisect] | --corpus <dir>/<seed> | --sweep <seeds>"
+                    "usage: replay -- <seed> [--bisect] [--bisect-workload] \
+                     | --corpus <dir>/<seed> | --sweep <seeds>"
                 );
                 exit(2);
             });
-            let bisect = args.iter().any(|a| a == "--bisect");
-            replay(seed, &ScenarioConfig::default(), None, bisect)
+            let bisect = BisectFlags {
+                schedule: args.iter().any(|a| a == "--bisect"),
+                workload: args.iter().any(|a| a == "--bisect-workload"),
+            };
+            let config = ScenarioConfig::default();
+            let plan = ScenarioPlan::generate(seed, &config);
+            replay_plan(&plan, &config, None, None, bisect)
         }
-        None => replay(0, &ScenarioConfig::default(), None, false),
+        None => replay_plan(
+            &ScenarioPlan::generate(0, &ScenarioConfig::default()),
+            &ScenarioConfig::default(),
+            None,
+            None,
+            BisectFlags::default(),
+        ),
     };
     if !ok {
         exit(1);

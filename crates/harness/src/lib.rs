@@ -67,6 +67,7 @@
 pub mod arena;
 pub mod bisect;
 pub mod exec;
+pub mod fuzz;
 pub mod metrics;
 pub mod oracle;
 pub mod plan;
@@ -77,10 +78,14 @@ pub mod trace;
 
 pub use arena::ExecutionArena;
 pub use exec::{execute, execute_in, execute_with_capacity, RunArtifacts};
+pub use fuzz::{
+    fuzz, load_corpus_plan, mutate_plan, CoverageDoc, FuzzConfig, FuzzReport, Lineage,
+    COVERAGE_SCHEMA,
+};
 pub use oracle::{check_invariants, check_replay, check_replay_protocol, check_run, Violation};
-pub use plan::{ScenarioConfig, ScenarioPlan};
+pub use plan::{validate_plan, ScenarioConfig, ScenarioPlan};
 pub use sweep::{
-    run_seed, run_seed_in, run_seed_with_capacity, sweep, PathCoverage, SeedResult, Shard,
-    SweepConfig, SweepReport,
+    merge_signatures, run_plan_checked, run_seed, run_seed_in, run_seed_with_capacity, sweep,
+    PathCoverage, SeedResult, Shard, SignatureMap, SweepConfig, SweepReport,
 };
 pub use trace::{Trace, TraceRecorder};

@@ -595,6 +595,388 @@ impl ScenarioPlan {
     }
 }
 
+/// Checks every structural invariant the generator guarantees by
+/// construction — the **validity contract** mutated plans
+/// ([`mod@crate::fuzz`]) must also satisfy, so the oracles' premises hold for
+/// fuzzed scenarios exactly as they do for fresh-seed ones:
+///
+/// * every top-level action is entered by **all** threads (the executor
+///   assigns every thread a role in every top action);
+/// * nested child groups are non-empty, disjoint, subsets of the parent,
+///   one level deeper, and names encode the tree path uniquely;
+/// * sends/listeners/raisers/verdicts reference group members only, every
+///   member has exactly one verdict, and raiser delays stay far below the
+///   exit-timeout scale (a raise delayed past the bounded exit wait would
+///   read as a crash and trip the false-suspicion oracle);
+/// * shared-object operations obey the **single-depth** discipline (the
+///   cycle-freedom argument in the module docs), reference pool objects,
+///   use at most one object per action, and never run on listeners;
+/// * the crash schedule points at a real thread/top action;
+/// * fault rules use protocol-tolerated classes with per-link budgets,
+///   with at most two unbounded (signalling-crash) rules;
+/// * the timeout hierarchy keeps the §3.4/§3.3.2 bounded waits an order
+///   of magnitude above the signalling timeout (the executor then
+///   multiplies per nesting level by
+///   [`TIMEOUT_SEPARATION`](crate::exec::TIMEOUT_SEPARATION)), so live
+///   peers are never suspected.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn validate_plan(plan: &ScenarioPlan) -> Result<(), String> {
+    use std::collections::HashSet;
+    if plan.threads == 0 {
+        return Err("plan has no threads".into());
+    }
+    if plan.top.is_empty() {
+        return Err("plan has no top-level actions".into());
+    }
+    if plan.top.len() > 8 {
+        return Err(format!("{} top-level actions (max 8)", plan.top.len()));
+    }
+    let all: Vec<u32> = (0..plan.threads).collect();
+    let mut names: HashSet<&str> = HashSet::new();
+    let mut object_depths: HashSet<usize> = HashSet::new();
+    for top in &plan.top {
+        if top.group != all {
+            return Err(format!(
+                "top action {} group {:?} must be all threads 0..{}",
+                top.name, top.group, plan.threads
+            ));
+        }
+        if top.depth != 0 {
+            return Err(format!("top action {} has depth {}", top.name, top.depth));
+        }
+        validate_action(top, plan, &mut names, &mut object_depths)?;
+    }
+    if object_depths.len() > 1 {
+        let mut depths: Vec<usize> = object_depths.into_iter().collect();
+        depths.sort_unstable();
+        return Err(format!(
+            "object operations at multiple depths {depths:?} (single-depth discipline)"
+        ));
+    }
+    if let Some(crash) = plan.crash {
+        if crash.thread >= plan.threads {
+            return Err(format!("crash thread T{} out of range", crash.thread));
+        }
+        if (crash.top_action as usize) >= plan.top.len() {
+            return Err(format!(
+                "crash top action a{} out of range",
+                crash.top_action
+            ));
+        }
+        if crash.delay_ns > 3_600_000_000_000 {
+            return Err(format!(
+                "crash delay {}ns beyond the idle window",
+                crash.delay_ns
+            ));
+        }
+    }
+    let mut unbounded = 0usize;
+    for (i, fault) in plan.faults.iter().enumerate() {
+        if !matches!(fault.class, "toBeSignalled" | "App") {
+            return Err(format!(
+                "fault {i} targets untolerated class {:?}",
+                fault.class
+            ));
+        }
+        if fault.src.is_some_and(|s| s >= plan.threads) {
+            return Err(format!("fault {i} pins an out-of-range source"));
+        }
+        if fault.count == 0 {
+            return Err(format!("fault {i} has a zero budget"));
+        }
+        if fault.count == u64::MAX {
+            unbounded += 1;
+        }
+    }
+    if plan.faults.len() > 8 {
+        return Err(format!("{} fault rules (max 8)", plan.faults.len()));
+    }
+    if unbounded > 2 {
+        return Err(format!("{unbounded} unbounded fault rules (max 2)"));
+    }
+    if !(0.01..=2.0).contains(&plan.t_mmax) {
+        return Err(format!("t_mmax {} outside [0.01, 2.0]", plan.t_mmax));
+    }
+    for (name, value) in [
+        ("t_reso", plan.t_reso),
+        ("delta", plan.delta),
+        ("t_abort", plan.t_abort),
+    ] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(format!("{name} {value} outside [0.0, 1.0]"));
+        }
+    }
+    if plan.signal_timeout < 10.0 {
+        return Err(format!("signal timeout {} below 10s", plan.signal_timeout));
+    }
+    if plan.exit_timeout < 10.0 * plan.signal_timeout {
+        return Err(format!(
+            "exit timeout {} under 10x the signal timeout {} (hierarchy separation)",
+            plan.exit_timeout, plan.signal_timeout
+        ));
+    }
+    if plan.resolution_timeout < 10.0 * plan.signal_timeout {
+        return Err(format!(
+            "resolution timeout {} under 10x the signal timeout {} (hierarchy separation)",
+            plan.resolution_timeout, plan.signal_timeout
+        ));
+    }
+    Ok(())
+}
+
+fn validate_action<'p>(
+    action: &'p ActionPlan,
+    plan: &ScenarioPlan,
+    names: &mut std::collections::HashSet<&'p str>,
+    object_depths: &mut std::collections::HashSet<usize>,
+) -> Result<(), String> {
+    use std::collections::HashSet;
+    if action.group.is_empty() {
+        return Err(format!("action {} has an empty group", action.name));
+    }
+    if !names.insert(&action.name) {
+        return Err(format!("duplicate action name {}", action.name));
+    }
+    let member = |t: &u32| action.group.contains(t);
+    let mut action_objects: HashSet<u32> = HashSet::new();
+    for (p, phase) in action.phases.iter().enumerate() {
+        match phase {
+            Phase::Compute {
+                dur_ns,
+                sends,
+                listeners,
+                object_ops,
+            } => {
+                if !(1_000_000..=10_000_000_000).contains(dur_ns) {
+                    return Err(format!(
+                        "action {} phase {p}: duration {dur_ns}ns outside [1ms, 10s]",
+                        action.name
+                    ));
+                }
+                for &(from, to) in sends {
+                    if from == to || !member(&from) || !member(&to) {
+                        return Err(format!(
+                            "action {} phase {p}: send ({from}, {to}) outside the group",
+                            action.name
+                        ));
+                    }
+                }
+                let mut seen_listener = HashSet::new();
+                for t in listeners {
+                    if !member(t) || !seen_listener.insert(*t) {
+                        return Err(format!(
+                            "action {} phase {p}: bad listener T{t}",
+                            action.name
+                        ));
+                    }
+                }
+                for op in object_ops {
+                    if !member(&op.thread) {
+                        return Err(format!(
+                            "action {} phase {p}: object op by non-member T{}",
+                            action.name, op.thread
+                        ));
+                    }
+                    if listeners.contains(&op.thread) {
+                        return Err(format!(
+                            "action {} phase {p}: object op by listener T{}",
+                            action.name, op.thread
+                        ));
+                    }
+                    if op.delay_ns >= *dur_ns {
+                        return Err(format!(
+                            "action {} phase {p}: op delay {} past the phase end {}",
+                            action.name, op.delay_ns, dur_ns
+                        ));
+                    }
+                    if (op.object as usize) >= plan.objects.len() {
+                        return Err(format!(
+                            "action {} phase {p}: op references unknown object o{}",
+                            action.name, op.object
+                        ));
+                    }
+                    action_objects.insert(op.object);
+                    object_depths.insert(action.depth);
+                }
+            }
+            Phase::Nested { children } => {
+                if children.is_empty() {
+                    return Err(format!(
+                        "action {} phase {p}: empty nested phase",
+                        action.name
+                    ));
+                }
+                let mut seen: HashSet<u32> = HashSet::new();
+                for child in children {
+                    if child.depth != action.depth + 1 {
+                        return Err(format!(
+                            "child {} depth {} under parent depth {}",
+                            child.name, child.depth, action.depth
+                        ));
+                    }
+                    if !child.name.starts_with(&format!("{}.", action.name)) {
+                        return Err(format!(
+                            "child {} name does not extend parent {}",
+                            child.name, action.name
+                        ));
+                    }
+                    for t in &child.group {
+                        if !member(t) {
+                            return Err(format!(
+                                "child {} member T{t} outside parent {} group",
+                                child.name, action.name
+                            ));
+                        }
+                        if !seen.insert(*t) {
+                            return Err(format!(
+                                "child groups under {} overlap on T{t}",
+                                action.name
+                            ));
+                        }
+                    }
+                    validate_action(child, plan, names, object_depths)?;
+                }
+            }
+        }
+    }
+    if action_objects.len() > 1 {
+        return Err(format!(
+            "action {} uses {} objects (max 1)",
+            action.name,
+            action_objects.len()
+        ));
+    }
+    if let Some(raise) = &action.raise {
+        if raise.raisers.is_empty() {
+            return Err(format!("action {} has an empty raise phase", action.name));
+        }
+        let mut seen = HashSet::new();
+        for &(t, delay_ns) in &raise.raisers {
+            if !member(&t) || !seen.insert(t) {
+                return Err(format!("action {}: bad raiser T{t}", action.name));
+            }
+            if delay_ns > 1_000_000_000 {
+                return Err(format!(
+                    "action {}: raiser T{t} delayed {delay_ns}ns (>1s reads as a crash)",
+                    action.name
+                ));
+            }
+        }
+    }
+    let verdict_threads: HashSet<u32> = action.verdicts.iter().map(|&(t, _)| t).collect();
+    let group_threads: HashSet<u32> = action.group.iter().copied().collect();
+    if verdict_threads != group_threads || action.verdicts.len() != action.group.len() {
+        return Err(format!(
+            "action {}: verdicts must cover the group exactly once",
+            action.name
+        ));
+    }
+    for t in &action.abort_raises_eab {
+        if !member(t) {
+            return Err(format!(
+                "action {}: Eab raiser T{t} outside the group",
+                action.name
+            ));
+        }
+    }
+    if action.depth == 0 && !action.abort_raises_eab.is_empty() {
+        return Err(format!(
+            "top action {} declares abortion-handler exceptions",
+            action.name
+        ));
+    }
+    Ok(())
+}
+
+/// Applies `f` to the `index`-th action of the plan in the same preorder
+/// [`ScenarioPlan::actions`] uses. Returns `None` when `index` is out of
+/// range. The mutable cousin of indexing `actions()` — mutators pick a
+/// node by deterministic index and edit it in place.
+pub fn with_action_mut<R>(
+    plan: &mut ScenarioPlan,
+    index: usize,
+    f: impl FnOnce(&mut ActionPlan) -> R,
+) -> Option<R> {
+    fn locate<'a>(
+        action: &'a mut ActionPlan,
+        counter: &mut usize,
+        target: usize,
+    ) -> Option<&'a mut ActionPlan> {
+        if *counter == target {
+            return Some(action);
+        }
+        *counter += 1;
+        for phase in &mut action.phases {
+            if let Phase::Nested { children } = phase {
+                for child in children {
+                    if let Some(found) = locate(child, counter, target) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        None
+    }
+    let mut counter = 0;
+    for top in &mut plan.top {
+        if let Some(found) = locate(top, &mut counter, index) {
+            return Some(f(found));
+        }
+        // `locate` consumed the subtree's indices; continue after it.
+    }
+    None
+}
+
+/// Renames `action`'s whole subtree so its root becomes `new_name`,
+/// preserving the path-encoded suffixes (`a0.1` under root `a0` becomes
+/// `a2.1` under root `a2`). Used when duplicating a subtree: names must
+/// stay globally unique for handler/exception identities to stay distinct.
+pub(crate) fn rename_subtree(action: &mut ActionPlan, new_name: &str) {
+    fn rewrite(action: &mut ActionPlan, old_prefix: &str, new_prefix: &str) {
+        debug_assert!(action.name.starts_with(old_prefix));
+        let suffix = action.name[old_prefix.len()..].to_owned();
+        action.name = format!("{new_prefix}{suffix}");
+        for phase in &mut action.phases {
+            if let Phase::Nested { children } = phase {
+                for child in children {
+                    rewrite(child, old_prefix, new_prefix);
+                }
+            }
+        }
+    }
+    let old = action.name.clone();
+    rewrite(action, &old, new_name);
+}
+
+/// Generates a fresh action subtree with the generator's own logic — the
+/// re-depth mutator's workhorse: a regenerated subtree is valid by the
+/// same construction argument as a fresh plan's.
+pub(crate) fn gen_subtree(
+    rng: &mut Rng,
+    name: String,
+    group: Vec<u32>,
+    depth: usize,
+    max_depth: usize,
+    object_depth: Option<usize>,
+) -> ActionPlan {
+    gen_action(rng, name, group, depth, max_depth, object_depth)
+}
+
+/// The single nesting depth at which this plan's shared-object operations
+/// live, when any exist.
+#[must_use]
+pub fn plan_object_depth(plan: &ScenarioPlan) -> Option<usize> {
+    plan.actions().iter().find_map(|a| {
+        a.phases.iter().find_map(|p| match p {
+            Phase::Compute { object_ops, .. } if !object_ops.is_empty() => Some(a.depth),
+            _ => None,
+        })
+    })
+}
+
 fn gen_verdict(rng: &mut Rng) -> VerdictChoice {
     let roll = rng.unit_f64();
     if roll < 0.70 {

@@ -14,6 +14,7 @@
 //! view changes, …) the explored traces actually hit, so untested paths
 //! are visible instead of silently assumed covered.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -167,7 +168,6 @@ fn dump_corpus(
     scenario: &ScenarioConfig,
     result: &SeedResult,
 ) -> std::io::Result<PathBuf> {
-    use std::fmt::Write as _;
     let kv = scenario.to_kv();
     let mut entry = dir.join(result.seed.to_string());
     match std::fs::read_to_string(entry.join("config.txt")) {
@@ -183,8 +183,22 @@ fn dump_corpus(
         }
         _ => {}
     }
-    std::fs::create_dir_all(&entry)?;
-    std::fs::write(entry.join("config.txt"), kv)?;
+    write_corpus_files(&entry, &kv, result)?;
+    Ok(entry)
+}
+
+/// Writes the corpus entry's file set (config, plan summary, trace bytes,
+/// oracle verdicts) into `entry`, creating it. Shared between the sweep's
+/// violating-seed dumps and the fuzz loop's lineage entries (which add a
+/// `lineage.txt` on top).
+pub(crate) fn write_corpus_files(
+    entry: &Path,
+    config_kv: &str,
+    result: &SeedResult,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(entry)?;
+    std::fs::write(entry.join("config.txt"), config_kv)?;
     let mut plan = result.artifacts.plan.describe();
     plan.push('\n');
     std::fs::write(entry.join("plan.txt"), plan)?;
@@ -194,7 +208,7 @@ fn dump_corpus(
         let _ = writeln!(verdicts, "{violation}");
     }
     std::fs::write(entry.join("violations.txt"), verdicts)?;
-    Ok(entry)
+    Ok(())
 }
 
 /// Which protocol paths a sweep actually exercised, counted from the
@@ -291,6 +305,44 @@ impl PathCoverage {
         self.object_acquisitions += other.object_acquisitions;
     }
 
+    /// Packs the run's counters into a 44-bit **protocol-path signature**:
+    /// eleven 4-bit log-bucketed fields, one per counter, in the struct's
+    /// declaration order. Bucketing (0, 1, 2 exact; then doubling ranges
+    /// 3–4, 5–8, 9–16, … capped at bucket 15) keeps the signature space
+    /// small enough that distinct signatures mean *qualitatively* different
+    /// protocol behaviour — one more object acquisition in a hot loop does
+    /// not mint a "novel path", but a first resolution timeout or a second
+    /// cascade step does. The fuzz frontier ([`mod@crate::fuzz`]) keys novelty
+    /// on this value.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        fn bucket(n: u64) -> u64 {
+            match n {
+                0..=2 => n,
+                n => {
+                    // 3–4 → 3, 5–8 → 4, 9–16 → 5, … (doubling ranges).
+                    let bits = u64::from(64 - (n - 1).leading_zeros());
+                    (bits + 1).min(15)
+                }
+            }
+        }
+        [
+            self.recoveries,
+            self.undo_outcomes,
+            self.failure_outcomes,
+            self.failure_cascades,
+            self.exit_races,
+            self.exit_timeouts,
+            self.resolution_timeouts,
+            self.view_changes,
+            self.crash_stops,
+            self.aborts,
+            self.object_acquisitions,
+        ]
+        .iter()
+        .fold(0u64, |acc, &n| (acc << 4) | bucket(n))
+    }
+
     /// One-line report, in a stable order.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -310,6 +362,18 @@ impl PathCoverage {
             self.aborts,
             self.object_acquisitions,
         )
+    }
+}
+
+/// How many runs hit each distinct protocol-path signature
+/// ([`PathCoverage::signature`]). Ordered, so rendering and shard merging
+/// are deterministic; merging sums counts per signature.
+pub type SignatureMap = BTreeMap<u64, u64>;
+
+/// Sums `other`'s per-signature run counts into `into`.
+pub fn merge_signatures(into: &mut SignatureMap, other: &SignatureMap) {
+    for (&signature, &count) in other {
+        *into.entry(signature).or_insert(0) += count;
     }
 }
 
@@ -333,6 +397,10 @@ pub struct SweepReport {
     /// Which protocol paths the sweep hit, aggregated over every explored
     /// seed's trace.
     pub coverage: PathCoverage,
+    /// Distinct protocol-path signatures hit, with per-signature run
+    /// counts. Shards merge exactly: summing the maps of every shard of a
+    /// range reproduces the unsharded sweep's map.
+    pub signatures: SignatureMap,
     /// Protocol latency distributions (virtual time) and scheduler
     /// self-metrics, aggregated over every explored seed (see
     /// [`crate::metrics`]).
@@ -378,6 +446,7 @@ impl SweepReport {
             self.failures.len(),
         );
         let _ = writeln!(out, "paths hit: {}", self.coverage.summary());
+        let _ = writeln!(out, "distinct path signatures: {}", self.signatures.len());
         out.push_str(&self.metrics.summary());
         for failure in &self.failures {
             let _ = writeln!(
@@ -439,6 +508,20 @@ pub fn run_seed_in(
     arena: &mut ExecutionArena,
 ) -> SeedResult {
     let plan = ScenarioPlan::generate(seed, scenario);
+    run_plan_checked(plan, check_replay_too, arena)
+}
+
+/// Runs an **explicit plan** end to end — execute, check every oracle,
+/// optionally re-execute and compare traces — through a reusable arena.
+/// This is [`run_seed_in`] minus the generation step: the fuzz loop
+/// ([`mod@crate::fuzz`]) calls it with *mutated* plans no seed generates.
+#[must_use]
+pub fn run_plan_checked(
+    plan: ScenarioPlan,
+    check_replay_too: bool,
+    arena: &mut ExecutionArena,
+) -> SeedResult {
+    let seed = plan.seed;
     let artifacts = execute_owned(plan, arena);
     let mut violations = check_run(&artifacts);
     arena.metrics_recorder().record_run(&artifacts);
@@ -474,6 +557,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     let next = AtomicU64::new(0);
     let failures: Mutex<Vec<SeedResult>> = Mutex::new(Vec::new());
     let coverage: Mutex<PathCoverage> = Mutex::new(PathCoverage::default());
+    let signatures: Mutex<SignatureMap> = Mutex::new(SignatureMap::new());
     let metrics: Mutex<SweepMetrics> = Mutex::new(SweepMetrics::default());
     let entries = AtomicU64::new(0);
     let virtual_ns = AtomicU64::new(0);
@@ -487,6 +571,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                 // so steady-state exploration allocates almost nothing.
                 let mut arena = ExecutionArena::new();
                 let mut local_coverage = PathCoverage::default();
+                let mut local_signatures = SignatureMap::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= config.seeds {
@@ -494,6 +579,10 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                             .lock()
                             .expect("coverage collector")
                             .merge(&local_coverage);
+                        merge_signatures(
+                            &mut signatures.lock().expect("signature collector"),
+                            &local_signatures,
+                        );
                         metrics
                             .lock()
                             .expect("metrics collector")
@@ -514,7 +603,11 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                         result.artifacts.report.elapsed.as_nanos(),
                         Ordering::Relaxed,
                     );
-                    local_coverage.merge(&PathCoverage::from_trace(&result.artifacts.trace));
+                    let run_coverage = PathCoverage::from_trace(&result.artifacts.trace);
+                    *local_signatures
+                        .entry(run_coverage.signature())
+                        .or_insert(0) += 1;
+                    local_coverage.merge(&run_coverage);
                     if result.passed() {
                         // Done with this trace: hand its buffer back.
                         arena.recycle_trace(result.artifacts.trace);
@@ -544,6 +637,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
         trace_entries: entries.into_inner(),
         virtual_secs: virtual_ns.into_inner() as f64 / 1e9,
         coverage: coverage.into_inner().expect("coverage collector"),
+        signatures: signatures.into_inner().expect("signature collector"),
         metrics: metrics.into_inner().expect("metrics collector"),
         wall: started.elapsed(),
     }
@@ -580,6 +674,7 @@ mod tests {
         assert_eq!(full.seeds_run, 30);
         let mut sharded_seeds = 0;
         let mut sharded_coverage = PathCoverage::default();
+        let mut sharded_signatures = SignatureMap::new();
         for index in 0..3 {
             let report = sweep(&SweepConfig {
                 shard: Some(Shard { index, count: 3 }),
@@ -588,6 +683,7 @@ mod tests {
             assert_eq!(report.seeds_run, 10, "shard {index} must cover a third");
             sharded_seeds += report.seeds_run;
             sharded_coverage.merge(&report.coverage);
+            merge_signatures(&mut sharded_signatures, &report.signatures);
         }
         // The union of the shards is exactly the full sweep.
         assert_eq!(sharded_seeds, full.seeds_run);
@@ -595,6 +691,41 @@ mod tests {
             sharded_coverage, full.coverage,
             "sharded coverage must add up to the full sweep's"
         );
+        assert_eq!(
+            sharded_signatures, full.signatures,
+            "sharded signature maps must union to the full sweep's"
+        );
+    }
+
+    #[test]
+    fn signatures_bucket_counts_logarithmically() {
+        let a = PathCoverage::default();
+        let mut b = PathCoverage::default();
+        assert_eq!(a.signature(), b.signature());
+        // Doubling-range buckets: 3 and 4 coincide, 4 and 5 differ.
+        b.recoveries = 3;
+        let sig3 = b.signature();
+        b.recoveries = 4;
+        assert_eq!(sig3, b.signature());
+        b.recoveries = 5;
+        assert_ne!(sig3, b.signature());
+        // Low counts are exact and field positions are distinct.
+        let one_recovery = PathCoverage {
+            recoveries: 1,
+            ..Default::default()
+        };
+        let one_abort = PathCoverage {
+            aborts: 1,
+            ..Default::default()
+        };
+        assert_ne!(one_recovery.signature(), one_abort.signature());
+        assert_ne!(one_recovery.signature(), a.signature());
+        // Saturation: astronomically different counts still fit 4 bits.
+        let huge = PathCoverage {
+            object_acquisitions: u64::MAX,
+            ..Default::default()
+        };
+        assert_eq!(huge.signature() & 0xf, 15);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The coverage-gain acceptance gate (satellite of the coverage-guided
+//! fuzz subsystem): at the nightly 50k-execution budget, frontier-guided
+//! mutation must reach **≥ 20 % more distinct protocol-path signatures**
+//! than a fresh-seed sweep of the same budget, with both numbers in the
+//! triage report. The gate runs `#[ignore]`d (the nightly job runs
+//! `cargo test --release -- --ignored`); the tier-1 lane gets a small
+//! sanity test over the same reporting surface — small budgets sit below
+//! the mutation/fresh crossover (measured ≈ 4k executions), so the tier-1
+//! test checks the accounting, not the gain sign.
+
+use caa_harness::fuzz::{fuzz, CoverageDoc, FuzzConfig};
+
+/// The nightly acceptance gate. Release profile, ~1 min of CPU: the
+/// measured gain at 16k executions is already +50 %, so the +20 % floor
+/// is the ISSUE's conservative margin, not a tight calibration.
+#[test]
+#[ignore = "50k-execution budget: run via `cargo test --release -- --ignored` (nightly CI)"]
+fn fuzz_reaches_twenty_percent_more_signatures_than_fresh_seeds_at_50k() {
+    let report = fuzz(&FuzzConfig {
+        executions: 50_000,
+        initial_seeds: 2_000,
+        batch: 256,
+        compare_fresh: true,
+        ..FuzzConfig::default()
+    });
+    let fresh = report.fresh.as_ref().expect("baseline was requested");
+    let gain = report.gain_pct().expect("baseline was requested");
+    assert_eq!(fresh.executions, report.executions, "same budget");
+    assert!(
+        gain >= 20.0,
+        "fuzzing reached {} signatures vs {} fresh ({gain:+.1}%); the ≥20% gate failed",
+        report.signatures.len(),
+        fresh.signatures.len(),
+    );
+    // Both numbers are part of the uploaded triage artifact.
+    let triage = CoverageDoc::from_fuzz(&report).triage();
+    assert!(
+        triage.contains(&format!(
+            "fuzz: {} distinct signatures over {} executions",
+            report.signatures.len(),
+            report.executions
+        )),
+        "{triage}"
+    );
+    assert!(
+        triage.contains(&format!(
+            "fresh baseline: {} distinct signatures over {} executions",
+            fresh.signatures.len(),
+            fresh.executions
+        )),
+        "{triage}"
+    );
+    assert!(
+        triage.contains("signature gain over fresh seeds: +"),
+        "{triage}"
+    );
+}
+
+/// Tier-1 sanity over the same surface: the budget is honoured exactly,
+/// the baseline matches it, the gain is computed, and the triage report
+/// carries both signature counts.
+#[test]
+fn gain_accounting_is_consistent_at_a_smoke_budget() {
+    let report = fuzz(&FuzzConfig {
+        executions: 192,
+        initial_seeds: 48,
+        batch: 32,
+        compare_fresh: true,
+        ..FuzzConfig::default()
+    });
+    assert_eq!(report.executions, 192, "the budget is spent exactly");
+    let fresh = report.fresh.as_ref().expect("baseline was requested");
+    assert_eq!(fresh.executions, 192, "the baseline uses the same budget");
+    assert!(report.gain_pct().is_some());
+    assert!(!report.signatures.is_empty());
+    let triage = CoverageDoc::from_fuzz(&report).triage();
+    assert!(
+        triage.contains("## Fuzz vs fresh-seed baseline"),
+        "{triage}"
+    );
+    assert!(
+        triage.contains(&format!(
+            "fresh baseline: {} distinct signatures over 192 executions",
+            fresh.signatures.len()
+        )),
+        "{triage}"
+    );
+    assert!(
+        triage.contains("signature gain over fresh seeds: "),
+        "{triage}"
+    );
+}

@@ -1,0 +1,103 @@
+//! Mutator property tests (satellite of the coverage-guided fuzz
+//! subsystem): every structured mutation must leave the plan inside the
+//! generator's validity envelope — [`validate_plan`]-clean — because the
+//! fuzz loop executes mutated plans through the exact pipeline fresh
+//! seeds use, with no second validation layer to catch a malformed one.
+
+use std::collections::{BTreeMap, HashSet};
+
+use caa_harness::fuzz::{mutate_plan, Lineage, MUTATORS};
+use caa_harness::plan::{validate_plan, ScenarioConfig, ScenarioPlan};
+
+/// 10 000 single mutations (200 base seeds × 50 mutation seeds): every
+/// mutated plan passes the generator invariants, and the whole mutator
+/// table actually fires — a mutator that never applies is dead weight
+/// the reproducibility contract still has to carry forever.
+#[test]
+fn ten_thousand_mutations_preserve_plan_validity() {
+    let config = ScenarioConfig::default();
+    let mut fired: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for base_seed in 0..200u64 {
+        let plan = ScenarioPlan::generate(base_seed, &config);
+        validate_plan(&plan).expect("generated plans are valid");
+        for i in 0..50u64 {
+            // Decorrelate the mutation seed from the base seed the same
+            // way the fuzz loop decorrelates child indices.
+            let mutation_seed = (base_seed * 50 + i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mutated = mutate_plan(&plan, mutation_seed);
+            if let Err(e) = validate_plan(&mutated.plan) {
+                panic!(
+                    "mutator {} broke validity on base seed {base_seed}, \
+                     mutation seed {mutation_seed:#018x}: {e}\n{}",
+                    mutated.mutator,
+                    mutated.plan.describe()
+                );
+            }
+            *fired.entry(mutated.mutator).or_default() += 1;
+        }
+    }
+    let named: HashSet<&str> = MUTATORS.iter().map(|(name, _)| *name).collect();
+    for name in &named {
+        assert!(
+            fired.contains_key(name),
+            "mutator {name} never applied across 10k samples: {fired:?}"
+        );
+    }
+    for name in fired.keys() {
+        assert!(named.contains(name), "unknown mutator name {name}");
+    }
+}
+
+/// Deep mutation chains stay valid: the fuzz frontier routinely stacks
+/// dozens of mutations onto one ancestor, so validity must be closed
+/// under composition, not just preserved by single steps.
+#[test]
+fn mutation_chains_stay_valid_at_depth() {
+    let config = ScenarioConfig::default();
+    for base_seed in (0..50u64).map(|i| i * 131 + 7) {
+        let mut lineage = Lineage::base(base_seed);
+        let mut plan = ScenarioPlan::generate(base_seed, &config);
+        for depth in 0..20u64 {
+            let mutation_seed = (base_seed << 8 | depth).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let mutated = mutate_plan(&plan, mutation_seed);
+            validate_plan(&mutated.plan).unwrap_or_else(|e| {
+                panic!(
+                    "chain depth {depth} (mutator {}) broke base seed {base_seed}: {e}",
+                    mutated.mutator
+                )
+            });
+            lineage = lineage.child(mutation_seed);
+            plan = mutated.plan;
+        }
+        // The recorded lineage rebuilds the exact end-of-chain plan.
+        let rebuilt = lineage.materialize(&config);
+        assert_eq!(
+            format!("{rebuilt:?}"),
+            format!("{plan:?}"),
+            "lineage materialisation diverged from the live chain at base seed {base_seed}"
+        );
+    }
+}
+
+/// Mutation is a pure function of `(plan, mutation_seed)` across
+/// independently generated inputs — the anchor that lets a corpus entry
+/// replay a find from nothing but its lineage.
+#[test]
+fn mutations_are_reproducible_from_the_recorded_seed() {
+    let config = ScenarioConfig::default();
+    for base_seed in 0..40u64 {
+        let plan_a = ScenarioPlan::generate(base_seed, &config);
+        let plan_b = ScenarioPlan::generate(base_seed, &config);
+        for i in 0..10u64 {
+            let mutation_seed = base_seed ^ (i << 32) ^ 0xCAAF;
+            let a = mutate_plan(&plan_a, mutation_seed);
+            let b = mutate_plan(&plan_b, mutation_seed);
+            assert_eq!(a.mutator, b.mutator, "mutator choice diverged");
+            assert_eq!(
+                format!("{:?}", a.plan),
+                format!("{:?}", b.plan),
+                "seed {base_seed} mutation {mutation_seed:#x} is not reproducible"
+            );
+        }
+    }
+}

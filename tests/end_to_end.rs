@@ -174,6 +174,30 @@ fn virtual_runs_are_reproducible() {
     assert_eq!(run(), run());
 }
 
+/// Coverage-guided fuzzing smoke: a ≤200-execution budget over the seed
+/// corpus still lets frontier-scheduled mutations mint at least one
+/// protocol-path signature the fresh seeds alone never reached — the
+/// feedback loop works end to end through the facade, cheap enough for
+/// tier 1.
+#[test]
+fn fuzz_smoke_finds_a_novel_path_beyond_the_seed_corpus() {
+    use caa::harness::fuzz::{fuzz, FuzzConfig};
+    let report = fuzz(&FuzzConfig {
+        executions: 160,
+        initial_seeds: 48,
+        batch: 32,
+        workers: 2,
+        ..FuzzConfig::default()
+    });
+    assert!(report.executions <= 200, "smoke budget exceeded");
+    assert!(
+        report.novel_from_mutation >= 1,
+        "no mutated child reached a signature outside the 48-seed corpus:\n{}",
+        report.summary()
+    );
+    assert!(report.generations >= 1, "the frontier never scheduled");
+}
+
 /// A long chain of nested actions (depth 4) aborts cleanly from the top.
 #[test]
 fn deep_nesting_abort_cascade() {
