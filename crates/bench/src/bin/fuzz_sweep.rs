@@ -36,7 +36,8 @@ use caa_harness::sweep::Shard;
 fn main() {
     let usage = "usage: fuzz_sweep [--budget N] [--initial N] [--start SEED] [--batch N] \
                  [--fuzz-seed N] [--workers N] [--shard k/n] [--baseline] [--check-replay] \
-                 [--corpus DIR] [--out PATH] [--triage PATH] [--min-gain-pct X] [--fuzz-smoke]";
+                 [--corpus DIR] [--out PATH] [--triage PATH] [--min-gain-pct X] \
+                 [--multi-crash] [--fuzz-smoke]";
     let mut config = FuzzConfig {
         corpus_dir: Some(PathBuf::from("target/caa-corpus")),
         ..FuzzConfig::default()
@@ -83,6 +84,14 @@ fn main() {
             "--triage" => triage_path = Some(value("--triage")),
             "--min-gain-pct" => {
                 min_gain_pct = Some(parsed("--min-gain-pct", &value("--min-gain-pct")));
+            }
+            "--multi-crash" => {
+                // The crash-heavy scenario space: nearly every plan
+                // carries a crash schedule, so multi-crash and
+                // rejoin-mid-recovery paths dominate the frontier. The
+                // config is persisted with every corpus entry, so finds
+                // replay through the ordinary `replay --corpus` path.
+                config.scenario = caa_harness::plan::ScenarioConfig::multi_crash();
             }
             "--fuzz-smoke" => {
                 // The tier-1 preset: small enough for a debug-profile CI

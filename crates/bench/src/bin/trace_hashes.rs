@@ -89,10 +89,10 @@ fn main() {
                         }
                     }
                     let plan = ScenarioPlan::generate(seed, &config);
-                    let tag = if plan.crash.is_some() {
-                        "crash"
-                    } else {
+                    let tag = if plan.crashes.is_empty() {
                         "crashfree"
+                    } else {
+                        "crash"
                     };
                     let artifacts = execute_in(&plan, &mut arena);
                     let hash = artifacts.trace.render_fingerprint();

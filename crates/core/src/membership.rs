@@ -57,8 +57,13 @@ pub enum ViewChangeOutcome {
 
 /// The membership view one participant holds of one action instance.
 ///
-/// The initial view (epoch 0) contains the action's full group. Views only
-/// ever shrink: epoch `n+1` removes at least one member from epoch `n`.
+/// The initial view (epoch 0) contains the action's full group. A view
+/// change either shrinks the view (epoch `n+1` removes at least one member
+/// of epoch `n` — a crash) or grows it back
+/// ([`MembershipView::rejoin`]: epoch `n+1` re-admits one previously
+/// removed member — a restarted participant). Every member of the group
+/// appears at most once per epoch, so the `(epoch, member-set)` sequence is
+/// totally ordered and survivors agree on it.
 ///
 /// # Examples
 ///
@@ -197,6 +202,54 @@ impl MembershipView {
         self.removed.sort_unstable();
         self.epoch = epoch;
         ViewChangeOutcome::Applied { removed: actually }
+    }
+
+    /// Applies a rejoin view change: advance to `epoch`, re-admitting
+    /// `thread` — a previously removed member that restarted and caught
+    /// up (epoch-numbered rejoin).
+    ///
+    /// Accepts exactly the next epoch (`self.epoch() + 1`) with a thread
+    /// from the removed set; a re-announcement of an already applied
+    /// rejoin (the thread is live again at or below `epoch`) is a
+    /// [`ViewChangeOutcome::Duplicate`]; anything else is a
+    /// [`ViewChangeOutcome::Conflict`]. The returned `Applied.removed` is
+    /// empty — rejoin removes nobody.
+    pub fn rejoin(&mut self, epoch: u32, thread: ThreadId) -> ViewChangeOutcome {
+        if epoch <= self.epoch {
+            return if self.contains(thread) {
+                ViewChangeOutcome::Duplicate
+            } else {
+                ViewChangeOutcome::Conflict {
+                    reason: format!(
+                        "stale rejoin epoch {epoch} (current {}) for non-member {thread}",
+                        self.epoch
+                    ),
+                }
+            };
+        }
+        if epoch != self.epoch + 1 {
+            return ViewChangeOutcome::Conflict {
+                reason: format!(
+                    "rejoin epoch {epoch} skips ahead of current epoch {}",
+                    self.epoch
+                ),
+            };
+        }
+        if self.contains(thread) {
+            return ViewChangeOutcome::Conflict {
+                reason: format!("rejoin epoch {epoch} re-admits live member {thread}"),
+            };
+        }
+        if !self.removed.contains(&thread) {
+            return ViewChangeOutcome::Conflict {
+                reason: format!("rejoin epoch {epoch} re-admits {thread}, never a member"),
+            };
+        }
+        self.removed.retain(|t| *t != thread);
+        self.members.push(thread);
+        self.members.sort_unstable();
+        self.epoch = epoch;
+        ViewChangeOutcome::Applied { removed: vec![] }
     }
 
     /// Fast-forwards the view to an announcer's `(epoch,
@@ -365,6 +418,52 @@ mod tests {
             view.sync_to(2, &[t(0)]),
             ViewChangeOutcome::Conflict { .. }
         ));
+    }
+
+    #[test]
+    fn rejoin_readmits_a_removed_member_at_the_next_epoch() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        view.apply(1, &[t(1)]);
+        let outcome = view.rejoin(2, t(1));
+        assert_eq!(outcome, ViewChangeOutcome::Applied { removed: vec![] });
+        assert_eq!(view.members(), &[t(0), t(1), t(2)]);
+        assert!(view.removed().is_empty());
+        assert_eq!(view.epoch(), 2);
+        // A re-announcement of the applied rejoin is a duplicate.
+        assert_eq!(view.rejoin(2, t(1)), ViewChangeOutcome::Duplicate);
+        // The member can crash again at a later epoch.
+        assert!(matches!(
+            view.apply(3, &[t(1)]),
+            ViewChangeOutcome::Applied { .. }
+        ));
+        assert_eq!(view.members(), &[t(0), t(2)]);
+    }
+
+    #[test]
+    fn rejoin_conflicts_are_detected() {
+        let mut view = MembershipView::new(vec![t(0), t(1), t(2)]);
+        view.apply(1, &[t(1)]);
+        // Skipping an epoch.
+        assert!(matches!(
+            view.rejoin(3, t(1)),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // Re-admitting a live member.
+        assert!(matches!(
+            view.rejoin(2, t(0)),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // Re-admitting a thread that was never part of the group.
+        assert!(matches!(
+            view.rejoin(2, t(9)),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        // A stale rejoin for a thread still removed.
+        assert!(matches!(
+            view.rejoin(1, t(1)),
+            ViewChangeOutcome::Conflict { .. }
+        ));
+        assert_eq!(view.epoch(), 1, "conflicts leave the view untouched");
     }
 
     #[test]

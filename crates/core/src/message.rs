@@ -193,6 +193,48 @@ pub enum Message {
         /// per survivor instead of deep-copying the set.
         removed: Arc<[ThreadId]>,
     },
+    /// Epoch-numbered rejoin, step 1: a restarted participant asks the
+    /// survivors of the action instance for the current membership view
+    /// and a state summary so it can re-enter. The requester broadcasts to
+    /// every other group member (it cannot know which survived) and acts
+    /// on the first grant; duplicate grants are idempotent.
+    JoinRequest {
+        /// The action instance the restarted thread wants to re-enter.
+        action: ActionId,
+        /// The restarted (previously removed) thread.
+        from: ThreadId,
+    },
+    /// Epoch-numbered rejoin, step 2: a survivor answers a
+    /// [`JoinRequest`](Message::JoinRequest) directly to the requester.
+    /// Every survivor that still holds the frame open receives the
+    /// broadcast request and independently adopts the growth step —
+    /// `thread` re-enters — so the group keeps agreeing on the live
+    /// member *set* without a grant broadcast (epoch numbers are
+    /// per-thread counters under set-based agreement); the rejoiner
+    /// acts on the first grant it receives and drops the duplicates.
+    JoinGrant {
+        /// The action instance being rejoined.
+        action: ActionId,
+        /// The granting survivor.
+        from: ThreadId,
+        /// The re-admitted thread.
+        thread: ThreadId,
+        /// The granter's membership epoch *after* re-admitting `thread`.
+        epoch: u32,
+        /// State summary: the granter's cumulative removed set *after*
+        /// re-admission (`thread` is no longer in it), so the rejoiner
+        /// fast-forwards a fresh full view straight to the granter's
+        /// post-grant view. Shared (`Arc`): the broadcast clones a
+        /// reference per recipient.
+        removed: Arc<[ThreadId]>,
+        /// State summary: the frame's current exit epoch, so the rejoiner
+        /// votes in the exit round the survivors are (or will be) in.
+        exit_epoch: u32,
+        /// State summary: the resolving exception the survivors committed
+        /// to, when recovery already resolved (`None` for a crash during
+        /// normal computation or unresolved recovery).
+        resolved: Option<ExceptionId>,
+    },
     /// Vote of the synchronous exit protocol (§5.1): a participant is ready
     /// to leave the action; all must be ready before any leaves.
     ExitVote {
@@ -228,6 +270,8 @@ impl Message {
             Message::Commit { .. } => MessageKind::Commit,
             Message::Resolve { .. } => MessageKind::Resolve,
             Message::ViewChange { .. } => MessageKind::ViewChange,
+            Message::JoinRequest { .. } => MessageKind::JoinRequest,
+            Message::JoinGrant { .. } => MessageKind::JoinGrant,
             Message::ToBeSignalled { .. } => MessageKind::ToBeSignalled,
             Message::ExitVote { .. } => MessageKind::ExitVote,
             Message::App { .. } => MessageKind::App,
@@ -243,6 +287,8 @@ impl Message {
             | Message::Commit { action, .. }
             | Message::Resolve { action, .. }
             | Message::ViewChange { action, .. }
+            | Message::JoinRequest { action, .. }
+            | Message::JoinGrant { action, .. }
             | Message::ToBeSignalled { action, .. }
             | Message::ExitVote { action, .. }
             | Message::App { action, .. } => *action,
@@ -258,6 +304,8 @@ impl Message {
             | Message::Commit { from, .. }
             | Message::Resolve { from, .. }
             | Message::ViewChange { from, .. }
+            | Message::JoinRequest { from, .. }
+            | Message::JoinGrant { from, .. }
             | Message::ToBeSignalled { from, .. }
             | Message::ExitVote { from, .. }
             | Message::App { from, .. } => *from,
@@ -287,6 +335,12 @@ pub enum MessageKind {
     /// Membership: a bounded resolution wait expired and the sender removed
     /// the presumed-crashed threads from its view.
     ViewChange,
+    /// Membership: a restarted participant asks a survivor for the view
+    /// and a state summary (epoch-numbered rejoin, step 1).
+    JoinRequest,
+    /// Membership: a survivor re-admits a restarted participant at the
+    /// next epoch (epoch-numbered rejoin, step 2).
+    JoinGrant,
     /// Signalling algorithm: an intended signal is broadcast.
     ToBeSignalled,
     /// Synchronous exit protocol vote.
@@ -297,21 +351,24 @@ pub enum MessageKind {
 
 impl MessageKind {
     /// All message kinds, in a stable order (useful for reports).
-    pub const ALL: [MessageKind; 8] = [
+    pub const ALL: [MessageKind; 10] = [
         MessageKind::Exception,
         MessageKind::Suspended,
         MessageKind::Commit,
         MessageKind::Resolve,
         MessageKind::ViewChange,
+        MessageKind::JoinRequest,
+        MessageKind::JoinGrant,
         MessageKind::ToBeSignalled,
         MessageKind::ExitVote,
         MessageKind::App,
     ];
 
     /// Whether messages of this kind count toward the resolution-algorithm
-    /// complexity results of §3.3.3. `ViewChange` is excluded: the §3.3.3
-    /// bounds assume crash-free resolution, and view changes only occur on
-    /// the presumed-crash path.
+    /// complexity results of §3.3.3. `ViewChange`, `JoinRequest` and
+    /// `JoinGrant` are excluded: the §3.3.3 bounds assume crash-free
+    /// resolution, and the membership messages only occur on the
+    /// presumed-crash / rejoin paths.
     #[must_use]
     pub fn counts_for_resolution(self) -> bool {
         matches!(
@@ -332,6 +389,8 @@ impl fmt::Display for MessageKind {
             MessageKind::Commit => "Commit",
             MessageKind::Resolve => "Resolve",
             MessageKind::ViewChange => "ViewChange",
+            MessageKind::JoinRequest => "JoinRequest",
+            MessageKind::JoinGrant => "JoinGrant",
             MessageKind::ToBeSignalled => "toBeSignalled",
             MessageKind::ExitVote => "ExitVote",
             MessageKind::App => "App",
@@ -377,6 +436,16 @@ mod tests {
                 from: t,
                 epoch: 1,
                 removed: Arc::from(vec![ThreadId::new(2)]),
+            },
+            Message::JoinRequest { action: a, from: t },
+            Message::JoinGrant {
+                action: a,
+                from: t,
+                thread: ThreadId::new(2),
+                epoch: 2,
+                removed: Arc::from(vec![ThreadId::new(2)]),
+                exit_epoch: 1,
+                resolved: Some(ExceptionId::new("e1")),
             },
             Message::ToBeSignalled {
                 action: a,
@@ -428,6 +497,8 @@ mod tests {
         assert!(MessageKind::Commit.counts_for_resolution());
         assert!(MessageKind::Resolve.counts_for_resolution());
         assert!(!MessageKind::ViewChange.counts_for_resolution());
+        assert!(!MessageKind::JoinRequest.counts_for_resolution());
+        assert!(!MessageKind::JoinGrant.counts_for_resolution());
         assert!(!MessageKind::ToBeSignalled.counts_for_resolution());
         assert!(!MessageKind::ExitVote.counts_for_resolution());
         assert!(!MessageKind::App.counts_for_resolution());

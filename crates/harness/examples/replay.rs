@@ -96,7 +96,7 @@ fn replay_plan(
 /// entry.
 fn run_bisection(plan: &ScenarioPlan) {
     let mut arena = ExecutionArena::new();
-    let full = plan.faults.len() + usize::from(plan.crash.is_some());
+    let full = plan.faults.len() + plan.crashes.len();
     match bisect_schedule(plan, |candidate| plan_violates(candidate, &mut arena)) {
         None => println!(
             "--bisect: the violation does not reproduce deterministically \
@@ -112,9 +112,12 @@ fn run_bisection(plan: &ScenarioPlan) {
             for (i, fault) in outcome.plan.faults.iter().enumerate() {
                 println!("  kept fault {i}: {fault:?}");
             }
-            match outcome.plan.crash {
-                Some(c) => println!("  kept crash: {c:?}"),
-                None => println!("  crash dropped (or none scheduled)"),
+            if outcome.plan.crashes.is_empty() {
+                println!("  crash dropped (or none scheduled)");
+            } else {
+                for (i, c) in outcome.plan.crashes.iter().enumerate() {
+                    println!("  kept crash {i}: {c:?}");
+                }
             }
             let dir = Path::new("target/caa-corpus");
             match write_corpus_entry(dir, &outcome) {

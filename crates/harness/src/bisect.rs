@@ -26,15 +26,16 @@ use crate::oracle::check_run;
 use crate::plan::{ActionPlan, Phase, ScenarioPlan};
 
 /// Which parts of a plan's chaos schedule are kept: indices into the
-/// original [`ScenarioPlan::faults`] list plus whether the crash-stop
-/// (if any) is retained. Serialises to a line-oriented text form that
-/// round-trips through [`Schedule::parse`].
+/// original [`ScenarioPlan::faults`] list plus indices into its crash
+/// list. Serialises to a line-oriented text form that round-trips
+/// through [`Schedule::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Indices (into the *original* plan's fault list) of the rules kept.
     pub fault_indices: Vec<usize>,
-    /// Whether the plan's crash-stop participant is kept.
-    pub keep_crash: bool,
+    /// Indices (into the *original* plan's crash list) of the crash-stop
+    /// participants kept.
+    pub crash_indices: Vec<usize>,
 }
 
 impl Schedule {
@@ -43,14 +44,14 @@ impl Schedule {
     pub fn full(plan: &ScenarioPlan) -> Schedule {
         Schedule {
             fault_indices: (0..plan.faults.len()).collect(),
-            keep_crash: plan.crash.is_some(),
+            crash_indices: (0..plan.crashes.len()).collect(),
         }
     }
 
-    /// Number of schedule elements (fault rules + crash).
+    /// Number of schedule elements (fault rules + crashes).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.fault_indices.len() + usize::from(self.keep_crash)
+        self.fault_indices.len() + self.crash_indices.len()
     }
 
     /// Whether the schedule keeps nothing at all.
@@ -59,8 +60,8 @@ impl Schedule {
         self.len() == 0
     }
 
-    /// Applies the schedule to `plan`: drops every fault rule not listed
-    /// and the crash-stop when `keep_crash` is false.
+    /// Applies the schedule to `plan`: drops every fault rule and every
+    /// crash-stop not listed.
     #[must_use]
     pub fn apply(&self, plan: &ScenarioPlan) -> ScenarioPlan {
         let mut out = plan.clone();
@@ -69,14 +70,16 @@ impl Schedule {
             .iter()
             .filter_map(|&i| plan.faults.get(i).cloned())
             .collect();
-        if !self.keep_crash {
-            out.crash = None;
-        }
+        out.crashes = self
+            .crash_indices
+            .iter()
+            .filter_map(|&i| plan.crashes.get(i).copied())
+            .collect();
         out
     }
 
     /// The persisted line-oriented form (`fault <i>` per kept rule, then
-    /// `crash` or `no-crash`).
+    /// `crash <i>` per kept crash, or `no-crash` when none survive).
     #[must_use]
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -84,15 +87,20 @@ impl Schedule {
         for &i in &self.fault_indices {
             let _ = writeln!(out, "fault {i}");
         }
-        let _ = writeln!(
-            out,
-            "{}",
-            if self.keep_crash { "crash" } else { "no-crash" }
-        );
+        if self.crash_indices.is_empty() {
+            let _ = writeln!(out, "no-crash");
+        } else {
+            for &i in &self.crash_indices {
+                let _ = writeln!(out, "crash {i}");
+            }
+        }
         out
     }
 
-    /// Parses the form written by [`Schedule::render`].
+    /// Parses the form written by [`Schedule::render`]. The pre-multi-crash
+    /// forms still load: a bare `crash` line means crash 0 is kept, and
+    /// `no-crash` keeps none, so corpus entries written before crash lists
+    /// replay unchanged.
     ///
     /// # Errors
     ///
@@ -100,22 +108,31 @@ impl Schedule {
     pub fn parse(text: &str) -> Result<Schedule, String> {
         let mut schedule = Schedule {
             fault_indices: Vec::new(),
-            keep_crash: false,
+            crash_indices: Vec::new(),
         };
         for line in text.lines() {
             let line = line.trim();
             match line {
                 "" => {}
-                "crash" => schedule.keep_crash = true,
-                "no-crash" => schedule.keep_crash = false,
-                other => match other.strip_prefix("fault ") {
-                    Some(i) => schedule.fault_indices.push(
-                        i.trim()
-                            .parse()
-                            .map_err(|e| format!("bad fault index: {e}"))?,
-                    ),
-                    None => return Err(format!("unrecognised schedule line: {other:?}")),
-                },
+                "crash" => schedule.crash_indices.push(0),
+                "no-crash" => {}
+                other => {
+                    if let Some(i) = other.strip_prefix("fault ") {
+                        schedule.fault_indices.push(
+                            i.trim()
+                                .parse()
+                                .map_err(|e| format!("bad fault index: {e}"))?,
+                        );
+                    } else if let Some(i) = other.strip_prefix("crash ") {
+                        schedule.crash_indices.push(
+                            i.trim()
+                                .parse()
+                                .map_err(|e| format!("bad crash index: {e}"))?,
+                        );
+                    } else {
+                        return Err(format!("unrecognised schedule line: {other:?}"));
+                    }
+                }
             }
         }
         Ok(schedule)
@@ -161,13 +178,16 @@ pub fn bisect_schedule(
                 break;
             }
         }
-        if !progressed && schedule.keep_crash {
-            let mut candidate = schedule.clone();
-            candidate.keep_crash = false;
-            attempts += 1;
-            if still_violates(&candidate.apply(plan)) {
-                schedule = candidate;
-                progressed = true;
+        if !progressed {
+            for drop_at in 0..schedule.crash_indices.len() {
+                let mut candidate = schedule.clone();
+                candidate.crash_indices.remove(drop_at);
+                attempts += 1;
+                if still_violates(&candidate.apply(plan)) {
+                    schedule = candidate;
+                    progressed = true;
+                    break;
+                }
             }
         }
         if !progressed {
@@ -213,12 +233,11 @@ pub fn write_corpus_entry(dir: &Path, outcome: &BisectOutcome) -> std::io::Resul
     for (i, fault) in outcome.plan.faults.iter().enumerate() {
         let _ = writeln!(plan, "kept fault {i}: {fault:?}");
     }
-    match outcome.plan.crash {
-        Some(c) => {
-            let _ = writeln!(plan, "kept crash: {c:?}");
-        }
-        None => {
-            let _ = writeln!(plan, "crash dropped");
+    if outcome.plan.crashes.is_empty() {
+        let _ = writeln!(plan, "crash dropped");
+    } else {
+        for (i, c) in outcome.plan.crashes.iter().enumerate() {
+            let _ = writeln!(plan, "kept crash {i}: {c:?}");
         }
     }
     std::fs::write(entry.join("plan.txt"), plan)?;
@@ -237,8 +256,8 @@ pub fn write_corpus_entry(dir: &Path, outcome: &BisectOutcome) -> std::io::Resul
 /// recorded step sequence replays with [`apply_steps`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadStep {
-    /// Drop the crash-stop participant.
-    DropCrash,
+    /// Drop crash-stop `i` (index into the current plan's crash list).
+    DropCrash(usize),
     /// Drop fault rule `i` (index into the current plan's fault list).
     DropFault(usize),
     /// Drop top-level action `i` (inapplicable when the crash-stop dies
@@ -292,7 +311,7 @@ impl WorkloadStep {
     #[must_use]
     pub fn render(&self) -> String {
         match self {
-            WorkloadStep::DropCrash => "drop-crash".into(),
+            WorkloadStep::DropCrash(i) => format!("drop-crash {i}"),
             WorkloadStep::DropFault(i) => format!("drop-fault {i}"),
             WorkloadStep::DropTopAction(i) => format!("drop-top {i}"),
             WorkloadStep::DropLastThread => "drop-thread".into(),
@@ -334,8 +353,14 @@ impl WorkloadStep {
         };
         let step = match head {
             "drop-crash" => {
-                arity(0)?;
-                WorkloadStep::DropCrash
+                // The pre-multi-crash form is a bare `drop-crash`; it
+                // means crash 0 so recorded reductions keep replaying.
+                if tokens.len() == 1 {
+                    WorkloadStep::DropCrash(0)
+                } else {
+                    arity(1)?;
+                    WorkloadStep::DropCrash(index(1, "crash index")?)
+                }
             }
             "drop-fault" => {
                 arity(1)?;
@@ -479,8 +504,11 @@ fn strip_thread(action: &mut ActionPlan, t: u32) {
 pub fn apply_step(plan: &ScenarioPlan, step: &WorkloadStep) -> Option<ScenarioPlan> {
     let mut out = plan.clone();
     match step {
-        WorkloadStep::DropCrash => {
-            out.crash.take()?;
+        WorkloadStep::DropCrash(i) => {
+            if *i >= out.crashes.len() {
+                return None;
+            }
+            out.crashes.remove(*i);
         }
         WorkloadStep::DropFault(i) => {
             if *i >= out.faults.len() {
@@ -492,13 +520,14 @@ pub fn apply_step(plan: &ScenarioPlan, step: &WorkloadStep) -> Option<ScenarioPl
             if out.top.len() < 2 || *i >= out.top.len() {
                 return None;
             }
-            if let Some(crash) = &mut out.crash {
-                // The crash schedule indexes the top-level sequence; a
-                // reduction must never silently retarget it.
-                match (crash.top_action as usize).cmp(i) {
-                    std::cmp::Ordering::Equal => return None,
-                    std::cmp::Ordering::Greater => crash.top_action -= 1,
-                    std::cmp::Ordering::Less => {}
+            // The crash schedules index the top-level sequence; a
+            // reduction must never silently retarget one.
+            if out.crashes.iter().any(|c| c.top_action as usize == *i) {
+                return None;
+            }
+            for crash in &mut out.crashes {
+                if crash.top_action as usize > *i {
+                    crash.top_action -= 1;
                 }
             }
             out.top.remove(*i);
@@ -508,7 +537,7 @@ pub fn apply_step(plan: &ScenarioPlan, step: &WorkloadStep) -> Option<ScenarioPl
                 return None;
             }
             let t = out.threads - 1;
-            if out.crash.is_some_and(|c| c.thread == t)
+            if out.crashes.iter().any(|c| c.thread == t)
                 || out.faults.iter().any(|f| f.src == Some(t))
             {
                 return None;
@@ -583,8 +612,8 @@ pub fn apply_steps(plan: &ScenarioPlan, steps: &[WorkloadStep]) -> Option<Scenar
 /// shrink one element at a time.
 fn workload_candidates(plan: &ScenarioPlan) -> Vec<WorkloadStep> {
     let mut out = Vec::new();
-    if plan.crash.is_some() {
-        out.push(WorkloadStep::DropCrash);
+    for i in 0..plan.crashes.len() {
+        out.push(WorkloadStep::DropCrash(i));
     }
     for i in 0..plan.faults.len() {
         out.push(WorkloadStep::DropFault(i));
@@ -727,7 +756,7 @@ mod tests {
         let cfg = ScenarioConfig::default();
         for seed in 0..4000 {
             let plan = ScenarioPlan::generate(seed, &cfg);
-            if plan.faults.len() >= 2 && plan.crash.is_some() {
+            if plan.faults.len() >= 2 && !plan.crashes.is_empty() {
                 return plan;
             }
         }
@@ -739,29 +768,29 @@ mod tests {
         let plan = rich_plan();
         // The "bug" needs exactly fault rule 1 and the crash.
         let needs = |p: &ScenarioPlan| {
-            p.crash.is_some()
+            !p.crashes.is_empty()
                 && p.faults
                     .iter()
                     .any(|f| plan.faults.get(1).is_some_and(|orig| f == orig))
         };
         let outcome = bisect_schedule(&plan, needs).expect("full plan violates");
         assert_eq!(outcome.schedule.fault_indices, vec![1]);
-        assert!(outcome.schedule.keep_crash);
+        assert_eq!(outcome.schedule.crash_indices.len(), 1);
         assert_eq!(outcome.plan.faults.len(), 1);
-        assert!(outcome.plan.crash.is_some());
+        assert_eq!(outcome.plan.crashes.len(), 1);
         // 1-minimality: dropping either remaining element stops the
         // violation.
         assert!(!needs(
             &Schedule {
                 fault_indices: vec![],
-                keep_crash: true
+                crash_indices: outcome.schedule.crash_indices.clone(),
             }
             .apply(&plan)
         ));
         assert!(!needs(
             &Schedule {
                 fault_indices: vec![1],
-                keep_crash: false
+                crash_indices: vec![],
             }
             .apply(&plan)
         ));
@@ -779,28 +808,36 @@ mod tests {
         let outcome = bisect_schedule(&plan, |_| true).expect("always violating");
         assert!(outcome.schedule.is_empty(), "{:?}", outcome.schedule);
         assert!(outcome.plan.faults.is_empty());
-        assert!(outcome.plan.crash.is_none());
+        assert!(outcome.plan.crashes.is_empty());
     }
 
     #[test]
     fn schedule_round_trips_through_text() {
         let schedule = Schedule {
             fault_indices: vec![0, 2],
-            keep_crash: true,
+            crash_indices: vec![0, 1],
         };
         assert_eq!(Schedule::parse(&schedule.render()), Ok(schedule));
         let none = Schedule {
             fault_indices: vec![],
-            keep_crash: false,
+            crash_indices: vec![],
         };
         assert_eq!(Schedule::parse(&none.render()), Ok(none));
         assert!(Schedule::parse("nonsense").is_err());
+        // Pre-multi-crash corpus entries: a bare `crash` keeps crash 0.
+        assert_eq!(
+            Schedule::parse("fault 1\ncrash\n"),
+            Ok(Schedule {
+                fault_indices: vec![1],
+                crash_indices: vec![0],
+            })
+        );
     }
 
     #[test]
     fn corpus_entry_persists_the_minimized_schedule() {
         let plan = rich_plan();
-        let outcome = bisect_schedule(&plan, |p| p.crash.is_some()).expect("violates");
+        let outcome = bisect_schedule(&plan, |p| !p.crashes.is_empty()).expect("violates");
         let dir = std::env::temp_dir().join(format!("caa-bisect-test-{}", std::process::id()));
         let entry = write_corpus_entry(&dir, &outcome).expect("persist");
         let text = std::fs::read_to_string(entry.join("schedule.txt")).unwrap();
@@ -857,7 +894,7 @@ mod tests {
         // exactly thread 0.
         assert_eq!(min.top.len(), 1, "{}", min.describe());
         assert_eq!(min.threads, 2, "{}", min.describe());
-        assert!(min.crash.is_none());
+        assert!(min.crashes.is_empty());
         assert!(min.faults.is_empty());
         assert!(min.top[0].phases.is_empty(), "{}", min.describe());
         let raise = min.top[0].raise.as_ref().expect("raise survives");
@@ -881,7 +918,7 @@ mod tests {
     #[test]
     fn workload_steps_round_trip_through_text() {
         let steps = vec![
-            WorkloadStep::DropCrash,
+            WorkloadStep::DropCrash(1),
             WorkloadStep::DropFault(2),
             WorkloadStep::DropTopAction(1),
             WorkloadStep::DropLastThread,
@@ -910,7 +947,12 @@ mod tests {
         assert_eq!(parse_steps(&render_steps(&steps)), Ok(steps));
         assert!(WorkloadStep::parse("drop-everything").is_err());
         assert!(WorkloadStep::parse("drop-fault x").is_err());
-        assert!(WorkloadStep::parse("drop-crash 3").is_err());
+        assert!(WorkloadStep::parse("drop-crash x").is_err());
+        // The pre-multi-crash form drops the (then unique) crash 0.
+        assert_eq!(
+            WorkloadStep::parse("drop-crash"),
+            Ok(WorkloadStep::DropCrash(0))
+        );
     }
 
     #[test]

@@ -367,8 +367,8 @@ pub(crate) fn run_plan(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> (Trac
         .iter()
         .map(|a| build_node(a, plan, arena))
         .collect();
-    let crash = plan.crash;
     for t in 0..plan.threads {
+        let my_crash = plan.crashes.iter().copied().find(|c| c.thread == t);
         let nodes = nodes.clone();
         let objects = objects.clone();
         sys.spawn(thread_name(t), move |ctx| {
@@ -376,7 +376,7 @@ pub(crate) fn run_plan(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> (Trac
                 let def = node.def.clone();
                 let node = Arc::clone(node);
                 let objects = objects.clone();
-                match crash.filter(|c| c.thread == t && i == c.top_action as usize) {
+                match my_crash.filter(|c| i == c.top_action as usize) {
                     Some(c) => {
                         // The designated participant runs its real
                         // workload — raises, messages and object traffic
@@ -384,20 +384,45 @@ pub(crate) fn run_plan(plan: &ScenarioPlan, arena: &mut ExecutionArena) -> (Trac
                         // plan-determined instant: it dies at the first
                         // poll point at or after it, wherever the
                         // protocol then has it (body, collection,
-                        // signalling or exit). The `?` below unwinds the
-                        // crash to the thread top.
-                        ctx.enter(&def, role_name(t), move |rc| {
+                        // signalling or exit).
+                        let run = ctx.enter(&def, role_name(t), move |rc| {
                             rc.schedule_crash(VirtualDuration::from_nanos(c.delay_ns));
                             body_phases(rc, &node, t, &objects)
-                        })
-                        .map(|_| ())?;
-                        // The action concluded before the crash instant
-                        // (short workload, or a recovery absorbed the
-                        // body): the process is still doomed — idle until
-                        // the schedule fires. The thread never enters a
-                        // later top action.
-                        ctx.work(secs(3600.0))?;
-                        return ctx.crash_stop();
+                        });
+                        let flow = match run {
+                            Err(flow) => flow,
+                            Ok(_) => {
+                                // The action concluded before the crash
+                                // instant (short workload, or a recovery
+                                // absorbed the body): the process is
+                                // still doomed — idle until the schedule
+                                // fires.
+                                match ctx.work(secs(3600.0)) {
+                                    Err(flow) => flow,
+                                    Ok(()) => return ctx.crash_stop(),
+                                }
+                            }
+                        };
+                        if !flow.is_crash() {
+                            return Err(flow);
+                        }
+                        // The planned death. Without a planned restart
+                        // the thread stays down for good; with one, it
+                        // waits out the down-time and asks the survivors
+                        // to readmit it (epoch-numbered rejoin). A
+                        // restart nobody answers — the group concluded,
+                        // or evicted it and moved on past the join
+                        // window — gives up and stays down too.
+                        let Some(down_ns) = c.rejoin_delay_ns else {
+                            return Err(flow);
+                        };
+                        ctx.restart_after(VirtualDuration::from_nanos(down_ns))?;
+                        if ctx.rejoin(&def, role_name(t))?.is_none() {
+                            return Err(flow);
+                        }
+                        // Readmitted and concluded the crash action as a
+                        // member again: continue into the remaining top
+                        // actions like any survivor.
                     }
                     None => {
                         ctx.enter(&def, role_name(t), move |rc| {
@@ -427,33 +452,47 @@ mod tests {
         let plan = ScenarioPlan::generate(1, &ScenarioConfig::default());
         let artifacts = execute(&plan);
         for (i, (name, result)) in artifacts.report.results.iter().enumerate() {
-            let expected_crash = plan.crash.is_some_and(|c| c.thread == i as u32);
+            let planned = plan.crashes.iter().find(|c| c.thread == i as u32);
             match result {
-                Ok(()) => assert!(!expected_crash, "{name} should have crashed"),
+                Ok(()) => assert!(
+                    planned.is_none_or(|c| c.rejoin_delay_ns.is_some()),
+                    "{name} should have crashed for good"
+                ),
                 Err(caa_runtime::RuntimeError::Crashed) => {
-                    assert!(expected_crash, "{name} crashed unplanned");
+                    assert!(planned.is_some(), "{name} crashed unplanned");
                 }
                 Err(e) => panic!("{name} failed: {e}"),
             }
         }
         assert!(!artifacts.trace.is_empty());
-        // Every thread entered every top-level action.
-        let enters = artifacts
-            .trace
-            .runtime_events()
-            .filter(|e| {
-                matches!(
-                    e.kind,
-                    caa_runtime::observe::EventKind::Enter { depth: 1, .. }
-                )
-            })
-            .count();
-        assert_eq!(
-            enters,
-            plan.top.len() * plan.threads as usize,
-            "trace:\n{}",
-            artifacts.trace.render()
-        );
+        // Top-level entries per thread: survivors enter every top action,
+        // a successful rejoiner re-enters its crash action once on top of
+        // that, and a thread that stayed down entered at most the actions
+        // up to (and including) its crash action.
+        let mut enters: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for e in artifacts.trace.runtime_events() {
+            if matches!(
+                e.kind,
+                caa_runtime::observe::EventKind::Enter { depth: 1, .. }
+            ) {
+                *enters.entry(e.thread.as_u32()).or_default() += 1;
+            }
+        }
+        for t in 0..plan.threads {
+            let n = enters.get(&t).copied().unwrap_or(0);
+            let planned = plan.crashes.iter().find(|c| c.thread == t);
+            let rejoined = planned.is_some() && artifacts.report.results[t as usize].1.is_ok();
+            match planned {
+                None => assert_eq!(n, plan.top.len(), "T{t}: survivor misses entries"),
+                Some(_) if rejoined => {
+                    assert_eq!(n, plan.top.len() + 1, "T{t}: rejoiner double-enters once");
+                }
+                Some(c) => assert!(
+                    n <= c.top_action as usize + 1,
+                    "T{t}: dead thread entered past its crash action"
+                ),
+            }
+        }
     }
 
     #[test]
@@ -486,23 +525,33 @@ mod tests {
     #[test]
     fn crash_scenarios_terminate_with_the_crash_reported() {
         let cfg = ScenarioConfig::default();
-        let mut found = false;
+        let (mut found, mut stayed_down, mut readmitted) = (false, 0, 0);
         for seed in 0..60 {
             let plan = ScenarioPlan::generate(seed, &cfg);
-            let Some(crash) = plan.crash else { continue };
+            if plan.crashes.is_empty() {
+                continue;
+            }
             found = true;
             let artifacts = execute(&plan);
             for (i, (name, result)) in artifacts.report.results.iter().enumerate() {
-                if i as u32 == crash.thread {
-                    assert!(
-                        matches!(result, Err(caa_runtime::RuntimeError::Crashed)),
-                        "{name} should have crashed: {result:?}"
-                    );
-                } else {
-                    assert!(result.is_ok(), "{name} failed: {result:?}");
+                let planned = plan.crashes.iter().find(|c| c.thread == i as u32);
+                match (planned, result) {
+                    (None, Ok(())) => {}
+                    (None, Err(e)) => panic!("{name} failed unplanned: {e}"),
+                    (Some(_), Err(caa_runtime::RuntimeError::Crashed)) => stayed_down += 1,
+                    (Some(c), Ok(())) => {
+                        assert!(
+                            c.rejoin_delay_ns.is_some(),
+                            "{name} survived its crash without a planned rejoin"
+                        );
+                        readmitted += 1;
+                    }
+                    (Some(_), Err(e)) => panic!("{name} died of {e}, not the planned crash"),
                 }
             }
         }
         assert!(found, "no crash seed in range");
+        assert!(stayed_down > 0, "no crash stayed down in range");
+        assert!(readmitted > 0, "no rejoin was granted in range");
     }
 }

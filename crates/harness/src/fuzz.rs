@@ -239,8 +239,11 @@ type Mutator = fn(&mut ScenarioPlan, &mut Rng) -> bool;
 
 /// The mutator table, each entry a named validity-preserving plan edit.
 /// Order matters only for reproducibility: the mutation seed indexes into
-/// this table, so appending is compatible with old lineages while
-/// reordering or removing is not (bump the corpus if you must).
+/// this table **modulo its length**, so *any* size change remaps what a
+/// recorded mutation seed picks. A persisted lineage therefore replays
+/// byte-exactly only under the table that recorded it; regression
+/// lineages checked into tests must be re-derived when the table grows
+/// (reordering or removing entries is never OK — append and re-pin).
 pub const MUTATORS: &[(&str, Mutator)] = &[
     ("shift_raise", shift_raise),
     ("widen_raise", widen_raise),
@@ -263,6 +266,12 @@ pub const MUTATORS: &[(&str, Mutator)] = &[
     ("perturb_object_op", perturb_object_op),
     ("perturb_verdict", perturb_verdict),
     ("toggle_eab", toggle_eab),
+    // Appended after the multi-crash/rejoin rework — new entries go below
+    // these (append-only keeps old lineages replayable).
+    ("add_second_crash", add_second_crash),
+    ("add_rejoin", add_rejoin),
+    ("drop_rejoin", drop_rejoin),
+    ("perturb_rejoin", perturb_rejoin),
 ];
 
 /// Applies one structured mutation to `plan`, chosen and parameterised by
@@ -432,10 +441,22 @@ fn add_raise(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
     .is_some()
 }
 
+/// Uniformly picks a crash index. Single-crash plans (everything an old
+/// lineage can reach) consume **no** rng draw, so pre-multi-crash
+/// lineages keep materializing byte-identically.
+fn pick_crash(plan: &ScenarioPlan, rng: &mut Rng) -> Option<usize> {
+    match plan.crashes.len() {
+        0 => None,
+        1 => Some(0),
+        n => Some(rng.below(n as u64) as usize),
+    }
+}
+
 fn move_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
-    let Some(mut crash) = plan.crash else {
+    let Some(k) = pick_crash(plan, rng) else {
         return false;
     };
+    let mut crash = plan.crashes[k];
     if rng.chance(0.5) {
         crash.delay_ns = rng.below(2_000_000_000);
     } else {
@@ -460,37 +481,129 @@ fn move_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
             boundary + jitter
         };
     }
-    plan.crash = Some(crash);
+    plan.crashes[k] = crash;
     true
 }
 
 fn retarget_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
-    let Some(mut crash) = plan.crash else {
+    let Some(k) = pick_crash(plan, rng) else {
         return false;
     };
+    let mut crash = plan.crashes[k];
     if rng.chance(0.5) {
-        crash.thread = rng.below(u64::from(plan.threads)) as u32;
+        // Threads already claimed by *other* crashes are off limits (the
+        // validator forbids double-crashing a thread). For single-crash
+        // plans the free list is every thread in ascending order, so the
+        // draw maps to the same thread the pre-multi-crash mutator chose.
+        let free: Vec<u32> = (0..plan.threads)
+            .filter(|&t| {
+                plan.crashes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, c)| i == k || c.thread != t)
+            })
+            .collect();
+        crash.thread = free[rng.below(free.len() as u64) as usize];
     } else {
         crash.top_action = rng.below(plan.top.len() as u64) as u32;
     }
-    plan.crash = Some(crash);
+    plan.crashes[k] = crash;
     true
 }
 
 fn add_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
-    if plan.crash.is_some() {
+    if !plan.crashes.is_empty() {
         return false;
     }
-    plan.crash = Some(CrashChoice {
+    plan.crashes.push(CrashChoice {
         thread: rng.below(u64::from(plan.threads)) as u32,
         top_action: rng.below(plan.top.len() as u64) as u32,
         delay_ns: rng.below(1_500_000_000),
+        rejoin_delay_ns: None,
     });
     true
 }
 
-fn drop_crash(plan: &mut ScenarioPlan, _rng: &mut Rng) -> bool {
-    plan.crash.take().is_some()
+fn drop_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
+    let Some(k) = pick_crash(plan, rng) else {
+        return false;
+    };
+    plan.crashes.remove(k);
+    true
+}
+
+fn add_second_crash(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
+    // Needs an existing crash, and leaves at least one survivor.
+    if plan.crashes.is_empty() || plan.crashes.len() + 1 >= plan.threads as usize {
+        return false;
+    }
+    let free: Vec<u32> = (0..plan.threads)
+        .filter(|&t| plan.crashes.iter().all(|c| c.thread != t))
+        .collect();
+    if free.is_empty() {
+        return false;
+    }
+    plan.crashes.push(CrashChoice {
+        thread: free[rng.below(free.len() as u64) as usize],
+        top_action: rng.below(plan.top.len() as u64) as u32,
+        delay_ns: rng.below(1_500_000_000),
+        rejoin_delay_ns: rng.chance(0.5).then(|| rng.below(30_000_000_000)),
+    });
+    true
+}
+
+fn add_rejoin(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
+    let candidates: Vec<usize> = plan
+        .crashes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.rejoin_delay_ns.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let k = candidates[rng.below(candidates.len() as u64) as usize];
+    plan.crashes[k].rejoin_delay_ns = Some(rng.below(30_000_000_000));
+    true
+}
+
+fn drop_rejoin(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
+    let candidates: Vec<usize> = plan
+        .crashes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.rejoin_delay_ns.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let k = candidates[rng.below(candidates.len() as u64) as usize];
+    plan.crashes[k].rejoin_delay_ns = None;
+    true
+}
+
+fn perturb_rejoin(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
+    let candidates: Vec<usize> = plan
+        .crashes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.rejoin_delay_ns.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let k = candidates[rng.below(candidates.len() as u64) as usize];
+    // Half the rolls race the restart against detection (inside the
+    // signalling-timeout window), half land anywhere in the patience band.
+    plan.crashes[k].rejoin_delay_ns = Some(if rng.chance(0.5) {
+        rng.below(2_000_000_000)
+    } else {
+        rng.below(60_000_000_000)
+    });
+    true
 }
 
 fn perturb_fault(plan: &mut ScenarioPlan, rng: &mut Rng) -> bool {
@@ -1266,7 +1379,7 @@ pub struct CoverageDoc {
 }
 
 /// The coverage counters by (alphabetical) wire name.
-fn counter_pairs(coverage: &PathCoverage) -> [(&'static str, u64); 11] {
+fn counter_pairs(coverage: &PathCoverage) -> [(&'static str, u64); 12] {
     [
         ("aborts", coverage.aborts),
         ("crash_stops", coverage.crash_stops),
@@ -1276,6 +1389,7 @@ fn counter_pairs(coverage: &PathCoverage) -> [(&'static str, u64); 11] {
         ("failure_outcomes", coverage.failure_outcomes),
         ("object_acquisitions", coverage.object_acquisitions),
         ("recoveries", coverage.recoveries),
+        ("rejoins", coverage.rejoins),
         ("resolution_timeouts", coverage.resolution_timeouts),
         ("undo_outcomes", coverage.undo_outcomes),
         ("view_changes", coverage.view_changes),
@@ -1292,6 +1406,7 @@ fn set_counter(coverage: &mut PathCoverage, name: &str, value: u64) -> bool {
         "failure_outcomes" => coverage.failure_outcomes = value,
         "object_acquisitions" => coverage.object_acquisitions = value,
         "recoveries" => coverage.recoveries = value,
+        "rejoins" => coverage.rejoins = value,
         "resolution_timeouts" => coverage.resolution_timeouts = value,
         "undo_outcomes" => coverage.undo_outcomes = value,
         "view_changes" => coverage.view_changes = value,

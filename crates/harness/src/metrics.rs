@@ -86,6 +86,20 @@ impl SweepMetrics {
         line("exit round duration", "exit_round_ns");
         line("object acquisition wait", "object_wait_ns");
         line("crash detection latency", "crash_detect_ns");
+        line("rejoin restart latency", "rejoin_restart_ns");
+        line("rejoin catch-up", "rejoin_catchup_ns");
+        let suspicions: Vec<String> = ["resolution", "signalling", "exit"]
+            .iter()
+            .filter_map(|round| {
+                let v = self
+                    .deterministic
+                    .counter_value(&format!("suspicion_{round}"));
+                (v > 0).then(|| format!("{round} {v}"))
+            })
+            .collect();
+        if !suspicions.is_empty() {
+            let _ = writeln!(out, "suspicion rounds: {}", suspicions.join(" | "));
+        }
         if let Some(h) = self.deterministic.histogram_named("signal_fanout") {
             if h.count() > 0 {
                 let _ = writeln!(
@@ -241,6 +255,8 @@ pub struct MetricsRecorder {
     signal_fanout: HistogramHandle,
     object_wait: HistogramHandle,
     crash_detect: HistogramHandle,
+    rejoin_restart: HistogramHandle,
+    rejoin_catchup: HistogramHandle,
     run_virtual: HistogramHandle,
     // Per-run correlation scratch, cleared (capacity kept) between runs.
     first_raise: HashMap<u64, u64>,
@@ -248,6 +264,7 @@ pub struct MetricsRecorder {
     resolved_rounds: HashMap<(u64, u32), u64>,
     rounds_max: HashMap<u64, u64>,
     exit_open: HashMap<(u64, u32), u64>,
+    rejoin_open: HashMap<(u64, u32), u64>,
     fanout: HashMap<u64, u64>,
     crashes: Vec<(u32, u64)>,
     detected: HashSet<(u32, u32)>,
@@ -272,6 +289,8 @@ impl MetricsRecorder {
         let signal_fanout = det.histogram("signal_fanout");
         let object_wait = det.histogram("object_wait_ns");
         let crash_detect = det.histogram("crash_detect_ns");
+        let rejoin_restart = det.histogram("rejoin_restart_ns");
+        let rejoin_catchup = det.histogram("rejoin_catchup_ns");
         let run_virtual = det.histogram("run_virtual_ns");
         MetricsRecorder {
             metrics,
@@ -282,12 +301,15 @@ impl MetricsRecorder {
             signal_fanout,
             object_wait,
             crash_detect,
+            rejoin_restart,
+            rejoin_catchup,
             run_virtual,
             first_raise: HashMap::new(),
             first_resolved: HashMap::new(),
             resolved_rounds: HashMap::new(),
             rounds_max: HashMap::new(),
             exit_open: HashMap::new(),
+            rejoin_open: HashMap::new(),
             fanout: HashMap::new(),
             crashes: Vec::new(),
             detected: HashSet::new(),
@@ -316,6 +338,7 @@ impl MetricsRecorder {
         self.resolved_rounds.clear();
         self.rounds_max.clear();
         self.exit_open.clear();
+        self.rejoin_open.clear();
         self.fanout.clear();
         self.crashes.clear();
         self.detected.clear();
@@ -343,6 +366,11 @@ impl MetricsRecorder {
                                     .deterministic
                                     .record(self.exit_round, at.saturating_sub(start));
                             }
+                            if let Some(readmitted) = self.rejoin_open.remove(&(serial, thread)) {
+                                self.metrics
+                                    .deterministic
+                                    .record(self.rejoin_catchup, at.saturating_sub(readmitted));
+                            }
                         }
                         EventKind::ObjectAcquired { waited_ns, .. } => {
                             self.metrics
@@ -351,6 +379,37 @@ impl MetricsRecorder {
                         }
                         EventKind::Crash => {
                             self.crashes.push((thread, at));
+                        }
+                        // Only the joiner's own Rejoin event opens the
+                        // catch-up window; survivor-side adoptions of the
+                        // same readmission are echoes of one handshake.
+                        EventKind::Rejoin {
+                            thread: rejoiner, ..
+                        } if rejoiner.as_u32() == thread => {
+                            self.rejoin_open.insert((serial, thread), at);
+                            if let Some(&(_, crash_at)) = self
+                                .crashes
+                                .iter()
+                                .rev()
+                                .find(|&&(crashed, _)| crashed == thread)
+                            {
+                                self.metrics
+                                    .deterministic
+                                    .record(self.rejoin_restart, at.saturating_sub(crash_at));
+                            }
+                        }
+                        EventKind::ResolutionTimeout { .. } => {
+                            self.metrics
+                                .deterministic
+                                .add_named("suspicion_resolution", 1);
+                        }
+                        EventKind::SignalTimeout { .. } => {
+                            self.metrics
+                                .deterministic
+                                .add_named("suspicion_signalling", 1);
+                        }
+                        EventKind::ExitTimeout { .. } => {
+                            self.metrics.deterministic.add_named("suspicion_exit", 1);
                         }
                         EventKind::ViewChange { removed, .. } => {
                             for &(crashed, crash_at) in &self.crashes {
@@ -376,7 +435,7 @@ impl MetricsRecorder {
         // Fold the per-run correlation maps into the histograms. Map
         // iteration order is arbitrary, which is fine: histogram recording
         // is commutative, and the serialized form is order-independent.
-        let crashed_plan = artifacts.plan.crash.is_some();
+        let crashed_plan = !artifacts.plan.crashes.is_empty();
         let latency_hist = if crashed_plan {
             self.resolution_crash
         } else {

@@ -11,17 +11,30 @@
 //!   `(2·nmax+3)·Tmmax + nmax·Tabort + (nmax+1)·(Treso+∆max)` (plus one
 //!   `Tmmax` of entry skew the scenario shape permits).
 //! * **Message complexity** (§3.3.3): an action instance's recovery costs
-//!   at most `(N+1)·(N−1)` resolution messages.
+//!   at most `(N+1)·(N−1)` resolution messages, plus one participant
+//!   broadcast (`N−1`) per thread readmitted mid-recovery — a rejoiner
+//!   re-announces its state into the ongoing resolution after catch-up.
 //! * **Nesting/abortion consistency** (§3.3.1): every action entry is
 //!   closed by exactly one exit, abort or crash-stop on the entering
-//!   thread.
+//!   thread — with one sanctioned exception: a crashed participant that
+//!   rejoined enters the instance twice (one entry closed by the crash,
+//!   the re-entry closed by its exit).
 //! * **Exit-timeout bound** (the §3.4 timeout generalised to the exit
 //!   protocol): every exit phase — including one abandoned because a peer
 //!   crash-stopped — terminates within the plan's exit timeout.
 //! * **Membership agreement** (the crash-aware resolution extension):
-//!   every thread that observed a view epoch removed the identical member
-//!   set, and no thread removed as presumed-crashed went on to complete
-//!   the action (no false suspicion).
+//!   membership is **set-based** — each thread's view evolves by adopting
+//!   removal sets and readmissions, with epoch numbers as per-thread step
+//!   counters. The agreement form is therefore a *chain*: the final
+//!   removed sets that the instance's threads reached must be pairwise
+//!   comparable under inclusion (a thread that exited early — e.g.
+//!   evicted — holds a prefix of the survivors' set; genuinely divergent
+//!   views are incomparable and flagged). The one sanctioned divergence
+//!   is a pair of threads that both finalised with the failure exception
+//!   ƒ — each declared coordination broken, so their last views may
+//!   legally disagree. And no thread removed as presumed-crashed
+//!   went on to complete the action without being readmitted first (no
+//!   false suspicion).
 //! * **Bounded resolution** (same extension): every started recovery
 //!   concludes in a resolution, an enclosing abort or the thread's own
 //!   crash — the collection loop never hangs on a dead peer.
@@ -123,15 +136,14 @@ pub enum Violation {
         /// First line (0-based) at which the renderings differ.
         first_diff_line: usize,
     },
-    /// Participants of one instance disagreed about a membership epoch's
-    /// removed set: the view-change agreement the membership extension
-    /// must establish before handling begins was violated.
+    /// Participants of one instance reached irreconcilable membership
+    /// views: under set-based agreement the final removed sets must form
+    /// a chain under inclusion (early exits hold prefixes of the
+    /// survivors' set), and these do not.
     ViewDisagreement {
         /// Canonical action label.
         action: u64,
-        /// The membership epoch with conflicting removals.
-        epoch: u32,
-        /// The distinct removed sets observed across threads.
+        /// The incomparable final removed sets observed across threads.
         removed_sets: Vec<Vec<u32>>,
     },
     /// A thread removed from an instance's membership view as presumed
@@ -189,7 +201,7 @@ impl fmt::Display for Violation {
             } => {
                 write!(
                     f,
-                    "action {action}: {messages} resolution messages exceed (N+1)(N-1) = {bound}"
+                    "action {action}: {messages} resolution messages exceed the rejoin-adjusted (N+1)(N-1) bound {bound}"
                 )
             }
             Violation::NestingInconsistent {
@@ -224,18 +236,17 @@ impl fmt::Display for Violation {
             }
             Violation::ViewDisagreement {
                 action,
-                epoch,
                 removed_sets,
             } => {
                 write!(
                     f,
-                    "action {action}: view epoch {epoch} removed different members on different threads: {removed_sets:?}"
+                    "action {action}: final removed sets are not inclusion-ordered across threads: {removed_sets:?}"
                 )
             }
             Violation::FalseSuspicion { action, thread } => {
                 write!(
                     f,
-                    "action {action}: thread {thread} was presumed crashed but completed the action"
+                    "action {action}: thread {thread} was presumed crashed but completed the action without rejoining"
                 )
             }
             Violation::ResolutionUnterminated { action, thread } => {
@@ -268,10 +279,21 @@ pub fn lemma1_bound(plan: &ScenarioPlan) -> f64 {
 struct PerThread {
     enters: usize,
     exits: usize,
+    /// Exits whose outcome was `Failed` — an evicted thread finalises so,
+    /// which legitimately closes a recovery without a resolution.
+    failed_exits: usize,
     aborts: usize,
     crashes: usize,
     recovery_starts: usize,
     resolved: usize,
+}
+
+/// One membership step a thread observed, in trace order.
+enum ViewDelta {
+    /// A view change removed these members.
+    Remove(Vec<u32>),
+    /// A rejoin grant readmitted this member.
+    Readmit(u32),
 }
 
 #[derive(Default)]
@@ -285,8 +307,8 @@ struct InstanceView {
     last_handler_end_ns: Option<u64>,
     resolution_msgs: u64,
     per_thread: BTreeMap<u32, PerThread>,
-    /// Observed view changes: `(thread, epoch, removed)`.
-    view_changes: Vec<(u32, u32, Vec<u32>)>,
+    /// Membership steps per observing thread, in trace order.
+    view_deltas: Vec<(u32, ViewDelta)>,
     /// Completed exit phases: `(thread, duration_ns)` from an `ExitStart`
     /// to the thread's next protocol step for the instance (exit, abort,
     /// timeout or recovery trigger) — the window the exit-timeout oracle
@@ -316,8 +338,12 @@ fn collect_views(trace: &Trace) -> BTreeMap<u64, InstanceView> {
                 view.name = Some(name.clone());
                 view.per_thread.entry(thread).or_default().enters += 1;
             }
-            EventKind::Exit { .. } => {
-                view.per_thread.entry(thread).or_default().exits += 1;
+            EventKind::Exit { outcome } => {
+                let counts = view.per_thread.entry(thread).or_default();
+                counts.exits += 1;
+                if matches!(outcome, caa_core::outcome::ActionOutcome::Failed) {
+                    counts.failed_exits += 1;
+                }
             }
             EventKind::Abort { .. } => {
                 view.per_thread.entry(thread).or_default().aborts += 1;
@@ -339,12 +365,15 @@ fn collect_views(trace: &Trace) -> BTreeMap<u64, InstanceView> {
                 view.resolved.push((thread, exception.name().to_owned()));
                 view.per_thread.entry(thread).or_default().resolved += 1;
             }
-            EventKind::ViewChange { epoch, removed } => {
-                view.view_changes.push((
+            EventKind::ViewChange { removed, .. } => {
+                view.view_deltas.push((
                     thread,
-                    *epoch,
-                    removed.iter().map(|t| t.as_u32()).collect(),
+                    ViewDelta::Remove(removed.iter().map(|t| t.as_u32()).collect()),
                 ));
+            }
+            EventKind::Rejoin { thread: joiner, .. } => {
+                view.view_deltas
+                    .push((thread, ViewDelta::Readmit(joiner.as_u32())));
             }
             EventKind::ResolutionInvoked { invocations } => {
                 view.invocations += u64::from(*invocations);
@@ -422,9 +451,13 @@ fn invariant_violations(
         }
 
         // Nesting/abortion consistency (§3.3.1), crash-stops included:
-        // every entry is closed by exactly one exit, abort or crash.
+        // every entry is closed by exactly one exit, abort or crash —
+        // except that a crashed-then-readmitted participant enters twice
+        // (the crash closes the first entry, its exit closes the
+        // re-entry), never more.
         for (&thread, counts) in &view.per_thread {
-            if counts.enters != 1 || counts.exits + counts.aborts + counts.crashes != 1 {
+            let closed = counts.exits + counts.aborts + counts.crashes;
+            if counts.enters == 0 || counts.enters != closed || counts.enters > 1 + counts.crashes {
                 violations.push(Violation::NestingInconsistent {
                     action,
                     thread,
@@ -436,45 +469,100 @@ fn invariant_violations(
             }
 
             // Bounded-resolution liveness: a started recovery concludes in
-            // resolution, an enclosing abort, or the thread's own crash.
-            if counts.recovery_starts > 0 && counts.resolved + counts.aborts + counts.crashes == 0 {
+            // resolution, an enclosing abort, the thread's own crash, or
+            // the ƒ exit of a thread evicted mid-recovery (it finalises
+            // Failed without a resolution of its own).
+            if counts.recovery_starts > 0
+                && counts.resolved + counts.aborts + counts.crashes + counts.failed_exits == 0
+            {
                 violations.push(Violation::ResolutionUnterminated { action, thread });
             }
         }
 
-        // Membership agreement: every thread that observed a given view
-        // epoch must have removed the identical member set, and nobody
-        // removed as presumed-crashed may have completed the action.
-        let mut epochs: BTreeMap<u32, Vec<Vec<u32>>> = BTreeMap::new();
-        for (_, epoch, removed) in &view.view_changes {
-            let sets = epochs.entry(*epoch).or_default();
-            if !sets.contains(removed) {
-                sets.push(removed.clone());
+        // Membership agreement, set-based: each thread's view evolves by
+        // adopting removal sets (∪) and readmissions (−); epoch numbers
+        // are per-thread step counters, so agreement is on the *sets* —
+        // final removed sets must be pairwise comparable under inclusion
+        // (a thread that concluded early holds a prefix of the survivors'
+        // view). One sanctioned divergence: a pair of threads that BOTH
+        // finalised with the failure exception ƒ. Each declared
+        // coordination broken — in a symmetric suspicion race (messages
+        // dropped both ways) the two evict each other and step aside
+        // before the peer's announcement lands, so their views legally
+        // disagree. A ƒ-failed thread must still be comparable with every
+        // thread that kept coordinating.
+        let mut finals: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for (observer, delta) in &view.view_deltas {
+            let set = finals.entry(*observer).or_default();
+            match delta {
+                ViewDelta::Remove(removed) => set.extend(removed.iter().copied()),
+                ViewDelta::Readmit(t) => {
+                    set.remove(t);
+                }
             }
         }
-        for (&epoch, sets) in &epochs {
-            if sets.len() > 1 {
-                violations.push(Violation::ViewDisagreement {
-                    action,
-                    epoch,
-                    removed_sets: sets.clone(),
-                });
+        let failed = |t: u32| {
+            view.per_thread
+                .get(&t)
+                .is_some_and(|counts| counts.failed_exits > 0)
+        };
+        let observers: Vec<(u32, &BTreeSet<u32>)> = finals.iter().map(|(t, s)| (*t, s)).collect();
+        let mut divergent: Vec<&BTreeSet<u32>> = Vec::new();
+        for (i, &(a, set_a)) in observers.iter().enumerate() {
+            for &(b, set_b) in &observers[i + 1..] {
+                if set_a.is_subset(set_b) || set_b.is_subset(set_a) {
+                    continue;
+                }
+                if failed(a) && failed(b) {
+                    continue;
+                }
+                for set in [set_a, set_b] {
+                    if !divergent.contains(&set) {
+                        divergent.push(set);
+                    }
+                }
             }
         }
-        let removed_union: BTreeSet<u32> = view
-            .view_changes
-            .iter()
-            .flat_map(|(_, _, removed)| removed.iter().copied())
-            .collect();
+        if !divergent.is_empty() {
+            divergent.sort_by_key(|s| s.len());
+            violations.push(Violation::ViewDisagreement {
+                action,
+                removed_sets: divergent
+                    .iter()
+                    .map(|s| s.iter().copied().collect())
+                    .collect(),
+            });
+        }
+
+        // No false suspicion: a thread that was removed and never
+        // readmitted must not have *completed* the action. A genuinely
+        // crashed thread closes its entry (if any) with a Crash event; a
+        // successful exit proves the thread was alive past the point it
+        // was presumed dead and still acted as a member. Sanctioned
+        // survivals: the readmitted rejoiner; the self-finalising ƒ exit
+        // of an evicted thread (it observed its own eviction and stepped
+        // aside); and an evicted thread that *aborts* — its exit votes
+        // never come once the peers have moved on, so the abortion
+        // handler undoes its work and raises the abortion exception in
+        // the enclosing context instead of completing as a member.
+        let mut removed_union: BTreeSet<u32> = BTreeSet::new();
+        let mut readmitted: BTreeSet<u32> = BTreeSet::new();
+        for (_, delta) in &view.view_deltas {
+            match delta {
+                ViewDelta::Remove(removed) => removed_union.extend(removed.iter().copied()),
+                ViewDelta::Readmit(t) => {
+                    readmitted.insert(*t);
+                }
+            }
+        }
         for &thread in &removed_union {
-            // A genuinely crashed thread closes its entry (if any) with a
-            // Crash event; an Exit *or* an Abort proves the thread was
-            // alive past the point it was presumed dead (an abort runs
-            // the abortion handler — dead processes run nothing).
+            if readmitted.contains(&thread) {
+                continue;
+            }
             if view
                 .per_thread
                 .get(&thread)
-                .is_some_and(|counts| counts.exits + counts.aborts > 0)
+                .is_some_and(|counts| counts.exits.saturating_sub(counts.failed_exits) > 0)
             {
                 violations.push(Violation::FalseSuspicion { action, thread });
             }
@@ -506,7 +594,7 @@ pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
     // stretches recoveries by the bounded resolution wait — either breaks
     // the premises of the Lemma 1 bound, so skip it for such plans (every
     // other oracle still applies).
-    let check_lemma1 = !plan.has_objects() && plan.crash.is_none();
+    let check_lemma1 = !plan.has_objects() && plan.crashes.is_empty();
     let plan_depth = plan.max_depth() as u32;
     for (&serial, view) in &views {
         let action = labels.get(&serial).copied().unwrap_or(usize::MAX) as u64;
@@ -549,14 +637,32 @@ pub fn check_run(artifacts: &RunArtifacts) -> Vec<Violation> {
             }
         }
 
-        // §3.3.3 message complexity.
+        // §3.3.3 message complexity. The paper's (N+1)(N−1) accounting
+        // gives each of the N participants one broadcast (its Exception
+        // or Suspended announcement, N−1 messages) plus the resolver's
+        // Commit broadcast. A participant readmitted *mid-recovery* spent
+        // that budget before its crash and must re-announce its state
+        // into the ongoing resolution after catching up, so each distinct
+        // readmitted thread earns one extra participant broadcast. Plans
+        // without rejoins (all crash-free plans included) keep the exact
+        // paper bound.
         let group_size = view
             .name
             .as_deref()
             .and_then(|name| group_by_name.get(name).copied());
         if let Some(n) = group_size {
             let n = n as u64;
-            let bound = (n + 1).saturating_mul(n.saturating_sub(1));
+            let readmissions = view
+                .view_deltas
+                .iter()
+                .filter_map(|(_, delta)| match delta {
+                    ViewDelta::Readmit(t) => Some(*t),
+                    ViewDelta::Remove(_) => None,
+                })
+                .collect::<BTreeSet<u32>>()
+                .len() as u64;
+            let bound = (n + 1).saturating_mul(n.saturating_sub(1))
+                + readmissions.saturating_mul(n.saturating_sub(1));
             if view.resolution_msgs > bound {
                 violations.push(Violation::MessageBoundExceeded {
                     action,

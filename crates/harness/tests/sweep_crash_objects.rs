@@ -23,7 +23,7 @@ fn crash_and_object_sweep_10k_passes_every_oracle() {
     for seed in 0..SEEDS {
         let plan = ScenarioPlan::generate(seed, &scenario);
         let objects = plan.has_objects();
-        let crash = plan.crash.is_some();
+        let crash = !plan.crashes.is_empty();
         with_objects += u64::from(objects);
         with_crashes += u64::from(crash);
         with_both += u64::from(objects && crash);

@@ -26,7 +26,9 @@ fn crash_resolution_sweep_10k_passes_every_oracle() {
         (0u64, 0u64, 0u64);
     for seed in START..START + SEEDS {
         let plan = ScenarioPlan::generate(seed, &scenario);
-        let Some(crash) = plan.crash else { continue };
+        let Some(&crash) = plan.crashes.first() else {
+            continue;
+        };
         crashes += 1;
         let action = &plan.top[crash.top_action as usize];
         if action

@@ -1,0 +1,96 @@
+//! The multi-crash / rejoin acceptance sweep: ≥10k fresh seeds whose
+//! scenario space includes plans with **several** crash-stops (distinct
+//! threads, any top actions) and **epoch-numbered rejoins** (a crashed
+//! participant restarts after a generated delay and asks the survivors to
+//! readmit it). Every oracle must hold under the crash-relaxed rules:
+//! survivors' removed **sets** form an inclusion chain (set-based
+//! convergent membership), no live thread is presumed crashed unless it
+//! rejoined or failed, every started recovery concludes, and the whole
+//! run **byte-replays** — join requests, grants, view growth and
+//! catch-up included.
+
+use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::sweep::{sweep, SweepConfig};
+
+const START: u64 = 40_000;
+const SEEDS: u64 = 10_000;
+
+#[test]
+fn multi_crash_rejoin_sweep_10k_passes_every_oracle() {
+    let scenario = ScenarioConfig::default();
+    assert!(scenario.allow_crashes);
+
+    // The widened scenario space must actually materialize: plans with a
+    // second crash-stop, plans that schedule a rejoin, and both at once.
+    let (mut multi_crash, mut with_rejoin, mut multi_with_rejoin) = (0u64, 0u64, 0u64);
+    for seed in START..START + SEEDS {
+        let plan = ScenarioPlan::generate(seed, &scenario);
+        let multi = plan.crashes.len() >= 2;
+        let rejoin = plan.crashes.iter().any(|c| c.rejoin_delay_ns.is_some());
+        multi_crash += u64::from(multi);
+        with_rejoin += u64::from(rejoin);
+        multi_with_rejoin += u64::from(multi && rejoin);
+    }
+    assert!(
+        multi_crash > 200,
+        "multi-crash plans too rare: {multi_crash}/{SEEDS}"
+    );
+    assert!(
+        with_rejoin > 400,
+        "rejoin plans too rare: {with_rejoin}/{SEEDS}"
+    );
+    assert!(
+        multi_with_rejoin > 50,
+        "multi-crash plans with a rejoin too rare: {multi_with_rejoin}/{SEEDS}"
+    );
+
+    let report = sweep(&SweepConfig {
+        start_seed: START,
+        seeds: SEEDS,
+        workers: 0,
+        scenario,
+        check_replay: true,
+        ..SweepConfig::default()
+    });
+    assert!(
+        report.all_passed(),
+        "violating seeds found:\n{}",
+        report.summary()
+    );
+    assert_eq!(report.seeds_run, SEEDS);
+
+    // The sweep must have driven the rejoin machinery end to end, not
+    // just generated restart schedules that never re-entered a view.
+    let coverage = report.coverage;
+    assert!(
+        coverage.rejoins > 50,
+        "readmissions missing from traces: {}",
+        coverage.summary()
+    );
+    assert!(
+        coverage.crash_stops > 1000,
+        "crash events missing from traces: {}",
+        coverage.summary()
+    );
+
+    // And the rejoin latency metrics (restart lag and catch-up to the
+    // instance's conclusion) must be populated from those same traces.
+    let restarts = report
+        .metrics
+        .deterministic
+        .histogram_named("rejoin_restart_ns")
+        .map_or(0, |h| h.count());
+    assert!(
+        restarts > 50,
+        "rejoin restart latency histogram unpopulated ({restarts} samples)"
+    );
+    let catchup = report
+        .metrics
+        .deterministic
+        .histogram_named("rejoin_catchup_ns")
+        .map_or(0, |h| h.count());
+    assert!(
+        catchup > 0,
+        "rejoin catch-up histogram unpopulated ({catchup} samples)"
+    );
+}

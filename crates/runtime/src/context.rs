@@ -20,7 +20,14 @@
 //! * the synchronous exit protocol (§5.1).
 //!
 //! Signalling and exit rounds range over the frame's *current view*, so a
-//! recovery that shrank the membership completes among the survivors.
+//! recovery that shrank the membership completes among the survivors — and
+//! both rounds carry their own bounded waits: the suspicion facility of
+//! [`crate::membership`] lets *any* round (resolution, signalling, exit)
+//! presume a silent peer crashed and continue over the shrunken view, so a
+//! crash-stop anywhere in an action's lifecycle is survived. A restarted
+//! participant re-enters its crashed action through [`Ctx::rejoin`]
+//! (epoch-numbered rejoin: ask a survivor for the current view, fast-forward
+//! to it, finish the action's exit protocol as a member again).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -28,7 +35,6 @@ use std::sync::Arc;
 use caa_core::exception::{Exception, ExceptionId, Signal};
 use caa_core::ids::{ActionId, PartitionId, RoleId, ThreadId};
 use caa_core::inline::InlineVec;
-use caa_core::membership::ViewChangeOutcome;
 use caa_core::message::{AppPayload, Message, SignalRound};
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
 use caa_core::time::{VirtualDuration, VirtualInstant};
@@ -36,7 +42,7 @@ use caa_simnet::{Endpoint, Parked, Received};
 
 use crate::action::{make_action_id, ActionDef, DefInner};
 use crate::error::{Flow, RuntimeError, Step, Unwind};
-use crate::membership::{synthesize_crashes, FrameMembership};
+use crate::membership::{synthesize_crashes, FrameMembership, SuspicionRound};
 use crate::objects::{AccessOutcome, ObjectError, SharedObject, TxControl, Wake};
 use crate::observe::{Event, EventKind};
 use crate::protocol::{ProtoActions, ProtoCtx, ProtoEvent, ResolverState};
@@ -108,12 +114,55 @@ struct Frame {
     /// A corrupted message arrived during the signalling collection; §3.4
     /// treats it as the failure exception.
     corrupted_during_signalling: bool,
+    /// A membership view change removed *this* thread (a peer's suspicion
+    /// was wrong — we are alive). The frame gives up locally and finalizes
+    /// as [`ActionOutcome::Failed`] at the next protocol step; it must not
+    /// broadcast further rounds the survivors no longer expect from it.
+    evicted: bool,
+    /// Liveness evidence for the eviction quorum gate: every peer this
+    /// thread received a protocol message from within this instance
+    /// (application traffic excluded — only recovery, signalling, exit and
+    /// membership messages prove a peer advanced the protocol). A
+    /// suspicion round may not evict a set of recently-alive peers larger
+    /// than the view that would survive it: one-sided silence on that
+    /// scale indicts this thread's own connectivity, not the peers'.
+    heard_from: BTreeSet<ThreadId>,
+    /// This frame was re-entered through [`Ctx::rejoin`] after a crash.
+    /// Rejoiners that time out waiting for exit votes give up silently
+    /// (finalize `Failed`) instead of suspecting the survivors: a rejoiner
+    /// may be missing votes that were broadcast while it was down, and its
+    /// suspicion would evict threads that are perfectly alive.
+    is_rejoiner: bool,
+    /// While a recovery is in flight (resolution start through signalling
+    /// end): the members the recovery started with. Signalling ranges over
+    /// `cohort ∩ current members` — peers readmitted mid-recovery have no
+    /// handler verdict to announce. Also the join-deferral gate: rejoin
+    /// grants are queued while this is `Some` and flushed before the exit
+    /// protocol, so the view never grows mid-resolution or mid-signalling.
+    cohort: Option<ViewSnapshot>,
+    /// The exception this frame's completed recovery resolved to, handed to
+    /// rejoiners so a restarted participant knows recovery already happened.
+    resolved_exception: Option<ExceptionId>,
+    /// Rejoin requests that arrived while `cohort` was `Some`, granted when
+    /// the frame reaches its exit protocol.
+    pending_join_requests: Vec<ThreadId>,
 }
 
 impl Frame {
-    /// The live members of this frame's current view.
-    fn view(&self) -> &[ThreadId] {
-        self.membership.members()
+    /// The members the signalling rounds range over: the recovery cohort
+    /// that is still live. Peers readmitted mid-recovery never took part in
+    /// this recovery's handling and have no verdict to announce, so they
+    /// are excluded; crash-free frames never shrink the view and the
+    /// cohort equals the full group.
+    fn signalling_group(&self) -> ViewSnapshot {
+        match &self.cohort {
+            Some(cohort) => cohort
+                .iter()
+                .copied()
+                .filter(|&t| self.membership.members().contains(&t))
+                .collect(),
+            None => ViewSnapshot::from_slice(self.membership.members()),
+        }
     }
 }
 
@@ -143,6 +192,10 @@ pub struct Ctx {
     /// Serials of action instances this thread has finished or aborted;
     /// their late messages are stragglers and are dropped.
     finished: std::collections::HashSet<u64>,
+    /// The outermost action a crash-stop discarded, recorded when the crash
+    /// unwind pops it. [`Ctx::rejoin`] consumes this to know which instance
+    /// a restarted participant should ask to re-enter.
+    last_crash: Option<ActionId>,
 }
 
 /// Upper bound on retained messages: instances a thread never enters (e.g.
@@ -203,6 +256,7 @@ impl Ctx {
             retained: Vec::new(),
             entry_counts: BTreeMap::new(),
             finished: std::collections::HashSet::new(),
+            last_crash: None,
         }
     }
 
@@ -656,6 +710,12 @@ impl Ctx {
             membership: FrameMembership::new(&inner.group),
             in_handler: None,
             corrupted_during_signalling: false,
+            evicted: false,
+            heard_from: BTreeSet::new(),
+            is_rejoiner: false,
+            cohort: None,
+            resolved_exception: None,
+            pending_join_requests: Vec::new(),
         });
 
         // "if Ti enters A then <A> → SAi; consume messages having arrived".
@@ -668,11 +728,9 @@ impl Ctx {
                     Message::Exception { .. }
                     | Message::Suspended { .. }
                     | Message::ViewChange { .. } => {
-                        self.stack
-                            .last_mut()
-                            .expect("frame just pushed")
-                            .pending_control
-                            .push_back(msg);
+                        let frame = self.stack.last_mut().expect("frame just pushed");
+                        frame.heard_from.insert(msg.from());
+                        frame.pending_control.push_back(msg);
                         initial.get_or_insert(RecoveryStart::Suspend);
                     }
                     other => {
@@ -727,6 +785,189 @@ impl Ctx {
             }
             Err(flow) => Err(flow),
         }
+    }
+
+    /// Simulates the down-time of a crashed participant before its
+    /// restart: cancels any pending crash schedule (the process already
+    /// died; a stale schedule would re-kill the restart at its first poll
+    /// point) and idles `dur` of virtual time at the thread's top level.
+    /// Traffic arriving during the down-time is the peers' business —
+    /// stragglers for the dead instance are dropped by the normal routing
+    /// rules. Follow with [`Ctx::rejoin`].
+    ///
+    /// # Errors
+    ///
+    /// Fatally, on simulation failure.
+    pub fn restart_after(&mut self, dur: VirtualDuration) -> Step {
+        self.crash_at = None;
+        self.work(dur)
+    }
+
+    /// Re-enters the action this thread last crashed out of, as a restarted
+    /// participant (epoch-numbered rejoin; see [`crate::membership`]).
+    ///
+    /// Call at the thread's top level after a crash-stop [`Flow`] (see
+    /// [`Flow::is_crash`]) unwound the stack. The restarted participant
+    /// broadcasts a `JoinRequest` to every other member of the action's
+    /// group — it cannot know who survived — and waits a bounded window for
+    /// the first `JoinGrant`. A grant carries the granter's current view,
+    /// exit epoch and resolved exception; the rejoiner fast-forwards to
+    /// that view, re-enters the action (observing a `Rejoin` and a second
+    /// `Enter` for the same instance) and completes its exit protocol as a
+    /// member again.
+    ///
+    /// Returns `Ok(None)` — benign — when there is nothing to rejoin: no
+    /// crash was recorded, or no survivor answered within the window (all
+    /// finished the action, or all crashed too). Returns the re-entered
+    /// action's outcome otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fatally on binding errors (unknown role, wrong thread, non-empty
+    /// stack) and on inconsistent grants.
+    pub fn rejoin(&mut self, def: &ActionDef, role: &str) -> Step<Option<ActionOutcome>> {
+        // The restart cancels whatever killed us; a stale schedule would
+        // re-kill the rejoiner at its first poll point.
+        self.crash_at = None;
+        let action = match self.last_crash.take() {
+            Some(a) => a,
+            None => return Ok(None),
+        };
+        if !self.stack.is_empty() {
+            return Err(RuntimeError::Protocol(
+                "rejoin requires an empty action stack (top-level restart)".into(),
+            )
+            .into());
+        }
+        let inner = Arc::clone(&def.inner);
+        let role_id = inner.role_id(role).ok_or_else(|| {
+            Flow::from(RuntimeError::UnknownRole {
+                action: inner.name.to_string(),
+                role: role.to_owned(),
+            })
+        })?;
+        if inner.thread_of(role_id) != self.me {
+            return Err(RuntimeError::RoleMismatch {
+                action: inner.name.to_string(),
+                role: role.to_owned(),
+            }
+            .into());
+        }
+        trace!(self, "rejoin request for {} ({action})", inner.name);
+        for &peer in inner.group.iter().filter(|&&t| t != self.me) {
+            self.observe(action, || EventKind::JoinRequested { to: peer });
+            self.endpoint.send(
+                PartitionId::new(peer.as_u32()),
+                Message::JoinRequest {
+                    action,
+                    from: self.me,
+                },
+            );
+        }
+        // The window only needs to cover a request/grant round trip, so the
+        // (short, unscaled) signalling timeout fits; survivors blocked on
+        // our exit vote wait out the much longer exit timeout, keeping a
+        // successful rejoin comfortably inside their patience.
+        let window = inner
+            .signal_timeout
+            .or(inner.exit_timeout)
+            .unwrap_or_else(|| caa_core::time::secs(60.0));
+        let deadline = self.now().saturating_add(window);
+        let (epoch, removed, exit_epoch, resolved) = loop {
+            let received = match self.recv_until(Some(deadline))? {
+                Some(r) => r,
+                None => {
+                    trace!(self, "rejoin window expired for {action}");
+                    return Ok(None);
+                }
+            };
+            match received.msg {
+                Some(Message::JoinGrant {
+                    action: a,
+                    thread,
+                    epoch,
+                    removed,
+                    exit_epoch,
+                    resolved,
+                    ..
+                }) if a == action && thread == self.me => {
+                    break (epoch, removed, exit_epoch, resolved);
+                }
+                other => {
+                    // Traffic for other instances (retained or dropped as
+                    // usual); the crashed instance's own stragglers are
+                    // discarded because its serial is still `finished`.
+                    let _ = self.route(Received {
+                        src: received.src,
+                        sent_at: received.sent_at,
+                        delivered_at: received.delivered_at,
+                        msg: other,
+                    })?;
+                }
+            }
+        };
+        let membership = FrameMembership::sync_grant(&inner.group, epoch, &removed, self.me)
+            .map_err(|reason| {
+                Flow::from(RuntimeError::Protocol(format!(
+                    "join grant rejected: {reason}"
+                )))
+            })?;
+        trace!(
+            self,
+            "rejoin {} ({action}) at v{} e{exit_epoch}",
+            inner.name,
+            membership.epoch()
+        );
+        self.finished.remove(&action.serial());
+        self.system.stats.lock().rejoins += 1;
+        let recovered = resolved.is_some();
+        self.stack.push(Frame {
+            action,
+            def: Arc::clone(&inner),
+            role: role_id,
+            pending_control: VecDeque::new(),
+            app_inbox: VecDeque::new(),
+            exit_votes: BTreeMap::new(),
+            exit_epoch,
+            signals: BTreeMap::new(),
+            recovered,
+            aborting: false,
+            objects: Vec::new(),
+            resolver: self.system.protocol.new_state(),
+            membership,
+            in_handler: None,
+            corrupted_during_signalling: false,
+            evicted: false,
+            heard_from: BTreeSet::new(),
+            is_rejoiner: true,
+            cohort: None,
+            resolved_exception: resolved,
+            pending_join_requests: Vec::new(),
+        });
+        {
+            let view_epoch = self
+                .stack
+                .last()
+                .expect("frame just pushed")
+                .membership
+                .epoch();
+            let me = self.me;
+            self.observe(action, || EventKind::Rejoin {
+                epoch: view_epoch,
+                thread: me,
+            });
+        }
+        self.observe(action, || EventKind::Enter {
+            name: Arc::clone(&inner.name),
+            role: Arc::clone(&inner.role_names[role_id.index()]),
+            depth: self.stack.len(),
+        });
+        // The catch-up body is trivial: the rejoiner's pre-crash work is
+        // lost (its transaction layers were broken at the crash) and must
+        // not be redone — what remains is finishing the protocol rounds as
+        // a member: join any in-flight recovery, vote, exit.
+        let outcome = self.drive(None, |_| Ok(()))?;
+        Ok(Some(outcome))
     }
 
     /// Runs the action's phases until an outcome is reached, recovering as
@@ -905,6 +1146,10 @@ impl Ctx {
                 self.release_rollback_or_taint(obj.as_ref(), action, now);
             }
             self.observe(action, || EventKind::Crash);
+            // The unwind pops frames innermost-out; the last one recorded
+            // is the outermost action the crash discarded — the instance a
+            // restart would ask to rejoin.
+            self.last_crash = Some(action);
             self.pop_frame();
         }
     }
@@ -924,16 +1169,22 @@ impl Ctx {
         match self.run_exit()? {
             ExitResult::Done => self.finalize(outcome),
             ExitResult::Recover => self.phase_recover(RecoveryStart::Suspend),
-            // A peer's vote never arrived: presume it crashed and resolve
-            // to abortion (ƒ) — objects are tainted, not left hanging.
-            ExitResult::TimedOut => self.finalize(ActionOutcome::Failed),
+            // A peer's view change removed this thread (or a rejoiner gave
+            // up): the survivors conclude without us — resolve locally to
+            // abortion (ƒ) so objects are tainted, not left hanging.
+            ExitResult::Evicted => self.finalize(ActionOutcome::Failed),
         }
     }
 
     /// One full recovery: resolution, handling, signalling, exit.
     fn phase_recover(&mut self, start: RecoveryStart) -> Step<ActionOutcome> {
         self.system.stats.lock().recoveries += 1;
-        let resolved = self.run_recovery(start)?;
+        let resolved = match self.run_recovery(start)? {
+            Some(resolved) => resolved,
+            // A concurrent view change evicted this thread: the survivors
+            // resolve among themselves, we give up locally (ƒ).
+            None => return self.finalize(ActionOutcome::Failed),
+        };
         let verdict = self.run_handler(&resolved)?;
         let my_signal = self.run_signalling(verdict)?;
         {
@@ -943,6 +1194,10 @@ impl Ctx {
             let signal = my_signal.clone();
             self.observe(action, || EventKind::SignalOutcome { signal });
         }
+        // The recovery rounds are over: re-admit any restarted participant
+        // that asked to rejoin while they ran. Done after the new exit
+        // epoch opens so grants carry the epoch the joiner must vote in.
+        self.flush_pending_joins();
         match self.run_exit()? {
             ExitResult::Done => {}
             ExitResult::Recover => {
@@ -953,9 +1208,9 @@ impl Ctx {
                 )
                 .into());
             }
-            // A peer crashed between signalling and exit: ƒ dominates
-            // whatever the signalling round concluded.
-            ExitResult::TimedOut => return self.finalize(ActionOutcome::Failed),
+            // This thread was removed from the view between signalling and
+            // exit: ƒ dominates whatever the signalling round concluded.
+            ExitResult::Evicted => return self.finalize(ActionOutcome::Failed),
         }
         let outcome = match my_signal {
             Signal::None => ActionOutcome::Success,
@@ -1011,11 +1266,19 @@ impl Ctx {
     // Recovery: resolution
     // ------------------------------------------------------------------
 
-    fn run_recovery(&mut self, start: RecoveryStart) -> Step<ExceptionId> {
+    /// Runs resolution until agreement, or until a concurrent view change
+    /// evicts this thread (`Ok(None)`: the survivors resolve without us and
+    /// the caller must give up locally).
+    fn run_recovery(&mut self, start: RecoveryStart) -> Step<Option<ExceptionId>> {
         trace!(self, "recovery start: {start:?}");
         {
-            let frame = self.stack.last().expect("frame active");
-            self.observe(frame.action, || EventKind::RecoveryStart {
+            let frame = self.stack.last_mut().expect("frame active");
+            // Open the join-deferral window and pin the signalling cohort:
+            // the view must not grow while resolution or signalling ranges
+            // over it (see `Frame::cohort`).
+            frame.cohort = Some(ViewSnapshot::from_slice(frame.membership.members()));
+            let action = frame.action;
+            self.observe(action, || EventKind::RecoveryStart {
                 raised: matches!(start, RecoveryStart::Raise(_)),
             });
         }
@@ -1029,6 +1292,11 @@ impl Ctx {
             if let Some(r) = self.absorb_active_control(msg)? {
                 resolved = Some(r);
             }
+        }
+        if self.stack.last().expect("frame active").evicted {
+            // A pending view change removed us before we ever announced
+            // our own transition: stay silent and give up.
+            return Ok(None);
         }
         match &start {
             RecoveryStart::Raise(e) => {
@@ -1066,6 +1334,9 @@ impl Ctx {
             .resolution_timeout;
         let mut deadline = timeout.map(|t| self.now().saturating_add(t));
         while resolved.is_none() {
+            if self.stack.last().expect("frame active").evicted {
+                return Ok(None);
+            }
             let received = match self.recv_until(deadline)? {
                 Some(r) => r,
                 None => {
@@ -1098,14 +1369,20 @@ impl Ctx {
             }
         }
         let resolved = resolved.expect("loop exits only when resolved");
+        if self.stack.last().expect("frame active").evicted {
+            // The message that concluded resolution also carried a view
+            // excluding us (a commit whose membership moved on): give up.
+            return Ok(None);
+        }
         trace!(self, "resolved: {resolved}");
         let frame = self.stack.last_mut().expect("frame active");
         frame.recovered = true;
+        frame.resolved_exception = Some(resolved.clone());
         let action = frame.action;
         self.observe(action, || EventKind::Resolved {
             exception: resolved.clone(),
         });
-        Ok(resolved)
+        Ok(Some(resolved))
     }
 
     fn feed_resolver(&mut self, event: ProtoEventKind) -> Step<Option<ExceptionId>> {
@@ -1191,18 +1468,25 @@ impl Ctx {
     /// the membership view piggybacked on it, so a commit racing ahead of
     /// its `ViewChange` announcement still shrinks this frame's view.
     fn absorb_active_control(&mut self, msg: Message) -> Step<Option<ExceptionId>> {
+        let top = self.stack.len() - 1;
         match msg {
-            Message::ViewChange { epoch, removed, .. } => {
-                self.apply_remote_view_change(epoch, &removed)
+            Message::ViewChange { removed, .. } => {
+                match self.adopt_removal_set(top, &removed) {
+                    // Removals naming us mean the survivors resolve without
+                    // us; do not re-elect over a view we are not part of.
+                    Some(fresh) if !self.stack[top].evicted => self.feed_view_change(&fresh),
+                    _ => Ok(None),
+                }
             }
             msg => {
-                if let Message::Commit {
-                    view_epoch,
-                    view_removed,
-                    ..
-                } = &msg
-                {
-                    self.sync_commit_view(*view_epoch, view_removed)?;
+                if let Message::Commit { view_removed, .. } = &msg {
+                    let removed = Arc::clone(view_removed);
+                    self.adopt_removal_set(top, &removed);
+                    if self.stack[top].evicted {
+                        // The committed view excludes us: give up instead
+                        // of acting on a resolution we are not part of.
+                        return Ok(None);
+                    }
                 }
                 self.feed_resolver(ProtoEventKind::Control(msg))
             }
@@ -1215,7 +1499,7 @@ impl Ctx {
     /// crash exception synthesized on each silent suspect's behalf
     /// (presume-ƒ).
     fn presume_crashed(&mut self) -> Step<Option<ExceptionId>> {
-        let (action, suspects) = {
+        let suspects = {
             let frame = self.stack.last().expect("frame active");
             let view = ViewSnapshot::from_slice(frame.membership.members());
             let graph = Arc::clone(&frame.def.graph);
@@ -1225,7 +1509,7 @@ impl Ctx {
                 group: &view,
                 graph: &graph,
             };
-            (frame.action, frame.resolver.waiting_on(&ctx))
+            frame.resolver.waiting_on(&ctx)
         };
         if suspects.is_empty() {
             return Err(RuntimeError::Protocol(
@@ -1236,33 +1520,98 @@ impl Ctx {
             .into());
         }
         trace!(self, "presume crashed: {suspects:?}");
-        self.system.stats.lock().resolution_timeouts += 1;
-        {
-            let suspects = suspects.clone();
-            self.observe(action, || EventKind::ResolutionTimeout { suspects });
+        self.suspect_round(SuspicionRound::Resolution, &suspects)
+    }
+
+    /// Round-agnostic suspicion: the bounded wait of `round` expired with
+    /// the listed peers silent. Observes the round's timeout event, removes
+    /// the suspects from the active frame's view, and announces the change
+    /// to the *pre-removal* view — so a falsely suspected (live) peer
+    /// learns of its eviction and gives up instead of counter-suspecting
+    /// the survivors. For resolution rounds the resolver is then re-fed
+    /// with a crash exception synthesized per suspect (presume-ƒ);
+    /// signalling and exit rounds need no synthesis — their own ƒ rules
+    /// cover the silence.
+    fn suspect_round(
+        &mut self,
+        round: SuspicionRound,
+        suspects: &[ThreadId],
+    ) -> Step<Option<ExceptionId>> {
+        let action = self.stack.last().expect("frame active").action;
+        trace!(self, "suspect in {round:?}: {suspects:?}");
+        match round {
+            SuspicionRound::Resolution => {
+                self.system.stats.lock().resolution_timeouts += 1;
+                let s = suspects.to_vec();
+                self.observe(action, || EventKind::ResolutionTimeout { suspects: s });
+            }
+            SuspicionRound::Signalling(r) => {
+                self.system.stats.lock().signal_timeouts += 1;
+                let s = suspects.to_vec();
+                self.observe(action, || EventKind::SignalTimeout {
+                    round: r,
+                    suspects: s,
+                });
+            }
+            SuspicionRound::Exit { epoch } => {
+                self.system.stats.lock().exit_timeouts += 1;
+                self.observe(action, || EventKind::ExitTimeout { epoch });
+            }
         }
-        let epoch = {
+        // Quorum gate (primary-partition rule): when the suspects this
+        // thread has *heard from* within the instance outnumber the view
+        // that would survive their eviction, the unanimous silence is far
+        // better explained by this thread's own connectivity (its outbound
+        // announcements lost, or it lagging a round behind) than by a
+        // majority of recently-alive peers all crashing inside one bounded
+        // wait. A minority must not install a view the majority will never
+        // adopt — the survivors' own suspicion of *us* is already in
+        // flight, and acting on ours would split the membership. Give up
+        // locally instead: the frame finalizes `Failed` without
+        // broadcasting, exactly as if the survivors' eviction notice had
+        // arrived in time. Peers that never sent a protocol message are
+        // exempt from the count — their silence is indistinguishable from
+        // a crash before the protocol ever reached them (presume-ƒ), so a
+        // sole survivor can still evict a genuinely dead cohort.
+        let refused = {
+            let frame = self.stack.last().expect("frame active");
+            let members = frame.membership.members();
+            let survivors = members.iter().filter(|t| !suspects.contains(t)).count();
+            let recently_alive = suspects
+                .iter()
+                .filter(|t| members.contains(t) && frame.heard_from.contains(t))
+                .count();
+            (survivors < recently_alive).then_some((survivors, recently_alive))
+        };
+        if let Some((survivors, recently_alive)) = refused {
+            trace!(
+                self,
+                "suspicion refused: {survivors} survivor(s) vs \
+                 {recently_alive} recently-alive suspect(s); giving up"
+            );
+            self.stack.last_mut().expect("frame active").evicted = true;
+            return Ok(None);
+        }
+        let (epoch, recipients) = {
             let frame = self.stack.last_mut().expect("frame active");
-            frame.membership.initiate(&suspects).map_err(|reason| {
+            let recipients = ViewSnapshot::from_slice(frame.membership.members());
+            let epoch = frame.membership.initiate(suspects).map_err(|reason| {
                 Flow::from(RuntimeError::Protocol(format!(
                     "membership view change rejected: {reason}"
                 )))
-            })?
+            })?;
+            (epoch, recipients)
         };
         self.system.stats.lock().view_changes += 1;
         {
-            let removed = suspects.clone();
+            let removed = suspects.to_vec();
             self.observe(action, || EventKind::ViewChange { epoch, removed });
         }
-        // Announce before re-running resolution: per-link FIFO then
-        // guarantees every survivor sees the view change before any Commit
-        // this participant derives from it.
-        let view = {
-            let frame = self.stack.last().expect("frame active");
-            ViewSnapshot::from_slice(frame.membership.members())
-        };
-        let removed: Arc<[ThreadId]> = Arc::from(suspects.as_slice());
-        for &peer in view.iter().filter(|&&t| t != self.me) {
+        // Announce before continuing the round: per-link FIFO then
+        // guarantees every survivor sees the view change before any later
+        // message this participant derives from it.
+        let removed: Arc<[ThreadId]> = Arc::from(suspects);
+        for &peer in recipients.iter().filter(|&&t| t != self.me) {
             self.endpoint.send(
                 PartitionId::new(peer.as_u32()),
                 Message::ViewChange {
@@ -1273,61 +1622,95 @@ impl Ctx {
                 },
             );
         }
-        self.feed_view_change(&suspects)
-    }
-
-    /// Applies a peer's `ViewChange` announcement to the active frame.
-    /// Duplicates (several survivors detected the same crash concurrently)
-    /// are ignored; inconsistent announcements are protocol errors —
-    /// deterministic deadlines over the same protocol state make every
-    /// survivor compute the same suspect set.
-    fn apply_remote_view_change(
-        &mut self,
-        epoch: u32,
-        removed: &[ThreadId],
-    ) -> Step<Option<ExceptionId>> {
-        let (action, outcome) = {
-            let frame = self.stack.last_mut().expect("frame active");
-            (frame.action, frame.membership.apply_remote(epoch, removed))
-        };
-        match outcome {
-            ViewChangeOutcome::Duplicate => Ok(None),
-            ViewChangeOutcome::Conflict { reason } => Err(RuntimeError::Protocol(format!(
-                "inconsistent membership view change: {reason}"
-            ))
-            .into()),
-            ViewChangeOutcome::Applied { removed } => {
-                trace!(self, "adopt view change v{epoch}: -{removed:?}");
-                self.system.stats.lock().view_changes += 1;
-                {
-                    let removed = removed.clone();
-                    self.observe(action, || EventKind::ViewChange { epoch, removed });
-                }
-                self.feed_view_change(&removed)
-            }
+        match round {
+            SuspicionRound::Resolution => self.feed_view_change(suspects),
+            _ => Ok(None),
         }
     }
 
-    /// Adopts the membership view piggybacked on a received `Commit`. No
-    /// crash synthesis or re-election is needed — the commit itself
-    /// concludes the resolution — but the shrunken view must be in place
-    /// before the signalling and exit rounds start.
-    fn sync_commit_view(&mut self, epoch: u32, removed: &[ThreadId]) -> Step {
-        let (action, outcome) = {
-            let frame = self.stack.last_mut().expect("frame active");
-            (frame.action, frame.membership.sync_commit(epoch, removed))
+    /// Applies a removal set announced by a peer — a `ViewChange` step set
+    /// or the cumulative set piggybacked on a `Commit` — to the frame at
+    /// `index`: already-removed threads are ignored, anything new shrinks
+    /// the view at the next local epoch (set-wise convergence; see
+    /// [`crate::membership`]). Returns the freshly removed threads, if
+    /// any. A removal naming this thread itself marks the frame evicted:
+    /// a peer suspected us wrongly — we are alive — and the survivors
+    /// have moved on without us.
+    fn adopt_removal_set(&mut self, index: usize, removed: &[ThreadId]) -> Option<Vec<ThreadId>> {
+        let (epoch, fresh) = self.stack[index].membership.adopt_removals(removed)?;
+        let action = self.stack[index].action;
+        trace!(self, "adopt view change v{epoch}: -{fresh:?}");
+        self.system.stats.lock().view_changes += 1;
+        {
+            let removed = fresh.clone();
+            self.observe(action, || EventKind::ViewChange { epoch, removed });
+        }
+        if fresh.contains(&self.me) {
+            self.stack[index].evicted = true;
+        }
+        Some(fresh)
+    }
+
+    /// Answers a restarted participant's `JoinRequest` at the frame at
+    /// `index`: re-admits it into the view (epoch-numbered rejoin) and
+    /// sends back the current view, exit epoch and resolved exception so
+    /// the joiner can fast-forward. If this thread already voted in the
+    /// current exit epoch, the vote is re-sent — the original broadcast
+    /// went to the joiner's pre-crash endpoint and was discarded.
+    fn grant_join(&mut self, index: usize, joiner: ThreadId) {
+        if !self.stack[index].def.group.contains(&joiner) {
+            return; // never part of this action's group; ignore
+        }
+        let action = self.stack[index].action;
+        if let Some(epoch) = self.stack[index].membership.adopt_rejoin(joiner) {
+            trace!(self, "readmit {joiner} at v{epoch}");
+            self.observe(action, || EventKind::Rejoin {
+                epoch,
+                thread: joiner,
+            });
+        }
+        // (A joiner the view never removed — it restarted before anyone
+        // suspected it — simply gets its unchanged membership confirmed.)
+        let (grant, exit_epoch, revote) = {
+            let frame = &mut self.stack[index];
+            let grant = Message::JoinGrant {
+                action,
+                from: self.me,
+                thread: joiner,
+                epoch: frame.membership.epoch(),
+                removed: frame.membership.removed_shared(),
+                exit_epoch: frame.exit_epoch,
+                resolved: frame.resolved_exception.clone(),
+            };
+            let revote = frame
+                .exit_votes
+                .get(&frame.exit_epoch)
+                .is_some_and(|v| v.contains(&self.me));
+            (grant, frame.exit_epoch, revote)
         };
-        match outcome {
-            ViewChangeOutcome::Duplicate => Ok(()),
-            ViewChangeOutcome::Conflict { reason } => {
-                Err(RuntimeError::Protocol(format!("inconsistent commit view: {reason}")).into())
-            }
-            ViewChangeOutcome::Applied { removed } => {
-                trace!(self, "adopt commit view v{epoch}: -{removed:?}");
-                self.system.stats.lock().view_changes += 1;
-                self.observe(action, || EventKind::ViewChange { epoch, removed });
-                Ok(())
-            }
+        let to = PartitionId::new(joiner.as_u32());
+        self.endpoint.send(to, grant);
+        if revote {
+            self.endpoint.send(
+                to,
+                Message::ExitVote {
+                    action,
+                    from: self.me,
+                    epoch: exit_epoch,
+                },
+            );
+        }
+    }
+
+    /// Ends the join-deferral window a recovery opened: clears the
+    /// signalling cohort and grants the rejoin requests that arrived while
+    /// resolution/signalling ranged over it.
+    fn flush_pending_joins(&mut self) {
+        let top = self.stack.len() - 1;
+        self.stack[top].cohort = None;
+        let pending = std::mem::take(&mut self.stack[top].pending_join_requests);
+        for joiner in pending {
+            self.grant_join(top, joiner);
         }
     }
 
@@ -1404,10 +1787,20 @@ impl Ctx {
 
     fn run_signalling(&mut self, verdict: HandlerVerdict) -> Step<Signal> {
         let my_signal = verdict.to_signal();
+        if self.stack.last().expect("frame active").evicted {
+            // Removed from the view: the survivors no longer expect our
+            // announcements; any broadcast would only confuse their rounds.
+            return Ok(Signal::Failure);
+        }
         // Coordinate over the current view: presumed-crashed members are
         // not waited on (their silence would otherwise force ƒ through
         // the signalling timeout even after recovery handled the crash).
-        let group_len = self.stack.last().expect("frame active").view().len();
+        let group_len = self
+            .stack
+            .last()
+            .expect("frame active")
+            .signalling_group()
+            .len();
         if group_len == 1 {
             // No coordination needed; µ still requires the local undo.
             return match my_signal {
@@ -1495,7 +1888,7 @@ impl Ctx {
             frame.signals.insert((round, self.me), mine.clone());
             (
                 frame.action,
-                ViewSnapshot::from_slice(frame.membership.members()),
+                frame.signalling_group(),
                 frame.def.signal_timeout,
             )
         };
@@ -1517,6 +1910,10 @@ impl Ctx {
         loop {
             {
                 let frame = self.stack.last().expect("frame active");
+                // Re-derive the group each pass: a view change adopted by
+                // the router mid-round must not leave us waiting on a
+                // freshly removed member.
+                let group = frame.signalling_group();
                 let have = group
                     .iter()
                     .filter(|&&t| frame.signals.contains_key(&(round, t)))
@@ -1532,15 +1929,48 @@ impl Ctx {
             let received = match self.recv_until(deadline)? {
                 Some(r) => r,
                 None => {
-                    // §3.4 extension: a missing announcement (lost
-                    // message or crashed peer) is treated as ƒ; all
-                    // fault-free threads still signal coordinated
-                    // exceptions. (Only reachable with a deadline.)
+                    let (epoch, group_now, suspects) = {
+                        let frame = self.stack.last().expect("frame active");
+                        let group_now = frame.signalling_group();
+                        let suspects: Vec<ThreadId> = group_now
+                            .iter()
+                            .copied()
+                            .filter(|&t| t != self.me && !frame.signals.contains_key(&(round, t)))
+                            .collect();
+                        (frame.membership.epoch(), group_now, suspects)
+                    };
+                    if epoch > 0
+                        && !suspects.is_empty()
+                        && !self.stack.last().expect("frame active").evicted
+                    {
+                        // The view is already degraded — a crash was
+                        // detected earlier in this action's life — so a
+                        // missing announcement here is presumed another
+                        // crash, not a §3.4-tolerated loss: suspect the
+                        // silent peers so the exit protocol will not wait
+                        // for them. Against a pristine view the two are
+                        // indistinguishable and the pure ƒ rule below
+                        // stands alone (a genuinely crashed peer is still
+                        // caught by the exit round's suspicion).
+                        self.suspect_round(SuspicionRound::Signalling(round), &suspects)?;
+                    }
+                    // §3.4 extension: a missing announcement (lost message
+                    // or crashed peer) is treated as ƒ; all fault-free
+                    // threads still signal coordinated exceptions. Fill
+                    // and conclude over the group as it was when the wait
+                    // expired — every member of it reaches ƒ through its
+                    // own timeout, so the round's outcome stays agreed
+                    // even when the suspicion above shrank the view.
+                    // (Only reachable with a deadline.)
                     let frame = self.stack.last_mut().expect("frame active");
-                    for &t in &group {
+                    for &t in &group_now {
                         frame.signals.entry((round, t)).or_insert(Signal::Failure);
                     }
-                    continue;
+                    let collected = group_now
+                        .iter()
+                        .map(|&t| frame.signals[&(round, t)].clone())
+                        .collect();
+                    return Ok(collected);
                 }
             };
             match self.route(received)? {
@@ -1566,7 +1996,13 @@ impl Ctx {
         // Vote and collect over the current view: a recovery that removed
         // a presumed-crashed member must not wait for the dead thread's
         // vote (it would only ever leave through the exit timeout's ƒ).
-        let (action, group, epoch, timeout) = {
+        if self.stack.last().expect("frame active").evicted {
+            // A peer's view change removed us: the survivors no longer
+            // count our vote, and broadcasting one would only confuse the
+            // epochs they are collecting.
+            return Ok(ExitResult::Evicted);
+        }
+        let (action, group, epoch, timeout, is_rejoiner) = {
             let frame = self.stack.last_mut().expect("frame active");
             let epoch = frame.exit_epoch;
             frame.exit_votes.entry(epoch).or_default().insert(self.me);
@@ -1575,10 +2011,11 @@ impl Ctx {
                 ViewSnapshot::from_slice(frame.membership.members()),
                 epoch,
                 frame.def.exit_timeout,
+                frame.is_rejoiner,
             )
         };
         self.observe(action, || EventKind::ExitStart { epoch });
-        let deadline = timeout.map(|t| self.now().saturating_add(t));
+        let mut deadline = timeout.map(|t| self.now().saturating_add(t));
         for &peer in group.iter().filter(|&&t| t != self.me) {
             self.endpoint.send(
                 PartitionId::new(peer.as_u32()),
@@ -1592,6 +2029,13 @@ impl Ctx {
         loop {
             {
                 let frame = self.stack.last().expect("frame active");
+                if frame.evicted {
+                    return Ok(ExitResult::Evicted);
+                }
+                // Re-derive the wait set each pass: suspicion shrinks it,
+                // and a granted rejoin grows it (the readmitted thread's
+                // vote is required again).
+                let group = ViewSnapshot::from_slice(frame.membership.members());
                 if frame
                     .exit_votes
                     .get(&epoch)
@@ -1603,14 +2047,37 @@ impl Ctx {
             let received = match self.recv_until(deadline)? {
                 Some(r) => r,
                 None => {
-                    // §3.4-style crash/loss extension generalised
-                    // to the exit protocol: a missing vote is
-                    // treated as a crashed participant and the
-                    // action resolves to abortion (ƒ) instead of
-                    // waiting forever. (Only reachable with a deadline.)
-                    self.system.stats.lock().exit_timeouts += 1;
-                    self.observe(action, || EventKind::ExitTimeout { epoch });
-                    return Ok(ExitResult::TimedOut);
+                    // (Only reachable with a deadline.)
+                    if is_rejoiner {
+                        // A rejoiner may simply be missing votes that were
+                        // broadcast while it was down; suspecting the
+                        // survivors over that silence would evict threads
+                        // that are perfectly alive. Give up silently.
+                        self.system.stats.lock().exit_timeouts += 1;
+                        self.observe(action, || EventKind::ExitTimeout { epoch });
+                        return Ok(ExitResult::Evicted);
+                    }
+                    // Round-agnostic suspicion: presume the silent peers
+                    // crashed, announce the shrunken view and keep
+                    // collecting votes over it — the action concludes
+                    // among the survivors instead of resolving to ƒ
+                    // wholesale.
+                    let suspects: Vec<ThreadId> = {
+                        let frame = self.stack.last().expect("frame active");
+                        let votes = frame.exit_votes.get(&epoch);
+                        frame
+                            .membership
+                            .members()
+                            .iter()
+                            .copied()
+                            .filter(|t| !votes.is_some_and(|v| v.contains(t)))
+                            .collect()
+                    };
+                    if !suspects.is_empty() {
+                        self.suspect_round(SuspicionRound::Exit { epoch }, &suspects)?;
+                    }
+                    deadline = timeout.map(|t| self.now().saturating_add(t));
+                    continue;
                 }
             };
             match self.route(received)? {
@@ -1619,14 +2086,22 @@ impl Ctx {
                     self.system.stats.lock().corrupted_ignored += 1;
                 }
                 Routed::ActiveControl(msg) => match msg {
-                    Message::Exception { .. }
-                    | Message::Suspended { .. }
-                    | Message::ViewChange { .. } => {
+                    Message::Exception { .. } | Message::Suspended { .. } => {
                         // A peer started recovery while we were leaving:
                         // stash the trigger and join it.
                         let frame = self.stack.last_mut().expect("frame active");
                         frame.pending_control.push_back(msg);
                         return Ok(ExitResult::Recover);
+                    }
+                    Message::ViewChange { removed, .. } => {
+                        // A peer's exit wait expired and it suspected
+                        // someone — possibly us. This cannot be a missed
+                        // recovery: any trigger would have arrived long
+                        // before a suspicion announcement (suspicion needs
+                        // a full bounded wait to expire first). Adopt the
+                        // removals and keep exiting over the new view.
+                        let top = self.stack.len() - 1;
+                        self.adopt_removal_set(top, &removed);
                     }
                     other => {
                         return Err(RuntimeError::Protocol(format!(
@@ -1726,13 +2201,16 @@ impl Ctx {
 
     fn route_to_frame(&mut self, index: usize, msg: Message, is_top: bool) -> Result<Routed, Flow> {
         let target = self.stack[index].action;
+        if !matches!(msg, Message::App { .. }) {
+            // Protocol traffic proves the sender advanced this instance's
+            // protocol: liveness evidence for the eviction quorum gate.
+            self.stack[index].heard_from.insert(msg.from());
+        }
         match msg {
-            Message::Exception { .. } | Message::Suspended { .. } | Message::ViewChange { .. } => {
+            Message::Exception { .. } | Message::Suspended { .. } => {
                 if self.stack[index].recovered || self.stack[index].aborting {
-                    // Straggler after commit/abort. A late ViewChange from
-                    // a survivor that timed out concurrently lands here
-                    // too: this frame already adopted the view from the
-                    // commit it resolved on.
+                    // Straggler after commit/abort: the termination model
+                    // admits nothing new once handlers started.
                     return Ok(Routed::Done);
                 }
                 if is_top {
@@ -1740,6 +2218,39 @@ impl Ctx {
                 } else {
                     // Recovery at an enclosing action: stash the trigger
                     // there and unwind, aborting nested frames on the way.
+                    self.stack[index].pending_control.push_back(msg);
+                    Err(Flow::new(Unwind::Outer { target, eab: None }))
+                }
+            }
+            Message::ViewChange { ref removed, .. } => {
+                if self.stack[index].aborting {
+                    return Ok(Routed::Done);
+                }
+                // Announcements from threads this view already removed are
+                // adopted like any other: in a symmetric mutual-eviction
+                // race (both sides time out within one message latency and
+                // evict each other) mutual adoption collapses both views
+                // into one removal set covering both announcers — each side
+                // observes its own eviction and steps aside consistently.
+                // The asymmetric case (a partitioned minority counter-
+                // evicting a recently-alive majority) never reaches this
+                // point: the eviction quorum gate refuses the suspicion on
+                // the announcer's side before anything is broadcast.
+                if self.stack[index].recovered {
+                    // Post-recovery suspicion from a peer's signalling or
+                    // exit wait (set-wise: already-known removals are
+                    // no-ops): adopt without disturbing whatever round
+                    // this frame is in — the rounds re-derive their group
+                    // from the view each pass.
+                    let removed: Vec<ThreadId> = removed.to_vec();
+                    self.adopt_removal_set(index, &removed);
+                    return Ok(Routed::Done);
+                }
+                if is_top {
+                    Ok(Routed::ActiveControl(msg))
+                } else {
+                    // A view change for a not-yet-recovered enclosing
+                    // action: recovery is (or will be) running there.
                     self.stack[index].pending_control.push_back(msg);
                     Err(Flow::new(Unwind::Outer { target, eab: None }))
                 }
@@ -1778,6 +2289,28 @@ impl Ctx {
                     .insert(from);
                 Ok(Routed::Done)
             }
+            Message::JoinRequest { from, .. } => {
+                if self.stack[index].aborting || self.stack[index].evicted {
+                    // Nothing worth granting: this frame's view is moot.
+                    return Ok(Routed::Done);
+                }
+                if self.stack[index].cohort.is_some() {
+                    // Mid-recovery: the view must not grow while
+                    // resolution or signalling ranges over it. Granted
+                    // when the recovery's exit epoch opens.
+                    self.stack[index].pending_join_requests.push(from);
+                } else {
+                    self.grant_join(index, from);
+                }
+                Ok(Routed::Done)
+            }
+            Message::JoinGrant { .. } => {
+                // Grants are addressed to the requester and consumed in
+                // `Ctx::rejoin`'s own receive loop; one landing here is a
+                // duplicate from an additional granter, arriving after the
+                // first grant already readmitted us.
+                Ok(Routed::Done)
+            }
             Message::App {
                 from, tag, payload, ..
             } => {
@@ -1806,6 +2339,8 @@ enum ProtoEventKind {
 enum ExitResult {
     Done,
     Recover,
-    /// The bounded exit wait expired with votes missing (crashed peer).
-    TimedOut,
+    /// This thread is no longer part of the view — a peer's (wrong)
+    /// suspicion removed it, or a rejoiner gave up on votes it can never
+    /// collect. The caller finalizes as `Failed` without further rounds.
+    Evicted,
 }

@@ -41,6 +41,18 @@ impl Flow {
     pub(crate) fn new(unwind: Unwind) -> Self {
         Flow { unwind }
     }
+
+    /// Whether this transfer of control is a simulated crash-stop.
+    ///
+    /// Fault-injection harnesses use this to tell an injected process death
+    /// apart from ordinary recovery flow at a thread's top level: a crash
+    /// `Flow` escaping the outermost action is the point at which a restart
+    /// (and possibly an epoch-numbered rejoin via
+    /// [`Ctx::rejoin`](crate::Ctx::rejoin)) may be simulated.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self.unwind, Unwind::Crash)
+    }
 }
 
 /// Internal reason a role body is being unwound.

@@ -1,46 +1,80 @@
 //! The crash-aware membership subsystem: a deterministic,
-//! simulation-driven failure detector for coordinated resolution.
+//! simulation-driven failure detector for *every* bounded round of the
+//! protocol — resolution, signalling and exit — plus the reverse
+//! direction, epoch-numbered rejoin.
 //!
 //! §3.4 of the paper bounds waits for the signalling algorithm, and the
-//! exit protocol reuses the same rule; this module extends it to the one
-//! loop that could still block forever on a crashed peer — the resolution
-//! collection of §3.3.2. Each action frame carries a `FrameMembership`
-//! (crate-internal): the [`MembershipView`] (live members + epoch) this
-//! participant holds of the instance. The recovery driver (see
-//! [`crate::context`]) runs the detector:
+//! exit protocol reuses the same rule; this module generalises the
+//! machinery so any bounded collection loop can suspect its silent peers.
+//! Each action frame carries a `FrameMembership` (crate-internal): the
+//! [`MembershipView`] (live members + epoch) this participant holds of the
+//! instance. Whatever round is running (see `SuspicionRound`), the
+//! driver in [`crate::context`] follows the same detector:
 //!
-//! 1. **Bounded wait.** When the action declares a
+//! 1. **Bounded wait.** Every collection loop waits on a per-round
+//!    virtual-time deadline (the
+//!    [`recv_deadline`](caa_simnet::Endpoint::recv_deadline) machinery):
+//!    resolution on the action's
 //!    [`resolution timeout`](crate::ActionDefBuilder::resolution_timeout),
-//!    the collection loop waits on a per-round virtual-time deadline (the
-//!    same [`recv_deadline`](caa_simnet::Endpoint::recv_deadline) machinery
-//!    the exit protocol uses) instead of blocking unboundedly.
-//! 2. **Suspect computation.** On expiry, the resolver state names the
-//!    threads this participant is blocked on
-//!    ([`ResolverState::waiting_on`](crate::protocol::ResolverState::waiting_on)):
-//!    view members with no recorded entry, or an elected resolver whose
-//!    `Commit` never came. Because every live participant answers within a
-//!    latency bound ≪ the timeout, expiry means those threads are crashed.
-//! 3. **Presume-ƒ.** The suspects are removed from the view (epoch + 1), a
-//!    crash exception ([`ExceptionId::crash`]) is synthesized on behalf of
-//!    each silent one — a participant crash is *just another exception* to
-//!    be resolved concurrently — and resolution re-runs over the shrunken
-//!    view.
+//!    signalling on its
+//!    [`signal timeout`](crate::ActionDefBuilder::signal_timeout), exit on
+//!    its [`exit timeout`](crate::ActionDefBuilder::exit_timeout) — the PR 4
+//!    separation hierarchy (signalling ≪ exit/resolution, scaled per
+//!    nesting level) is preserved unchanged.
+//! 2. **Suspect computation.** On expiry, the round's state names the
+//!    threads this participant is blocked on: for resolution,
+//!    [`ResolverState::waiting_on`](crate::protocol::ResolverState::waiting_on)
+//!    (view members with no recorded entry, or an elected resolver whose
+//!    `Commit` never came); for signalling, the view members whose
+//!    `toBeSignalled` announcement for the round never arrived; for exit,
+//!    the view members whose vote is missing. Because every live
+//!    participant answers within a latency bound ≪ the timeout, expiry
+//!    means those threads are crashed.
+//! 3. **Presume-ƒ.** The suspects are removed from the view (epoch + 1).
+//!    In resolution, a crash exception ([`ExceptionId::crash`]) is
+//!    synthesized on behalf of each silent one — a participant crash is
+//!    *just another exception* to be resolved concurrently — and
+//!    resolution re-runs over the shrunken view. Signalling and exit
+//!    simply re-collect their round over the shrunken view: the dead
+//!    peer's announcement/vote is no longer waited for, so survivors
+//!    conclude with real view-stamped outcomes instead of absorbing the
+//!    crash as an exit-timeout ƒ.
 //! 4. **View agreement.** The initiator broadcasts
 //!    [`Message::ViewChange`](caa_core::message::Message::ViewChange) with
-//!    the `(epoch, removed)` pair; survivors apply the identical change
-//!    (or detect that they already did, when several timed out
-//!    concurrently — the deterministic deadlines make their suspect sets
-//!    equal), so all survivors share one view before any handler starts
-//!    and therefore elect the same resolver and commit to the same
-//!    resolving exception. A `Commit` also carries the resolver's
-//!    `(epoch, removed)` pair, so a survivor that receives the commit
-//!    before a racing `ViewChange` announcement still adopts the shrunken
-//!    view — its signalling and exit rounds must not wait on the dead.
+//!    the `(epoch, removed)` pair to its *pre-removal* view — including
+//!    the suspects themselves, so a falsely suspected live thread learns
+//!    of its eviction and gives up locally instead of counter-suspecting
+//!    the survivors. Receivers merge **set-wise**
+//!    (`FrameMembership::adopt_removals`): whatever subset of `removed`
+//!    is still live locally is removed at the receiver's own next epoch.
+//!    Epoch numbers are thread-local counters; agreement is on the member
+//!    *sets*, which concurrent suspicions from different rounds reach
+//!    commutatively (the sweep oracle checks that survivors' cumulative
+//!    removed sets form a chain under ⊆). A `Commit` also carries the
+//!    resolver's cumulative removed set, merged the same way, so a
+//!    survivor that receives the commit before a racing `ViewChange`
+//!    announcement still stops waiting on the dead.
 //!
 //! After recovery, the frame's signalling and exit protocols range over
 //! the current view: survivors coordinate among themselves and the action
 //! can still conclude with any outcome its handlers produce — a crash no
 //! longer forces ƒ the way a bare exit timeout does.
+//!
+//! **Epoch-numbered rejoin.** Views can also grow back. A restarted
+//! participant broadcasts
+//! [`Message::JoinRequest`](caa_core::message::Message::JoinRequest) to
+//! the survivors of its last known view; a survivor *grants* by
+//! re-admitting the joiner locally (`FrameMembership::adopt_rejoin`,
+//! epoch + 1) and broadcasting
+//! [`Message::JoinGrant`](caa_core::message::Message::JoinGrant) — its
+//! post-grant epoch, its cumulative removed set *after* re-admission
+//! (the joiner is no longer in it), the exit epoch, and the resolved
+//! exception if any — to every member of its new view including the
+//! joiner. Peers adopt the same rejoin step; the joiner reconstructs its
+//! view from scratch with `FrameMembership::sync_grant` and re-enters
+//! the action, catching up to the granter's exit epoch. Rejoin epochs are
+//! ordinary membership epochs: a re-admitted member can crash again and
+//! be removed again.
 //!
 //! Everything is deterministic: deadlines are virtual-time instants, the
 //! suspect set is a pure function of protocol state, and view changes are
@@ -52,7 +86,26 @@ use std::sync::Arc;
 use caa_core::exception::{Exception, ExceptionId};
 use caa_core::ids::ThreadId;
 use caa_core::membership::{MembershipView, ViewChangeOutcome};
-use caa_core::message::no_removals;
+use caa_core::message::{no_removals, SignalRound};
+
+/// Which bounded protocol round a suspicion fired in.
+///
+/// Every round follows the same presume-crashed sequence (timeout event →
+/// local view change → `ViewChange` broadcast → re-collect over the
+/// shrunken view); the round only selects which timeout event is observed
+/// and which self-metric counter is bumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SuspicionRound {
+    /// The §3.3.2 resolution collection loop timed out.
+    Resolution,
+    /// A §3.4 signalling exchange timed out.
+    Signalling(SignalRound),
+    /// The exit-vote collection timed out at the given exit epoch.
+    Exit {
+        /// The frame's exit epoch when the wait expired.
+        epoch: u32,
+    },
+}
 
 /// Per-frame membership state driven by the recovery driver's failure
 /// detector.
@@ -120,19 +173,74 @@ impl FrameMembership {
         }
     }
 
-    /// Applies a peer's `ViewChange` announcement: one epoch's step of
-    /// removals.
-    pub(crate) fn apply_remote(&mut self, epoch: u32, removed: &[ThreadId]) -> ViewChangeOutcome {
-        self.view.apply(epoch, removed)
+    /// Merges a peer's removal announcement set-wise: removes whatever
+    /// subset of `removed` is still live here, at this view's own next
+    /// epoch. Used for both a `ViewChange`'s step set and a `Commit`'s
+    /// cumulative set — under set-based agreement the distinction
+    /// disappears, and concurrent suspicions from different rounds merge
+    /// commutatively (no conflict is possible: already-removed threads
+    /// are simply skipped).
+    ///
+    /// Returns the `(new_epoch, actually_removed)` pair when the view
+    /// shrank, or `None` when the announcement carried nothing new.
+    pub(crate) fn adopt_removals(&mut self, removed: &[ThreadId]) -> Option<(u32, Vec<ThreadId>)> {
+        let fresh: Vec<ThreadId> = removed
+            .iter()
+            .copied()
+            .filter(|t| self.view.contains(*t))
+            .collect();
+        if fresh.is_empty() {
+            return None;
+        }
+        let epoch = self.view.epoch() + 1;
+        match self.view.apply(epoch, &fresh) {
+            ViewChangeOutcome::Applied { removed } => Some((epoch, removed)),
+            // Unreachable by construction: `fresh` is a non-empty subset
+            // of the live members and `epoch` is exactly current + 1.
+            _ => None,
+        }
     }
 
-    /// Adopts the membership data piggybacked on a resolver's `Commit`:
-    /// the resolver's epoch and *cumulative* removed set. This can jump
-    /// over announcements still in flight, so a survivor that learns the
-    /// resolving exception first still stops waiting on the dead in its
-    /// signalling and exit rounds.
-    pub(crate) fn sync_commit(&mut self, epoch: u32, removed: &[ThreadId]) -> ViewChangeOutcome {
-        self.view.sync_to(epoch, removed)
+    /// Merges a rejoin: re-admits `thread` at this view's own next epoch.
+    /// Used by the granting survivor (locally, before broadcasting the
+    /// `JoinGrant`) and by every peer applying the broadcast. Returns the
+    /// new epoch, or `None` when the announcement is stale — `thread` is
+    /// already a live member here (duplicate grant) or was never removed.
+    pub(crate) fn adopt_rejoin(&mut self, thread: ThreadId) -> Option<u32> {
+        if self.view.contains(thread) || !self.view.removed().contains(&thread) {
+            return None;
+        }
+        let epoch = self.view.epoch() + 1;
+        match self.view.rejoin(epoch, thread) {
+            ViewChangeOutcome::Applied { .. } => Some(epoch),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs the *joiner's* view from a `JoinGrant`: starts from
+    /// the original full group and fast-forwards to the granter's
+    /// post-grant view (`epoch`, cumulative `removed` — which no longer
+    /// contains the joiner). The never-suspected case (the granter never
+    /// removed the joiner, so the grant is `(0, [])` relative to a full
+    /// view) falls out uniformly. Fails if the grant still lists `me` as
+    /// removed — a granter must re-admit before granting.
+    pub(crate) fn sync_grant(
+        group: &[ThreadId],
+        epoch: u32,
+        removed: &[ThreadId],
+        me: ThreadId,
+    ) -> Result<Self, String> {
+        let mut m = FrameMembership::new(group);
+        match m.view.sync_to(epoch, removed) {
+            ViewChangeOutcome::Applied { .. } | ViewChangeOutcome::Duplicate => {}
+            ViewChangeOutcome::Conflict { reason } => return Err(reason),
+        }
+        if !m.view.contains(me) {
+            return Err(format!(
+                "join grant (epoch {epoch}, removed {removed:?}) does not re-admit {me}"
+            ));
+        }
+        Ok(m)
     }
 }
 
@@ -172,47 +280,71 @@ mod tests {
     }
 
     #[test]
-    fn apply_remote_accepts_next_epoch_and_duplicates() {
-        let mut m = FrameMembership::new(&[t(0), t(1), t(2)]);
-        assert!(matches!(
-            m.apply_remote(1, &[t(2)]),
-            ViewChangeOutcome::Applied { .. }
-        ));
-        assert!(matches!(
-            m.apply_remote(1, &[t(2)]),
-            ViewChangeOutcome::Duplicate
-        ));
-        assert!(matches!(
-            m.apply_remote(1, &[t(0)]),
-            ViewChangeOutcome::Conflict { .. }
-        ));
+    fn adopt_removals_merges_set_wise() {
+        let mut m = FrameMembership::new(&[t(0), t(1), t(2), t(3)]);
+        // A step announcement merges at our own next epoch.
+        assert_eq!(m.adopt_removals(&[t(2)]), Some((1, vec![t(2)])));
+        // Re-announcing the same removal carries nothing new.
+        assert_eq!(m.adopt_removals(&[t(2)]), None);
+        // A cumulative set from a peer that also removed T1 merges the
+        // fresh subset only — no conflict is possible.
+        assert_eq!(m.adopt_removals(&[t(1), t(2)]), Some((2, vec![t(1)])));
+        assert_eq!(m.members(), &[t(0), t(3)]);
+        assert_eq!(m.removed(), &[t(1), t(2)]);
+        assert_eq!(m.epoch(), 2);
     }
 
     #[test]
-    fn sync_commit_jumps_to_a_commits_cumulative_view() {
-        // A commit carrying (epoch 2, removed {1, 2}) reaches a survivor
-        // still at epoch 0: it lands on the resolver's exact view.
-        let mut m = FrameMembership::new(&[t(0), t(1), t(2), t(3)]);
-        let outcome = m.sync_commit(2, &[t(1), t(2)]);
-        assert!(
-            matches!(outcome, ViewChangeOutcome::Applied { .. }),
-            "{outcome:?}"
-        );
-        assert_eq!(m.members(), &[t(0), t(3)]);
-        assert_eq!(m.epoch(), 2);
-        // A crash-free commit (epoch 0, nothing removed) is a no-op.
-        let mut m = FrameMembership::new(&[t(0), t(1)]);
-        assert!(matches!(
-            m.sync_commit(0, &[]),
-            ViewChangeOutcome::Duplicate
-        ));
-        // A jump that contradicts local history conflicts.
+    fn adopt_rejoin_readmits_and_rejects_stale() {
         let mut m = FrameMembership::new(&[t(0), t(1), t(2)]);
         m.initiate(&[t(1)]).unwrap();
-        assert!(matches!(
-            m.sync_commit(3, &[t(0)]),
-            ViewChangeOutcome::Conflict { .. }
-        ));
+        assert_eq!(m.adopt_rejoin(t(1)), Some(2));
+        assert_eq!(m.members(), &[t(0), t(1), t(2)]);
+        // A duplicate grant broadcast is stale: T1 is already live.
+        assert_eq!(m.adopt_rejoin(t(1)), None);
+        // A thread that was never a member cannot rejoin.
+        assert_eq!(m.adopt_rejoin(t(9)), None);
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn rejoin_round_trips_between_granter_and_joiner() {
+        // T1 crashed (epoch 1); a survivor grants its rejoin at epoch 2.
+        let group = [t(0), t(1), t(2)];
+        let mut granter = FrameMembership::new(&group);
+        granter.initiate(&[t(1)]).unwrap();
+        let grant_epoch = granter.adopt_rejoin(t(1)).expect("removed member rejoins");
+        assert_eq!(grant_epoch, 2);
+        assert_eq!(granter.members(), &group);
+        // The grant carries the post-grant epoch and post-readmission
+        // cumulative removed set; the joiner reconstructs the same
+        // member set from it (epoch numbering is thread-local).
+        let removed_after: Vec<_> = granter.removed().to_vec();
+        let joiner = FrameMembership::sync_grant(&group, grant_epoch, &removed_after, t(1))
+            .expect("grant reconstructs");
+        assert_eq!(joiner.members(), granter.members());
+        assert_eq!(joiner.removed(), granter.removed());
+    }
+
+    #[test]
+    fn sync_grant_handles_never_suspected_joiners() {
+        // The granter never removed the joiner (crash before any timeout
+        // fired): the grant is the full epoch-0 view and reconstruction
+        // is the identity.
+        let group = [t(0), t(1)];
+        let joiner = FrameMembership::sync_grant(&group, 0, &[], t(1)).expect("identity grant");
+        assert_eq!(joiner.members(), &group);
+        assert_eq!(joiner.epoch(), 0);
+    }
+
+    #[test]
+    fn sync_grant_rejects_inconsistent_grants() {
+        let group = [t(0), t(1)];
+        // A grant that still lists the joiner as removed: the granter
+        // must re-admit before granting.
+        assert!(FrameMembership::sync_grant(&group, 1, &[t(1)], t(1)).is_err());
+        // A grant whose removed set names a thread outside the group.
+        assert!(FrameMembership::sync_grant(&group, 1, &[t(9)], t(1)).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use caa_core::exception::{ExceptionId, Signal};
 use caa_core::ids::{ActionId, ThreadId};
+use caa_core::message::SignalRound;
 use caa_core::outcome::{ActionOutcome, HandlerVerdict};
 use caa_core::time::VirtualInstant;
 
@@ -127,11 +128,23 @@ pub enum EventKind {
         /// The frame's exit epoch (incremented per recovery).
         epoch: u32,
     },
-    /// The bounded exit wait expired with votes missing; the thread
-    /// resolves the action to abortion (ƒ), presuming a crashed peer.
+    /// The bounded exit wait expired with votes missing: the thread
+    /// suspects the listed peers crashed and initiates a membership view
+    /// change, then keeps collecting votes over the shrunken view
+    /// (round-agnostic suspicion — see `caa-runtime`'s `membership`
+    /// module).
     ExitTimeout {
         /// The frame's exit epoch.
         epoch: u32,
+    },
+    /// The bounded signalling wait expired with announcements missing: the
+    /// thread suspects the listed peers crashed and initiates a membership
+    /// view change, then re-collects the round over the shrunken view.
+    SignalTimeout {
+        /// Which signalling exchange timed out.
+        round: SignalRound,
+        /// The silent peers whose announcements never arrived.
+        suspects: Vec<ThreadId>,
     },
     /// The bounded resolution wait expired: the thread suspects the listed
     /// peers crashed and initiates a membership view change (presume-ƒ —
@@ -153,6 +166,24 @@ pub enum EventKind {
     /// The thread crash-stopped inside this action: the frame was
     /// discarded without handlers, messages or an exit.
     Crash,
+    /// A restarted participant asked `to` (a survivor of its last known
+    /// view) for the current view and state summary (epoch-numbered
+    /// rejoin, step 1).
+    JoinRequested {
+        /// The survivor the request was addressed to.
+        to: ThreadId,
+    },
+    /// The thread's membership view of this action grew to `epoch`,
+    /// re-admitting restarted participant `thread` — either by granting
+    /// its `JoinRequest` locally or by applying a peer's `JoinGrant`
+    /// broadcast. Observed by every member of the new view, including the
+    /// rejoiner itself.
+    Rejoin {
+        /// The new membership epoch.
+        epoch: u32,
+        /// The re-admitted thread.
+        thread: ThreadId,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -192,7 +223,18 @@ impl fmt::Display for EventKind {
                 }
                 Ok(())
             }
+            EventKind::SignalTimeout { round, suspects } => {
+                write!(f, "signal timeout {round} suspects")?;
+                for t in suspects {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
             EventKind::Crash => f.write_str("crash-stop"),
+            EventKind::JoinRequested { to } => write!(f, "join request {to}"),
+            EventKind::Rejoin { epoch, thread } => {
+                write!(f, "rejoin v{epoch} + {thread}")
+            }
         }
     }
 }

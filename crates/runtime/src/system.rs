@@ -44,15 +44,24 @@ pub struct RuntimeStats {
     pub undo_rounds: u64,
     /// Corrupted messages absorbed outside the signalling window.
     pub corrupted_ignored: u64,
-    /// Exit-protocol waits that expired with votes missing (presumed
-    /// crashed peers; the action resolved to abortion).
+    /// Exit-protocol waits that expired with votes missing (the suspicion
+    /// facility then presumes the silent peers crashed and the wait
+    /// continues over the shrunken view).
     pub exit_timeouts: u64,
+    /// Bounded signalling waits that expired against a degraded view (the
+    /// suspicion facility presumes the silent peers crashed before the ƒ
+    /// rule of §3.4 fills their announcements).
+    pub signal_timeouts: u64,
     /// Bounded resolution waits that expired with a peer silent (the
     /// membership extension then presumes the peer crashed).
     pub resolution_timeouts: u64,
     /// Membership view changes applied (initiated locally or adopted from
     /// a peer's announcement; each participant counts its own).
     pub view_changes: u64,
+    /// Completed epoch-numbered rejoins: restarted participants that were
+    /// granted the current view by a survivor and re-entered their crashed
+    /// action (counted once per re-entry, on the rejoining thread).
+    pub rejoins: u64,
 }
 
 /// State shared between all participants of one [`System`].

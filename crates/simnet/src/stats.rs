@@ -37,6 +37,8 @@ impl Classify for caa_core::Message {
             caa_core::MessageKind::Commit => "Commit",
             caa_core::MessageKind::Resolve => "Resolve",
             caa_core::MessageKind::ViewChange => "ViewChange",
+            caa_core::MessageKind::JoinRequest => "JoinRequest",
+            caa_core::MessageKind::JoinGrant => "JoinGrant",
             caa_core::MessageKind::ToBeSignalled => "toBeSignalled",
             caa_core::MessageKind::ExitVote => "ExitVote",
             caa_core::MessageKind::App => "App",
