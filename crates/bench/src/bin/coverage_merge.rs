@@ -17,65 +17,26 @@
 //! ```
 
 use caa_harness::fuzz::CoverageDoc;
+use caa_telemetry::json::MergeCli;
 
 fn main() {
     let usage = "usage: coverage_merge <coverage.json>... [--out PATH] [--triage PATH]";
-    let mut inputs: Vec<String> = Vec::new();
-    let mut out_path: Option<String> = None;
-    let mut triage_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &str| {
-            args.next().unwrap_or_else(|| {
-                eprintln!("{flag} needs a value");
-                std::process::exit(2);
-            })
-        };
-        match arg.as_str() {
-            "--out" => out_path = Some(value("--out")),
-            "--triage" => triage_path = Some(value("--triage")),
-            other if other.starts_with("--") => {
-                eprintln!("unknown argument {other}; {usage}");
-                std::process::exit(2);
-            }
-            path => inputs.push(path.to_owned()),
-        }
-    }
-    if inputs.is_empty() {
-        eprintln!("{usage}");
+    let cli = MergeCli::parse(std::env::args().skip(1), &["--triage"]).unwrap_or_else(|e| {
+        eprintln!("{e}\n{usage}");
         std::process::exit(2);
-    }
-
-    let mut merged: Option<CoverageDoc> = None;
-    for path in &inputs {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
+    });
+    let merged = cli
+        .fold(CoverageDoc::parse, |into, doc| into.merge(&doc))
+        .unwrap_or_else(|e| {
+            eprintln!("{e}\n{usage}");
             std::process::exit(2);
         });
-        let doc = CoverageDoc::parse(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
-            std::process::exit(2);
-        });
-        match &mut merged {
-            None => merged = Some(doc),
-            Some(into) => into.merge(&doc),
-        }
-    }
-    let merged = merged.expect("at least one input");
-
-    let doc = merged.render();
-    match out_path {
-        Some(path) => {
-            std::fs::write(&path, &doc).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            });
-            eprintln!("merged {} document(s) into {path}", inputs.len());
-        }
-        None => print!("{doc}"),
-    }
-    if let Some(path) = triage_path {
-        std::fs::write(&path, merged.triage()).unwrap_or_else(|e| {
+    cli.emit(&merged.render()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = cli.extra_value("--triage") {
+        std::fs::write(path, merged.triage()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });

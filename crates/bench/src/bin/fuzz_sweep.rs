@@ -26,7 +26,8 @@
 //! `coverage.json` documents union meaningfully.
 //!
 //! Exit status: `2` for usage errors, `1` when a violation was found or
-//! a `--min-gain-pct` gate failed, `0` otherwise.
+//! a `--min-gain-pct` gate failed, `4` when `--max-handoffs-per-seed`
+//! caught a scheduler handoff regression, `0` otherwise.
 
 use std::path::PathBuf;
 
@@ -37,7 +38,7 @@ fn main() {
     let usage = "usage: fuzz_sweep [--budget N] [--initial N] [--start SEED] [--batch N] \
                  [--fuzz-seed N] [--workers N] [--shard k/n] [--baseline] [--check-replay] \
                  [--corpus DIR] [--out PATH] [--triage PATH] [--min-gain-pct X] \
-                 [--multi-crash] [--fuzz-smoke]";
+                 [--multi-crash] [--fuzz-smoke] [--max-handoffs-per-seed N]";
     let mut config = FuzzConfig {
         corpus_dir: Some(PathBuf::from("target/caa-corpus")),
         ..FuzzConfig::default()
@@ -46,6 +47,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut triage_path: Option<String> = None;
     let mut min_gain_pct: Option<f64> = None;
+    let mut max_handoffs_per_seed: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,6 +87,12 @@ fn main() {
             "--min-gain-pct" => {
                 min_gain_pct = Some(parsed("--min-gain-pct", &value("--min-gain-pct")));
             }
+            "--max-handoffs-per-seed" => {
+                max_handoffs_per_seed = Some(parsed(
+                    "--max-handoffs-per-seed",
+                    &value("--max-handoffs-per-seed"),
+                ));
+            }
             "--multi-crash" => {
                 // The crash-heavy scenario space: nearly every plan
                 // carries a crash schedule, so multi-crash and
@@ -121,6 +129,21 @@ fn main() {
 
     let report = fuzz(&config);
     eprint!("{}", report.summary());
+
+    // Scheduler handoff ceiling over the fuzz loop's own executions —
+    // the same regression guard sweep_bench applies to sweeps, with the
+    // same exit code, so CI lanes treat both uniformly.
+    if let Some(ceiling) = max_handoffs_per_seed {
+        let per_seed = report.metrics.parks_per_seed();
+        if per_seed > ceiling {
+            eprintln!(
+                "HANDOFF CEILING VIOLATED: fuzz loop parked ~{per_seed} times per execution, \
+                 above the --max-handoffs-per-seed ceiling of {ceiling}"
+            );
+            std::process::exit(4);
+        }
+        eprintln!("handoff ceiling ok: ~{per_seed} parks/execution ≤ {ceiling}");
+    }
 
     let doc = CoverageDoc::from_fuzz(&report);
     if let Some(path) = &out_path {

@@ -11,66 +11,43 @@
 //!     shard0/metrics.json shard1/metrics.json ... [--out merged.json]
 //! ```
 //!
-//! The merged document carries **only the deterministic section**: the
-//! `wall_clock` counters (scheduler park/wake handoffs) are host facts
-//! that legitimately differ between a sharded and an unsharded run, so
-//! they are dropped rather than misleadingly summed. That normalization
-//! makes merge-equality a byte equality: merging the 4 shard documents
-//! equals merging the single unsharded document.
+//! The merged document carries the deterministic and `critical_path`
+//! sections only: the `wall_clock` counters (scheduler park/wake
+//! handoffs, driver stage timers) are host facts that legitimately
+//! differ between a sharded and an unsharded run, so they are dropped
+//! rather than misleadingly summed. That normalization makes
+//! merge-equality a byte equality: merging the 4 shard documents equals
+//! merging the single unsharded document.
 
 use caa_harness::metrics::{metrics_json, parse_metrics_json, SweepMetrics};
+use caa_telemetry::json::MergeCli;
 
 fn main() {
-    let mut inputs: Vec<String> = Vec::new();
-    let mut out_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => {
-                out_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a value");
-                    std::process::exit(2);
-                }));
-            }
-            other if other.starts_with("--") => {
-                eprintln!(
-                    "unknown argument {other}; usage: metrics_merge <metrics.json>... [--out PATH]"
-                );
-                std::process::exit(2);
-            }
-            path => inputs.push(path.to_owned()),
-        }
-    }
-    if inputs.is_empty() {
-        eprintln!("usage: metrics_merge <metrics.json>... [--out PATH]");
+    let usage = "usage: metrics_merge <metrics.json>... [--out PATH]";
+    let cli = MergeCli::parse(std::env::args().skip(1), &[]).unwrap_or_else(|e| {
+        eprintln!("{e}\n{usage}");
         std::process::exit(2);
-    }
-
-    let mut merged = SweepMetrics::default();
-    let mut seeds_total: u64 = 0;
-    for path in &inputs {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
+    });
+    let merged = cli
+        .fold(
+            |text| {
+                let (seeds, metrics) = parse_metrics_json(text)?;
+                Ok((seeds, metrics))
+            },
+            |(seeds, metrics): &mut (u64, SweepMetrics), (s, m)| {
+                *seeds += s;
+                metrics.merge(&m);
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}\n{usage}");
             std::process::exit(2);
         });
-        let (seeds, metrics) = parse_metrics_json(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
+    let (seeds_total, merged) = merged;
+    cli.emit(&metrics_json(&merged, seeds_total, false))
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         });
-        seeds_total += seeds;
-        merged.merge(&metrics);
-    }
-
-    let doc = metrics_json(&merged, seeds_total, false);
-    match out_path {
-        Some(path) => {
-            std::fs::write(&path, &doc).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            });
-            eprintln!("merged {} document(s) into {path}", inputs.len());
-        }
-        None => print!("{doc}"),
-    }
     eprint!("{}", merged.summary());
 }

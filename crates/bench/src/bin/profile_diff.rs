@@ -1,0 +1,259 @@
+//! `profile_diff` — compare two `metrics.json` documents and gate on
+//! regressions.
+//!
+//! The attribution counterpart of `trace_hashes`: where the hash gate
+//! proves *behaviour* is unchanged, this tool quantifies how the
+//! *profile* moved — histogram quantile deltas (p50/p90/p99), counter
+//! ratios, and critical-path segment-share shifts — between a baseline
+//! and a candidate document, and exits non-zero when a configured
+//! threshold is crossed. It is the tool a scheduler or transport rework
+//! uses to prove its wins, and the guard CI uses to catch
+//! observability-visible regressions.
+//!
+//! ```text
+//! cargo run -p caa-bench --release --bin profile_diff -- \
+//!     baseline/metrics.json candidate/metrics.json \
+//!     [--max-quantile-pct 10] [--max-counter-pct 20] [--max-cp-shift-pp 5]
+//! ```
+//!
+//! Gating rules (deterministic and `critical_path` sections only — the
+//! `wall_clock` section is host-dependent and reported informationally):
+//!
+//! * **Quantiles** regress when a histogram's p50/p90/p99 *increases* by
+//!   more than `--max-quantile-pct` percent over the baseline (latency
+//!   drops are wins, never failures).
+//! * **Counters** regress when a counter's value moves by more than
+//!   `--max-counter-pct` percent in *either* direction (message-count
+//!   changes in either direction mean the protocol behaved differently).
+//! * **Critical-path shares** regress when a segment class's share of
+//!   `cp_total_ns` shifts by more than `--max-cp-shift-pp` percentage
+//!   points in either direction.
+//!
+//! Comparing a document against itself prints zero deltas and exits 0
+//! (the tier-1 smoke). Exit status: `2` usage/parse errors, `1` at least
+//! one threshold crossed, `0` within thresholds.
+
+use caa_harness::metrics::{parse_metrics_json, SweepMetrics};
+use caa_telemetry::MetricSet;
+
+/// Thresholds, all overridable from the command line.
+struct Gates {
+    max_quantile_pct: f64,
+    max_counter_pct: f64,
+    max_cp_shift_pp: f64,
+}
+
+fn load(path: &str) -> (u64, SweepMetrics) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_metrics_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Percent change from `base` to `cand` (`+` = increase). `None` when the
+/// baseline is 0 and the candidate isn't (an appearance, flagged
+/// separately).
+fn pct_change(base: u64, cand: u64) -> Option<f64> {
+    if base == 0 {
+        (cand == 0).then_some(0.0)
+    } else {
+        Some((cand as f64 - base as f64) / base as f64 * 100.0)
+    }
+}
+
+/// Compares the quantiles of every histogram present in either set.
+/// Returns the number of regressions.
+fn diff_histograms(label: &str, base: &MetricSet, cand: &MetricSet, gates: &Gates) -> u64 {
+    let mut regressions = 0;
+    let mut names: Vec<&str> = base.histograms_sorted().iter().map(|&(n, _)| n).collect();
+    for (name, _) in cand.histograms_sorted() {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names.sort_unstable();
+    for name in names {
+        let (Some(b), Some(c)) = (base.histogram_named(name), cand.histogram_named(name)) else {
+            println!("{label} histogram {name}: present in only one document (REGRESSION)");
+            regressions += 1;
+            continue;
+        };
+        for (q, num) in [("p50", 50u64), ("p90", 90), ("p99", 99)] {
+            let (bv, cv) = (b.quantile(num, 100), c.quantile(num, 100));
+            // An appearance (0 -> nonzero) is an unbounded increase; it
+            // clears only an infinite (informational) threshold.
+            let pct = pct_change(bv, cv).unwrap_or(f64::INFINITY);
+            if pct != 0.0 {
+                let verdict = if pct > gates.max_quantile_pct {
+                    regressions += 1;
+                    " (REGRESSION)"
+                } else {
+                    ""
+                };
+                println!("{label} {name} {q}: {bv} -> {cv} ({pct:+.1}%){verdict}");
+            }
+        }
+    }
+    regressions
+}
+
+/// Compares every counter present in either set. Returns the number of
+/// regressions.
+fn diff_counters(label: &str, base: &MetricSet, cand: &MetricSet, gates: &Gates) -> u64 {
+    let mut regressions = 0;
+    let mut names: Vec<&str> = base.counters_sorted().iter().map(|&(n, _)| n).collect();
+    for (name, _) in cand.counters_sorted() {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names.sort_unstable();
+    for name in names {
+        let (bv, cv) = (base.counter_value(name), cand.counter_value(name));
+        let pct = pct_change(bv, cv).unwrap_or(f64::INFINITY);
+        if pct != 0.0 {
+            let verdict = if pct.abs() > gates.max_counter_pct {
+                regressions += 1;
+                " (REGRESSION)"
+            } else {
+                ""
+            };
+            println!("{label} {name}: {bv} -> {cv} ({pct:+.1}%){verdict}");
+        }
+    }
+    regressions
+}
+
+/// Compares critical-path segment *shares* (each class's percentage of
+/// `cp_total_ns`) — the decomposition shape, independent of how many
+/// seeds each document covers. Returns the number of regressions.
+fn diff_cp_shares(base: &MetricSet, cand: &MetricSet, gates: &Gates) -> u64 {
+    let (bt, ct) = (
+        base.counter_value("cp_total_ns"),
+        cand.counter_value("cp_total_ns"),
+    );
+    if bt == 0 || ct == 0 {
+        if bt != ct {
+            println!(
+                "critical-path total: {bt} -> {ct} (attribution appeared/vanished) (REGRESSION)"
+            );
+            return 1;
+        }
+        return 0;
+    }
+    let mut regressions = 0;
+    for class in caa_harness::spans::SegmentClass::ALL {
+        let name = class.counter_name();
+        let b_share = base.counter_value(name) as f64 / bt as f64 * 100.0;
+        let c_share = cand.counter_value(name) as f64 / ct as f64 * 100.0;
+        let shift = c_share - b_share;
+        if shift != 0.0 {
+            let verdict = if shift.abs() > gates.max_cp_shift_pp {
+                regressions += 1;
+                " (REGRESSION)"
+            } else {
+                ""
+            };
+            println!(
+                "critical-path share {}: {b_share:.1}% -> {c_share:.1}% ({shift:+.1}pp){verdict}",
+                class.label(),
+            );
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let usage = "usage: profile_diff <baseline.json> <candidate.json> \
+                 [--max-quantile-pct X] [--max-counter-pct X] [--max-cp-shift-pp X]";
+    let mut paths: Vec<String> = Vec::new();
+    let mut gates = Gates {
+        max_quantile_pct: 10.0,
+        max_counter_pct: 20.0,
+        max_cp_shift_pp: 5.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> f64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a numeric value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--max-quantile-pct" => gates.max_quantile_pct = value("--max-quantile-pct"),
+            "--max-counter-pct" => gates.max_counter_pct = value("--max-counter-pct"),
+            "--max-cp-shift-pp" => gates.max_cp_shift_pp = value("--max-cp-shift-pp"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let (base_seeds, base) = load(baseline_path);
+    let (cand_seeds, cand) = load(candidate_path);
+    println!(
+        "baseline {baseline_path} ({base_seeds} seeds) vs candidate {candidate_path} \
+         ({cand_seeds} seeds)"
+    );
+
+    let mut regressions = 0;
+    regressions += diff_histograms(
+        "deterministic",
+        &base.deterministic,
+        &cand.deterministic,
+        &gates,
+    );
+    regressions += diff_counters(
+        "deterministic",
+        &base.deterministic,
+        &cand.deterministic,
+        &gates,
+    );
+    regressions += diff_histograms(
+        "critical-path",
+        &base.critical_path,
+        &cand.critical_path,
+        &gates,
+    );
+    regressions += diff_counters(
+        "critical-path",
+        &base.critical_path,
+        &cand.critical_path,
+        &gates,
+    );
+    regressions += diff_cp_shares(&base.critical_path, &cand.critical_path, &gates);
+
+    // Wall-clock counters are host facts: print the deltas, never gate.
+    if !base.wall_clock.is_empty() || !cand.wall_clock.is_empty() {
+        let permissive = Gates {
+            max_quantile_pct: f64::INFINITY,
+            max_counter_pct: f64::INFINITY,
+            max_cp_shift_pp: f64::INFINITY,
+        };
+        let _ = diff_counters(
+            "wall-clock (informational)",
+            &base.wall_clock,
+            &cand.wall_clock,
+            &permissive,
+        );
+    }
+
+    if regressions > 0 {
+        println!("{regressions} regression(s) beyond thresholds");
+        std::process::exit(1);
+    }
+    println!(
+        "no regressions (thresholds: quantiles +{}%, counters ±{}%, cp shares ±{}pp)",
+        gates.max_quantile_pct, gates.max_counter_pct, gates.max_cp_shift_pp
+    );
+}

@@ -10,8 +10,12 @@
 //! # additionally shrinks a violating seed's fault/crash schedule to a
 //! # minimal still-violating subset; `--bisect-workload` shrinks the
 //! # whole plan (top actions, phases, raises, participants) to a
-//! # 1-minimal scenario. Both persist to the corpus dir:
-//! cargo run -p caa-harness --example replay -- 42 [--bisect] [--bisect-workload]
+//! # 1-minimal scenario. Both persist to the corpus dir. `--spans-out`
+//! # additionally exports the run's derived span timeline as Chrome
+//! # trace-event JSON (spans, causal-message flow arrows, critical-path
+//! # lanes) — open it at https://ui.perfetto.dev:
+//! cargo run -p caa-harness --example replay -- 42 [--bisect] [--bisect-workload] \
+//!     [--spans-out trace.json]
 //!
 //! # Replay a persisted corpus entry (the sweep's exact — possibly
 //! # custom — config, plus a byte-exact check against the recorded
@@ -39,6 +43,7 @@ use caa_harness::bisect::{
 };
 use caa_harness::fuzz::load_corpus_plan;
 use caa_harness::plan::{ScenarioConfig, ScenarioPlan};
+use caa_harness::spans::trace_event_json;
 use caa_harness::sweep::{run_plan_checked, sweep, Shard, SweepConfig};
 
 /// Which minimisations to run on a violating plan.
@@ -54,6 +59,7 @@ fn replay_plan(
     lineage: Option<&str>,
     recorded_trace: Option<&str>,
     bisect: BisectFlags,
+    spans_out: Option<&str>,
 ) -> bool {
     let seed = plan.seed;
     println!("{}", plan.describe());
@@ -62,6 +68,15 @@ fn replay_plan(
     println!("{}", result.artifacts.trace.render());
     print!("{}", arena.metrics().summary());
     let mut ok = true;
+    if let Some(path) = spans_out {
+        match std::fs::write(path, trace_event_json(&result.artifacts.trace, seed)) {
+            Ok(()) => println!("span timeline written to {path} (open at https://ui.perfetto.dev)"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                ok = false;
+            }
+        }
+    }
     if let Some(recorded) = recorded_trace {
         if result.artifacts.trace.render() == recorded {
             println!("trace matches the recorded corpus bytes exactly");
@@ -180,7 +195,7 @@ fn run_workload_bisection(plan: &ScenarioPlan, config: &ScenarioConfig, lineage:
     }
 }
 
-fn replay_corpus(entry: &Path, bisect: BisectFlags) -> bool {
+fn replay_corpus(entry: &Path, bisect: BisectFlags, spans_out: Option<&str>) -> bool {
     // `load_corpus_plan` understands both entry layouts: plain sweep
     // entries (`<seed>[-<config hash>]`, plan regenerated from the seed)
     // and fuzz entries (a `lineage.txt` whose recorded mutation seeds
@@ -202,7 +217,16 @@ fn replay_corpus(entry: &Path, bisect: BisectFlags) -> bool {
         lineage.as_deref(),
         recorded.as_deref(),
         bisect,
+        spans_out,
     )
+}
+
+/// The value following `name` in `args`, if both are present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn run_sweep(args: &[String]) -> bool {
@@ -279,20 +303,23 @@ fn main() {
     let ok = match args.first().map(String::as_str) {
         Some("--corpus") => {
             let entry = args.get(1).unwrap_or_else(|| {
-                eprintln!("usage: replay -- --corpus <dir>/<seed> [--bisect] [--bisect-workload]");
+                eprintln!(
+                    "usage: replay -- --corpus <dir>/<seed> [--bisect] [--bisect-workload] \
+                     [--spans-out PATH]"
+                );
                 exit(2);
             });
             let bisect = BisectFlags {
                 schedule: args.iter().any(|a| a == "--bisect"),
                 workload: args.iter().any(|a| a == "--bisect-workload"),
             };
-            replay_corpus(Path::new(entry), bisect)
+            replay_corpus(Path::new(entry), bisect, flag_value(&args, "--spans-out"))
         }
         Some("--sweep") => run_sweep(&args),
         Some(seed) => {
             let seed: u64 = seed.parse().unwrap_or_else(|_| {
                 eprintln!(
-                    "usage: replay -- <seed> [--bisect] [--bisect-workload] \
+                    "usage: replay -- <seed> [--bisect] [--bisect-workload] [--spans-out PATH] \
                      | --corpus <dir>/<seed> | --sweep <seeds>"
                 );
                 exit(2);
@@ -303,7 +330,14 @@ fn main() {
             };
             let config = ScenarioConfig::default();
             let plan = ScenarioPlan::generate(seed, &config);
-            replay_plan(&plan, &config, None, None, bisect)
+            replay_plan(
+                &plan,
+                &config,
+                None,
+                None,
+                bisect,
+                flag_value(&args, "--spans-out"),
+            )
         }
         None => replay_plan(
             &ScenarioPlan::generate(0, &ScenarioConfig::default()),
@@ -311,6 +345,7 @@ fn main() {
             None,
             None,
             BisectFlags::default(),
+            None,
         ),
     };
     if !ok {

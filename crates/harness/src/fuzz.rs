@@ -56,6 +56,7 @@ use std::time::{Duration, Instant};
 use caa_telemetry::json::{self, Value};
 
 use crate::arena::ExecutionArena;
+use crate::metrics::SweepMetrics;
 use crate::plan::{
     gen_subtree, plan_object_depth, rename_subtree, validate_plan, with_action_mut, ActionPlan,
     CrashChoice, FaultChoice, ObjectOp, Phase, RaisePhase, ScenarioConfig, ScenarioPlan,
@@ -1026,6 +1027,11 @@ pub struct FuzzReport {
     pub violations: Vec<FuzzViolation>,
     /// The fresh-seed baseline, when one was run.
     pub fresh: Option<FreshBaseline>,
+    /// Sweep metrics aggregated over the fuzz loop's executions (latency
+    /// histograms, critical-path attribution, scheduler handoffs, stage
+    /// timers). The fresh baseline is excluded — these describe the fuzz
+    /// loop itself.
+    pub metrics: SweepMetrics,
     /// Wall-clock duration (fuzz loop plus baseline).
     pub wall: Duration,
 }
@@ -1078,6 +1084,7 @@ impl FuzzReport {
                 );
             }
         }
+        out.push_str(&self.metrics.summary());
         out
     }
 }
@@ -1110,7 +1117,12 @@ fn effective_workers(workers: usize) -> usize {
 /// Executes `plans` across worker threads and returns outcomes **in input
 /// order** — the order in which the caller commits them to frontier and
 /// novelty state, which is what makes the loop worker-count-invariant.
-fn run_batch(plans: Vec<ScenarioPlan>, workers: usize, check_replay: bool) -> Vec<ChildOutcome> {
+fn run_batch(
+    plans: Vec<ScenarioPlan>,
+    workers: usize,
+    check_replay: bool,
+    metrics: &Mutex<SweepMetrics>,
+) -> Vec<ChildOutcome> {
     let n = plans.len();
     let slots: Vec<Mutex<Option<ChildOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let tasks: Vec<Mutex<Option<ScenarioPlan>>> =
@@ -1123,6 +1135,13 @@ fn run_batch(plans: Vec<ScenarioPlan>, workers: usize, check_replay: bool) -> Ve
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
+                        // Batch drained: fold this worker's metrics into
+                        // the loop-wide set (one lock per worker, not per
+                        // plan).
+                        metrics
+                            .lock()
+                            .expect("metrics collector")
+                            .merge(&arena.take_metrics());
                         return;
                     }
                     let plan = tasks[i]
@@ -1130,6 +1149,7 @@ fn run_batch(plans: Vec<ScenarioPlan>, workers: usize, check_replay: bool) -> Ve
                         .expect("task slot")
                         .take()
                         .expect("each task is taken once");
+                    let busy = Instant::now();
                     let result = run_plan_checked(plan, check_replay, &mut arena);
                     let coverage = PathCoverage::from_trace(&result.artifacts.trace);
                     let signature = coverage.signature();
@@ -1139,6 +1159,10 @@ fn run_batch(plans: Vec<ScenarioPlan>, workers: usize, check_replay: bool) -> Ve
                     } else {
                         Some(result)
                     };
+                    arena.metrics_recorder().add_wall(
+                        "worker_busy_ns",
+                        u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
                     *slots[i].lock().expect("outcome slot") = Some(ChildOutcome {
                         signature,
                         coverage,
@@ -1257,6 +1281,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         novel_from_mutation: 0,
     };
     let mut child_index = 0u64;
+    let metrics: Mutex<SweepMetrics> = Mutex::new(SweepMetrics::default());
 
     // Generation 0: fresh seeds.
     let initial = config.initial_seeds.min(config.executions).max(1);
@@ -1273,6 +1298,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         gen0.iter().map(|(_, p)| p.clone()).collect(),
         config.workers,
         config.check_replay,
+        &metrics,
     );
     for ((lineage, plan), outcome) in gen0.into_iter().zip(outcomes) {
         state.commit(config, lineage, plan, outcome, None);
@@ -1284,6 +1310,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
     while state.executed < config.executions && !state.frontier.is_empty() {
         generations += 1;
         let batch = config.batch.max(1).min(config.executions - state.executed);
+        let mutation_started = Instant::now();
         let mut children: Vec<(usize, Lineage, ScenarioPlan)> = Vec::with_capacity(batch as usize);
         for _ in 0..batch {
             let parent = pick_parent(&state.frontier, &mut selector);
@@ -1296,10 +1323,20 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 mutated.plan,
             ));
         }
+        // Parent selection plus mutation is the frontier stage.
+        metrics
+            .lock()
+            .expect("metrics collector")
+            .wall_clock
+            .add_named(
+                "stage_mutation_ns",
+                u64::try_from(mutation_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         let outcomes = run_batch(
             children.iter().map(|(_, _, p)| p.clone()).collect(),
             config.workers,
             config.check_replay,
+            &metrics,
         );
         for ((parent, lineage, plan), outcome) in children.into_iter().zip(outcomes) {
             state.commit(config, lineage, plan, outcome, Some(parent));
@@ -1332,6 +1369,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         signatures: state.seen,
         violations: state.violations,
         fresh,
+        metrics: metrics.into_inner().expect("metrics collector"),
         wall: started.elapsed(),
     }
 }

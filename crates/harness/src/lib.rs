@@ -73,6 +73,7 @@ pub mod oracle;
 pub mod plan;
 pub mod prodcell;
 pub mod rng;
+pub mod spans;
 pub mod sweep;
 pub mod trace;
 

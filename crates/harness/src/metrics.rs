@@ -28,6 +28,7 @@ use caa_telemetry::json::{self, Value};
 use caa_telemetry::{HistogramHandle, MetricSet};
 
 use crate::exec::RunArtifacts;
+use crate::spans::{CriticalPathScratch, SegmentClass};
 use crate::trace::EntryKind;
 
 /// Schema tag stamped into every `metrics.json` document.
@@ -41,8 +42,14 @@ pub struct SweepMetrics {
     /// Virtual-time histograms and protocol counters — byte-deterministic
     /// per seed set.
     pub deterministic: MetricSet,
-    /// Host-scheduler counters (park/wake handoffs) — wall-clock facts,
-    /// gate with ceilings, never with equalities.
+    /// Raise→resolve critical-path attribution (`cp_*` nanosecond
+    /// counters per [`SegmentClass`], plus `cp_total_ns` and
+    /// `cp_instances`). Derived from the causal graph in virtual time, so
+    /// byte-deterministic and shard-mergeable like `deterministic`.
+    pub critical_path: MetricSet,
+    /// Host-scheduler counters (park/wake handoffs) and driver stage
+    /// timers — wall-clock facts, gate with ceilings, never with
+    /// equalities.
     pub wall_clock: MetricSet,
 }
 
@@ -51,6 +58,7 @@ impl SweepMetrics {
     /// Associative and commutative in both sets.
     pub fn merge(&mut self, other: &SweepMetrics) {
         self.deterministic.merge(&other.deterministic);
+        self.critical_path.merge(&other.critical_path);
         self.wall_clock.merge(&other.wall_clock);
     }
 
@@ -135,6 +143,33 @@ impl SweepMetrics {
         if !msgs.is_empty() {
             let _ = writeln!(out, "messages sent: {}", msgs.join(" | "));
         }
+        let cp_total = self.critical_path.counter_value("cp_total_ns");
+        if cp_total > 0 {
+            let mut shares: Vec<(u64, &'static str)> = SegmentClass::ALL
+                .iter()
+                .map(|&class| {
+                    (
+                        self.critical_path.counter_value(class.counter_name()),
+                        class.label(),
+                    )
+                })
+                .filter(|&(ns, _)| ns > 0)
+                .collect();
+            // Top contributors first; label order breaks ties so the line
+            // is deterministic.
+            shares.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+            let parts: Vec<String> = shares
+                .iter()
+                .map(|&(ns, label)| format!("{label} {}% ({})", ns * 100 / cp_total, fmt_ns(ns)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "critical path ({} instances, {} attributed): {}",
+                self.critical_path.counter_value("cp_instances"),
+                fmt_ns(cp_total),
+                parts.join(" | "),
+            );
+        }
         let parks = self.wall_clock.counter_value("sched_parks");
         let wakes = self.wall_clock.counter_value("sched_wakes");
         let seeds = self
@@ -146,6 +181,32 @@ impl SweepMetrics {
             let _ = writeln!(
                 out,
                 "sched handoffs (wall-clock): {parks} parks, {wakes} wakes (~{per_seed} parks/seed)"
+            );
+        }
+        let stages: Vec<String> = [
+            ("generate", "stage_generate_ns"),
+            ("execute", "stage_execute_ns"),
+            ("oracle", "stage_oracle_ns"),
+            ("metrics", "stage_metrics_ns"),
+            ("mutation", "stage_mutation_ns"),
+        ]
+        .iter()
+        .filter_map(|&(label, name)| {
+            let ns = self.wall_clock.counter_value(name);
+            (ns > 0).then(|| format!("{label} {}", fmt_ns(ns)))
+        })
+        .collect();
+        if !stages.is_empty() {
+            let busy = self.wall_clock.counter_value("worker_busy_ns");
+            let busy = if busy > 0 {
+                format!(" | workers busy {}", fmt_ns(busy))
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "driver stages (wall-clock): {}{busy}",
+                stages.join(" | "),
             );
         }
         out
@@ -181,6 +242,9 @@ pub fn metrics_json(metrics: &SweepMetrics, seeds: u64, include_wall_clock: bool
     let _ = writeln!(out, "  \"seeds\": {seeds},");
     let _ = writeln!(out, "  \"deterministic\":");
     metrics.deterministic.write_json(&mut out, "  ");
+    let _ = writeln!(out, ",");
+    let _ = writeln!(out, "  \"critical_path\":");
+    metrics.critical_path.write_json(&mut out, "  ");
     if include_wall_clock {
         let _ = writeln!(out, ",");
         let _ = writeln!(out, "  \"wall_clock\":");
@@ -200,10 +264,7 @@ pub fn metrics_json(metrics: &SweepMetrics, seeds: u64, include_wall_clock: bool
 /// A human-readable message when the text is not a metrics document.
 pub fn parse_metrics_json(text: &str) -> Result<(u64, SweepMetrics), String> {
     let doc = json::parse(text)?;
-    match doc.get("schema") {
-        Some(Value::Str(s)) if s == METRICS_SCHEMA => {}
-        other => return Err(format!("unsupported metrics schema: {other:?}")),
-    }
+    json::expect_schema(&doc, METRICS_SCHEMA)?;
     let seeds = doc
         .get("seeds")
         .and_then(Value::as_u64)
@@ -212,14 +273,19 @@ pub fn parse_metrics_json(text: &str) -> Result<(u64, SweepMetrics), String> {
         doc.get("deterministic")
             .ok_or("missing \"deterministic\"")?,
     )?;
-    let wall_clock = match doc.get("wall_clock") {
-        Some(v) => MetricSet::from_json_value(v)?,
-        None => MetricSet::new(),
+    // Optional sections: pre-span documents lack `critical_path`, and
+    // merge-normalized documents lack `wall_clock` — both read back empty.
+    let optional = |name: &str| match doc.get(name) {
+        Some(v) => MetricSet::from_json_value(v),
+        None => Ok(MetricSet::new()),
     };
+    let critical_path = optional("critical_path")?;
+    let wall_clock = optional("wall_clock")?;
     Ok((
         seeds,
         SweepMetrics {
             deterministic,
+            critical_path,
             wall_clock,
         },
     ))
@@ -268,6 +334,7 @@ pub struct MetricsRecorder {
     fanout: HashMap<u64, u64>,
     crashes: Vec<(u32, u64)>,
     detected: HashSet<(u32, u32)>,
+    cp_scratch: CriticalPathScratch,
 }
 
 impl Default for MetricsRecorder {
@@ -313,7 +380,15 @@ impl MetricsRecorder {
             fanout: HashMap::new(),
             crashes: Vec::new(),
             detected: HashSet::new(),
+            cp_scratch: CriticalPathScratch::new(),
         }
+    }
+
+    /// Adds `n` to the wall-clock counter labeled `name` — the hook the
+    /// sweep/fuzz drivers use for their stage timers and
+    /// worker-utilization counters (never part of byte-identity claims).
+    pub fn add_wall(&mut self, name: &str, n: u64) {
+        self.metrics.wall_clock.add_named(name, n);
     }
 
     /// The metrics accumulated so far.
@@ -472,6 +547,22 @@ impl MetricsRecorder {
         self.metrics.deterministic.add_named(seed_class, 1);
         self.record_net_stats(&artifacts.report.net_stats);
         self.record_sched_stats(artifacts.report.sched_stats);
+
+        // Critical-path attribution: walk the causal graph once per
+        // resolved instance (virtual-time facts only, so the counters
+        // stay byte-deterministic and shard-mergeable). Zero-valued
+        // classes are skipped so absent segment kinds never register.
+        let cp = &mut self.metrics.critical_path;
+        self.cp_scratch.extract(&artifacts.trace, |path| {
+            for class in SegmentClass::ALL {
+                let ns = path.class_total_ns(class);
+                if ns > 0 {
+                    cp.add_named(class.counter_name(), ns);
+                }
+            }
+            cp.add_named("cp_total_ns", path.total_ns());
+            cp.add_named("cp_instances", 1);
+        });
     }
 
     /// Folds per-class message counters into the deterministic set
@@ -541,9 +632,26 @@ mod tests {
         );
         assert!(m.deterministic.counter_value("msg_sent_Exception") > 0);
         assert!(m.wall_clock.counter_value("sched_parks") > 0);
+        // Critical-path attribution: every resolved instance contributes
+        // a path whose segments sum to its latency, so the aggregate
+        // totals couple exactly to the latency histograms.
+        assert_eq!(
+            m.critical_path.counter_value("cp_instances"),
+            latency.count() + crash_latency.count(),
+        );
+        assert_eq!(
+            u128::from(m.critical_path.counter_value("cp_total_ns")),
+            latency.sum() + crash_latency.sum(),
+        );
+        let class_sum: u64 = crate::spans::SegmentClass::ALL
+            .iter()
+            .map(|c| m.critical_path.counter_value(c.counter_name()))
+            .sum();
+        assert_eq!(class_sum, m.critical_path.counter_value("cp_total_ns"));
         let summary = m.summary();
         assert!(summary.contains("messages sent:"), "{summary}");
         assert!(summary.contains("sched handoffs"), "{summary}");
+        assert!(summary.contains("critical path ("), "{summary}");
     }
 
     #[test]

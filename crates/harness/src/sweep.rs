@@ -517,8 +517,18 @@ pub fn run_seed_in(
     check_replay_too: bool,
     arena: &mut ExecutionArena,
 ) -> SeedResult {
+    let t = Instant::now();
     let plan = ScenarioPlan::generate(seed, scenario);
+    arena
+        .metrics_recorder()
+        .add_wall("stage_generate_ns", wall_ns(t.elapsed()));
     run_plan_checked(plan, check_replay_too, arena)
+}
+
+/// Wall-clock duration as nanoseconds for the stage-timer counters
+/// (saturating — a stage will not run for 584 years).
+fn wall_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Runs an **explicit plan** end to end — execute, check every oracle,
@@ -532,15 +542,35 @@ pub fn run_plan_checked(
     arena: &mut ExecutionArena,
 ) -> SeedResult {
     let seed = plan.seed;
+    let t = Instant::now();
     let artifacts = execute_owned(plan, arena);
+    let execute_ns = wall_ns(t.elapsed());
+    let t = Instant::now();
     let mut violations = check_run(&artifacts);
+    let oracle_ns = wall_ns(t.elapsed());
+    let t = Instant::now();
     arena.metrics_recorder().record_run(&artifacts);
+    let metrics_ns = wall_ns(t.elapsed());
     if check_replay_too {
+        // Replay wall time counts as execute; its comparison as oracle —
+        // folded below so the recorder is touched once per stage.
+        let t = Instant::now();
         let (replayed, _report) = run_plan(&artifacts.plan, arena);
+        let replay_execute_ns = wall_ns(t.elapsed());
+        let t = Instant::now();
         if let Some(v) = check_replay(&artifacts.trace, &replayed) {
             violations.push(v);
         }
         arena.recycle_trace(replayed);
+        let recorder = arena.metrics_recorder();
+        recorder.add_wall("stage_execute_ns", execute_ns + replay_execute_ns);
+        recorder.add_wall("stage_oracle_ns", oracle_ns + wall_ns(t.elapsed()));
+        recorder.add_wall("stage_metrics_ns", metrics_ns);
+    } else {
+        let recorder = arena.metrics_recorder();
+        recorder.add_wall("stage_execute_ns", execute_ns);
+        recorder.add_wall("stage_oracle_ns", oracle_ns);
+        recorder.add_wall("stage_metrics_ns", metrics_ns);
     }
     SeedResult {
         seed,
@@ -605,6 +635,7 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                         }
                     }
                     let seed = config.start_seed + i;
+                    let busy = Instant::now();
                     let result =
                         run_seed_in(seed, &config.scenario, config.check_replay, &mut arena);
                     seeds_run.fetch_add(1, Ordering::Relaxed);
@@ -624,6 +655,11 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                     } else {
                         failures.lock().expect("sweep collector").push(result);
                     }
+                    // Worker utilization: wall time spent on seed work
+                    // (vs. blocked on the shared collectors or starved).
+                    arena
+                        .metrics_recorder()
+                        .add_wall("worker_busy_ns", wall_ns(busy.elapsed()));
                 }
             });
         }

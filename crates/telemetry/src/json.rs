@@ -272,6 +272,122 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
+/// Checks a parsed document's `"schema"` tag against the expected value —
+/// the shared guard every canonical-document parser (`metrics.json`,
+/// `coverage.json`) runs before reading any field.
+///
+/// # Errors
+///
+/// A message naming the found tag (or its absence) when it is not `want`.
+pub fn expect_schema(doc: &Value, want: &str) -> Result<(), String> {
+    match doc.get("schema") {
+        Some(Value::Str(s)) if s == want => Ok(()),
+        other => Err(format!("unsupported schema (want {want:?}): {other:?}")),
+    }
+}
+
+/// Parsed command line of a canonical-document merge CLI (`metrics_merge`,
+/// `coverage_merge`): input paths, the `--out` destination, and any
+/// tool-specific value flags. The read/parse/fold/emit plumbing those
+/// tools used to duplicate lives here once.
+#[derive(Debug, Default, Clone)]
+pub struct MergeCli {
+    /// Input document paths, in command-line order.
+    pub inputs: Vec<String>,
+    /// `--out PATH` destination; `None` writes the merged document to
+    /// stdout.
+    pub out: Option<String>,
+    /// Tool-specific `--flag value` pairs (the flags listed in
+    /// [`MergeCli::parse`]'s `value_flags`), in command-line order.
+    pub extra: Vec<(String, String)>,
+}
+
+impl MergeCli {
+    /// Parses `<input>... [--out PATH]` plus the tool's own `value_flags`
+    /// (each expecting one value). Unknown `--flags` and a missing value
+    /// are errors; callers print the message with their usage line and
+    /// exit 2.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending argument.
+    pub fn parse(
+        args: impl Iterator<Item = String>,
+        value_flags: &[&str],
+    ) -> Result<MergeCli, String> {
+        let mut cli = MergeCli::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--out" => cli.out = Some(value("--out")?),
+                flag if value_flags.contains(&flag) => {
+                    let v = value(flag)?;
+                    cli.extra.push((flag.to_owned(), v));
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown argument {other}"));
+                }
+                path => cli.inputs.push(path.to_owned()),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The last value given for a tool-specific flag, if any.
+    #[must_use]
+    pub fn extra_value(&self, flag: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads every input, parses it with `parse`, and folds the documents
+    /// with `merge` (first document is the accumulator). Errors carry the
+    /// offending path.
+    ///
+    /// # Errors
+    ///
+    /// When there are no inputs, a file cannot be read, or `parse`
+    /// rejects a document.
+    pub fn fold<D>(
+        &self,
+        mut parse: impl FnMut(&str) -> Result<D, String>,
+        mut merge: impl FnMut(&mut D, D),
+    ) -> Result<D, String> {
+        let mut merged: Option<D> = None;
+        for path in &self.inputs {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            match &mut merged {
+                None => merged = Some(doc),
+                Some(into) => merge(into, doc),
+            }
+        }
+        merged.ok_or_else(|| "no input documents".to_owned())
+    }
+
+    /// Writes the merged document to `--out` (reporting the destination on
+    /// stderr) or prints it to stdout.
+    ///
+    /// # Errors
+    ///
+    /// When the `--out` file cannot be written.
+    pub fn emit(&self, doc: &str) -> Result<(), String> {
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("merged {} document(s) into {path}", self.inputs.len());
+            }
+            None => print!("{doc}"),
+        }
+        Ok(())
+    }
+}
+
 /// Appends `text` as a JSON string literal (with the escapes the parser
 /// understands).
 pub fn write_str(out: &mut String, text: &str) {
@@ -328,6 +444,63 @@ mod tests {
         let big = u128::from(u64::MAX) * 7;
         let v = parse(&big.to_string()).unwrap();
         assert_eq!(v.as_u128(), Some(big));
+    }
+
+    #[test]
+    fn expect_schema_guards_documents() {
+        let doc = parse(r#"{"schema": "caa-metrics/v1", "seeds": 1}"#).unwrap();
+        assert!(expect_schema(&doc, "caa-metrics/v1").is_ok());
+        let err = expect_schema(&doc, "caa-coverage/v1").unwrap_err();
+        assert!(err.contains("caa-coverage/v1"), "{err}");
+        assert!(expect_schema(&parse("{}").unwrap(), "x").is_err());
+    }
+
+    #[test]
+    fn merge_cli_parses_folds_and_reports_errors() {
+        let cli = MergeCli::parse(
+            ["a.json", "--out", "m.json", "--triage", "t.md", "b.json"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+            &["--triage"],
+        )
+        .unwrap();
+        assert_eq!(cli.inputs, vec!["a.json", "b.json"]);
+        assert_eq!(cli.out.as_deref(), Some("m.json"));
+        assert_eq!(cli.extra_value("--triage"), Some("t.md"));
+        assert!(MergeCli::parse(["--bogus".to_owned()].into_iter(), &[]).is_err());
+        assert!(MergeCli::parse(["--out".to_owned()].into_iter(), &[]).is_err());
+
+        // fold: reads real files, parses, folds; errors carry the path.
+        let dir = std::env::temp_dir().join(format!("caa-merge-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (pa, pb) = (dir.join("a.json"), dir.join("b.json"));
+        std::fs::write(&pa, "3").unwrap();
+        std::fs::write(&pb, "4").unwrap();
+        let files = MergeCli {
+            inputs: vec![
+                pa.to_string_lossy().into_owned(),
+                pb.to_string_lossy().into_owned(),
+            ],
+            ..MergeCli::default()
+        };
+        let sum = files
+            .fold(
+                |text| parse(text)?.as_u64().ok_or_else(|| "not a number".into()),
+                |a, b| *a += b,
+            )
+            .unwrap();
+        assert_eq!(sum, 7);
+        let missing = MergeCli {
+            inputs: vec![dir.join("nope.json").to_string_lossy().into_owned()],
+            ..MergeCli::default()
+        };
+        let err = missing.fold(|_| Ok(0u64), |_, _| {}).unwrap_err();
+        assert!(err.contains("nope.json"), "{err}");
+        assert!(MergeCli::default()
+            .fold(|_| Ok(0u64), |_, _| {})
+            .unwrap_err()
+            .contains("no input"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

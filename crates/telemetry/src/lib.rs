@@ -41,6 +41,8 @@
 mod hist;
 pub mod json;
 mod set;
+mod span;
 
 pub use hist::Histogram;
 pub use set::{CounterHandle, HistogramHandle, MetricSet};
+pub use span::{Span, SpanTree};

@@ -1,0 +1,186 @@
+//! Spans: named virtual-time intervals with parent links.
+//!
+//! A [`Span`] is the timeline primitive the harness derives *post-run*
+//! from a recorded trace (see `caa-harness`'s `spans` module): a named
+//! interval of virtual time on one thread, attributed to one action
+//! instance, optionally nested under a parent span. A [`SpanTree`] owns a
+//! run's spans in a flat arena — children are pushed after their parents
+//! and refer to them by index, so construction is a single forward pass
+//! and rendering never chases pointers.
+//!
+//! Like everything in this crate, spans are pure data derived from
+//! virtual-time facts: the same trace yields byte-identical
+//! [`SpanTree::render`] output on any machine, which is what the harness's
+//! span-determinism tests assert.
+
+use std::fmt::Write as _;
+
+/// A named virtual-time interval on one thread, attributed to one action
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// What the interval covers (e.g. `action:payment`, `resolution:r1`,
+    /// `object-wait:ledger`).
+    pub name: String,
+    /// Virtual start, nanoseconds.
+    pub start_ns: u64,
+    /// Virtual end, nanoseconds (`>= start_ns`).
+    pub end_ns: u64,
+    /// The thread the interval belongs to.
+    pub thread: u32,
+    /// Canonical (run-independent) action-instance label — the `A<n>`
+    /// number of the harness's trace rendering, *not* the raw serial.
+    pub instance: u64,
+    /// Index of the enclosing span in the owning [`SpanTree`], if any.
+    pub parent: Option<u32>,
+}
+
+impl Span {
+    /// The interval's duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A run's spans in push order, parents before children.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    spans: Vec<Span>,
+}
+
+impl SpanTree {
+    /// An empty tree.
+    #[must_use]
+    pub fn new() -> SpanTree {
+        SpanTree::default()
+    }
+
+    /// Appends a span and returns its index (usable as a child's
+    /// [`Span::parent`]).
+    pub fn push(&mut self, span: Span) -> u32 {
+        let index = u32::try_from(self.spans.len()).expect("span count fits u32");
+        debug_assert!(span.parent.is_none_or(|p| p < index), "parent before child");
+        self.spans.push(span);
+        index
+    }
+
+    /// Closes the span at `index`: sets its end time.
+    pub fn set_end(&mut self, index: u32, end_ns: u64) {
+        self.spans[index as usize].end_ns = end_ns;
+    }
+
+    /// The spans, in push order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the tree holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Nesting depth of the span at `index` (0 = root).
+    #[must_use]
+    pub fn depth(&self, index: u32) -> usize {
+        let mut depth = 0;
+        let mut at = index;
+        while let Some(parent) = self.spans[at as usize].parent {
+            depth += 1;
+            at = parent;
+        }
+        depth
+    }
+
+    /// Deterministic text form: one line per span in push order, indented
+    /// by nesting depth. Byte-identical across replays of the same run —
+    /// the form span-determinism tests compare.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.spans.len() * 48);
+        for (i, span) in self.spans.iter().enumerate() {
+            let index = u32::try_from(i).expect("span count fits u32");
+            for _ in 0..self.depth(index) {
+                out.push_str("  ");
+            }
+            let _ = writeln!(
+                out,
+                "{} A{} T{} [{}..{}] {}ns",
+                span.name,
+                span.instance,
+                span.thread,
+                span.start_ns,
+                span.end_ns,
+                span.duration_ns(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_set_end_and_depth() {
+        let mut tree = SpanTree::new();
+        let root = tree.push(Span {
+            name: "action:a".into(),
+            start_ns: 0,
+            end_ns: 0,
+            thread: 0,
+            instance: 0,
+            parent: None,
+        });
+        let child = tree.push(Span {
+            name: "resolution:r1".into(),
+            start_ns: 10,
+            end_ns: 40,
+            thread: 0,
+            instance: 0,
+            parent: Some(root),
+        });
+        tree.set_end(root, 100);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.spans()[root as usize].end_ns, 100);
+        assert_eq!(tree.spans()[child as usize].duration_ns(), 30);
+        assert_eq!(tree.depth(root), 0);
+        assert_eq!(tree.depth(child), 1);
+    }
+
+    #[test]
+    fn render_is_indented_and_stable() {
+        let mut tree = SpanTree::new();
+        let root = tree.push(Span {
+            name: "action:a".into(),
+            start_ns: 0,
+            end_ns: 50,
+            thread: 1,
+            instance: 2,
+            parent: None,
+        });
+        tree.push(Span {
+            name: "handler:x".into(),
+            start_ns: 5,
+            end_ns: 25,
+            thread: 1,
+            instance: 2,
+            parent: Some(root),
+        });
+        let text = tree.render();
+        assert_eq!(
+            text,
+            "action:a A2 T1 [0..50] 50ns\n  handler:x A2 T1 [5..25] 20ns\n"
+        );
+        assert_eq!(text, tree.clone().render());
+    }
+}
